@@ -1,0 +1,22 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one figure/table of the paper via
+`repro.evalsim.experiments`, asserts the paper's qualitative claims
+(shape, not absolute numbers), and prints the reproduced table (visible
+with ``pytest -s``).
+"""
+
+import pytest
+
+
+def run_experiment(benchmark, fn, scale=1.0):
+    """Run an experiment function once under pytest-benchmark."""
+    exp = benchmark.pedantic(fn, kwargs={"scale": scale}, rounds=1, iterations=1)
+    print()
+    print(exp.render())
+    return exp
+
+
+def numeric(values):
+    """Filter out 'n/a' placeholders from a column."""
+    return [v for v in values if isinstance(v, (int, float))]

@@ -1,0 +1,17 @@
+"""Figure 10: OPCDM at very large problem sizes."""
+
+from conftest import run_experiment
+
+from repro.evalsim.experiments import fig10
+
+
+def test_fig10_near_linear_growth(benchmark):
+    exp = run_experiment(benchmark, fig10)
+    sizes = exp.column("size (M)")
+    for col in ("8 PE", "16 PE"):
+        times = exp.column(col)
+        assert times == sorted(times)
+        per_elt = [t / s for s, t in zip(sizes, times)]
+        assert max(per_elt) <= min(per_elt) * 2.0
+    for t8, t16 in zip(exp.column("8 PE"), exp.column("16 PE")):
+        assert t16 < t8

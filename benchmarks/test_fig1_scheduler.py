@@ -1,0 +1,21 @@
+"""Figure 1: queue wait time vs requested node count."""
+
+from conftest import run_experiment
+
+from repro.evalsim.experiments import fig1
+
+
+def test_fig1_wait_grows_with_width(benchmark):
+    exp = run_experiment(benchmark, fig1)
+    widths = exp.column("nodes requested")
+    waits = exp.column("median wait (min)")
+    by = dict(zip(widths, waits))
+    # Paper: <16 nodes within minutes.
+    narrow = [by[w] for w in widths if w < 16]
+    assert max(narrow) < 20.0
+    # 32 nodes on the order of half an hour to ~an hour.
+    assert 10.0 < by[32] < 120.0
+    # 100+ nodes: hours.
+    assert by[max(widths)] > 120.0
+    # Monotone growth over the wide range.
+    assert by[max(widths)] > by[32] > max(narrow)

@@ -1,0 +1,21 @@
+"""Figure 6: NUPDR vs ONUPDR at 2/4/8 PEs (in-core overhead)."""
+
+from conftest import run_experiment
+
+from repro.evalsim.experiments import fig6
+
+
+def test_fig6_overhead_bands(benchmark):
+    exp = run_experiment(benchmark, fig6)
+    rows = list(zip(exp.column("PEs"), exp.column("overhead %")))
+    by_pe = {}
+    for pes, over in rows:
+        by_pe.setdefault(pes, []).append(over)
+    # Paper: up to 41% at 2 PEs (allocator effect)...
+    assert max(by_pe[2]) > 25.0
+    # ... but acceptable (<=18%, we allow 22%) at 4 and 8 PEs.
+    assert max(by_pe[4]) < 22.0
+    assert max(by_pe[8]) < 22.0
+    # The 2-PE overhead strictly dominates the others.
+    assert min(by_pe[2]) > max(by_pe[4])
+    assert min(by_pe[2]) > max(by_pe[8])

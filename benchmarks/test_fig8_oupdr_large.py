@@ -1,0 +1,23 @@
+"""Figure 8: OUPDR at very large problem sizes (near-linear scaling)."""
+
+from conftest import run_experiment
+
+from repro.evalsim.experiments import fig8
+
+
+def _near_linear(sizes, times, tolerance=0.6):
+    """Time-per-element must not degrade by more than `tolerance` overall."""
+    per_elt = [t / s for s, t in zip(sizes, times)]
+    assert max(per_elt) <= min(per_elt) * (1.0 + tolerance), per_elt
+
+
+def test_fig8_near_linear_growth(benchmark):
+    exp = run_experiment(benchmark, fig8)
+    sizes = exp.column("size (M)")
+    for col in ("8 PE", "16 PE"):
+        times = exp.column(col)
+        assert times == sorted(times)  # monotone in size
+        _near_linear(sizes, times)
+    # More PEs is faster.
+    for t8, t16 in zip(exp.column("8 PE"), exp.column("16 PE")):
+        assert t16 < t8

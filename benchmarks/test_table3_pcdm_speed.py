@@ -1,0 +1,17 @@
+"""Table III: single-PE Speed of PCDM and OPCDM (16 PEs)."""
+
+from conftest import numeric, run_experiment
+
+from repro.evalsim.experiments import table3
+
+
+def test_table3_speed_sustained(benchmark):
+    exp = run_experiment(benchmark, table3)
+    base = numeric(exp.column("PCDM speed"))
+    ours = numeric(exp.column("OPCDM speed"))
+    # Both sustain their speed as sizes grow (no collapse).
+    assert base and ours
+    assert max(base) <= min(base) * 1.6
+    assert max(ours) <= min(ours) * 2.5
+    # OPCDM covers sizes PCDM cannot (aggregate memory exceeded).
+    assert len(ours) > len(base)

@@ -1,0 +1,22 @@
+"""Table IV: OUPDR computation/communication/disk breakdown and overlap."""
+
+from conftest import run_experiment
+
+from repro.evalsim.experiments import table4
+
+
+def test_table4_overlap_exceeds_half_for_large(benchmark):
+    exp = run_experiment(benchmark, table4)
+    sizes = exp.column("size (M)")
+    overlaps = exp.column("Overlap %")
+    disk = exp.column("Disk %")
+    # The out-of-core runs do real disk work...
+    assert all(d > 10.0 for d in disk)
+    # ...and the paper's headline: overlap exceeds 50% for large problems.
+    largest = [o for s, o in zip(sizes, overlaps) if s == max(sizes)]
+    assert any(o > 50.0 for o in largest)
+    # Overlap grows with size within each PE group.
+    rows = list(zip(exp.column("PEs"), sizes, overlaps))
+    for pes in sorted({r[0] for r in rows}):
+        series = [o for p, s, o in rows if p == pes]
+        assert series[-1] >= series[0]

@@ -1,0 +1,14 @@
+"""Table V: ONUPDR computation/synchronization/disk breakdown and overlap."""
+
+from conftest import run_experiment
+
+from repro.evalsim.experiments import table5
+
+
+def test_table5_overlap_for_large_problems(benchmark):
+    exp = run_experiment(benchmark, table5)
+    sizes = exp.column("size (M)")
+    overlaps = exp.column("Overlap %")
+    largest = [o for s, o in zip(sizes, overlaps) if s == max(sizes)]
+    assert any(o > 50.0 for o in largest)
+    assert all(d > 10.0 for d in exp.column("Disk %"))

@@ -1,0 +1,18 @@
+"""Table VI: OPCDM computation/communication/disk breakdown and overlap."""
+
+from conftest import run_experiment
+
+from repro.evalsim.experiments import table6
+
+
+def test_table6_overlap_for_large_problems(benchmark):
+    exp = run_experiment(benchmark, table6)
+    sizes = exp.column("size (M)")
+    overlaps = exp.column("Overlap %")
+    largest = [o for s, o in zip(sizes, overlaps) if s == max(sizes)]
+    assert any(o > 40.0 for o in largest)
+    # Overlap grows with problem size within each PE group.
+    rows = list(zip(exp.column("PEs"), sizes, overlaps))
+    for pes in sorted({r[0] for r in rows}):
+        series = [o for p, s, o in rows if p == pes]
+        assert series[-1] >= series[0]

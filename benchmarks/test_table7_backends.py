@@ -1,0 +1,23 @@
+"""Table VII: ONUPDR with TBB-like vs GCD-like computing-layer backends."""
+
+from conftest import run_experiment
+
+from repro.evalsim.experiments import table7
+
+
+def test_table7_gcd_slightly_slower(benchmark):
+    exp = run_experiment(benchmark, table7)
+    tbb = exp.column("TBB spdup")
+    gcd = exp.column("GCD spdup")
+    # Paper: "GCD implementation is slightly slower yet similar trends".
+    for s_tbb, s_gcd in zip(tbb, gcd):
+        assert s_gcd <= s_tbb
+        assert s_gcd > 0.85 * s_tbb  # slightly, not dramatically
+    # Both scale well on 4 PEs (comparable to plain NUPDR's speedup).
+    assert min(tbb) > 3.0
+    assert min(gcd) > 2.8
+    # T1 grows linearly with size.
+    t1 = exp.column("T1 (s)")
+    sizes = exp.column("size (M)")
+    per = [t / s for t, s in zip(t1, sizes)]
+    assert max(per) <= min(per) * 1.2

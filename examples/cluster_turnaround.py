@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The paper's §I motivating example: out-of-core beats the queue.
+
+A PCDM mesh of 238M elements needs ~64 GB of memory.  In-core that means
+requesting 32 nodes (2 GB each) and waiting in the batch queue behind
+everyone else who wants a big slice of the machine; out-of-core the same
+mesh runs on 16 nodes in ~2.4x the time — but wide requests wait so much
+longer that the out-of-core job *returns results sooner*.
+
+This example simulates the batch queue (Figure 1) and prints the wait
+profile plus the end-to-end turnaround comparison.
+
+Run:  python examples/cluster_turnaround.py
+"""
+
+from repro.sim.scheduler import (
+    SchedulerSim,
+    median_wait_by_width,
+    synthetic_job_mix,
+)
+
+IN_CORE_NODES, IN_CORE_RUN_S = 32, 310.0     # paper: 310 s on 32 nodes
+OOC_NODES, OOC_RUN_S = 16, 731.0             # paper: 731 s on 16 nodes
+
+
+def main():
+    print("simulating a 128-node shared cluster (EASY backfill, load 0.6)...")
+    jobs = synthetic_job_mix(n_jobs=3000, n_nodes=128, load=0.6, seed=11)
+    SchedulerSim(n_nodes=128, discipline="backfill").run(jobs)
+    waits = median_wait_by_width(jobs)
+
+    print("\nFigure 1 — typical queue wait by requested width:")
+    for width, wait in sorted(waits.items()):
+        bar = "#" * min(int(wait / 300), 60)
+        print(f"  {width:4d} nodes  {wait / 60:7.1f} min  {bar}")
+
+    def wait_for(width):
+        candidates = [w for w in waits if w >= width]
+        return waits[min(candidates)] if candidates else max(waits.values())
+
+    print("\n§I turnaround comparison (queue wait + run time):")
+    rows = [
+        ("in-core, 32 nodes", wait_for(IN_CORE_NODES), IN_CORE_RUN_S),
+        ("out-of-core, 16 nodes", wait_for(OOC_NODES), OOC_RUN_S),
+    ]
+    totals = {}
+    for label, wait, run in rows:
+        total = wait + run
+        totals[label] = total
+        print(
+            f"  {label:24s} wait {wait / 60:6.1f} min + run {run / 60:5.1f} min"
+            f" = {total / 60:6.1f} min"
+        )
+    winner = min(totals, key=totals.get)
+    print(f"\n=> {winner} returns results first, exactly as the paper argues.")
+    assert winner.startswith("out-of-core")
+
+
+if __name__ == "__main__":
+    main()

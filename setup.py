@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml; this file exists only so the package
+can be installed editable (``pip install -e . --no-use-pep517``) on machines
+without the ``wheel`` package or network access to fetch build dependencies.
+"""
+
+from setuptools import setup
+
+setup()

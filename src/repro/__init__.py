@@ -1,0 +1,27 @@
+"""repro — reproduction of the MRTS out-of-core run-time system.
+
+Reproduces Kot, Chernikov & Chrisochoides, *The Evaluation of an Effective
+Out-of-core Run-Time System in the Context of Parallel Mesh Generation*
+(IPDPS Workshops, 2011).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: the Multi-layered Run-Time System (mobile
+    objects, one-sided messages, storage / out-of-core / control / computing
+    layers).
+``repro.sim``
+    Discrete-event cluster simulation substrate (nodes, disks, NICs, batch
+    scheduler) substituting for the paper's physical testbeds.
+``repro.geometry`` / ``repro.mesh``
+    From-scratch 2D geometric predicates and sequential Delaunay meshing
+    (Bowyer–Watson, constrained Delaunay, Ruppert refinement, quadtrees).
+``repro.pumg``
+    The three parallel mesh generation methods (UPDR, NUPDR, PCDM) and their
+    out-of-core MRTS ports (OUPDR, ONUPDR, OPCDM).
+``repro.evalsim``
+    Paper-scale evaluation harness: calibrated cost models and one driver per
+    figure/table of the paper's evaluation section.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,63 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.cli fig5 table4          # specific experiments
+    python -m repro.cli all                  # everything (slow)
+    python -m repro.cli --scale 0.5 table1   # thinned size grids
+    python -m repro.cli --list               # available experiment ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.evalsim.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mrts-bench",
+        description="Reproduce the MRTS paper's evaluation tables/figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (see --list), or 'all'",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="shrink size grids (0 < scale <= 1) for quicker runs",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for name in ALL_EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+    if not 0.0 < args.scale <= 1.0:
+        parser.error("--scale must be in (0, 1]")
+
+    wanted = (
+        list(ALL_EXPERIMENTS)
+        if args.experiments == ["all"]
+        else args.experiments
+    )
+    unknown = [name for name in wanted if name not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    for name in wanted:
+        start = time.perf_counter()
+        experiment = ALL_EXPERIMENTS[name](scale=args.scale)
+        elapsed = time.perf_counter() - start
+        print(experiment.render())
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,259 @@
+"""The computing layer: task-parallel execution of message handlers.
+
+Paper §II.D/E: the computing layer gives a uniform interface over
+multi-threading technologies.  The authors support two industrial backends
+— Intel TBB (work-stealing task scheduler) and Apple GCD (central-queue
+thread pool) — and Table VII compares them on the ONUPDR.
+
+We implement the two *scheduling disciplines* faithfully as deterministic
+policies plus a real-thread executor:
+
+* :class:`WorkStealingExecutor` — per-worker deques; a worker pushes/pops
+  its own tasks LIFO (depth-first, cache-friendly, TBB-style) and steals
+  FIFO from victims when idle.  Stealing has a cost (models TBB overhead).
+* :class:`CentralQueueExecutor` — one global FIFO feeding all workers
+  (GCD-style); enqueue/dequeue contention is modeled as a small per-task
+  cost that grows with worker count.
+* :class:`SerialExecutor` — everything inline; baseline and T1 runs.
+* :class:`ThreadPoolExecutorBackend` — actual ``concurrent.futures``
+  threads for the threaded driver (real parallelism for I/O-bound work;
+  CPython's GIL limits compute overlap, see DESIGN.md).
+
+The deterministic policies expose :meth:`schedule_trace`: given a DAG of
+task durations they compute per-worker timelines, which is how the
+simulated driver turns handler task trees into virtual time (and what the
+Table VII benchmark measures).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+__all__ = [
+    "Task",
+    "ScheduleResult",
+    "TaskScheduler",
+    "WorkStealingExecutor",
+    "CentralQueueExecutor",
+    "SerialExecutor",
+    "ThreadPoolExecutorBackend",
+    "make_executor",
+]
+
+
+@dataclass
+class Task:
+    """A unit of work: duration plus child tasks spawned when it runs.
+
+    Mirrors the paper's model: "each message handler ... is a task and can
+    be further broken into child tasks and some of those tasks can be
+    executed in parallel".
+    """
+
+    duration: float
+    children: list["Task"] = field(default_factory=list)
+
+    def total_work(self) -> float:
+        return self.duration + sum(c.total_work() for c in self.children)
+
+    def critical_path(self) -> float:
+        if not self.children:
+            return self.duration
+        return self.duration + max(c.critical_path() for c in self.children)
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling a task tree on P workers."""
+
+    makespan: float
+    busy: list[float]          # per-worker busy time
+    steals: int = 0            # work-stealing only
+    queue_ops: int = 0         # central-queue only
+
+    @property
+    def utilization(self) -> float:
+        if self.makespan <= 0:
+            return 1.0
+        return sum(self.busy) / (self.makespan * len(self.busy))
+
+
+class TaskScheduler:
+    """Deterministic scheduling policy over a task tree."""
+
+    name = "base"
+
+    def __init__(self, workers: int, overhead: float = 0.0) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if overhead < 0:
+            raise ValueError("overhead must be >= 0")
+        self.workers = workers
+        self.overhead = overhead
+
+    def schedule(self, roots: Sequence[Task]) -> ScheduleResult:
+        raise NotImplementedError
+
+
+class SerialExecutor(TaskScheduler):
+    """Run every task inline on one PE."""
+
+    name = "serial"
+
+    def __init__(self, workers: int = 1, overhead: float = 0.0) -> None:
+        super().__init__(1, overhead)
+
+    def schedule(self, roots: Sequence[Task]) -> ScheduleResult:
+        total = 0.0
+        stack = list(roots)
+        count = 0
+        while stack:
+            task = stack.pop()
+            total += task.duration
+            count += 1
+            stack.extend(task.children)
+        total += self.overhead * count
+        return ScheduleResult(makespan=total, busy=[total])
+
+
+class WorkStealingExecutor(TaskScheduler):
+    """TBB-style: per-worker LIFO deques with FIFO stealing.
+
+    Event-driven simulation of the classic Blumofe–Leiserson discipline:
+    a worker finishing a task spawns its children onto its own deque (LIFO
+    pop), and an idle worker steals the *oldest* task from the most loaded
+    victim, paying ``steal_cost``.
+    """
+
+    name = "workstealing"
+
+    def __init__(
+        self, workers: int, overhead: float = 2e-6, steal_cost: float = 1e-5
+    ) -> None:
+        super().__init__(workers, overhead)
+        self.steal_cost = steal_cost
+
+    def schedule(self, roots: Sequence[Task]) -> ScheduleResult:
+        # Deques hold (ready_time, task): a child becomes ready when its
+        # parent completes, and no worker may start it earlier.
+        deques: list[deque[tuple[float, Task]]] = [
+            deque() for _ in range(self.workers)
+        ]
+        # Seed round-robin: callers usually pass one root per handler.
+        for i, task in enumerate(roots):
+            deques[i % self.workers].append((0.0, task))
+        clock = [0.0] * self.workers
+        busy = [0.0] * self.workers
+        steals = 0
+        # Run until all deques drain.  Process the worker with the smallest
+        # local clock (event order), which is deterministic.
+        while any(deques):
+            w = min(range(self.workers), key=lambda i: (clock[i], i))
+            if deques[w]:
+                ready, task = deques[w].pop()  # LIFO: own work, depth first
+            else:
+                # Steal FIFO from the victim with the most queued work.
+                victims = [i for i in range(self.workers) if deques[i]]
+                victim = max(victims, key=lambda i: (len(deques[i]), -i))
+                ready, task = deques[victim].popleft()
+                clock[w] += self.steal_cost
+                steals += 1
+            start = max(clock[w], ready)
+            cost = task.duration + self.overhead
+            clock[w] = start + cost
+            busy[w] += cost
+            for child in task.children:
+                deques[w].append((clock[w], child))
+        return ScheduleResult(makespan=max(clock), busy=busy, steals=steals)
+
+
+class CentralQueueExecutor(TaskScheduler):
+    """GCD-style: a single global FIFO queue feeding all workers.
+
+    Each dequeue pays a contention cost proportional to the worker count
+    (a lock-protected queue serializes access), which is the behavioural
+    difference from work stealing that Table VII exposes: slightly worse
+    scaling for fine-grained tasks.
+    """
+
+    name = "centralqueue"
+
+    def __init__(
+        self, workers: int, overhead: float = 2e-6, contention: float = 1.5e-4
+    ) -> None:
+        super().__init__(workers, overhead)
+        self.contention = contention
+
+    def schedule(self, roots: Sequence[Task]) -> ScheduleResult:
+        # FIFO of (ready_time, task); dequeue contention grows with the
+        # worker count (a lock-protected global queue plus GCD-style block
+        # dispatch cost per task).
+        queue: deque[tuple[float, Task]] = deque((0.0, t) for t in roots)
+        clock = [0.0] * self.workers
+        busy = [0.0] * self.workers
+        ops = 0
+        while queue:
+            w = min(range(self.workers), key=lambda i: (clock[i], i))
+            ready, task = queue.popleft()
+            ops += 1
+            start = max(clock[w], ready)
+            cost = (
+                task.duration
+                + self.overhead
+                + self.contention * self.workers
+            )
+            clock[w] = start + cost
+            busy[w] += cost
+            queue.extend((clock[w], c) for c in task.children)
+        return ScheduleResult(makespan=max(clock), busy=busy, queue_ops=ops)
+
+
+class ThreadPoolExecutorBackend:
+    """Real threads for the threaded driver.
+
+    Submits callables; ``map_tasks`` fans a list of thunks out over the
+    pool and waits.  Used where real I/O overlap matters (spill/load while
+    other handlers run); compute-bound Python code will serialize on the
+    GIL, which DESIGN.md documents as the key substitution driver.
+    """
+
+    name = "threads"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+
+    def submit(self, fn: Callable, *args, **kwargs) -> concurrent.futures.Future:
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def map_tasks(self, thunks: Sequence[Callable[[], object]]) -> list:
+        futures = [self._pool.submit(t) for t in thunks]
+        return [f.result() for f in futures]
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def make_executor(
+    name: str, workers: int, overhead: Optional[float] = None
+) -> TaskScheduler:
+    """Instantiate a deterministic scheduling policy by config name."""
+    classes = {
+        "serial": SerialExecutor,
+        "workstealing": WorkStealingExecutor,
+        "centralqueue": CentralQueueExecutor,
+    }
+    try:
+        cls = classes[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; choose from {sorted(classes)}"
+        ) from None
+    if overhead is None:
+        return cls(workers)
+    return cls(workers, overhead=overhead)

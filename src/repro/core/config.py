@@ -1,0 +1,75 @@
+"""Runtime configuration for the MRTS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ConfigError
+
+__all__ = ["MRTSConfig"]
+
+
+@dataclass
+class MRTSConfig:
+    """Tunables of the Multi-layered Run-Time System.
+
+    Defaults follow the paper:
+
+    * ``hard_threshold_factor`` — the *hard swapping threshold* is this
+      multiple of the size of the largest mobile object currently stored on
+      disk; checked on every allocation; default **2** (§II.E).
+    * ``soft_threshold_fraction`` — the *soft swapping threshold* is this
+      fraction of total memory; dropping below it advises the storage layer
+      to start swapping; default **1/2** (§II.E).
+    * ``swap_scheme`` — replacement policy; LRU is the paper's default,
+      with LFU/MRU/MU/LU available (LFU is up to 7% faster for PCDM).
+    * ``directory_policy`` — mobile-object location management; the paper
+      chose *lazy* forwarding updates as the accuracy/overhead compromise.
+    * ``executor`` — computing-layer backend: ``"workstealing"`` (TBB-like),
+      ``"centralqueue"`` (GCD-like), or ``"serial"``.
+    * ``overdecomposition`` — recommended N/P ratio hint used by the
+      application drivers when they choose subdomain counts (N >> P).
+    """
+
+    memory_budget: int = 256 * 1024 * 1024
+    hard_threshold_factor: float = 2.0
+    soft_threshold_fraction: float = 0.5
+    swap_scheme: str = "lru"
+    directory_policy: str = "lazy"
+    executor: str = "workstealing"
+    overdecomposition: int = 8
+    prefetch_depth: int = 2
+    message_aggregation: int = 1
+
+    VALID_SCHEMES = ("lru", "lfu", "mru", "mu", "lu")
+    VALID_DIRECTORY = ("lazy", "eager", "home")
+    VALID_EXECUTORS = ("workstealing", "centralqueue", "serial")
+
+    def __post_init__(self) -> None:
+        if self.memory_budget <= 0:
+            raise ConfigError("memory_budget must be positive")
+        if self.hard_threshold_factor < 1.0:
+            raise ConfigError("hard_threshold_factor must be >= 1")
+        if not 0.0 <= self.soft_threshold_fraction <= 1.0:
+            raise ConfigError("soft_threshold_fraction must be in [0, 1]")
+        if self.swap_scheme not in self.VALID_SCHEMES:
+            raise ConfigError(
+                f"unknown swap scheme {self.swap_scheme!r}; "
+                f"choose from {self.VALID_SCHEMES}"
+            )
+        if self.directory_policy not in self.VALID_DIRECTORY:
+            raise ConfigError(
+                f"unknown directory policy {self.directory_policy!r}; "
+                f"choose from {self.VALID_DIRECTORY}"
+            )
+        if self.executor not in self.VALID_EXECUTORS:
+            raise ConfigError(
+                f"unknown executor {self.executor!r}; "
+                f"choose from {self.VALID_EXECUTORS}"
+            )
+        if self.overdecomposition < 1:
+            raise ConfigError("overdecomposition must be >= 1")
+        if self.prefetch_depth < 0:
+            raise ConfigError("prefetch_depth must be >= 0")
+        if self.message_aggregation < 1:
+            raise ConfigError("message_aggregation must be >= 1")

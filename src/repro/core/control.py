@@ -1,0 +1,138 @@
+"""Control-layer helpers: termination detection and queue scheduling.
+
+The control layer (paper §II.D) delivers messages, orders the processing
+of per-object message queues, and detects the global termination condition
+("when no message handlers are executing and no messages are being
+delivered the run-time system detects a termination condition").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+__all__ = ["TerminationDetector", "ReadyQueue"]
+
+
+class TerminationDetector:
+    """Counts outstanding work items; fires a callback at quiescence.
+
+    An item is outstanding from the moment a message is posted (or a
+    handler starts for other reasons) until its processing fully completes.
+    Because posting inside a handler increments before the handler's own
+    decrement, the count can only reach zero when no work exists anywhere —
+    the classic credit-based termination argument, exact in a single
+    address space.
+    """
+
+    def __init__(self, on_quiescent: Optional[Callable[[], None]] = None):
+        self._outstanding = 0
+        self._total = 0
+        self._on_quiescent = on_quiescent
+        self._started = False
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    @property
+    def total_items(self) -> int:
+        return self._total
+
+    def add(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("use done() to retire work")
+        self._outstanding += n
+        self._total += n
+        self._started = True
+
+    def done(self, n: int = 1) -> None:
+        self._outstanding -= n
+        if self._outstanding < 0:
+            raise RuntimeError("termination counter went negative")
+        if self._outstanding == 0 and self._started and self._on_quiescent:
+            self._on_quiescent()
+
+    @property
+    def quiescent(self) -> bool:
+        return self._started and self._outstanding == 0
+
+
+class ReadyQueue:
+    """Per-node ordering of mobile objects with deliverable messages.
+
+    Default discipline is FIFO by first-message arrival.  ``busiest`` mode
+    serves the object with the most queued messages first — the paper's
+    control layer "decides the order in which message queues of local
+    mobile objects are processed" using queue lengths; ONUPDR's §III
+    optimization additionally reorders by in-core buffer availability,
+    which the application expresses through priorities (see the runtime's
+    ``boost`` parameter).
+    """
+
+    def __init__(self, discipline: str = "fifo"):
+        if discipline not in ("fifo", "busiest"):
+            raise ValueError(f"unknown ready-queue discipline {discipline!r}")
+        self.discipline = discipline
+        self._fifo: deque[int] = deque()
+        self._member: set[int] = set()
+        self._boost: dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def __bool__(self) -> bool:
+        return bool(self._fifo)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._member
+
+    def push(self, oid: int) -> None:
+        """Mark the object ready (idempotent)."""
+        if oid not in self._member:
+            self._member.add(oid)
+            self._fifo.append(oid)
+
+    def boost(self, oid: int, amount: float) -> None:
+        """Scheduling hint: raise the object's service preference."""
+        self._boost[oid] = self._boost.get(oid, 0.0) + amount
+
+    def pop(
+        self,
+        queue_len: Callable[[int], int],
+        resident: Optional[Callable[[int], bool]] = None,
+    ) -> int:
+        """Choose the next object to serve.
+
+        ``queue_len(oid)`` reports current pending messages; objects whose
+        queue emptied since being marked ready are skipped.  ``resident``
+        (when provided) implements the control layer's in-core preference:
+        serve loaded objects before paying a disk load for spilled ones —
+        the decision the paper describes as influencing swapping ("the
+        input from the control layer influences the swapping decisions").
+        """
+        while self._fifo:
+            if self.discipline == "fifo" and not self._boost and resident is None:
+                oid = self._fifo.popleft()
+            else:
+                # Pick max (boost, residency, queue length), stable on FIFO
+                # position.
+                best_idx = 0
+                best_key = None
+                for idx, cand in enumerate(self._fifo):
+                    key = (
+                        self._boost.get(cand, 0.0),
+                        1 if (resident is not None and resident(cand)) else 0,
+                        queue_len(cand) if self.discipline == "busiest" else 0,
+                        -idx,
+                    )
+                    if best_key is None or key > best_key:
+                        best_key = key
+                        best_idx = idx
+                oid = self._fifo[best_idx]
+                del self._fifo[best_idx]
+            self._member.discard(oid)
+            self._boost.pop(oid, None)
+            if queue_len(oid) > 0:
+                return oid
+        raise IndexError("pop from empty ready queue")

@@ -1,0 +1,204 @@
+"""The distributed mobile-object directory.
+
+Paper §II.E: "The mobile object directory that stores mobile pointers is a
+distributed directory with lazy updates: for a mobile object that resides
+on a remote node its last known location is stored.  When a message is
+sent to that location it is not guaranteed that the destination mobile
+object will be there.  If not, the message is forwarded to the last known
+location of the object on that node.  When the message finally arrives to
+the object's current location an update service message is sent back to
+all nodes through which the message was routed."
+
+Three policies (the paper's [27] compares location-management policies and
+picks lazy as the accuracy/overhead compromise; we keep all three for the
+ablation benchmark):
+
+* ``lazy``  — per-node hint tables, forwarding chains, path update on
+  arrival (the paper's choice);
+* ``eager`` — every migration broadcasts the new location to all nodes
+  (perfect accuracy, P-1 service messages per move);
+* ``home``  — each object has a home node that always knows the truth;
+  senders ask home first (one indirection per send, no broadcasts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DirectoryStats", "Directory", "make_directory"]
+
+
+@dataclass
+class DirectoryStats:
+    """Accounting used by the directory-policy ablation."""
+
+    forwards: int = 0          # messages that arrived at a stale location
+    update_messages: int = 0   # service messages correcting hint tables
+    home_queries: int = 0      # indirections via a home node
+
+
+class Directory:
+    """Location tracking for mobile objects across ``n_nodes`` nodes.
+
+    The runtime calls :meth:`register` at creation, :meth:`migrated` after
+    a move, :meth:`lookup` when a node wants to send, and :meth:`arrived`
+    when a message finally reaches the object (supplying the chain of nodes
+    it passed through).  All state transitions are pure bookkeeping; the
+    *driver* charges network costs for ``update_messages`` as they occur.
+    """
+
+    policy = "lazy"
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValueError("directory needs at least one node")
+        self.n_nodes = n_nodes
+        # hints[node][oid] = node rank where that node believes oid lives.
+        self.hints: list[dict[int, int]] = [dict() for _ in range(n_nodes)]
+        self.truth: dict[int, int] = {}
+        self.stats = DirectoryStats()
+
+    # -- lifecycle ------------------------------------------------------------
+    def register(self, oid: int, node: int) -> None:
+        """A new object was created on ``node``; creator knows the truth."""
+        self.truth[oid] = node
+        self.hints[node][oid] = node
+
+    def unregister(self, oid: int) -> None:
+        self.truth.pop(oid, None)
+        for table in self.hints:
+            table.pop(oid, None)
+
+    def migrated(self, oid: int, new_node: int) -> int:
+        """Object moved; returns the number of service messages generated."""
+        if oid not in self.truth:
+            raise KeyError(f"object {oid} not registered")
+        old = self.truth[oid]
+        self.truth[oid] = new_node
+        self.hints[new_node][oid] = new_node
+        # Lazy: the old node learns the forwarding target; everyone else
+        # keeps stale hints until a message bounces.
+        self.hints[old][oid] = new_node
+        self.stats.update_messages += 1
+        return 1
+
+    # -- queries -----------------------------------------------------------------
+    def lookup(self, oid: int, from_node: int, default: int | None = None) -> int:
+        """Where should ``from_node`` send a message for ``oid``?
+
+        Lazy policy: the local hint if present; else ``default`` (callers
+        pass the mobile pointer's ``last_known_node`` — the paper stores
+        the location in the pointer); else a deterministic modulo guess.
+        The forwarding chain fixes stale answers either way.
+        """
+        if oid not in self.truth:
+            raise KeyError(f"object {oid} not registered")
+        hint = self.hints[from_node].get(oid)
+        if hint is None:
+            hint = default if default is not None else oid % self.n_nodes
+            if not 0 <= hint < self.n_nodes:
+                hint = oid % self.n_nodes
+        return hint
+
+    def next_hop(self, oid: int, at_node: int) -> int:
+        """A message for ``oid`` landed on ``at_node``; where to forward?
+
+        Returns ``at_node`` itself when the object is actually here.
+        """
+        if self.truth.get(oid) == at_node:
+            return at_node
+        self.stats.forwards += 1
+        hint = self.hints[at_node].get(oid)
+        if hint is None or hint == at_node:
+            # No better idea locally: ask the truth (models the paper's
+            # final fallback of querying the distributed directory).
+            hint = self.truth[oid]
+            self.stats.home_queries += 1
+        return hint
+
+    def arrived(self, oid: int, path: list[int]) -> int:
+        """Message reached the object after routing through ``path``.
+
+        Lazy update: send correction service messages back along the path.
+        Returns how many service messages that costs (the driver charges
+        network time for them).
+        """
+        location = self.truth[oid]
+        updates = 0
+        for node in path:
+            if self.hints[node].get(oid) != location:
+                self.hints[node][oid] = location
+                updates += 1
+        self.stats.update_messages += updates
+        return updates
+
+    def location(self, oid: int) -> int:
+        """Ground truth (runtime internal use only)."""
+        return self.truth[oid]
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self.truth
+
+
+class EagerDirectory(Directory):
+    """Broadcast every migration to all nodes."""
+
+    policy = "eager"
+
+    def migrated(self, oid: int, new_node: int) -> int:
+        if oid not in self.truth:
+            raise KeyError(f"object {oid} not registered")
+        self.truth[oid] = new_node
+        for table in self.hints:
+            table[oid] = new_node
+        cost = self.n_nodes - 1
+        self.stats.update_messages += cost
+        return cost
+
+    def register(self, oid: int, node: int) -> None:
+        self.truth[oid] = node
+        for table in self.hints:
+            table[oid] = node
+
+
+class HomeDirectory(Directory):
+    """Each object has a home node (oid mod P) that tracks the truth."""
+
+    policy = "home"
+
+    def home_of(self, oid: int) -> int:
+        return oid % self.n_nodes
+
+    def migrated(self, oid: int, new_node: int) -> int:
+        if oid not in self.truth:
+            raise KeyError(f"object {oid} not registered")
+        self.truth[oid] = new_node
+        home = self.home_of(oid)
+        self.hints[home][oid] = new_node
+        self.hints[new_node][oid] = new_node
+        self.stats.update_messages += 1
+        return 1
+
+    def lookup(self, oid: int, from_node: int, default: int | None = None) -> int:
+        if oid not in self.truth:
+            raise KeyError(f"object {oid} not registered")
+        local = self.hints[from_node].get(oid)
+        if local is not None and local == self.truth[oid]:
+            return local
+        # Ask the home node: one indirection, always correct afterwards.
+        self.stats.home_queries += 1
+        home = self.home_of(oid)
+        target = self.hints[home].get(oid, self.truth[oid])
+        self.hints[from_node][oid] = target
+        return target
+
+
+def make_directory(policy: str, n_nodes: int) -> Directory:
+    """Instantiate a directory by policy name."""
+    classes = {"lazy": Directory, "eager": EagerDirectory, "home": HomeDirectory}
+    try:
+        return classes[policy](n_nodes)
+    except KeyError:
+        raise ValueError(
+            f"unknown directory policy {policy!r}; choose from {sorted(classes)}"
+        ) from None

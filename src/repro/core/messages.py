@@ -1,0 +1,122 @@
+"""Messages and message queues.
+
+A *message* (paper §II.B) is an amalgamation of data transfer and a remote
+procedure call: a destination mobile pointer, a handler name, and optional
+arguments.  Messages are one-sided — the receiver posts no receive and is
+not interrupted; the control layer queues arriving messages with their
+destination object and runs the handler when it schedules that object.
+
+The *multicast mobile message* (§III "Findings") extends this: it addresses
+a vector of mobile pointers, and the runtime must first **collect** all of
+them on one node, in core, before delivering the handler to the first
+``deliver_count`` objects of the vector.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.core.mobile import MobilePointer
+
+__all__ = ["Message", "MulticastMessage", "MessageQueue"]
+
+_msg_counter = itertools.count()
+
+
+@dataclass
+class Message:
+    """A one-sided active message addressed to a mobile object."""
+
+    target: MobilePointer
+    handler: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    # Provenance for stats/routing; filled by the control layer.
+    source_node: int = -1
+    hops: int = 0
+    seq: int = field(default_factory=lambda: next(_msg_counter))
+
+    def nbytes(self) -> int:
+        """Wire size estimate (pickled payload + fixed header)."""
+        try:
+            payload = len(pickle.dumps((self.args, self.kwargs), protocol=4))
+        except Exception:
+            payload = 64  # unpicklable args only occur node-locally
+        return 48 + payload
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Message({self.handler!r} -> oid={self.target.oid})"
+
+
+@dataclass
+class MulticastMessage:
+    """A message addressed to several mobile objects at once.
+
+    ``deliver_count`` objects (the first in ``targets``) receive the
+    handler invocation; the rest are only required to be co-resident and
+    in-core at delivery time (ONUPDR passes a leaf plus its buffer BUF and
+    ``deliver_count=1``).
+    """
+
+    targets: Sequence[MobilePointer]
+    handler: str
+    deliver_count: int = 1
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    source_node: int = -1
+    seq: int = field(default_factory=lambda: next(_msg_counter))
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ValueError("multicast needs at least one target")
+        if not 1 <= self.deliver_count <= len(self.targets):
+            raise ValueError(
+                f"deliver_count {self.deliver_count} out of range "
+                f"for {len(self.targets)} targets"
+            )
+
+    def nbytes(self) -> int:
+        try:
+            payload = len(pickle.dumps((self.args, self.kwargs), protocol=4))
+        except Exception:
+            payload = 64
+        return 48 + 16 * len(self.targets) + payload
+
+
+class MessageQueue:
+    """FIFO of messages pending for one mobile object.
+
+    Queues live and die with the object: when the object is spilled to
+    disk, its queue (paper: "if an object is out-of-core its messages are
+    also stored out-of-core") conceptually goes with it; we keep the queue
+    in the pointer table but its length is what matters for scheduling and
+    swap priority, exactly as the paper stores the count in the mobile
+    pointer.
+    """
+
+    def __init__(self) -> None:
+        self._queue: deque[Message | MulticastMessage] = deque()
+
+    def push(self, message: Message | MulticastMessage) -> None:
+        self._queue.append(message)
+
+    def pop(self) -> Message | MulticastMessage:
+        if not self._queue:
+            raise IndexError("pop from empty message queue")
+        return self._queue.popleft()
+
+    def peek(self) -> Optional[Message | MulticastMessage]:
+        return self._queue[0] if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __iter__(self) -> Iterator[Message | MulticastMessage]:
+        return iter(self._queue)

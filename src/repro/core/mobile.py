@@ -1,0 +1,150 @@
+"""Mobile objects and mobile pointers — the MRTS data model.
+
+From the paper (§II.B):
+
+* a **mobile object** is a location-independent container for application
+  data; it can be moved between nodes and unloaded to disk, and is globally
+  addressable;
+* a **mobile pointer** is the global identifier used to address messages to
+  a mobile object, regardless of where the object currently lives; it also
+  carries the swap priority and the queued-message count that the control
+  layer feeds into swapping decisions;
+* objects implement a **serialization interface** (pack/unpack) used both
+  for migration and for out-of-core storage.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.util.errors import SerializationError
+
+__all__ = ["MobilePointer", "MobileObject", "Serializer", "PickleSerializer"]
+
+
+@dataclass
+class MobilePointer:
+    """Global handle to a mobile object.
+
+    ``oid`` is the globally unique object id; ``last_known_node`` is the
+    directory's (possibly stale) idea of where the object lives — the
+    lazy-update protocol forwards and corrects it over time.  The paper
+    stores the swap priority and the number of queued messages inside the
+    pointer structure, and so do we: the control layer reads both when
+    ranking objects for scheduling and eviction.
+    """
+
+    oid: int
+    last_known_node: int = 0
+    priority: float = 0.0
+    queued_messages: int = 0
+
+    def __hash__(self) -> int:
+        return hash(self.oid)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MobilePointer) and other.oid == self.oid
+
+
+class Serializer:
+    """Serialization interface a mobile object class must provide.
+
+    The paper requires applications to define pack/unpack because object
+    internals are arbitrary; :class:`PickleSerializer` is the provided
+    default for plain-Python payloads.
+    """
+
+    def pack(self, payload: Any) -> bytes:
+        raise NotImplementedError
+
+    def unpack(self, data: bytes) -> Any:
+        raise NotImplementedError
+
+
+class PickleSerializer(Serializer):
+    """Default serializer: pickle with the highest protocol."""
+
+    def pack(self, payload: Any) -> bytes:
+        try:
+            return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:  # pickle raises many types
+            raise SerializationError(f"pack failed: {exc}") from exc
+
+    def unpack(self, data: bytes) -> Any:
+        try:
+            return pickle.loads(data)
+        except Exception as exc:
+            raise SerializationError(f"unpack failed: {exc}") from exc
+
+
+class MobileObject:
+    """Base class for application mobile objects.
+
+    Subclasses hold arbitrary state and register *message handlers* (plain
+    methods) with the runtime.  The lifecycle hooks mirror the paper's
+    required interface: ``on_init`` when first created, ``on_register`` /
+    ``on_unregister`` around migration, and pack/unpack (via ``serializer``)
+    for disk and network transfer.
+
+    ``nbytes`` reports the object's in-memory footprint to the out-of-core
+    layer.  The default derives it from the packed size (cached and
+    invalidated by :meth:`mark_dirty`); subclasses with cheap exact sizes
+    should override it.
+    """
+
+    serializer: Serializer = PickleSerializer()
+
+    def __init__(self, pointer: MobilePointer) -> None:
+        self.pointer = pointer
+        self._size_cache: Optional[int] = None
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def oid(self) -> int:
+        return self.pointer.oid
+
+    # -- lifecycle hooks ------------------------------------------------------
+    def on_init(self) -> None:
+        """Called once when the object is first created."""
+
+    def on_register(self, node: int) -> None:
+        """Called after the object is installed on a node."""
+
+    def on_unregister(self, node: int) -> None:
+        """Called before the object leaves a node (migration or spill)."""
+
+    # -- serialization ----------------------------------------------------------
+    def get_state(self) -> Any:
+        """Application state to serialize.  Default: instance ``__dict__``
+        minus runtime bookkeeping."""
+        state = dict(self.__dict__)
+        state.pop("pointer", None)
+        state.pop("_size_cache", None)
+        return state
+
+    def set_state(self, state: Any) -> None:
+        """Restore application state produced by :meth:`get_state`."""
+        self.__dict__.update(state)
+
+    def pack(self) -> bytes:
+        return self.serializer.pack(self.get_state())
+
+    def unpack(self, data: bytes) -> None:
+        self.set_state(self.serializer.unpack(data))
+        self.mark_dirty()
+
+    # -- size accounting ----------------------------------------------------------
+    def nbytes(self) -> int:
+        """In-memory footprint estimate used by the out-of-core layer."""
+        if self._size_cache is None:
+            self._size_cache = max(len(self.pack()), 1)
+        return self._size_cache
+
+    def mark_dirty(self) -> None:
+        """Invalidate the cached size after mutating the payload."""
+        self._size_cache = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(oid={self.pointer.oid})"

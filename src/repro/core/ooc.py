@@ -1,0 +1,328 @@
+"""The out-of-core layer: object residency and swap decisions.
+
+Paper §II.D/E responsibilities implemented here:
+
+* track which mobile objects are in core vs on disk,
+* decide **when and which** objects to unload (swap scheme + priorities +
+  locks + queued-message counts),
+* enforce the **hard swapping threshold** (free memory must stay above
+  ``hard_factor x largest-stored-object``, checked on every allocation;
+  unused objects are forcefully unloaded otherwise),
+* advise swapping when free memory drops below the **soft threshold**
+  (a fraction of total memory),
+* maintain a small prefetch set driven by control-layer hints.
+
+This class is *pure policy*: it mutates only its own bookkeeping and
+returns lists of actions (object ids to evict / load) that the driver
+executes, charging real or virtual disk time.  That separation is what
+lets the same logic run under the threaded and the simulated drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.config import MRTSConfig
+from repro.core.swapping import SwapScheme, make_scheme
+from repro.util.errors import OutOfMemory
+
+__all__ = ["OOCLayer", "Residency"]
+
+# Weight of one queued message relative to one unit of user priority when
+# ranking objects for eviction (control layer "assigns swapping priorities
+# depending on the number of messages").
+_QUEUE_PRIORITY_WEIGHT = 1.0
+
+
+@dataclass
+class Residency:
+    """Per-object residency record."""
+
+    oid: int
+    nbytes: int
+    resident: bool = True
+    # Counting lock: >0 means pinned in core.  Counts nest so the runtime's
+    # per-handler pin composes with application-level locks.
+    locked: int = 0
+    priority: float = 0.0
+    queued_messages: int = 0
+    dirty: bool = True  # needs write-back before eviction counts as clean
+
+
+class OOCLayer:
+    """Residency manager for one node."""
+
+    def __init__(
+        self,
+        config: MRTSConfig,
+        scheme: Optional[SwapScheme] = None,
+        budget: Optional[int] = None,
+    ):
+        self.config = config
+        self.budget = budget if budget is not None else config.memory_budget
+        if self.budget <= 0:
+            raise ValueError("memory budget must be positive")
+        self.scheme = scheme or make_scheme(config.swap_scheme)
+        self.table: dict[int, Residency] = {}
+        self.memory_used = 0
+        self.high_water = 0
+        self.evictions = 0
+        self.forced_evictions = 0
+        self.overruns = 0
+        self._largest_stored = 0
+
+    # ------------------------------------------------------------- queries
+    @property
+    def memory_free(self) -> int:
+        return self.budget - self.memory_used
+
+    def is_resident(self, oid: int) -> bool:
+        rec = self.table.get(oid)
+        return rec is not None and rec.resident
+
+    def resident_ids(self) -> list[int]:
+        return [oid for oid, rec in self.table.items() if rec.resident]
+
+    def hard_threshold(self) -> int:
+        """Free-memory floor: hard_factor x largest object stored on disk."""
+        return int(self.config.hard_threshold_factor * self._largest_stored)
+
+    def soft_threshold(self) -> int:
+        return int(self.config.soft_threshold_fraction * self.budget)
+
+    def below_soft_threshold(self) -> bool:
+        """True when the layer should be 'advised' to start swapping."""
+        return self.memory_free < self.soft_threshold()
+
+    # ------------------------------------------------------------ lifecycle
+    def admit(self, oid: int, nbytes: int) -> list[int]:
+        """A new object of ``nbytes`` was created in core.
+
+        Returns the object ids that must be evicted *first* to respect the
+        memory budget and hard threshold.  The driver evicts them (spilling
+        to storage) and then calls :meth:`confirm_admit`.
+        """
+        if oid in self.table:
+            raise ValueError(f"object {oid} already tracked")
+        evictions = self._plan_free(nbytes)
+        self.table[oid] = Residency(oid, nbytes)
+        self.scheme.touch(oid)
+        return evictions
+
+    def confirm_admit(self, oid: int) -> None:
+        """Driver finished any evictions; account the admission."""
+        rec = self.table[oid]
+        self.memory_used += rec.nbytes
+        self.high_water = max(self.high_water, self.memory_used)
+
+    def forget(self, oid: int) -> None:
+        """Object destroyed entirely (not spilled)."""
+        rec = self.table.pop(oid, None)
+        if rec is not None and rec.resident:
+            self.memory_used -= rec.nbytes
+        self.scheme.forget(oid)
+
+    def resize(self, oid: int, nbytes: int) -> list[int]:
+        """Object grew/shrank in place; returns evictions needed for growth."""
+        rec = self.table[oid]
+        if not rec.resident:
+            raise ValueError(f"cannot resize non-resident object {oid}")
+        delta = nbytes - rec.nbytes
+        evictions: list[int] = []
+        if delta > 0:
+            evictions = self._plan_free(delta, protect={oid})
+        rec.nbytes = nbytes
+        rec.dirty = True
+        self.memory_used += delta
+        self.high_water = max(self.high_water, self.memory_used)
+        return evictions
+
+    def force_resize(self, oid: int, nbytes: int) -> None:
+        """Account a growth that already physically happened.
+
+        A handler may grow its (pinned) object past what eviction can make
+        room for; the allocation exists regardless, so the budget is
+        temporarily overrun and recorded in ``overruns`` — the runtime
+        evicts everything evictable around it and recovers on the next
+        spill.  (The paper's warning about locking too many objects is
+        exactly this failure mode.)
+        """
+        rec = self.table[oid]
+        delta = nbytes - rec.nbytes
+        rec.nbytes = nbytes
+        rec.dirty = True
+        self.memory_used += delta
+        self.high_water = max(self.high_water, self.memory_used)
+        if self.memory_used > self.budget:
+            self.overruns += 1
+
+    # ------------------------------------------------------------- touching
+    def touch(self, oid: int) -> None:
+        """Record an access (message delivery, handler run)."""
+        self.scheme.touch(oid)
+
+    def set_priority(self, oid: int, priority: float) -> None:
+        self.table[oid].priority = priority
+
+    def set_queue_length(self, oid: int, n: int) -> None:
+        self.table[oid].queued_messages = n
+
+    def lock(self, oid: int) -> None:
+        """Pin the object in core (paper: locked objects are never unloaded).
+
+        Locks count and nest: every lock() needs a matching unlock().
+        """
+        self.table[oid].locked += 1
+
+    def unlock(self, oid: int) -> None:
+        rec = self.table[oid]
+        if rec.locked <= 0:
+            raise RuntimeError(f"unlock without lock on object {oid}")
+        rec.locked -= 1
+
+    def is_locked(self, oid: int) -> bool:
+        return self.table[oid].locked > 0
+
+    # ----------------------------------------------------------- swap plans
+    def _eviction_rank(self, rec: Residency) -> tuple:
+        """Sort key: lower = evict sooner.
+
+        Priority (user hints + queued-message pressure) dominates; the swap
+        scheme's score breaks ties among equal-priority objects.
+        """
+        effective = rec.priority + _QUEUE_PRIORITY_WEIGHT * rec.queued_messages
+        return (effective, self.scheme._score(rec.oid), rec.oid)
+
+    def eviction_candidates(self, protect: Iterable[int] = ()) -> list[int]:
+        """Evictable resident objects, best victim first."""
+        protected = set(protect)
+        recs = [
+            rec
+            for rec in self.table.values()
+            if rec.resident and not rec.locked and rec.oid not in protected
+        ]
+        recs.sort(key=self._eviction_rank)
+        return [rec.oid for rec in recs]
+
+    def _plan_free(self, need: int, protect: Iterable[int] = ()) -> list[int]:
+        """Pick victims so ``need`` bytes fit, preferring threshold headroom.
+
+        The hard threshold drives *forced unloading* (paper: "unused objects
+        are forcefully unloaded to free memory") but is best-effort: when
+        even a full sweep cannot restore the headroom, the allocation still
+        proceeds as long as ``need`` itself fits.  :class:`OutOfMemory` is
+        raised only when the bytes genuinely don't fit — e.g. too many
+        locked objects, the failure mode the paper warns about.
+        """
+        target_free = need + self.hard_threshold()
+        if self.memory_free >= target_free:
+            return []
+        victims: list[int] = []
+        freed = 0
+        candidates = self.eviction_candidates(protect)
+        # First make the allocation itself fit — any evictable object may go.
+        for oid in candidates:
+            if self.memory_free + freed >= need:
+                break
+            victims.append(oid)
+            freed += self.table[oid].nbytes
+        if self.memory_free + freed < need:
+            raise OutOfMemory(
+                f"need {need} B but only {self.memory_free + freed} B "
+                f"reachable after evicting everything evictable; "
+                f"{sum(1 for r in self.table.values() if r.locked)} locked objects"
+            )
+        # Then push free memory toward the hard-threshold headroom, but only
+        # by forcefully unloading *unused* objects (paper: "unused objects
+        # are forcefully unloaded") — no pending messages, no priority hint.
+        taken = set(victims)
+        for oid in candidates:
+            if self.memory_free + freed >= target_free:
+                break
+            if oid in taken:
+                continue
+            rec = self.table[oid]
+            if rec.queued_messages > 0 or rec.priority > 0:
+                continue
+            victims.append(oid)
+            freed += rec.nbytes
+            self.forced_evictions += 1
+        return victims
+
+    def plan_load(self, oid: int) -> list[int]:
+        """Plan to bring ``oid`` in core; returns eviction victims first.
+
+        The driver performs the evictions (store to disk), then the load,
+        then calls :meth:`confirm_load`.
+        """
+        rec = self.table[oid]
+        if rec.resident:
+            return []
+        return self._plan_free(rec.nbytes, protect={oid})
+
+    def confirm_evict(self, oid: int) -> int:
+        """Account an eviction; returns bytes freed."""
+        rec = self.table[oid]
+        if not rec.resident:
+            raise ValueError(f"object {oid} already non-resident")
+        if rec.locked:
+            raise ValueError(f"evicting locked object {oid}")
+        rec.resident = False
+        rec.dirty = False
+        self.memory_used -= rec.nbytes
+        self.evictions += 1
+        self._largest_stored = max(self._largest_stored, rec.nbytes)
+        return rec.nbytes
+
+    def confirm_load(self, oid: int, nbytes: Optional[int] = None) -> None:
+        rec = self.table[oid]
+        if rec.resident:
+            raise ValueError(f"object {oid} already resident")
+        if nbytes is not None:
+            rec.nbytes = nbytes
+        rec.resident = True
+        rec.dirty = False
+        self.memory_used += rec.nbytes
+        self.high_water = max(self.high_water, self.memory_used)
+        self.scheme.touch(oid)
+
+    def advise_swap(self, protect: Iterable[int] = ()) -> list[int]:
+        """Soft-threshold advice: victims to spill proactively.
+
+        Called by the control layer when it sees little in-core work; only
+        returns objects with no queued messages (they will be needed soon
+        otherwise).
+        """
+        if not self.below_soft_threshold():
+            return []
+        victims = []
+        freed = 0
+        want = self.soft_threshold() - self.memory_free
+        for oid in self.eviction_candidates(protect):
+            if self.table[oid].queued_messages > 0:
+                continue
+            victims.append(oid)
+            freed += self.table[oid].nbytes
+            if freed >= want:
+                break
+        return victims
+
+    def prefetch_candidates(self, upcoming: Iterable[int]) -> list[int]:
+        """Of the hinted upcoming objects, which to prefetch now.
+
+        Limited by config.prefetch_depth and available memory (prefetching
+        must not trigger evictions — it is purely opportunistic).
+        """
+        picks: list[int] = []
+        budget = self.memory_free - self.hard_threshold()
+        for oid in upcoming:
+            if len(picks) >= self.config.prefetch_depth:
+                break
+            rec = self.table.get(oid)
+            if rec is None or rec.resident:
+                continue
+            if rec.nbytes <= budget:
+                picks.append(oid)
+                budget -= rec.nbytes
+        return picks

@@ -1,0 +1,1054 @@
+"""The MRTS runtime: mobile objects + active messages on a cluster.
+
+This module wires the four layers together on the discrete-event cluster
+substrate:
+
+* the **storage layer** (:mod:`repro.core.storage`) really packs objects
+  and stores bytes (files or memory) — out-of-core is not simulated away;
+* the **out-of-core layer** (:mod:`repro.core.ooc`) decides evictions,
+  enforces the hard/soft thresholds, honours locks and priorities;
+* the **control layer** routes messages through the distributed directory
+  (lazy-update forwarding), orders per-object queues, and detects global
+  termination;
+* the **computing layer** (:mod:`repro.core.computing`) turns handler task
+  trees into execution time under the configured backend.
+
+Execution and time: message handlers are *real Python functions* running
+against real object state, but the clock is the simulation engine's
+virtual time.  Each handler charges compute seconds — measured wall time
+by default (functional runs), or a model-provided cost (paper-scale runs).
+Disk and network charge virtual time through the node's disk Server and
+the cluster NIC model using true byte counts.  One worker coroutine per
+in-flight handler slot; *compute* serializes through the node's cores
+resource while disk/network waits do not hold a core, which is exactly the
+overlap mechanism the paper's Tables IV–VI measure.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.config import MRTSConfig
+from repro.core.control import ReadyQueue, TerminationDetector
+from repro.core.computing import Task, make_executor
+from repro.core.directory import Directory, make_directory
+from repro.core.messages import Message, MessageQueue, MulticastMessage
+from repro.core.mobile import MobileObject, MobilePointer
+from repro.core.ooc import OOCLayer
+from repro.core.stats import RunStats
+from repro.core.storage import CountingBackend, MemoryBackend, StorageBackend
+from repro.sim.cluster import ClusterSpec, SimCluster
+from repro.sim.engine import Engine
+from repro.sim.node import NodeSpec
+from repro.sim.resources import Store
+from repro.util.errors import MRTSError, ObjectNotFound, OutOfMemory
+from repro.util.ids import IdAllocator
+
+__all__ = ["MRTS", "HandlerContext", "CostModel", "MeasuredCostModel", "handler"]
+
+_SERVICE_MSG_BYTES = 64
+_SHUTDOWN = object()
+
+
+def handler(fn: Callable) -> Callable:
+    """Decorator marking a :class:`MobileObject` method as a message handler."""
+    fn._mrts_handler = True
+    return fn
+
+
+class CostModel:
+    """Provides virtual compute costs and modeled object sizes.
+
+    ``handler_cost`` returns seconds of reference-core compute for one
+    handler invocation (before node speed scaling); return ``None`` to fall
+    back to measured wall time.  ``object_nbytes`` overrides the object's
+    own size report (modeled apps describe multi-GB subdomains with small
+    Python stand-ins); return ``None`` to use ``obj.nbytes()``.
+    """
+
+    def handler_cost(
+        self, obj: MobileObject, handler_name: str, msg: Message | MulticastMessage
+    ) -> Optional[float]:
+        return None
+
+    def object_nbytes(self, obj: MobileObject) -> Optional[int]:
+        return None
+
+
+class MeasuredCostModel(CostModel):
+    """Default: charge the measured wall time of the handler body."""
+
+
+@dataclass
+class _LocalObject:
+    """Node-local record for a mobile object the node currently owns."""
+
+    obj: Optional[MobileObject]  # None while spilled to disk
+    queue: MessageQueue = field(default_factory=MessageQueue)
+    in_flight: int = 0  # handlers currently executing against the object
+
+
+class HandlerContext:
+    """What a message handler sees as its window into the runtime.
+
+    Exposes the paper's API surface: posting messages (including multicast
+    and self-messages), creating mobile objects, locking/priorities for the
+    out-of-core layer, direct handler calls (the §III shared-memory
+    optimization), explicit compute charging for modeled applications, and
+    task-tree execution through the computing layer.
+    """
+
+    def __init__(self, runtime: "MRTS", node: int) -> None:
+        self.runtime = runtime
+        self.node = node
+        self.outbox: list[Message | MulticastMessage] = []
+        self.extra_charge = 0.0
+
+    # -- messaging --------------------------------------------------------
+    def post(
+        self, target: MobilePointer, handler_name: str, *args: Any, **kwargs: Any
+    ) -> None:
+        """Send a one-sided message; delivered after this handler finishes."""
+        self.outbox.append(
+            Message(target, handler_name, args, kwargs, source_node=self.node)
+        )
+
+    def post_multicast(
+        self,
+        targets: Sequence[MobilePointer],
+        handler_name: str,
+        deliver_count: int = 1,
+        *args: Any,
+        **kwargs: Any,
+    ) -> None:
+        """Send the experimental multicast mobile message (§III Findings)."""
+        self.outbox.append(
+            MulticastMessage(
+                list(targets), handler_name, deliver_count, args, kwargs,
+                source_node=self.node,
+            )
+        )
+
+    def call_direct(
+        self, target: MobilePointer, handler_name: str, *args: Any, **kwargs: Any
+    ) -> bool:
+        """§III optimization: run the handler inline if target is here, in-core.
+
+        Returns True on success; False means the caller should fall back to
+        :meth:`post`.  The inline handler's compute cost accrues to the
+        current handler.
+        """
+        return self.runtime._call_direct(self, target, handler_name, args, kwargs)
+
+    # -- object management --------------------------------------------------
+    def create(
+        self, cls: type, *args: Any, node: Optional[int] = None, **kwargs: Any
+    ) -> MobilePointer:
+        """Create a new mobile object (on this node unless ``node`` given)."""
+        return self.runtime._create_object(
+            cls, args, kwargs, node if node is not None else self.node
+        )
+
+    def destroy(self, target: MobilePointer) -> None:
+        self.runtime._destroy_object(target)
+
+    def lock(self, target: MobilePointer) -> None:
+        """Pin an object in core on its current node."""
+        self.runtime._with_residency(target, lambda ooc, oid: ooc.lock(oid))
+
+    def unlock(self, target: MobilePointer) -> None:
+        self.runtime._with_residency(target, lambda ooc, oid: ooc.unlock(oid))
+
+    def set_priority(self, target: MobilePointer, priority: float) -> None:
+        """Out-of-core priority hint: higher stays in core longer."""
+        target.priority = priority
+        self.runtime._with_residency(
+            target, lambda ooc, oid: ooc.set_priority(oid, priority)
+        )
+
+    def boost_schedule(self, target: MobilePointer, amount: float = 1.0) -> None:
+        """Raise the target's position in its node's ready queue (§III)."""
+        self.runtime._boost(target, amount)
+
+    def is_resident(self, target: MobilePointer) -> bool:
+        """Is the object on this node and in core right now?"""
+        return self.runtime._is_local_resident(target, self.node)
+
+    def peek(self, target: MobilePointer) -> Optional[MobileObject]:
+        """Read access to a co-resident, in-core object; None otherwise.
+
+        The shared-memory fast path of §III: after a multicast collected a
+        leaf's buffer on one node, the leaf handler reads buffer data
+        directly instead of round-tripping messages.
+        """
+        if not self.runtime._is_local_resident(target, self.node):
+            return None
+        rec = self.runtime.nodes[self.node].locals.get(target.oid)
+        if rec is None or rec.obj is None:
+            return None
+        self.runtime.nodes[self.node].ooc.touch(target.oid)
+        return rec.obj
+
+    # -- compute ------------------------------------------------------------
+    def charge(self, seconds: float) -> None:
+        """Add explicit compute cost (modeled applications)."""
+        if seconds < 0:
+            raise ValueError("negative compute charge")
+        self.extra_charge += seconds
+
+    def run_tasks(self, roots: Sequence[Task]) -> float:
+        """Run a task tree through the computing layer; returns makespan.
+
+        The makespan (under the configured executor policy, using all the
+        node's cores) is charged as this handler's parallel-region time.
+        """
+        sched = self.runtime._node_executor(self.node)
+        result = sched.schedule(roots)
+        self.extra_charge += result.makespan
+        return result.makespan
+
+    @property
+    def now(self) -> float:
+        return self.runtime.engine.now
+
+
+class _NodeRuntime:
+    """Per-node control-layer state."""
+
+    def __init__(self, runtime: "MRTS", rank: int) -> None:
+        self.runtime = runtime
+        self.rank = rank
+        self.locals: dict[int, _LocalObject] = {}
+        self.ready = ReadyQueue(runtime.ready_discipline)
+        # Memory budget comes from the node hardware spec, not the config
+        # default — the whole point of out-of-core is respecting node RAM.
+        self.ooc = OOCLayer(
+            runtime.config, budget=runtime.spec.node.memory_bytes
+        )
+        backend = runtime.storage_factory(rank)
+        self.storage = CountingBackend(backend)
+        self.tokens = Store(runtime.engine)
+        self.workers: list = []
+        self.prefetching: set[int] = set()
+        # Multicast collections pin several objects at once; serializing
+        # them per gather node bounds the pinned working set (two
+        # unthrottled collections can otherwise wedge a small node).
+        from repro.sim.resources import Resource as _Resource
+
+        self.mcast_slot = _Resource(runtime.engine, 1)
+        # Out-of-core medium: None = local disk; a node rank = remote
+        # memory server reached over the interconnect (paper [33]).
+        self.spill_server: Optional[int] = None
+
+    def queue_len(self, oid: int) -> int:
+        rec = self.locals.get(oid)
+        return len(rec.queue) if rec is not None else 0
+
+
+class MRTS:
+    """The Multi-layered Run-Time System.
+
+    Parameters
+    ----------
+    cluster:
+        A :class:`ClusterSpec`, or an int for an n-node default cluster.
+    config:
+        Runtime tunables (thresholds, swap scheme, directory policy, ...).
+    storage_factory:
+        ``rank -> StorageBackend`` for each node's out-of-core store;
+        defaults to in-memory backends (tests); pass FileBackend factories
+        for true disk spill.
+    cost_model:
+        Compute-cost provider; default measures real handler wall time.
+    io_depth:
+        Extra in-flight handler slots per node beyond the core count —
+        these are what let disk/network waits overlap with computation.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec | int,
+        config: Optional[MRTSConfig] = None,
+        storage_factory: Optional[Callable[[int], StorageBackend]] = None,
+        cost_model: Optional[CostModel] = None,
+        io_depth: int = 2,
+        ready_discipline: str = "fifo",
+    ) -> None:
+        if isinstance(cluster, int):
+            cluster = ClusterSpec(n_nodes=cluster, node=NodeSpec(cores=1))
+        self.spec = cluster
+        self.config = config or MRTSConfig()
+        self.engine = Engine()
+        self.cluster = SimCluster(self.engine, cluster)
+        self.cost_model = cost_model or MeasuredCostModel()
+        self.storage_factory = storage_factory or (lambda rank: MemoryBackend())
+        self.io_depth = io_depth
+        self.ready_discipline = ready_discipline
+        self.directory: Directory = make_directory(
+            self.config.directory_policy, cluster.n_nodes
+        )
+        self.stats = RunStats()
+        self._done_event = self.engine.event()
+        self.termination = TerminationDetector(self._on_quiescent)
+        self.nodes = [_NodeRuntime(self, r) for r in range(cluster.n_nodes)]
+        self._id_alloc = IdAllocator()
+        self._objects_by_oid: dict[int, MobilePointer] = {}
+        self._obj_classes: dict[int, type] = {}
+        self._executors = {
+            r: make_executor(self.config.executor, cluster.node.cores)
+            for r in range(cluster.n_nodes)
+        }
+        self._running = False
+        self._started = False
+        for rank in range(cluster.n_nodes):
+            self.cluster.network.attach_sink(rank, self._make_sink(rank))
+
+    # ================================================================ setup
+    def create_object(
+        self, cls: type, *args: Any, node: int = 0, **kwargs: Any
+    ) -> MobilePointer:
+        """Create a mobile object before or during the parallel phase."""
+        return self._create_object(cls, args, kwargs, node)
+
+    def post(
+        self, target: MobilePointer, handler_name: str, *args: Any, **kwargs: Any
+    ) -> None:
+        """Post an initial message (the application's driver message)."""
+        msg = Message(target, handler_name, args, kwargs, source_node=-1)
+        self._post_message(msg, from_node=self.directory.location(target.oid))
+
+    def run(self, until: Optional[float] = None) -> RunStats:
+        """Execute until global termination; returns the run statistics.
+
+        Can be called again after posting more messages (the paper's "it is
+        possible to start another phase of computing with the run-time
+        system"); each call gets a fresh quiescence event.
+        """
+        if not self._started:
+            self._start_workers()
+            self._started = True
+        self._running = True
+        if self.termination.outstanding == 0:
+            # Nothing posted: trivially quiescent.
+            self.stats.total_time = self.engine.now
+            return self.stats
+        if self._done_event.triggered:
+            self._done_event = self.engine.event()
+        self.engine.run(until=self._done_event if until is None else until)
+        self._running = False
+        self.stats.total_time = self.engine.now
+        return self.stats
+
+    def _on_quiescent(self) -> None:
+        if not self._done_event.triggered:
+            self._done_event.succeed()
+
+    def _start_workers(self) -> None:
+        for node in self.nodes:
+            slots = self.spec.node.cores + self.io_depth
+            for k in range(slots):
+                proc = self.engine.process(
+                    self._worker(node), name=f"worker[{node.rank}.{k}]"
+                )
+                node.workers.append(proc)
+
+    def _node_executor(self, rank: int):
+        return self._executors[rank]
+
+    # ====================================================== object lifecycle
+    def _create_object(
+        self, cls: type, args: tuple, kwargs: dict, node: int
+    ) -> MobilePointer:
+        if not 0 <= node < len(self.nodes):
+            raise ValueError(f"no such node {node}")
+        oid = self._id_alloc.allocate()
+        ptr = MobilePointer(oid=oid, last_known_node=node)
+        obj = cls(ptr, *args, **kwargs)
+        if not isinstance(obj, MobileObject):
+            raise TypeError(f"{cls.__name__} is not a MobileObject")
+        obj.on_init()
+        nrt = self.nodes[node]
+        nbytes = self._obj_nbytes(obj)
+        victims = nrt.ooc.admit(oid, nbytes)
+        # Synchronous bookkeeping; the disk time for forced evictions is
+        # charged by a detached process so creation never blocks the caller.
+        for victim in victims:
+            self._evict_now(nrt, victim)
+        nrt.ooc.confirm_admit(oid)
+        nrt.locals[oid] = _LocalObject(obj=obj)
+        self.directory.register(oid, node)
+        self._objects_by_oid[oid] = ptr
+        self._obj_classes[oid] = cls
+        obj.on_register(node)
+        return ptr
+
+    def _destroy_object(self, ptr: MobilePointer) -> None:
+        node = self.directory.location(ptr.oid)
+        nrt = self.nodes[node]
+        rec = nrt.locals.pop(ptr.oid, None)
+        if rec is None:
+            raise ObjectNotFound(f"object {ptr.oid} not found on node {node}")
+        if rec.queue:
+            raise MRTSError(
+                f"destroying object {ptr.oid} with {len(rec.queue)} queued messages"
+            )
+        if rec.obj is not None:
+            rec.obj.on_unregister(node)
+        nrt.ooc.forget(ptr.oid)
+        nrt.storage.delete(ptr.oid)
+        self.directory.unregister(ptr.oid)
+        self._objects_by_oid.pop(ptr.oid, None)
+        self._obj_classes.pop(ptr.oid, None)
+
+    def _obj_nbytes(self, obj: MobileObject) -> int:
+        n = self.cost_model.object_nbytes(obj)
+        return n if n is not None else obj.nbytes()
+
+    def _with_residency(self, ptr: MobilePointer, fn) -> None:
+        node = self.directory.location(ptr.oid)
+        fn(self.nodes[node].ooc, ptr.oid)
+
+    def _boost(self, ptr: MobilePointer, amount: float) -> None:
+        node = self.directory.location(ptr.oid)
+        self.nodes[node].ready.boost(ptr.oid, amount)
+
+    def _is_local_resident(self, ptr: MobilePointer, node: int) -> bool:
+        return (
+            self.directory.truth.get(ptr.oid) == node
+            and self.nodes[node].ooc.is_resident(ptr.oid)
+        )
+
+    # =========================================================== spill/load
+    def _evict_now(self, nrt: _NodeRuntime, oid: int) -> None:
+        """Synchronously spill an object; charges disk time asynchronously."""
+        rec = nrt.locals[oid]
+        if rec.obj is None:
+            raise MRTSError(f"evicting already-spilled object {oid}")
+        rec.obj.on_unregister(nrt.rank)
+        data = rec.obj.pack()
+        nrt.storage.store(oid, data)
+        modeled = nrt.ooc.table[oid].nbytes
+        rec.obj = None
+        nrt.ooc.confirm_evict(oid)
+        self.engine.process(
+            self._charge_disk(nrt.rank, modeled, is_store=True),
+            name=f"spill[{oid}]",
+        )
+
+    def _disk_xfer(self, rank: int, nbytes: int, is_store: bool, blocking: bool):
+        """One out-of-core transfer with the right per-PE span attribution.
+
+        ``blocking`` transfers (a worker waits on them) record wait-
+        inclusive spans — the paper's Tables IV-VI percentages; detached
+        write-behind and prefetch record only the service time, since no
+        PE sits idle behind them.
+
+        The medium is the node's local disk unless the node has a remote
+        memory server attached (paper [33]): then the bytes travel the
+        interconnect, charged through the same disk-stat channel so every
+        breakdown table compares media directly.
+        """
+        nrt = self.nodes[rank]
+        start = self.engine.now
+        if nrt.spill_server is not None:
+            net = self.cluster.network
+            yield from net.send(rank, nrt.spill_server, nbytes, ("svc",))
+            service = net.spec.latency + nbytes / net.spec.bandwidth
+        else:
+            node = self.cluster[rank]
+            yield from node.disk.transfer(nbytes)
+            service = node.disk.service_time(nbytes)
+        span = (self.engine.now - start) if blocking else service
+        self.stats.node(rank).add_disk(service, nbytes, is_store, span=span)
+
+    def _charge_disk(self, rank: int, nbytes: int, is_store: bool):
+        yield from self._disk_xfer(rank, nbytes, is_store, blocking=False)
+
+    def _load_blocking(self, nrt: _NodeRuntime, oid: int, background: bool = False):
+        """Process body: bring ``oid`` in core, evicting victims first.
+
+        ``background`` marks prefetch loads: no worker waits on them, so
+        their disk time is attributed as service-only (see _disk_xfer).
+        """
+        blocking = not background
+        target = nrt.ooc.table[oid]
+        # Evict until the object fits.  Plans go stale across disk yields
+        # (victims can get pinned by a handler, or evicted by someone
+        # else), so re-validate each victim and re-plan until there is
+        # room or nothing can be done but wait for pins to release.
+        stalls = 0
+        while not target.resident and nrt.ooc.memory_free < target.nbytes:
+            try:
+                victims = nrt.ooc.plan_load(oid)
+            except OutOfMemory:
+                # Everything evictable is pinned (or the budget is in a
+                # temporary overrun).  Handlers finish in finite virtual
+                # time, so wait for pins to release with exponential
+                # backoff — but bound the wait so a genuine can't-ever-fit
+                # (e.g. a multicast collection larger than node memory)
+                # surfaces as an error instead of hanging.
+                stalls += 1
+                if stalls > 10_000:
+                    raise
+                yield self.engine.timeout(
+                    min(1e-6 * (1.5 ** min(stalls, 50)), 1.0)
+                )
+                continue
+            progress = False
+            for victim in victims:
+                vrec = nrt.locals.get(victim)
+                if vrec is None or vrec.obj is None:
+                    continue  # raced with another evictor
+                if nrt.ooc.is_locked(victim) or not nrt.ooc.is_resident(victim):
+                    continue  # pinned since the plan was made
+                vrec.obj.on_unregister(nrt.rank)
+                data = vrec.obj.pack()
+                nrt.storage.store(victim, data)
+                modeled = nrt.ooc.table[victim].nbytes
+                vrec.obj = None
+                nrt.ooc.confirm_evict(victim)
+                progress = True
+                yield from self._disk_xfer(nrt.rank, modeled, True, blocking)
+            if not progress and nrt.ooc.memory_free < target.nbytes:
+                # Everything evictable is pinned right now; let handlers
+                # finish and retry.
+                yield self.engine.timeout(1e-6)
+        rec = nrt.locals[oid]
+        if rec.obj is not None:
+            return  # someone else loaded it while we evicted
+        modeled = nrt.ooc.table[oid].nbytes
+        yield from self._disk_xfer(nrt.rank, modeled, False, blocking)
+        if nrt.locals.get(oid) is not rec or rec.obj is not None:
+            return  # concurrent load won (or the object moved/died)
+        # Read the bytes only *after* the transfer completes: during the
+        # virtual I/O another worker may have loaded, mutated and
+        # re-spilled the object — the storage now holds the newer state,
+        # and resurrecting a pre-transfer snapshot would lose updates.
+        data = nrt.storage.load(oid)
+        ptr = self._objects_by_oid[oid]
+        obj = object.__new__(self._obj_class(oid))
+        MobileObject.__init__(obj, ptr)
+        obj.unpack(data)
+        rec.obj = obj
+        nrt.ooc.confirm_load(oid)
+        obj.on_register(nrt.rank)
+
+    def _obj_class(self, oid: int) -> type:
+        return self._obj_classes[oid]
+
+    # ============================================================ messaging
+    def _post_message(self, msg: Message | MulticastMessage, from_node: int) -> None:
+        self.termination.add(1)
+        if isinstance(msg, MulticastMessage):
+            self._route_multicast(msg, from_node)
+            return
+        oid = msg.target.oid
+        dest = self.directory.lookup(
+            oid, max(from_node, 0), default=msg.target.last_known_node
+        )
+        if dest == from_node and self.directory.truth.get(oid) == from_node:
+            self._enqueue_local(self.nodes[from_node], msg)
+        else:
+            self._send(from_node, dest, msg, path=[])
+
+    def _send(
+        self, src: int, dst: int, msg: Message | MulticastMessage, path: list[int]
+    ) -> None:
+        payload = ("msg", msg, path + [src] if src >= 0 else path)
+        nbytes = msg.nbytes()
+        sender = max(src, 0)
+        self.engine.process(
+            self._send_proc(sender, dst, nbytes, payload),
+            name=f"send[{msg.handler}]",
+        )
+
+    def _send_proc(self, src: int, dst: int, nbytes: int, payload):
+        start = self.engine.now
+        yield from self.cluster.network.send(src, dst, nbytes, payload)
+        # Comm cost = sender-side serialization overhead (service) and the
+        # wait-inclusive span; same-node sends bypass the NIC entirely.
+        if src != dst:
+            self.stats.node(src).add_comm(
+                self.cluster.network.send_overhead(nbytes), nbytes,
+                span=self.engine.now - start,
+            )
+
+    def _make_sink(self, rank: int) -> Callable[[int, Any], None]:
+        def sink(source: int, payload: Any) -> None:
+            kind = payload[0]
+            if kind == "svc":
+                return  # directory service / migration byte carrier: no handler
+            if kind == "batch":
+                _, msgs, path = payload
+                for msg in msgs:
+                    self._arrive(rank, msg, list(path))
+                return
+            _, msg, path = payload
+            self._arrive(rank, msg, path)
+
+        return sink
+
+    def _arrive(self, rank: int, msg, path: list[int]) -> None:
+        """A message landed on ``rank``: deliver locally or forward."""
+        self.stats.node(rank).messages_received += 1
+        oid = msg.target.oid if isinstance(msg, Message) else msg.targets[0].oid
+        if self.directory.truth.get(oid) == rank:
+            updates = self.directory.arrived(oid, path)
+            self._emit_service_updates(rank, path, updates)
+            self._enqueue_local(self.nodes[rank], msg)
+        else:
+            # Stale hint: forward along the directory chain.
+            nxt = self.directory.next_hop(oid, rank)
+            if isinstance(msg, Message):
+                msg.hops += 1
+            self._send(rank, nxt, msg, path)
+
+    def _dispatch_outbox(self, outbox, from_node: int) -> None:
+        """Send a handler's produced messages, aggregating when configured.
+
+        With ``config.message_aggregation > 1``, messages bound for the
+        same destination node travel as one wire transfer of up to that
+        many messages — the PCDM optimization ("asynchronous small messages
+        which can be aggregated to minimize startup overheads").  Local
+        deliveries and multicasts are never batched.
+        """
+        limit = self.config.message_aggregation
+        if limit <= 1:
+            for msg in outbox:
+                self._post_message(msg, from_node=from_node)
+            return
+        by_dest: dict[int, list[Message]] = {}
+        for msg in outbox:
+            if isinstance(msg, MulticastMessage):
+                self._post_message(msg, from_node=from_node)
+                continue
+            oid = msg.target.oid
+            dest = self.directory.lookup(
+                oid, from_node, default=msg.target.last_known_node
+            )
+            if dest == from_node and self.directory.truth.get(oid) == from_node:
+                self._post_message(msg, from_node=from_node)
+            else:
+                msg.source_node = from_node
+                by_dest.setdefault(dest, []).append(msg)
+        for dest, msgs in sorted(by_dest.items()):
+            for i in range(0, len(msgs), limit):
+                chunk = msgs[i : i + limit]
+                self.termination.add(len(chunk))
+                # One wire header amortized over the batch.
+                nbytes = sum(m.nbytes() for m in chunk) - 48 * (len(chunk) - 1)
+                self.engine.process(
+                    self._send_proc(
+                        from_node, dest, nbytes,
+                        ("batch", chunk, [from_node]),
+                    ),
+                    name=f"send-batch[{len(chunk)}]",
+                )
+
+    def _emit_service_updates(self, rank: int, path: list[int], updates: int) -> None:
+        """Send the lazy-update corrections as real (tiny) network messages."""
+        for node in path[:updates]:
+            if node == rank or node < 0:
+                continue
+            self.engine.process(
+                self._send_proc(rank, node, _SERVICE_MSG_BYTES, ("svc",)),
+                name="svc-update",
+            )
+
+    def _enqueue_local(
+        self, nrt: _NodeRuntime, msg: Message | MulticastMessage
+    ) -> None:
+        if isinstance(msg, MulticastMessage):
+            self._route_multicast(msg, nrt.rank)
+            return
+        oid = msg.target.oid
+        rec = nrt.locals.get(oid)
+        if rec is None:
+            # Object migrated away between routing decisions; re-route.
+            self.termination.add(1)
+            self._send(nrt.rank, self.directory.next_hop(oid, nrt.rank), msg, [])
+            self.termination.done(1)
+            return
+        rec.queue.push(msg)
+        nrt.ooc.set_queue_length(oid, len(rec.queue))
+        msg.target.queued_messages = len(rec.queue)
+        nrt.ready.push(oid)
+        nrt.tokens.put(oid)
+
+    # ============================================================ multicast
+    def _route_multicast(self, msg: MulticastMessage, from_node: int) -> None:
+        """Collect all target objects on the first target's node, then deliver."""
+        gather = self.directory.location(msg.targets[0].oid)
+        self.engine.process(
+            self._multicast_proc(msg, gather), name=f"mcast[{msg.handler}]"
+        )
+
+    def _multicast_proc(self, msg: MulticastMessage, gather: int):
+        nrt = self.nodes[gather]
+        yield nrt.mcast_slot.acquire()
+        try:
+            yield from self._multicast_collect(msg, gather, nrt)
+        finally:
+            nrt.mcast_slot.release()
+        self.termination.done(1)  # the multicast envelope itself
+
+    def _multicast_collect(self, msg: MulticastMessage, gather: int, nrt):
+        # Collect members in GLOBAL OID ORDER: concurrent multicasts
+        # competing for shared members then acquire their pins in the same
+        # order, which rules out circular waits (classic lock ordering).
+        locked: list[int] = []
+        try:
+            for ptr in sorted(msg.targets, key=lambda p: p.oid):
+                oid = ptr.oid
+                stalls = 0
+                while True:
+                    where = self.directory.location(oid)
+                    if where != gather:
+                        yield from self._migrate_proc(oid, where, gather)
+                        continue  # re-check: someone may have moved it again
+                    if not nrt.ooc.is_resident(oid):
+                        yield from self._load_blocking(nrt, oid)
+                    # The object may have migrated away during the load.
+                    if self.directory.location(oid) == gather and \
+                            nrt.ooc.is_resident(oid):
+                        nrt.ooc.lock(oid)  # pinned: nobody can take it now
+                        locked.append(oid)
+                        break
+                    stalls += 1
+                    if stalls > 10_000:
+                        raise MRTSError(
+                            f"multicast cannot collect object {oid} on node "
+                            f"{gather} (contended or permanently pinned "
+                            "elsewhere)"
+                        )
+                    yield self.engine.timeout(1e-6)
+            # Deliver to the first deliver_count targets as ordinary local
+            # messages (they execute through the normal worker path).
+            for ptr in msg.targets[: msg.deliver_count]:
+                sub = Message(
+                    ptr, msg.handler, msg.args, dict(msg.kwargs),
+                    source_node=msg.source_node,
+                )
+                self.termination.add(1)
+                self._enqueue_local(nrt, sub)
+            # Hold the pins until the delivered handlers have actually run:
+            # the §III contract is "objects are loaded into memory when the
+            # message is delivered".  Wait for this object's queue to drain.
+            guard = 0
+            while any(
+                nrt.locals.get(p.oid) is not None
+                and (len(nrt.locals[p.oid].queue) > 0
+                     or nrt.locals[p.oid].in_flight > 0)
+                for p in msg.targets[: msg.deliver_count]
+            ):
+                guard += 1
+                if guard > 1_000_000:
+                    raise MRTSError("multicast delivery never drained")
+                yield self.engine.timeout(1e-6)
+        finally:
+            for oid in locked:
+                if oid in nrt.ooc.table:
+                    nrt.ooc.unlock(oid)
+
+    # ============================================================ migration
+    def migrate(self, ptr: MobilePointer, dst: int) -> None:
+        """Move an object to another node (asynchronously)."""
+        src = self.directory.location(ptr.oid)
+        if src == dst:
+            return
+        self.termination.add(1)
+        self.engine.process(
+            self._migrate_and_done(ptr.oid, src, dst), name=f"migrate[{ptr.oid}]"
+        )
+
+    def _migrate_and_done(self, oid: int, src: int, dst: int):
+        yield from self._migrate_proc(oid, src, dst)
+        self.termination.done(1)
+
+    def _migrate_proc(self, oid: int, src: int, dst: int):
+        """Move an object: charge the transfer, then swap atomically.
+
+        The object keeps serving messages at the source while its bytes are
+        "on the wire" (pre-copy style); the actual state capture and
+        installation happen in one event, which removes any window in which
+        the object exists nowhere (messages can never be lost or looped).
+        """
+        nrt = self.nodes[src]
+        rec = nrt.locals.get(oid)
+        if rec is None:
+            return  # already moved (racing multicasts)
+        if rec.obj is None:
+            yield from self._load_blocking(nrt, oid)
+        modeled = nrt.ooc.table[oid].nbytes
+        # Charge the wire time for the object's bytes.
+        yield from self.cluster.network.send(src, dst, modeled + 64, ("svc",))
+        if src != dst:
+            self.stats.node(src).add_comm(
+                self.cluster.network.send_overhead(modeled + 64), modeled
+            )
+        # Reach a state where the object is present, loaded, idle, and
+        # unpinned — only then may it move.  Locked objects are guaranteed
+        # in-core *here* (the §III contract), so a migration must wait for
+        # the unlock; in-flight handlers must finish; and every wait point
+        # re-validates, since any of those can change across a yield.
+        stalls = 0
+        while True:
+            rec = nrt.locals.get(oid)
+            if rec is None:
+                return  # someone else migrated it while we were transferring
+            if rec.obj is None:
+                yield from self._load_blocking(nrt, oid)
+                continue
+            if rec.in_flight > 0 or (
+                oid in nrt.ooc.table and nrt.ooc.is_locked(oid)
+            ):
+                stalls += 1
+                if stalls > 1_000_000:
+                    raise MRTSError(
+                        f"migration of object {oid} starved "
+                        "(permanently locked?)"
+                    )
+                yield self.engine.timeout(1e-6)
+                continue
+            break
+        # Reserve room at the destination *first* (patiently: pinned
+        # residents may hold all its memory until their handlers drain).
+        # Only once space is secured does the object leave the source, so
+        # it is addressable somewhere at every instant.
+        dst_nrt = self.nodes[dst]
+        current = nrt.ooc.table[oid].nbytes
+        stalls = 0
+        while True:
+            try:
+                victims = dst_nrt.ooc.admit(oid, current)
+                break
+            except OutOfMemory:
+                stalls += 1
+                if stalls > 1_000_000:
+                    raise
+                yield self.engine.timeout(1e-6)
+        # Re-validate the source after the wait; release the reservation
+        # if we lost the race.
+        rec = nrt.locals.get(oid)
+        if (
+            rec is None
+            or rec.obj is None
+            or rec.in_flight > 0
+            or (oid in nrt.ooc.table and nrt.ooc.is_locked(oid))
+        ):
+            dst_nrt.ooc.forget(oid)
+            if rec is not None:
+                # Try again from the top conditions.
+                yield from self._migrate_proc(oid, src, dst)
+            return
+        for victim in victims:
+            vrec = dst_nrt.locals.get(victim)
+            if vrec is not None and vrec.obj is not None:
+                self._evict_now(dst_nrt, victim)
+        dst_nrt.ooc.confirm_admit(oid)
+        # ---- atomic swap ----
+        obj = rec.obj
+        obj.on_unregister(src)
+        data = obj.pack()
+        queue = rec.queue
+        del nrt.locals[oid]
+        nrt.ooc.forget(oid)
+        nrt.storage.delete(oid)
+        clone = object.__new__(self._obj_class(oid))
+        MobileObject.__init__(clone, self._objects_by_oid[oid])
+        clone.unpack(data)
+        dst_nrt.locals[oid] = _LocalObject(obj=clone, queue=queue)
+        self._objects_by_oid[oid].last_known_node = dst
+        svc = self.directory.migrated(oid, dst)
+        self._emit_service_updates(src, [src], svc)
+        clone.on_register(dst)
+        if queue:
+            dst_nrt.ooc.set_queue_length(oid, len(queue))
+            dst_nrt.ready.push(oid)
+            for _ in range(len(queue)):
+                dst_nrt.tokens.put(oid)
+
+    # ============================================================== workers
+    def _worker(self, nrt: _NodeRuntime):
+        """One in-flight handler slot on a node (DES process body).
+
+        After loading an object the worker *drains* its message queue while
+        it stays resident — the paper's control layer explicitly decides
+        "whether to continue to process the message queue of the current
+        object or switch", and staying is what amortizes each out-of-core
+        load over all pending messages.  Messages of one object serialize
+        (the paper parallelizes across objects and within handlers, never
+        two handlers on one object).
+        """
+        while True:
+            token = yield nrt.tokens.get()
+            if token is _SHUTDOWN:
+                return
+            try:
+                oid = nrt.ready.pop(nrt.queue_len, resident=nrt.ooc.is_resident)
+            except IndexError:
+                continue
+            rec = nrt.locals.get(oid)
+            if rec is None or not rec.queue or rec.in_flight > 0:
+                continue
+            # Issue opportunistic prefetches for other ready objects.
+            self._issue_prefetch(nrt)
+            # Bring the target in core (charges disk time, holds no core).
+            if rec.obj is None:
+                yield from self._load_blocking(nrt, oid)
+            while True:
+                if nrt.locals.get(oid) is not rec or not rec.queue:
+                    break
+                if rec.obj is None:
+                    # Evicted between messages: hand the rest back to the
+                    # scheduler rather than thrash.
+                    nrt.ready.push(oid)
+                    break
+                msg = rec.queue.pop()
+                nrt.ooc.set_queue_length(oid, len(rec.queue))
+                yield from self._execute_handler(nrt, oid, rec, msg)
+                self.termination.done(1)
+
+    def _execute_handler(self, nrt: _NodeRuntime, oid: int, rec, msg):
+        """Run one message handler: compute via cores, then dispatch output."""
+        engine = self.engine
+        node = self.cluster[nrt.rank]
+        nrt.ooc.touch(oid)
+        obj = rec.obj
+        ctx = HandlerContext(self, nrt.rank)
+        fn = getattr(obj, msg.handler, None)
+        if fn is None or not getattr(fn, "_mrts_handler", False):
+            raise MRTSError(
+                f"{type(obj).__name__} has no handler {msg.handler!r}"
+            )
+        rec.in_flight += 1
+        # Pin the object while its handler runs: a mid-handler eviction
+        # (reachable through direct-call chains that trigger spills)
+        # would snapshot partial state and lose later mutations.
+        nrt.ooc.lock(oid)
+        yield node.cores.acquire()
+        try:
+            wall0 = _time.perf_counter()
+            fn(ctx, *msg.args, **msg.kwargs)
+            measured = _time.perf_counter() - wall0
+            modeled = self.cost_model.handler_cost(obj, msg.handler, msg)
+            cost = (modeled if modeled is not None else measured)
+            cost += ctx.extra_charge
+            cost = node.compute_time(cost)
+            if cost > 0:
+                start = engine.now
+                yield engine.timeout(cost)
+                self.stats.node(nrt.rank).add_comp(engine.now - start)
+            else:
+                self.stats.node(nrt.rank).add_comp(0.0)
+        finally:
+            node.cores.release()
+            rec.in_flight -= 1
+            if oid in nrt.ooc.table:
+                nrt.ooc.unlock(oid)
+        # Object size may have changed during the handler (skip if the
+        # object migrated away while we were charging compute time).
+        if nrt.locals.get(oid) is rec and rec.obj is not None:
+            rec.obj.mark_dirty()
+            self._account_growth(nrt, oid)
+        # Dispatch messages the handler produced.
+        self._dispatch_outbox(ctx.outbox, nrt.rank)
+        # Soft-threshold advice: spill idle objects in the background.
+        if oid in nrt.ooc.table:
+            for victim in nrt.ooc.advise_swap(protect={oid}):
+                self._evict_now(nrt, victim)
+
+    def _issue_prefetch(self, nrt: _NodeRuntime) -> None:
+        upcoming = [oid for oid in nrt.ready._fifo]
+        for oid in nrt.ooc.prefetch_candidates(upcoming):
+            rec = nrt.locals.get(oid)
+            if rec is None or rec.obj is not None or oid in nrt.prefetching:
+                continue
+            nrt.prefetching.add(oid)
+            self.engine.process(
+                self._prefetch_proc(nrt, oid), name=f"prefetch[{oid}]"
+            )
+
+    def _prefetch_proc(self, nrt: _NodeRuntime, oid: int):
+        try:
+            yield from self._load_blocking(nrt, oid, background=True)
+        finally:
+            nrt.prefetching.discard(oid)
+
+    def _account_growth(self, nrt: _NodeRuntime, oid: int) -> None:
+        """Re-account an object's size after a handler mutated it.
+
+        Growth beyond what eviction can cover is tolerated as a temporary
+        budget overrun (the bytes already exist; concurrent pinned handlers
+        can make room unreachable) — everything evictable is spilled and
+        the layer recovers on the next cycle.
+        """
+        rec = nrt.locals[oid]
+        new_size = self._obj_nbytes(rec.obj)
+        try:
+            victims = nrt.ooc.resize(oid, new_size)
+        except OutOfMemory:
+            victims = [
+                v for v in nrt.ooc.eviction_candidates(protect={oid})
+                if nrt.locals[v].obj is not None
+            ]
+            nrt.ooc.force_resize(oid, new_size)
+        for victim in victims:
+            if nrt.locals.get(victim) is not None and nrt.locals[victim].obj is not None:
+                self._evict_now(nrt, victim)
+
+    # ---------------------------------------------------------- direct call
+    def _call_direct(
+        self,
+        ctx: HandlerContext,
+        target: MobilePointer,
+        handler_name: str,
+        args: tuple,
+        kwargs: dict,
+    ) -> bool:
+        node = ctx.node
+        if self.directory.truth.get(target.oid) != node:
+            return False
+        nrt = self.nodes[node]
+        if not nrt.ooc.is_resident(target.oid):
+            return False
+        rec = nrt.locals[target.oid]
+        obj = rec.obj
+        if obj is None:
+            return False
+        fn = getattr(obj, handler_name, None)
+        if fn is None or not getattr(fn, "_mrts_handler", False):
+            raise MRTSError(
+                f"{type(obj).__name__} has no handler {handler_name!r}"
+            )
+        nrt.ooc.touch(target.oid)
+        nrt.ooc.lock(target.oid)  # pin across the inline handler
+        try:
+            wall0 = _time.perf_counter()
+            fn(ctx, *args, **kwargs)
+            measured = _time.perf_counter() - wall0
+        finally:
+            nrt.ooc.unlock(target.oid)
+        probe = Message(target, handler_name, args, kwargs, source_node=node)
+        modeled = self.cost_model.handler_cost(obj, handler_name, probe)
+        ctx.extra_charge += modeled if modeled is not None else measured
+        obj.mark_dirty()
+        self._account_growth(nrt, target.oid)
+        return True
+
+    # ------------------------------------------------------------ inspection
+    def get_object(self, ptr: MobilePointer) -> MobileObject:
+        """Fetch the live object (post-run inspection; loads if spilled)."""
+        node = self.directory.location(ptr.oid)
+        nrt = self.nodes[node]
+        rec = nrt.locals[ptr.oid]
+        if rec.obj is None:
+            # Synchronous convenience load outside the timed run.
+            proc = self.engine.process(self._load_blocking(nrt, ptr.oid))
+            self.engine.run(until=proc)
+        return rec.obj  # type: ignore[return-value]
+
+    def object_location(self, ptr: MobilePointer) -> int:
+        return self.directory.location(ptr.oid)

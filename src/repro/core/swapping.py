@@ -1,0 +1,138 @@
+"""Swapping schemes: which resident object to evict.
+
+Paper §II.E: "The storage layer implements several swapping schemes which
+are based on popular cache algorithms.  In addition to the least recently
+used (LRU) scheme we implemented the least frequently used (LFU), the most
+recently used (MRU), the most used (MU) and the least used (LU) schemes.
+While the LRU scheme enjoys highest performance most of the time, for some
+applications (e.g., PCDM) the LFU can be up to 7% faster."
+
+Each scheme tracks object *touches* (a message delivered, a handler run, a
+load) and answers ``victim(candidates)``: among the given evictable object
+ids, which to spill first.  Priorities and locks are handled a level up in
+the out-of-core layer; schemes only encode the base ordering.
+
+Interpretation of the five schemes (the paper names them without defining
+MU/LU; we use the natural readings):
+
+* LRU — evict the least recently touched,
+* MRU — evict the most recently touched,
+* LFU — evict the lowest touch count,
+* MU ("most used") — evict the highest touch count,
+* LU ("least used") — evict the smallest *recency-weighted* usage: touch
+  count decayed by age, so rarely-and-long-ago used objects go first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["SwapScheme", "make_scheme", "LRU", "MRU", "LFU", "MU", "LU"]
+
+
+class SwapScheme:
+    """Base class: touch bookkeeping plus victim selection."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._clock = 0
+        self._last_touch: dict[int, int] = {}
+        self._count: dict[int, int] = {}
+
+    def touch(self, oid: int) -> None:
+        """Record an access to object ``oid``."""
+        self._clock += 1
+        self._last_touch[oid] = self._clock
+        self._count[oid] = self._count.get(oid, 0) + 1
+
+    def forget(self, oid: int) -> None:
+        """Drop bookkeeping for a destroyed object."""
+        self._last_touch.pop(oid, None)
+        self._count.pop(oid, None)
+
+    def last_touch(self, oid: int) -> int:
+        return self._last_touch.get(oid, 0)
+
+    def count(self, oid: int) -> int:
+        return self._count.get(oid, 0)
+
+    def _score(self, oid: int) -> float:
+        """Eviction key: the candidate with the smallest score is evicted."""
+        raise NotImplementedError
+
+    def victim(self, candidates: Iterable[int]) -> int:
+        """Pick the object to evict among ``candidates``.
+
+        Ties break on lower oid for determinism.  Raises ValueError when
+        there is nothing to evict.
+        """
+        best = None
+        best_key = None
+        for oid in candidates:
+            key = (self._score(oid), oid)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = oid
+        if best is None:
+            raise ValueError("no eviction candidates")
+        return best
+
+
+class LRU(SwapScheme):
+    """Evict least recently used: oldest last touch first."""
+
+    name = "lru"
+
+    def _score(self, oid: int) -> float:
+        return float(self.last_touch(oid))
+
+
+class MRU(SwapScheme):
+    """Evict most recently used: newest last touch first."""
+
+    name = "mru"
+
+    def _score(self, oid: int) -> float:
+        return -float(self.last_touch(oid))
+
+
+class LFU(SwapScheme):
+    """Evict least frequently used: lowest touch count first."""
+
+    name = "lfu"
+
+    def _score(self, oid: int) -> float:
+        return float(self.count(oid))
+
+
+class MU(SwapScheme):
+    """Evict most used: highest touch count first."""
+
+    name = "mu"
+
+    def _score(self, oid: int) -> float:
+        return -float(self.count(oid))
+
+
+class LU(SwapScheme):
+    """Evict least used (recency-weighted): count decayed by age."""
+
+    name = "lu"
+
+    def _score(self, oid: int) -> float:
+        age = self._clock - self.last_touch(oid) + 1
+        return self.count(oid) / age
+
+
+_SCHEMES = {cls.name: cls for cls in (LRU, MRU, LFU, MU, LU)}
+
+
+def make_scheme(name: str) -> SwapScheme:
+    """Instantiate a swap scheme by its paper name (case-insensitive)."""
+    try:
+        return _SCHEMES[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown swap scheme {name!r}; choose from {sorted(_SCHEMES)}"
+        ) from None

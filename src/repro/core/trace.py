@@ -1,0 +1,136 @@
+"""Execution tracing: a timeline of runtime events for analysis/debugging.
+
+A production runtime needs observability; this module records a typed
+event stream (handler executions, disk transfers, message sends, swap
+decisions) with virtual timestamps, and renders it as a text timeline or
+per-node utilization summary — the tooling you would use to see the
+overlap of Tables IV–VI with your own eyes.
+
+Tracing is opt-in and zero-cost when off: :func:`attach_tracer` wraps the
+relevant runtime methods; :meth:`Tracer.detach` restores them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.runtime import MRTS
+
+__all__ = ["TraceEvent", "Tracer", "attach_tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One record: when, where, what."""
+
+    time: float
+    node: int
+    kind: str       # "handler" | "disk" | "send"
+    detail: str
+    duration: float = 0.0
+
+
+@dataclass
+class Tracer:
+    """Collects events from an attached runtime."""
+
+    runtime: MRTS
+    events: list[TraceEvent] = field(default_factory=list)
+    _originals: dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------- capture
+    def record(
+        self, node: int, kind: str, detail: str, duration: float = 0.0
+    ) -> None:
+        self.events.append(
+            TraceEvent(self.runtime.engine.now, node, kind, detail, duration)
+        )
+
+    def detach(self) -> None:
+        """Restore the runtime's unwrapped methods."""
+        for name, fn in self._originals.items():
+            setattr(self.runtime, name, fn)
+        self._originals.clear()
+
+    # ------------------------------------------------------------ analysis
+    def by_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def timeline(self, limit: Optional[int] = None, width: int = 72) -> str:
+        """Render events as a chronological text timeline."""
+        rows = sorted(self.events, key=lambda e: (e.time, e.node))
+        if limit is not None:
+            rows = rows[:limit]
+        lines = []
+        for e in rows:
+            stamp = f"{e.time * 1e3:10.3f} ms"
+            dur = f" ({e.duration * 1e3:.3f} ms)" if e.duration else ""
+            lines.append(
+                f"{stamp}  node {e.node}  {e.kind:<8}"
+                f" {e.detail[: width - 36]}{dur}"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+
+def attach_tracer(runtime: MRTS) -> Tracer:
+    """Instrument a runtime; returns the collecting :class:`Tracer`.
+
+    Wraps ``_execute_handler`` (one "handler" event per message),
+    ``_disk_xfer`` (one "disk" event per transfer) and ``_send_proc``
+    (one "send" event per wire message).
+    """
+    tracer = Tracer(runtime)
+
+    orig_exec = runtime._execute_handler
+
+    def traced_exec(nrt, oid, rec, msg):
+        start = runtime.engine.now
+        yield from orig_exec(nrt, oid, rec, msg)
+        tracer.record(
+            nrt.rank,
+            "handler",
+            f"{msg.handler} -> oid {oid}",
+            runtime.engine.now - start,
+        )
+
+    orig_disk = runtime._disk_xfer
+
+    def traced_disk(rank, nbytes, is_store, blocking):
+        start = runtime.engine.now
+        yield from orig_disk(rank, nbytes, is_store, blocking)
+        tracer.record(
+            rank,
+            "disk",
+            f"{'store' if is_store else 'load'} {nbytes} B"
+            f"{'' if blocking else ' (background)'}",
+            runtime.engine.now - start,
+        )
+
+    orig_send = runtime._send_proc
+
+    def traced_send(src, dst, nbytes, payload):
+        start = runtime.engine.now
+        yield from orig_send(src, dst, nbytes, payload)
+        tracer.record(
+            src,
+            "send",
+            f"-> node {dst}, {nbytes} B",
+            runtime.engine.now - start,
+        )
+
+    tracer._originals = {
+        "_execute_handler": orig_exec,
+        "_disk_xfer": orig_disk,
+        "_send_proc": orig_send,
+    }
+    runtime._execute_handler = traced_exec
+    runtime._disk_xfer = traced_disk
+    runtime._send_proc = traced_send
+    return tracer

@@ -1,0 +1,39 @@
+"""Paper-scale evaluation harness.
+
+Calibrated cost models (:mod:`repro.evalsim.costmodel`), modeled PUMG
+applications on the real MRTS runtime (:mod:`repro.evalsim.apps`), and one
+experiment driver per figure/table of the paper's evaluation section
+(:mod:`repro.evalsim.experiments`).
+"""
+
+from repro.evalsim.costmodel import (
+    MethodModel,
+    NUPDR_MODEL,
+    PCDM_MODEL,
+    UPDR_MODEL,
+    method_model,
+)
+from repro.evalsim.apps import (
+    ModelRunResult,
+    fits_in_core,
+    run_nupdr_model,
+    run_pcdm_model,
+    run_updr_model,
+)
+from repro.evalsim.report import Experiment
+from repro.evalsim.experiments import ALL_EXPERIMENTS
+
+__all__ = [
+    "MethodModel",
+    "method_model",
+    "UPDR_MODEL",
+    "NUPDR_MODEL",
+    "PCDM_MODEL",
+    "ModelRunResult",
+    "fits_in_core",
+    "run_updr_model",
+    "run_nupdr_model",
+    "run_pcdm_model",
+    "Experiment",
+    "ALL_EXPERIMENTS",
+]

@@ -1,0 +1,117 @@
+"""Calibration constants and cost models for paper-scale runs.
+
+The paper's own Tables I–III provide the calibration anchor: the *Speed*
+metric (elements generated per second per PE).  We model mesh generation
+compute as ``elements / rate`` seconds and subdomain memory as
+``elements x bytes_per_element``, then let the real MRTS layers (swap
+schemes, thresholds, directory) and the DES cluster (disks, NICs, cores)
+produce the timing behaviour.  Nothing in Tables IV–VI (the overlap
+percentages) is calibrated — those emerge from the simulated concurrency.
+
+Calibrated anchors (STEMS reference core, paper Tables I–III):
+
+* UPDR ~24k elements/s/PE on old SciClone PEs; OUPDR ~26–39k on STEMS;
+* NUPDR ~115–124k elements/s/PE at small sizes (4 PEs, STEMS);
+* ONUPDR ~86–100k in-core, dropping toward ~28–29k deep out-of-core;
+* memory: PCDM's 238M elements needed ~64 GB => ~270 B/element.
+
+MRTS overheads (the 12–18% in-core penalty of Figs. 5–7) are modeled as a
+per-message handler cost plus a per-element memory-manager cost; the
+baselines run with both set to zero.  The 2-PE NUPDR anomaly (41% —
+"custom memory allocator ... much lower overhead than the MRTS memory
+manager in the 2 PEs case") is modeled by an allocator term that the
+baseline amortizes with PE count but MRTS pays in full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MethodModel", "UPDR_MODEL", "NUPDR_MODEL", "PCDM_MODEL", "method_model"]
+
+BYTES_PER_ELEMENT = 270
+
+
+@dataclass(frozen=True)
+class MethodModel:
+    """Per-method calibration."""
+
+    name: str
+    # Elements generated per second per reference PE (in-core, no MRTS).
+    rate: float
+    # MRTS per-handler overhead (seconds) — message queueing, dispatch.
+    mrts_handler_overhead: float
+    # MRTS memory-manager overhead per element (seconds) vs the app's own
+    # allocator; multiplied by an amortization factor that shrinks with PE
+    # count for methods with custom allocators (the NUPDR 2-PE effect).
+    mrts_alloc_per_element: float
+    alloc_amortizes_with_pes: bool
+    bytes_per_element: int = BYTES_PER_ELEMENT
+    # Communication volume: bytes exchanged per boundary element.
+    bytes_per_boundary_element: float = 96.0
+    # Refinement rounds to reach the final density.  NUPDR/PCDM refine a
+    # subdomain essentially to completion per visit (the refinement queue
+    # pops a leaf once, plus neighbour-triggered revisits); UPDR sweeps in
+    # color phases a few times.
+    rounds: int = 3
+
+    def compute_seconds(self, elements: float) -> float:
+        """Reference-core seconds to generate ``elements`` elements."""
+        return elements / self.rate
+
+    def mrts_alloc_seconds(self, elements: float, n_pes: int) -> float:
+        extra = self.mrts_alloc_per_element * elements
+        if self.alloc_amortizes_with_pes and n_pes > 2:
+            # Beyond 2 PEs other costs dominate; the paper reports the
+            # allocator gap only in the 2-PE configuration.
+            extra *= 2.0 / n_pes
+        return extra
+
+    def subdomain_bytes(self, elements: float) -> int:
+        return max(int(elements * self.bytes_per_element), 1)
+
+    def boundary_bytes(self, elements: float) -> int:
+        """Wire size of a buffer-zone / interface exchange for a subdomain
+        currently holding ``elements`` elements (boundary ~ sqrt scaling)."""
+        return max(int(self.bytes_per_boundary_element * elements**0.5), 64)
+
+
+# Rates are per *reference* (STEMS-speed) core; the DES scales by the
+# node's core_speed, which is how the SciClone-vs-STEMS difference in
+# Tables I–III appears.
+UPDR_MODEL = MethodModel(
+    name="updr",
+    rate=60_000.0,
+    mrts_handler_overhead=2.0e-3,
+    mrts_alloc_per_element=1.6e-6,
+    alloc_amortizes_with_pes=False,
+    rounds=3,
+)
+
+NUPDR_MODEL = MethodModel(
+    name="nupdr",
+    rate=150_000.0,
+    mrts_handler_overhead=1.2e-3,
+    # Tuned so 2 PEs shows the ~40% allocator gap and >=4 PEs lands <=18%.
+    mrts_alloc_per_element=2.5e-6,
+    alloc_amortizes_with_pes=True,
+    rounds=2,
+)
+
+PCDM_MODEL = MethodModel(
+    name="pcdm",
+    rate=90_000.0,
+    mrts_handler_overhead=1.0e-3,
+    mrts_alloc_per_element=0.9e-6,
+    alloc_amortizes_with_pes=False,
+    bytes_per_boundary_element=24.0,  # PCDM sends tiny split messages
+    rounds=2,
+)
+
+
+def method_model(name: str) -> MethodModel:
+    models = {"updr": UPDR_MODEL, "nupdr": NUPDR_MODEL, "pcdm": PCDM_MODEL}
+    try:
+        return models[name]
+    except KeyError:
+        raise ValueError(f"unknown method {name!r}") from None

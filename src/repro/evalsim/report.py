@@ -1,0 +1,35 @@
+"""Row/table containers for experiment outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.util.fmt import format_table
+
+__all__ = ["Experiment"]
+
+
+@dataclass
+class Experiment:
+    """One reproduced figure/table: header, rows, and paper context."""
+
+    exp_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    paper_claim: str = ""
+
+    def add(self, *row: Any) -> None:
+        self.rows.append(row)
+
+    def render(self) -> str:
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        if self.paper_claim:
+            lines.append(f"paper: {self.paper_claim}")
+        lines.append(format_table(self.headers, self.rows))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list:
+        idx = list(self.headers).index(name)
+        return [row[idx] for row in self.rows]

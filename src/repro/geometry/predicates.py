@@ -1,0 +1,222 @@
+"""Robust 2D geometric predicates.
+
+Delaunay refinement lives and dies by the correctness of two predicates:
+
+* ``orient2d(a, b, c)`` — sign of the signed area of triangle *abc*;
+* ``incircle(a, b, c, d)`` — whether *d* lies inside the circumcircle of
+  the (counterclockwise) triangle *abc*.
+
+We use the standard two-stage scheme popularized by Shewchuk's Triangle:
+evaluate the determinant in floating point with a forward error bound; if
+the magnitude clears the bound the sign is certain, otherwise fall back to
+exact rational arithmetic (:class:`fractions.Fraction`).  The float filter
+handles virtually all calls; the exact path makes the mesher immune to the
+near-degenerate configurations that refinement constantly produces
+(cocircular points from structured inputs, collinear split points, ...).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Tuple
+
+__all__ = [
+    "orient2d",
+    "incircle",
+    "orient2d_exact",
+    "incircle_exact",
+    "circumcenter",
+    "circumradius_sq",
+    "dist_sq",
+    "segments_intersect",
+    "point_in_triangle",
+]
+
+Point = Tuple[float, float]
+
+# Forward error coefficients (see Shewchuk, "Adaptive Precision Floating-
+# Point Arithmetic and Fast Robust Geometric Predicates", 1997).  We use the
+# simple A-stage filter constants; anything within the bound goes exact.
+_EPS = 2.220446049250313e-16
+_CCW_BOUND = (3.0 + 16.0 * _EPS) * _EPS
+_ICC_BOUND = (10.0 + 96.0 * _EPS) * _EPS
+
+
+def orient2d(a: Point, b: Point, c: Point) -> float:
+    """Return >0 if a,b,c are counterclockwise, <0 clockwise, 0 collinear.
+
+    The magnitude (when the filter passes) equals twice the signed area.
+    """
+    detleft = (a[0] - c[0]) * (b[1] - c[1])
+    detright = (a[1] - c[1]) * (b[0] - c[0])
+    det = detleft - detright
+    # det == 0 may be exact cancellation *or* underflow of the products
+    # (coordinates near 1e-280 flush detleft/detright — and the error
+    # bound — to zero); the exact path settles both, and charging it on
+    # truly-collinear input is where exactness matters anyway.
+    if det == 0.0:
+        return float(orient2d_exact(a, b, c))
+    if detleft > 0.0:
+        if detright <= 0.0:
+            return det
+        detsum = detleft + detright
+    elif detleft < 0.0:
+        if detright >= 0.0:
+            return det
+        detsum = -detleft - detright
+    else:
+        return float(orient2d_exact(a, b, c))
+    if abs(det) >= _CCW_BOUND * detsum:
+        return det
+    return float(orient2d_exact(a, b, c))
+
+
+def orient2d_exact(a: Point, b: Point, c: Point) -> int:
+    """Exact orientation sign via rational arithmetic: -1, 0, or +1."""
+    ax, ay = Fraction(a[0]), Fraction(a[1])
+    bx, by = Fraction(b[0]), Fraction(b[1])
+    cx, cy = Fraction(c[0]), Fraction(c[1])
+    det = (ax - cx) * (by - cy) - (ay - cy) * (bx - cx)
+    if det > 0:
+        return 1
+    if det < 0:
+        return -1
+    return 0
+
+
+def incircle(a: Point, b: Point, c: Point, d: Point) -> float:
+    """Return >0 if d is strictly inside the circumcircle of ccw abc.
+
+    <0 outside, 0 cocircular.  For a *clockwise* abc the sign flips, so
+    callers must pass counterclockwise triangles (asserted throughout the
+    mesh code).
+    """
+    adx = a[0] - d[0]
+    ady = a[1] - d[1]
+    bdx = b[0] - d[0]
+    bdy = b[1] - d[1]
+    cdx = c[0] - d[0]
+    cdy = c[1] - d[1]
+
+    bdxcdy = bdx * cdy
+    cdxbdy = cdx * bdy
+    alift = adx * adx + ady * ady
+
+    cdxady = cdx * ady
+    adxcdy = adx * cdy
+    blift = bdx * bdx + bdy * bdy
+
+    adxbdy = adx * bdy
+    bdxady = bdx * ady
+    clift = cdx * cdx + cdy * cdy
+
+    det = (
+        alift * (bdxcdy - cdxbdy)
+        + blift * (cdxady - adxcdy)
+        + clift * (adxbdy - bdxady)
+    )
+
+    permanent = (
+        (abs(bdxcdy) + abs(cdxbdy)) * alift
+        + (abs(cdxady) + abs(adxcdy)) * blift
+        + (abs(adxbdy) + abs(bdxady)) * clift
+    )
+    if abs(det) > _ICC_BOUND * permanent:
+        return det
+    return float(incircle_exact(a, b, c, d))
+
+
+def incircle_exact(a: Point, b: Point, c: Point, d: Point) -> int:
+    """Exact incircle sign via rational arithmetic: -1, 0, or +1."""
+    ax, ay = Fraction(a[0]) - Fraction(d[0]), Fraction(a[1]) - Fraction(d[1])
+    bx, by = Fraction(b[0]) - Fraction(d[0]), Fraction(b[1]) - Fraction(d[1])
+    cx, cy = Fraction(c[0]) - Fraction(d[0]), Fraction(c[1]) - Fraction(d[1])
+    det = (
+        (ax * ax + ay * ay) * (bx * cy - cx * by)
+        + (bx * bx + by * by) * (cx * ay - ax * cy)
+        + (cx * cx + cy * cy) * (ax * by - bx * ay)
+    )
+    if det > 0:
+        return 1
+    if det < 0:
+        return -1
+    return 0
+
+
+def circumcenter(a: Point, b: Point, c: Point) -> Point:
+    """Circumcenter of a non-degenerate triangle.
+
+    Raises :class:`ZeroDivisionError` for collinear input — callers check
+    orientation first.
+    """
+    d = 2.0 * ((a[0] - c[0]) * (b[1] - c[1]) - (a[1] - c[1]) * (b[0] - c[0]))
+    a2 = (a[0] - c[0]) ** 2 + (a[1] - c[1]) ** 2
+    b2 = (b[0] - c[0]) ** 2 + (b[1] - c[1]) ** 2
+    ux = c[0] + (a2 * (b[1] - c[1]) - b2 * (a[1] - c[1])) / d
+    uy = c[1] + (b2 * (a[0] - c[0]) - a2 * (b[0] - c[0])) / d
+    return (ux, uy)
+
+
+def circumradius_sq(a: Point, b: Point, c: Point) -> float:
+    """Squared circumradius of triangle abc."""
+    cc = circumcenter(a, b, c)
+    return dist_sq(cc, a)
+
+
+def dist_sq(p: Point, q: Point) -> float:
+    """Squared euclidean distance.
+
+    Uses plain multiplication: CPython's float ``**`` raises OverflowError
+    where IEEE semantics (and callers guarding with ``isfinite``) want inf —
+    near-degenerate circumcenters can sit at 1e250.
+    """
+    dx = p[0] - q[0]
+    dy = p[1] - q[1]
+    return dx * dx + dy * dy
+
+
+def point_in_triangle(p: Point, a: Point, b: Point, c: Point) -> bool:
+    """True if p is inside or on the boundary of ccw triangle abc."""
+    return (
+        orient2d(a, b, p) >= 0
+        and orient2d(b, c, p) >= 0
+        and orient2d(c, a, p) >= 0
+    )
+
+
+def _on_segment(p: Point, q: Point, r: Point) -> bool:
+    """Assuming p,q,r collinear: does q lie on segment pr?"""
+    return (
+        min(p[0], r[0]) <= q[0] <= max(p[0], r[0])
+        and min(p[1], r[1]) <= q[1] <= max(p[1], r[1])
+    )
+
+
+def segments_intersect(
+    p1: Point, p2: Point, q1: Point, q2: Point, proper_only: bool = False
+) -> bool:
+    """Do segments p1p2 and q1q2 intersect?
+
+    With ``proper_only`` the segments must cross at an interior point of
+    both (shared endpoints and touchings do not count) — this is the test
+    used to decide whether a candidate edge violates a constraint segment.
+    """
+    d1 = orient2d(q1, q2, p1)
+    d2 = orient2d(q1, q2, p2)
+    d3 = orient2d(p1, p2, q1)
+    d4 = orient2d(p1, p2, q2)
+    if ((d1 > 0 and d2 < 0) or (d1 < 0 and d2 > 0)) and (
+        (d3 > 0 and d4 < 0) or (d3 < 0 and d4 > 0)
+    ):
+        return True
+    if proper_only:
+        return False
+    if d1 == 0 and _on_segment(q1, p1, q2):
+        return True
+    if d2 == 0 and _on_segment(q1, p2, q2):
+        return True
+    if d3 == 0 and _on_segment(p1, q1, p2):
+        return True
+    if d4 == 0 and _on_segment(p1, q2, p2):
+        return True
+    return False

@@ -1,0 +1,150 @@
+"""Canned test geometries.
+
+The paper meshes a *pipe cross-section* for Table VII and refers to typical
+PUMG model problems (mechanical parts, multi-hole domains).  We provide:
+
+* :func:`unit_square` — the simplest domain; baseline for everything;
+* :func:`pipe_cross_section` — annulus between two concentric circles,
+  polygonalized (the Table VII geometry);
+* :func:`circle_domain` — disk approximated by a regular n-gon;
+* :func:`plate_with_holes` — rectangle with circular holes (classic
+  mechanical test part);
+* :func:`key_domain` — a key-shaped nonconvex polygon (sharp features,
+  stresses constrained refinement);
+* :func:`gear_domain` — star/gear outline (many reflex vertices).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.pslg import PSLG
+from repro.geometry.predicates import Point
+
+__all__ = [
+    "unit_square",
+    "circle_domain",
+    "pipe_cross_section",
+    "plate_with_holes",
+    "key_domain",
+    "gear_domain",
+]
+
+
+def _circle_points(
+    center: Point, radius: float, n: int, phase: float = 0.0
+) -> list[Point]:
+    if n < 3:
+        raise ValueError("need at least 3 points for a circle")
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    return [
+        (
+            center[0] + radius * math.cos(phase + 2.0 * math.pi * k / n),
+            center[1] + radius * math.sin(phase + 2.0 * math.pi * k / n),
+        )
+        for k in range(n)
+    ]
+
+
+def unit_square() -> PSLG:
+    """The unit square [0,1]^2."""
+    pslg = PSLG()
+    pslg.add_loop([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)])
+    return pslg
+
+
+def circle_domain(n: int = 32, radius: float = 1.0) -> PSLG:
+    """A disk approximated by a regular ``n``-gon."""
+    pslg = PSLG()
+    pslg.add_loop(_circle_points((0.0, 0.0), radius, n))
+    return pslg
+
+
+def pipe_cross_section(
+    n: int = 48, outer: float = 1.0, inner: float = 0.45
+) -> PSLG:
+    """Annulus between two concentric polygonalized circles.
+
+    This is the "pipe cross-section geometry" used for all Table VII
+    experiments in the paper.  The inner circle bounds a hole.
+    """
+    if not 0 < inner < outer:
+        raise ValueError("need 0 < inner < outer")
+    pslg = PSLG()
+    pslg.add_loop(_circle_points((0.0, 0.0), outer, n))
+    # Slight phase offset avoids radially collinear vertex pairs, which are
+    # legal but create unnecessarily skinny initial triangles.
+    pslg.add_loop(_circle_points((0.0, 0.0), inner, n, phase=math.pi / n))
+    pslg.holes.append((0.0, 0.0))
+    return pslg
+
+
+def plate_with_holes(
+    holes: int = 2, width: float = 3.0, height: float = 1.0, radius: float = 0.2
+) -> PSLG:
+    """A rectangular plate with ``holes`` equally spaced circular holes."""
+    if holes < 0:
+        raise ValueError("holes must be >= 0")
+    pslg = PSLG()
+    pslg.add_loop([(0.0, 0.0), (width, 0.0), (width, height), (0.0, height)])
+    for k in range(holes):
+        cx = width * (k + 1) / (holes + 1)
+        cy = height / 2.0
+        if radius >= min(cy, width / (holes + 1) / 2.0):
+            raise ValueError("holes too large for plate")
+        pslg.add_loop(_circle_points((cx, cy), radius, 16))
+        pslg.holes.append((cx, cy))
+    return pslg
+
+
+def key_domain() -> PSLG:
+    """A key-shaped nonconvex polygon: round bow, straight blade with teeth."""
+    points: list[Point] = []
+    # Bow: open polygon arc around (-1, 0).
+    for k in range(10):
+        angle = math.pi * 0.35 + (2 * math.pi - 0.7 * math.pi) * k / 9
+        points.append((-1.0 + 0.8 * math.cos(angle), 0.8 * math.sin(angle)))
+    # Blade outline with two teeth on the underside.  The bow arc above ends
+    # at its lower-right attach point, so the blade is traversed bottom
+    # first (left to right along the underside, back along the top) to keep
+    # the polygon simple.
+    points.extend(
+        [
+            (0.0, -0.18),
+            (1.1, -0.18),
+            (1.1, -0.45),
+            (1.3, -0.45),
+            (1.3, -0.18),
+            (1.7, -0.18),
+            (1.7, -0.38),
+            (1.9, -0.38),
+            (1.9, -0.18),
+            (2.2, -0.18),
+            (2.2, 0.18),
+            (0.0, 0.18),
+        ]
+    )
+    pslg = PSLG()
+    pslg.add_loop(points)
+    return pslg
+
+
+def gear_domain(teeth: int = 8, outer: float = 1.0, root: float = 0.75) -> PSLG:
+    """A gear-like star polygon with ``teeth`` teeth and a center hole."""
+    if teeth < 3:
+        raise ValueError("need at least 3 teeth")
+    if not 0 < root < outer:
+        raise ValueError("need 0 < root < outer")
+    points: list[Point] = []
+    steps = 4 * teeth
+    for k in range(steps):
+        angle = 2.0 * math.pi * k / steps
+        radius = outer if (k % 4) in (0, 1) else root
+        points.append((radius * math.cos(angle), radius * math.sin(angle)))
+    pslg = PSLG()
+    pslg.add_loop(points)
+    bore = root * 0.35
+    pslg.add_loop(_circle_points((0.0, 0.0), bore, 12, phase=0.1))
+    pslg.holes.append((0.0, 0.0))
+    return pslg

@@ -1,0 +1,58 @@
+"""Sequential unstructured meshing substrate.
+
+From-scratch 2D Delaunay machinery: incremental constrained Delaunay
+triangulation (:mod:`repro.mesh.triangulation`), Ruppert quality refinement
+(:mod:`repro.mesh.refine`), sizing functions (:mod:`repro.mesh.sizing`),
+quadtrees for graded decomposition (:mod:`repro.mesh.quadtree`) and quality
+metrics (:mod:`repro.mesh.quality`).
+"""
+
+from repro.mesh.triangulation import Triangulation, triangulate_pslg
+from repro.mesh.refine import RefinementResult, refine, find_bad_triangles
+from repro.mesh.sizing import (
+    SizingFunction,
+    uniform_sizing,
+    point_source_sizing,
+    linear_gradient_sizing,
+)
+from repro.mesh.quadtree import QuadTree, QuadTreeLeaf
+from repro.mesh.quality import (
+    MeshQuality,
+    triangle_quality,
+    triangle_angles,
+    triangle_area,
+)
+from repro.mesh.meshio import (
+    write_poly,
+    read_poly,
+    write_node,
+    write_ele,
+    write_mesh,
+    read_mesh,
+    mesh_to_svg,
+)
+
+__all__ = [
+    "Triangulation",
+    "triangulate_pslg",
+    "RefinementResult",
+    "refine",
+    "find_bad_triangles",
+    "SizingFunction",
+    "uniform_sizing",
+    "point_source_sizing",
+    "linear_gradient_sizing",
+    "QuadTree",
+    "QuadTreeLeaf",
+    "MeshQuality",
+    "triangle_quality",
+    "triangle_angles",
+    "triangle_area",
+    "write_poly",
+    "read_poly",
+    "write_node",
+    "write_ele",
+    "write_mesh",
+    "read_mesh",
+    "mesh_to_svg",
+]

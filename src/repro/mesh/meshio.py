@@ -1,0 +1,228 @@
+"""Mesh and PSLG I/O: Triangle-compatible text formats and SVG rendering.
+
+PCDM's single-node performance is compared against Shewchuk's Triangle in
+the paper; interoperating with Triangle's file formats is the natural
+interface for a Delaunay library:
+
+* ``.node`` — vertex list,
+* ``.ele``  — triangle list,
+* ``.poly`` — PSLG (vertices + segments + holes).
+
+Plus :func:`mesh_to_svg` for visual inspection of meshes and
+decompositions (the closest a text repository gets to the paper's
+Figure 2).
+
+All writers/readers follow Triangle's documented layout: whitespace
+separated, ``#`` comments, 1-based indices by default.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, TextIO
+
+from repro.geometry.predicates import Point
+from repro.geometry.pslg import PSLG
+from repro.mesh.triangulation import Triangulation
+
+__all__ = [
+    "write_poly",
+    "read_poly",
+    "write_node",
+    "write_ele",
+    "write_mesh",
+    "read_mesh",
+    "mesh_to_svg",
+]
+
+
+def _open_for_write(target) -> tuple[TextIO, bool]:
+    if hasattr(target, "write"):
+        return target, False
+    return open(target, "w"), True
+
+
+def _data_lines(text: str) -> list[list[str]]:
+    """Non-empty, non-comment lines tokenized."""
+    out = []
+    for line in text.splitlines():
+        stripped = line.split("#", 1)[0].strip()
+        if stripped:
+            out.append(stripped.split())
+    return out
+
+
+# ------------------------------------------------------------------- .poly
+def write_poly(pslg: PSLG, target) -> None:
+    """Write a PSLG in Triangle's ``.poly`` format (1-based indices)."""
+    fh, close = _open_for_write(target)
+    try:
+        fh.write(f"# PSLG written by repro.mesh.meshio\n")
+        fh.write(f"{len(pslg.vertices)} 2 0 0\n")
+        for k, (x, y) in enumerate(pslg.vertices, start=1):
+            fh.write(f"{k} {x!r} {y!r}\n")
+        fh.write(f"{len(pslg.segments)} 0\n")
+        for k, (i, j) in enumerate(pslg.segments, start=1):
+            fh.write(f"{k} {i + 1} {j + 1}\n")
+        fh.write(f"{len(pslg.holes)}\n")
+        for k, (x, y) in enumerate(pslg.holes, start=1):
+            fh.write(f"{k} {x!r} {y!r}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def read_poly(source) -> PSLG:
+    """Read a Triangle ``.poly`` file (the subset write_poly produces,
+    plus optional attribute/marker columns which are ignored)."""
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = Path(source).read_text()
+    lines = _data_lines(text)
+    if not lines:
+        raise ValueError("empty .poly file")
+    cursor = 0
+    n_vertices = int(lines[cursor][0])
+    cursor += 1
+    pslg = PSLG()
+    index_map: dict[int, int] = {}
+    for _ in range(n_vertices):
+        row = lines[cursor]
+        cursor += 1
+        idx = int(row[0])
+        index_map[idx] = pslg.add_vertex((float(row[1]), float(row[2])))
+    n_segments = int(lines[cursor][0])
+    cursor += 1
+    for _ in range(n_segments):
+        row = lines[cursor]
+        cursor += 1
+        pslg.add_segment(index_map[int(row[1])], index_map[int(row[2])])
+    n_holes = int(lines[cursor][0]) if cursor < len(lines) else 0
+    cursor += 1
+    for _ in range(n_holes):
+        row = lines[cursor]
+        cursor += 1
+        pslg.holes.append((float(row[1]), float(row[2])))
+    return pslg
+
+
+# -------------------------------------------------------------- .node/.ele
+def write_node(points: Sequence[Point], target) -> None:
+    """Write a vertex list in Triangle's ``.node`` format."""
+    fh, close = _open_for_write(target)
+    try:
+        fh.write(f"{len(points)} 2 0 0\n")
+        for k, (x, y) in enumerate(points, start=1):
+            fh.write(f"{k} {x!r} {y!r}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def write_ele(triangles: Sequence[tuple[int, int, int]], target) -> None:
+    """Write a triangle list in Triangle's ``.ele`` format (1-based)."""
+    fh, close = _open_for_write(target)
+    try:
+        fh.write(f"{len(triangles)} 3 0\n")
+        for k, (a, b, c) in enumerate(triangles, start=1):
+            fh.write(f"{k} {a + 1} {b + 1} {c + 1}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def write_mesh(tri: Triangulation, node_target, ele_target) -> None:
+    """Write a triangulation as a .node/.ele pair (super vertices dropped,
+    indices compacted)."""
+    used: list[int] = sorted(
+        {v for t in tri.triangles() for v in t}
+    )
+    remap = {v: k for k, v in enumerate(used)}
+    write_node([tri.vertex(v) for v in used], node_target)
+    write_ele(
+        [(remap[a], remap[b], remap[c]) for a, b, c in tri.triangles()],
+        ele_target,
+    )
+
+
+def read_mesh(node_source, ele_source) -> tuple[list[Point], list[tuple[int, int, int]]]:
+    """Read a .node/.ele pair; returns (points, triangles) 0-based."""
+    def text_of(src):
+        return src.read() if hasattr(src, "read") else Path(src).read_text()
+
+    node_lines = _data_lines(text_of(node_source))
+    n = int(node_lines[0][0])
+    index_map: dict[int, int] = {}
+    points: list[Point] = []
+    for row in node_lines[1 : 1 + n]:
+        index_map[int(row[0])] = len(points)
+        points.append((float(row[1]), float(row[2])))
+    ele_lines = _data_lines(text_of(ele_source))
+    m = int(ele_lines[0][0])
+    triangles = [
+        (
+            index_map[int(row[1])],
+            index_map[int(row[2])],
+            index_map[int(row[3])],
+        )
+        for row in ele_lines[1 : 1 + m]
+    ]
+    return points, triangles
+
+
+# --------------------------------------------------------------------- SVG
+def mesh_to_svg(
+    tri: Triangulation,
+    target=None,
+    width: int = 640,
+    color_of: Optional[dict] = None,
+    stroke: str = "#334",
+) -> str:
+    """Render a triangulation as an SVG string (and optionally write it).
+
+    ``color_of`` maps a triangle's vertex triple to a fill color — the
+    decomposition galleries use it to paint subdomain ownership.
+    """
+    tris = list(tri.triangles())
+    if not tris:
+        raise ValueError("mesh has no triangles to draw")
+    xs = [tri.vertex(v)[0] for t in tris for v in t]
+    ys = [tri.vertex(v)[1] for t in tris for v in t]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    span = max(xmax - xmin, ymax - ymin) or 1.0
+    scale = (width - 20) / span
+    height = int((ymax - ymin) * scale) + 20
+
+    def sx(x: float) -> float:
+        return 10 + (x - xmin) * scale
+
+    def sy(y: float) -> float:
+        return height - 10 - (y - ymin) * scale  # flip: SVG y grows down
+
+    out = io.StringIO()
+    out.write(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">\n'
+    )
+    for t in tris:
+        pts = " ".join(
+            f"{sx(tri.vertex(v)[0]):.2f},{sy(tri.vertex(v)[1]):.2f}" for v in t
+        )
+        fill = (color_of or {}).get(t, "#e8eef7")
+        out.write(
+            f'<polygon points="{pts}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="0.6"/>\n'
+        )
+    out.write("</svg>\n")
+    svg = out.getvalue()
+    if target is not None:
+        fh, close = _open_for_write(target)
+        try:
+            fh.write(svg)
+        finally:
+            if close:
+                fh.close()
+    return svg

@@ -1,0 +1,196 @@
+"""Quadtrees for non-uniform (graded) mesh decomposition.
+
+NUPDR distributes mesh data into blocks corresponding to the *leaves of a
+quad-tree* whose leaf sizes track the sizing function: a leaf is split
+while it is larger than a multiple of the target element size inside it.
+The paper's §III builds one mobile object per leaf; the tree itself lives
+in the refinement-queue object.
+
+The tree also provides the *buffer* BUF of a leaf — the neighboring leaves
+whose data a worker needs while refining the leaf — via adjacency queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.geometry.predicates import Point
+from repro.geometry.pslg import BoundingBox
+
+__all__ = ["QuadTreeLeaf", "QuadTree"]
+
+
+@dataclass
+class QuadTreeLeaf:
+    """One leaf: a square region plus application payload hooks."""
+
+    leaf_id: int
+    box: BoundingBox
+    depth: int
+    # Ids of children after a split, in SW, SE, NW, NE order; empty = leaf.
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def side(self) -> float:
+        return self.box.width
+
+    def contains(self, p: Point) -> bool:
+        return self.box.contains(p)
+
+
+class QuadTree:
+    """A quadtree over a square root box with splitting and adjacency.
+
+    The structure is append-only (nodes are never removed; splits turn a
+    leaf into an internal node), which matches the paper: refinement only
+    ever *splits* leaves as the mesh grows.
+    """
+
+    def __init__(self, box: BoundingBox) -> None:
+        side = max(box.width, box.height)
+        if side <= 0:
+            raise ValueError("degenerate root box")
+        # Square it up so children are squares.
+        root_box = BoundingBox(box.xmin, box.ymin, box.xmin + side, box.ymin + side)
+        self.nodes: list[QuadTreeLeaf] = [QuadTreeLeaf(0, root_box, 0)]
+
+    # ----------------------------------------------------------- traversal
+    @property
+    def root(self) -> QuadTreeLeaf:
+        return self.nodes[0]
+
+    def node(self, leaf_id: int) -> QuadTreeLeaf:
+        return self.nodes[leaf_id]
+
+    def leaves(self) -> Iterator[QuadTreeLeaf]:
+        for node in self.nodes:
+            if node.is_leaf:
+                yield node
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for _ in self.leaves())
+
+    def leaf_at(self, p: Point) -> QuadTreeLeaf:
+        """The leaf containing ``p`` (ties broken toward lower children)."""
+        node = self.root
+        if not node.contains(p):
+            raise KeyError(f"{p} outside the quadtree root box")
+        while not node.is_leaf:
+            for cid in node.children:
+                child = self.nodes[cid]
+                if child.contains(p):
+                    node = child
+                    break
+            else:
+                raise AssertionError("point lost between children")
+        return node
+
+    # ------------------------------------------------------------ splitting
+    def split(self, leaf_id: int) -> list[int]:
+        """Split a leaf into four quadrant children; returns child ids."""
+        node = self.nodes[leaf_id]
+        if not node.is_leaf:
+            raise ValueError(f"node {leaf_id} is already split")
+        b = node.box
+        mx, my = b.center
+        quads = [
+            BoundingBox(b.xmin, b.ymin, mx, my),  # SW
+            BoundingBox(mx, b.ymin, b.xmax, my),  # SE
+            BoundingBox(b.xmin, my, mx, b.ymax),  # NW
+            BoundingBox(mx, my, b.xmax, b.ymax),  # NE
+        ]
+        ids = []
+        for quad in quads:
+            cid = len(self.nodes)
+            self.nodes.append(QuadTreeLeaf(cid, quad, node.depth + 1))
+            ids.append(cid)
+        node.children = ids
+        return ids
+
+    def build(
+        self,
+        target_side: Callable[[Point], float],
+        max_depth: int = 24,
+    ) -> None:
+        """Split leaves until each side <= the smallest target inside.
+
+        ``target_side`` is derived from the sizing function (NUPDR uses a
+        fixed multiple of the local element size); it is sampled at the
+        leaf's center and corners so small features near a corner still
+        force splitting.
+        """
+        stack = [n.leaf_id for n in self.leaves()]
+        while stack:
+            leaf_id = stack.pop()
+            node = self.nodes[leaf_id]
+            if node.depth >= max_depth:
+                continue
+            b = node.box
+            samples = (
+                b.center,
+                (b.xmin, b.ymin),
+                (b.xmax, b.ymin),
+                (b.xmin, b.ymax),
+                (b.xmax, b.ymax),
+            )
+            want = min(target_side(p) for p in samples)
+            if want <= 0:
+                raise ValueError("target side must be positive")
+            if node.side > want:
+                stack.extend(self.split(leaf_id))
+
+    # ------------------------------------------------------------ adjacency
+    def neighbors(self, leaf_id: int) -> list[QuadTreeLeaf]:
+        """Leaves sharing a boundary edge or corner with this leaf.
+
+        This is NUPDR's buffer zone BUF: refining a leaf can propagate
+        changes into every geometrically adjacent leaf.  Implementation:
+        compare expanded boxes; O(#leaves) per query, fine at the leaf
+        counts the decomposition layer uses (hundreds to low thousands).
+        """
+        me = self.nodes[leaf_id]
+        if not me.is_leaf:
+            raise ValueError("neighbors() is defined for leaves")
+        eps = me.side * 1e-9
+        grown = me.box.expanded(eps)
+        out = []
+        for other in self.leaves():
+            if other.leaf_id == leaf_id:
+                continue
+            if (
+                grown.xmin <= other.box.xmax
+                and other.box.xmin <= grown.xmax
+                and grown.ymin <= other.box.ymax
+                and other.box.ymin <= grown.ymax
+            ):
+                out.append(other)
+        return out
+
+    def is_balanced(self) -> bool:
+        """2:1 balance check: adjacent leaves differ by at most one level."""
+        for leaf in self.leaves():
+            for nbr in self.neighbors(leaf.leaf_id):
+                if abs(nbr.depth - leaf.depth) > 1:
+                    return False
+        return True
+
+    def balance(self) -> int:
+        """Enforce 2:1 balance by splitting; returns number of splits."""
+        splits = 0
+        changed = True
+        while changed:
+            changed = False
+            for leaf in list(self.leaves()):
+                for nbr in self.neighbors(leaf.leaf_id):
+                    if nbr.depth - leaf.depth > 1:
+                        self.split(leaf.leaf_id)
+                        splits += 1
+                        changed = True
+                        break
+        return splits

@@ -1,0 +1,59 @@
+"""Parallel unstructured mesh generation (PUMG) on the MRTS.
+
+The three methods from the paper with their out-of-core ports:
+
+* UPDR / OUPDR  — uniform block decomposition, buffer zones, structured
+  communication with global (color-phase) synchronization;
+* NUPDR / ONUPDR — quadtree decomposition, graded sizing, master/worker via
+  the refinement-queue mobile object and the §III message protocol;
+* PCDM / OPCDM  — conforming domain decomposition, fully asynchronous
+  aggregated split messages.
+
+"Out-of-core" is engaged by running on a cluster spec whose node memory is
+smaller than the working set — the applications are identical.
+"""
+
+from repro.pumg.decomposition import (
+    Block,
+    MeshPartition,
+    block_decomposition,
+    partition_coarse_mesh,
+    quadtree_decomposition,
+)
+from repro.pumg.patch import PatchResult, mesh_subdomain, patch_refine
+from repro.pumg.objects import BoundaryRegistry, RegionObject, edge_canon
+from repro.pumg.nupdr import ONUPDROptions, RefinementQueueObject
+from repro.pumg.updr import UPDRCoordinatorObject
+from repro.pumg.pcdm import SubdomainObject
+from repro.pumg.driver import (
+    PUMGResult,
+    default_cluster,
+    run_nupdr,
+    run_pcdm,
+    run_updr,
+    sequential_mesh,
+)
+
+__all__ = [
+    "Block",
+    "MeshPartition",
+    "block_decomposition",
+    "partition_coarse_mesh",
+    "quadtree_decomposition",
+    "PatchResult",
+    "mesh_subdomain",
+    "patch_refine",
+    "BoundaryRegistry",
+    "RegionObject",
+    "edge_canon",
+    "ONUPDROptions",
+    "RefinementQueueObject",
+    "UPDRCoordinatorObject",
+    "SubdomainObject",
+    "PUMGResult",
+    "default_cluster",
+    "run_updr",
+    "run_nupdr",
+    "run_pcdm",
+    "sequential_mesh",
+]

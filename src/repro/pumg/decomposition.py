@@ -1,0 +1,270 @@
+"""Domain decomposition for the three PUMG methods.
+
+* **Uniform blocks** (UPDR): an nx x ny grid over the domain bounding box;
+  each block knows its (up to 8) geometric neighbors and a 4-coloring such
+  that same-color blocks never share a buffer — the schedule that lets all
+  blocks of one color refine concurrently with structured communication.
+* **Quadtree leaves** (NUPDR): built from the sizing function (leaf side
+  tracks the local target element size), neighbors = adjacent leaves (the
+  buffer BUF of the paper).
+* **Conforming subdomains** (PCDM): partition a coarse triangulation into
+  connected parts; part boundaries become constrained interface edges that
+  both sides share exactly — the decomposition whose splits PCDM
+  synchronizes with small asynchronous messages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.geometry.predicates import Point
+from repro.geometry.pslg import PSLG, BoundingBox
+from repro.mesh.quadtree import QuadTree
+from repro.mesh.sizing import SizingFunction
+from repro.mesh.triangulation import Triangulation, triangulate_pslg
+from repro.mesh.refine import refine
+from repro.mesh.sizing import uniform_sizing
+
+__all__ = [
+    "Block",
+    "block_decomposition",
+    "quadtree_decomposition",
+    "MeshPartition",
+    "partition_coarse_mesh",
+]
+
+
+@dataclass
+class Block:
+    """One uniform block of the UPDR decomposition."""
+
+    block_id: int
+    box: BoundingBox
+    grid_pos: tuple[int, int]
+    neighbors: list[int] = field(default_factory=list)
+    color: int = 0
+
+
+def block_decomposition(
+    bbox: BoundingBox, nx: int, ny: int
+) -> list[Block]:
+    """Uniform nx x ny grid of blocks with 8-neighborhoods and 4-coloring.
+
+    The coloring (2x2 tile pattern) guarantees two same-color blocks are
+    never adjacent (not even diagonally), so their buffer zones are
+    disjoint and they can refine concurrently without coordination — the
+    UPDR phase structure.
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError("need at least a 1x1 grid")
+    dx = bbox.width / nx
+    dy = bbox.height / ny
+    if dx <= 0 or dy <= 0:
+        raise ValueError("degenerate bounding box")
+    blocks: list[Block] = []
+    for j in range(ny):
+        for i in range(nx):
+            box = BoundingBox(
+                bbox.xmin + i * dx,
+                bbox.ymin + j * dy,
+                bbox.xmin + (i + 1) * dx,
+                bbox.ymin + (j + 1) * dy,
+            )
+            color = (i % 2) + 2 * (j % 2)
+            blocks.append(
+                Block(block_id=j * nx + i, box=box, grid_pos=(i, j), color=color)
+            )
+    for block in blocks:
+        i, j = block.grid_pos
+        for dj in (-1, 0, 1):
+            for di in (-1, 0, 1):
+                if di == 0 and dj == 0:
+                    continue
+                ni, nj = i + di, j + dj
+                if 0 <= ni < nx and 0 <= nj < ny:
+                    block.neighbors.append(nj * nx + ni)
+    return blocks
+
+
+def quadtree_decomposition(
+    bbox: BoundingBox,
+    sizing: SizingFunction,
+    granularity: float = 8.0,
+    max_depth: int = 12,
+    balance: bool = True,
+) -> QuadTree:
+    """Quadtree whose leaf sides track ``granularity x`` the local size.
+
+    ``granularity`` controls overdecomposition: smaller values mean more,
+    smaller leaves (more mobile objects per PE, which the paper encourages
+    for load balancing and out-of-core flexibility).
+    """
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+    tree = QuadTree(bbox)
+    tree.build(lambda p: granularity * sizing(p), max_depth=max_depth)
+    if balance:
+        tree.balance()
+    return tree
+
+
+# --------------------------------------------------------------------- PCDM
+@dataclass
+class MeshPartition:
+    """A conforming partition of a coarse triangulation into subdomains.
+
+    ``sub_pslgs[k]`` is the boundary description of part ``k`` (all its
+    coarse boundary edges as constrained segments).  ``interfaces`` maps a
+    canonical edge key (pair of endpoint coordinates, sorted) to the two
+    part ids sharing it.  ``part_seeds[k]`` is a point inside part ``k``
+    (used to remove exterior when meshing the part).
+    """
+
+    n_parts: int
+    sub_pslgs: list[PSLG]
+    interfaces: dict[tuple[Point, Point], tuple[int, int]]
+    part_seeds: list[list[Point]]
+    coarse_triangle_parts: list[int]
+
+
+def _edge_canon(p: Point, q: Point) -> tuple[Point, Point]:
+    return (p, q) if p <= q else (q, p)
+
+
+def partition_coarse_mesh(
+    pslg: PSLG,
+    n_parts: int,
+    coarse_size: Optional[float] = None,
+) -> MeshPartition:
+    """Coarse-mesh-based conforming decomposition (MADD stand-in).
+
+    Meshes the PSLG coarsely, then grows ``n_parts`` connected regions of
+    roughly equal triangle count by BFS over the triangle adjacency graph
+    (a practical stand-in for the paper's MADD decomposer — what PCDM needs
+    from the decomposition is exactly: conforming subdomain boundaries and
+    a connected region per subdomain).
+    """
+    if n_parts < 1:
+        raise ValueError("need at least one part")
+    bbox = pslg.bounding_box()
+    if coarse_size is None:
+        # Aim for ~24 coarse triangles per part.
+        target = max(24 * n_parts, 48)
+        coarse_size = bbox.diagonal / math.sqrt(float(target))
+    tri = triangulate_pslg(pslg)
+    refine(tri, sizing=uniform_sizing(coarse_size))
+    tids = [t for t in tri.alive_triangles()]
+    index_of = {t: k for k, t in enumerate(tids)}
+    n = len(tids)
+    if n < n_parts:
+        raise ValueError(
+            f"coarse mesh has only {n} triangles for {n_parts} parts; "
+            "decrease coarse_size"
+        )
+    # BFS region growing from spread seeds.
+    part_of = [-1] * n
+    # Seeds: spread by picking every (n/n_parts)-th triangle in id order —
+    # deterministic and spatially reasonable for meshes from BFS insertion.
+    frontier: list[list[int]] = []
+    for p in range(n_parts):
+        seed = tids[(p * n) // n_parts]
+        k = index_of[seed]
+        if part_of[k] != -1:
+            # Collision (tiny meshes): take first unassigned.
+            k = next(i for i in range(n) if part_of[i] == -1)
+        part_of[k] = p
+        frontier.append([k])
+    quota = [0] * n_parts
+    for p in range(n_parts):
+        quota[p] = 1
+    assigned = n_parts
+    while assigned < n:
+        progressed = False
+        order = sorted(range(n_parts), key=lambda p: quota[p])
+        for p in order:
+            new_frontier = []
+            grabbed = False
+            for k in frontier[p]:
+                t = tids[k]
+                for nbr in tri.triangle_neighbors(t):
+                    if nbr == -1 or not tri._alive[nbr]:
+                        continue
+                    kn = index_of.get(nbr)
+                    if kn is None or part_of[kn] != -1:
+                        continue
+                    part_of[kn] = p
+                    quota[p] += 1
+                    assigned += 1
+                    new_frontier.append(kn)
+                    grabbed = True
+                    if quota[p] > n // n_parts:
+                        break
+                if grabbed and quota[p] > n // n_parts:
+                    break
+            frontier[p] = new_frontier or frontier[p]
+            progressed = progressed or grabbed
+            if assigned >= n:
+                break
+        if not progressed:
+            # Isolated leftovers (disconnected by quota limits): sweep them
+            # into any adjacent part, or part 0 as last resort.
+            for k in range(n):
+                if part_of[k] != -1:
+                    continue
+                t = tids[k]
+                owner = 0
+                for nbr in tri.triangle_neighbors(t):
+                    if nbr != -1 and tri._alive[nbr]:
+                        kn = index_of.get(nbr)
+                        if kn is not None and part_of[kn] != -1:
+                            owner = part_of[kn]
+                            break
+                part_of[k] = owner
+                assigned += 1
+                frontier[owner].append(k)
+
+    # Build per-part boundary PSLGs and the interface map.
+    sub_edges: list[set[tuple[Point, Point]]] = [set() for _ in range(n_parts)]
+    interfaces: dict[tuple[Point, Point], tuple[int, int]] = {}
+    for k, t in enumerate(tids):
+        a, b, c = tri.triangle_vertices(t)
+        mine = part_of[k]
+        nbrs = tri.triangle_neighbors(t)
+        for edge_idx, (u, v) in enumerate(((b, c), (c, a), (a, b))):
+            nbr = nbrs[edge_idx]
+            pu, pv = tri.vertex(u), tri.vertex(v)
+            key = _edge_canon(pu, pv)
+            if nbr == -1 or not tri._alive[nbr]:
+                sub_edges[mine].add(key)  # domain boundary
+            else:
+                other = part_of[index_of[nbr]]
+                if other != mine:
+                    sub_edges[mine].add(key)
+                    pair = (min(mine, other), max(mine, other))
+                    interfaces[key] = pair
+
+    sub_pslgs: list[PSLG] = []
+    part_seeds: list[list[Point]] = [[] for _ in range(n_parts)]
+    for p in range(n_parts):
+        sub = PSLG()
+        vid: dict[Point, int] = {}
+        for pu, pv in sorted(sub_edges[p]):
+            for pt in (pu, pv):
+                if pt not in vid:
+                    vid[pt] = sub.add_vertex(pt)
+            sub.add_segment(vid[pu], vid[pv])
+        sub_pslgs.append(sub)
+    for k, t in enumerate(tids):
+        a, b, c = (tri.vertex(v) for v in tri.triangle_vertices(t))
+        centroid = ((a[0] + b[0] + c[0]) / 3.0, (a[1] + b[1] + c[1]) / 3.0)
+        part_seeds[part_of[k]].append(centroid)
+
+    return MeshPartition(
+        n_parts=n_parts,
+        sub_pslgs=sub_pslgs,
+        interfaces=interfaces,
+        part_seeds=part_seeds,
+        coarse_triangle_parts=part_of,
+    )

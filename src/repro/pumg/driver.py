@@ -1,0 +1,484 @@
+"""End-to-end drivers for the six PUMG variants.
+
+Each driver builds the decomposition, creates the mobile objects on an
+MRTS instance, runs to quiescence, and returns a :class:`PUMGResult` with
+the runtime statistics and enough state to validate the produced mesh.
+
+"In-core" vs "out-of-core" is purely a function of the cluster spec's
+per-node memory: the paper's OUPDR/ONUPDR/OPCDM are the same applications
+with the out-of-core machinery engaged, which here simply means the node
+memory budget is small enough that the OOC layer must spill.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.config import MRTSConfig
+from repro.core.runtime import MRTS, CostModel
+from repro.core.stats import RunStats
+from repro.core.storage import MemoryBackend, StorageBackend
+from repro.geometry.pslg import PSLG, BoundingBox
+from repro.mesh.quality import MeshQuality
+from repro.mesh.refine import refine
+from repro.mesh.sizing import SizingFunction, sizing_from_spec
+from repro.mesh.triangulation import Triangulation, triangulate_pslg
+from repro.pumg.decomposition import (
+    block_decomposition,
+    partition_coarse_mesh,
+    quadtree_decomposition,
+)
+from repro.pumg.nupdr import ONUPDROptions, RefinementQueueObject
+from repro.pumg.objects import BoundaryRegistry, RegionObject
+from repro.pumg.pcdm import SubdomainObject
+from repro.pumg.updr import UPDRCoordinatorObject
+from repro.sim.cluster import ClusterSpec
+from repro.sim.node import NodeSpec
+
+__all__ = [
+    "PUMGResult",
+    "default_cluster",
+    "sequential_mesh",
+    "run_updr",
+    "run_nupdr",
+    "run_pcdm",
+]
+
+
+@dataclass
+class PUMGResult:
+    """Outcome of one PUMG run."""
+
+    method: str
+    stats: RunStats
+    n_points: int
+    n_triangles: int
+    runtime: MRTS = field(repr=False)
+    final_mesh: Optional[Triangulation] = field(default=None, repr=False)
+    quality: Optional[MeshQuality] = None
+    extras: dict = field(default_factory=dict)
+
+
+def default_cluster(
+    n_nodes: int = 2, cores: int = 2, memory_bytes: int = 1 << 26
+) -> ClusterSpec:
+    """A small test cluster; shrink ``memory_bytes`` to force out-of-core."""
+    return ClusterSpec(
+        n_nodes=n_nodes, node=NodeSpec(cores=cores, memory_bytes=memory_bytes)
+    )
+
+
+def sequential_mesh(pslg: PSLG, sizing_spec: tuple) -> Triangulation:
+    """The sequential baseline: plain Ruppert refinement of the PSLG."""
+    tri = triangulate_pslg(pslg)
+    refine(tri, sizing=sizing_from_spec(sizing_spec))
+    return tri
+
+
+def _coarse_shards(
+    pslg: PSLG, sizing_spec: tuple, coarse_factor: float
+) -> tuple[list, list]:
+    """Initial coarse mesh: points + current boundary subsegments.
+
+    The PUMG methods need an initial distribution of mesh data; the paper's
+    codes build an initial triangulation before the parallel phase.  We
+    refine coarsely (``coarse_factor`` x the target size) so every region
+    starts with a few points.
+    """
+    sizing = sizing_from_spec(sizing_spec)
+    tri = triangulate_pslg(pslg)
+    refine(tri, sizing=lambda p: coarse_factor * sizing(p))
+    points = [
+        tri.vertex(v)
+        for v in range(3, len(tri.points))
+    ]
+    boundary = [
+        (tri.vertex(u), tri.vertex(v)) for u, v in tri.constrained
+    ]
+    return points, boundary
+
+
+def _build_runtime(
+    cluster: Optional[ClusterSpec],
+    config: Optional[MRTSConfig],
+    storage_factory: Optional[Callable[[int], StorageBackend]],
+    cost_model: Optional[CostModel],
+) -> MRTS:
+    return MRTS(
+        cluster or default_cluster(),
+        config=config or MRTSConfig(),
+        storage_factory=storage_factory,
+        cost_model=cost_model,
+    )
+
+
+def _sweep_until_converged(
+    rt: MRTS, master, all_ids: list, count_points, max_sweeps: int = 6
+) -> RunStats:
+    """Post ``start(all_ids)`` to the master until a sweep adds no points.
+
+    The per-refinement dirty propagation is margin-based; a final global
+    re-scan guarantees no poor triangle survives at region seams (the
+    paper's master similarly re-checks buffer leaves for bad triangles).
+    """
+    stats = rt.stats
+    before = -1
+    for _ in range(max_sweeps):
+        rt.post(master, "start", list(all_ids))
+        stats = rt.run()
+        after = count_points()
+        if after == before:
+            break
+        before = after
+    return stats
+
+
+def _validate_final(
+    pslg: PSLG,
+    points: list,
+    boundary_segments: list,
+    sizing_spec: Optional[tuple] = None,
+) -> tuple[Triangulation, MeshQuality, int]:
+    """Rebuild the global mesh from the sharded points; finalize seams.
+
+    The patchwork leaves occasional *size* stragglers exactly at region
+    seams (each leaf rebuilds its patch from local points, so a triangle
+    of the global Delaunay structure spanning several regions can escape
+    every patch).  A short sequential finalization pass — standard practice
+    when stitching distributed refinements — sweeps those up; the returned
+    ``fixup`` count lets callers verify the parallel phase did the bulk of
+    the work.
+    """
+    tri = Triangulation(pslg.bounding_box())
+    for p in points:
+        tri.insert_point(p)
+    for pu, pv in boundary_segments:
+        u = tri.find_vertex(pu)
+        v = tri.find_vertex(pv)
+        if u is None or v is None or u == v:
+            continue
+        tri.insert_segment(u, v)
+    tri.remove_exterior(pslg.holes)
+    fixup = 0
+    if sizing_spec is not None:
+        result = refine(tri, sizing=sizing_from_spec(sizing_spec))
+        fixup = result.steiner_points
+    quality = MeshQuality.of(tri.triangles(), tri.coords)
+    return tri, quality, fixup
+
+
+# =============================================================== UPDR/OUPDR
+def run_updr(
+    pslg: PSLG,
+    h: float,
+    nx: int = 3,
+    ny: int = 3,
+    cluster: Optional[ClusterSpec] = None,
+    config: Optional[MRTSConfig] = None,
+    storage_factory: Optional[Callable[[int], StorageBackend]] = None,
+    cost_model: Optional[CostModel] = None,
+    coarse_factor: float = 2.0,
+    validate: bool = True,
+) -> PUMGResult:
+    """Uniform PDR over an nx x ny block grid with color-phase barriers.
+
+    ``coarse_factor`` keeps the initial mesh fine enough that no triangle
+    spans beyond a block's buffer (strict ownership requires the patch to
+    contain every triangle whose circumcenter the block owns).
+    """
+    sizing_spec = ("uniform", h)
+    bbox = pslg.bounding_box()
+    blocks = block_decomposition(bbox, nx, ny)
+    points, boundary = _coarse_shards(pslg, sizing_spec, coarse_factor)
+
+    rt = _build_runtime(cluster, config, storage_factory, cost_model)
+    n_nodes = len(rt.nodes)
+
+    def owner_block(p) -> int:
+        i = min(int((p[0] - bbox.xmin) / bbox.width * nx), nx - 1)
+        j = min(int((p[1] - bbox.ymin) / bbox.height * ny), ny - 1)
+        return j * nx + i
+
+    shards: dict[int, list] = {b.block_id: [] for b in blocks}
+    for p in points:
+        shards[owner_block(p)].append(p)
+
+    registry = rt.create_object(BoundaryRegistry, boundary, node=0)
+    rt.nodes[0].ooc.lock(registry.oid)
+    region_ptrs = {}
+    for b in blocks:
+        node = b.block_id % n_nodes
+        region_ptrs[b.block_id] = rt.create_object(
+            RegionObject,
+            b.block_id,
+            (b.box.xmin, b.box.ymin, b.box.xmax, b.box.ymax),
+            shards[b.block_id],
+            b.neighbors,
+            sizing_spec,
+            node=node,
+        )
+    coordinator = rt.create_object(
+        UPDRCoordinatorObject,
+        {
+            b.block_id: (region_ptrs[b.block_id], b.neighbors, b.color)
+            for b in blocks
+        },
+        node=0,
+    )
+    rt.nodes[0].ooc.lock(coordinator.oid)
+    for b in blocks:
+        neighbors = {
+            n: (
+                region_ptrs[n],
+                (
+                    blocks[n].box.xmin,
+                    blocks[n].box.ymin,
+                    blocks[n].box.xmax,
+                    blocks[n].box.ymax,
+                ),
+            )
+            for n in b.neighbors
+        }
+        rt.post(
+            region_ptrs[b.block_id], "wire", coordinator, registry, neighbors, pslg
+        )
+    # Quiesce the wiring phase before the parallel phase: direct-call
+    # chains must never observe an unwired region.
+    rt.run()
+    # Sweep to convergence: the coordinator re-scans all blocks until a
+    # whole sweep inserts nothing (the dirty-margin propagation is a
+    # heuristic; the paper's master likewise re-checks for poor triangles).
+    stats = _sweep_until_converged(
+        rt, coordinator, [b.block_id for b in blocks],
+        lambda: sum(
+            len(rt.get_object(region_ptrs[b.block_id]).points) for b in blocks
+        ),
+    )
+
+    all_points: list = []
+    for b in blocks:
+        all_points.extend(rt.get_object(region_ptrs[b.block_id]).points)
+    final_boundary = [
+        (p, q) for p, q in rt.get_object(registry).segments
+    ]
+    mesh = quality = None
+    fixup = 0
+    if validate:
+        mesh, quality, fixup = _validate_final(
+            pslg, all_points, final_boundary, sizing_spec
+        )
+    coord_obj = rt.get_object(coordinator)
+    return PUMGResult(
+        method="updr",
+        stats=stats,
+        n_points=len(all_points),
+        n_triangles=mesh.n_triangles if mesh else 0,
+        runtime=rt,
+        final_mesh=mesh,
+        quality=quality,
+        extras={
+            "phases": coord_obj.phases,
+            "launches": coord_obj.launches,
+            "fixup_points": fixup,
+        },
+    )
+
+
+# ============================================================= NUPDR/ONUPDR
+def run_nupdr(
+    pslg: PSLG,
+    sizing_spec: tuple,
+    granularity: float = 8.0,
+    options: Optional[ONUPDROptions] = None,
+    cluster: Optional[ClusterSpec] = None,
+    config: Optional[MRTSConfig] = None,
+    storage_factory: Optional[Callable[[int], StorageBackend]] = None,
+    cost_model: Optional[CostModel] = None,
+    coarse_factor: float = 4.0,
+    validate: bool = True,
+) -> PUMGResult:
+    """Non-uniform PDR over a sizing-driven quadtree, master/worker style."""
+    options = options or ONUPDROptions()
+    bbox = pslg.bounding_box()
+    sizing = sizing_from_spec(sizing_spec)
+    tree = quadtree_decomposition(bbox, sizing, granularity=granularity)
+    points, boundary = _coarse_shards(pslg, sizing_spec, coarse_factor)
+
+    rt = _build_runtime(cluster, config, storage_factory, cost_model)
+    n_nodes = len(rt.nodes)
+
+    leaves = list(tree.leaves())
+    shards: dict[int, list] = {leaf.leaf_id: [] for leaf in leaves}
+    for p in points:
+        try:
+            shards[tree.leaf_at(p).leaf_id].append(p)
+        except KeyError:
+            continue  # outside the squared-up root box: cannot happen
+
+    registry = rt.create_object(BoundaryRegistry, boundary, node=0)
+    rt.nodes[0].ooc.lock(registry.oid)
+    neighbor_ids = {
+        leaf.leaf_id: [n.leaf_id for n in tree.neighbors(leaf.leaf_id)]
+        for leaf in leaves
+    }
+    region_ptrs = {}
+    for idx, leaf in enumerate(leaves):
+        node = idx % n_nodes
+        region_ptrs[leaf.leaf_id] = rt.create_object(
+            RegionObject,
+            leaf.leaf_id,
+            (leaf.box.xmin, leaf.box.ymin, leaf.box.xmax, leaf.box.ymax),
+            shards[leaf.leaf_id],
+            neighbor_ids[leaf.leaf_id],
+            sizing_spec,
+            node=node,
+        )
+    queue = rt.create_object(
+        RefinementQueueObject,
+        {
+            leaf.leaf_id: (
+                region_ptrs[leaf.leaf_id],
+                neighbor_ids[leaf.leaf_id],
+                (leaf.box.xmin, leaf.box.ymin, leaf.box.xmax, leaf.box.ymax),
+            )
+            for leaf in leaves
+        },
+        options,
+        node=0,
+    )
+    if options.lock_queue:
+        # §III: "the refinement queue object is relatively small and
+        # receives and sends many messages; therefore we locked it in
+        # memory".
+        rt.nodes[0].ooc.lock(queue.oid)
+    for leaf in leaves:
+        neighbors = {
+            n.leaf_id: (
+                region_ptrs[n.leaf_id],
+                (n.box.xmin, n.box.ymin, n.box.xmax, n.box.ymax),
+            )
+            for n in tree.neighbors(leaf.leaf_id)
+        }
+        rt.post(
+            region_ptrs[leaf.leaf_id],
+            "wire",
+            queue,
+            registry,
+            neighbors,
+            pslg,
+            options.multicast,
+            True,  # insert_in_buffer: NUPDR returns buffer points (recreate)
+        )
+    # Quiesce the wiring phase first (see run_updr).
+    rt.run()
+    stats = _sweep_until_converged(
+        rt, queue, [leaf.leaf_id for leaf in leaves],
+        lambda: sum(
+            len(rt.get_object(region_ptrs[leaf.leaf_id]).points)
+            for leaf in leaves
+        ),
+    )
+
+    all_points: list = []
+    for leaf in leaves:
+        all_points.extend(rt.get_object(region_ptrs[leaf.leaf_id]).points)
+    final_boundary = [(p, q) for p, q in rt.get_object(registry).segments]
+    mesh = quality = None
+    fixup = 0
+    if validate:
+        mesh, quality, fixup = _validate_final(
+            pslg, all_points, final_boundary, sizing_spec
+        )
+    queue_obj = rt.get_object(queue)
+    return PUMGResult(
+        method="nupdr",
+        stats=stats,
+        n_points=len(all_points),
+        n_triangles=mesh.n_triangles if mesh else 0,
+        runtime=rt,
+        final_mesh=mesh,
+        quality=quality,
+        extras={
+            "n_leaves": len(leaves),
+            "dispatches": queue_obj.dispatches,
+            "updates": queue_obj.updates,
+            "fixup_points": fixup,
+        },
+    )
+
+
+# =============================================================== PCDM/OPCDM
+def run_pcdm(
+    pslg: PSLG,
+    h: float,
+    n_parts: int = 4,
+    cluster: Optional[ClusterSpec] = None,
+    config: Optional[MRTSConfig] = None,
+    storage_factory: Optional[Callable[[int], StorageBackend]] = None,
+    cost_model: Optional[CostModel] = None,
+    coarse_size: Optional[float] = None,
+    validate: bool = True,
+) -> PUMGResult:
+    """Constrained-Delaunay domain decomposition with async split messages."""
+    sizing_spec = ("uniform", h)
+    partition = partition_coarse_mesh(pslg, n_parts, coarse_size=coarse_size)
+
+    rt = _build_runtime(cluster, config, storage_factory, cost_model)
+    n_nodes = len(rt.nodes)
+
+    part_ptrs = {}
+    for p in range(partition.n_parts):
+        part_ptrs[p] = rt.create_object(
+            SubdomainObject,
+            p,
+            partition.sub_pslgs[p],
+            partition.part_seeds[p],
+            sizing_spec,
+            node=p % n_nodes,
+        )
+    # Per-part interface edge lists and the neighbor pointer maps.
+    per_part_edges: dict[int, list] = {p: [] for p in range(partition.n_parts)}
+    per_part_neighbors: dict[int, dict] = {p: {} for p in range(partition.n_parts)}
+    for key, (a, b) in partition.interfaces.items():
+        per_part_edges[a].append((key, b))
+        per_part_edges[b].append((key, a))
+        per_part_neighbors[a][b] = part_ptrs[b]
+        per_part_neighbors[b][a] = part_ptrs[a]
+    for p in range(partition.n_parts):
+        rt.post(
+            part_ptrs[p], "wire", per_part_neighbors[p], per_part_edges[p]
+        )
+        rt.post(part_ptrs[p], "mesh_initial")
+    stats = rt.run()
+
+    total_triangles = 0
+    total_points = 0
+    quality = None
+    objs = [rt.get_object(part_ptrs[p]) for p in range(partition.n_parts)]
+    for obj in objs:
+        total_triangles += obj.n_triangles()
+        total_points += obj.tri.n_vertices
+    if validate:
+        worst_min_angle = math.inf
+        for obj in objs:
+            q = MeshQuality.of(obj.tri.triangles(), obj.tri.coords)
+            worst_min_angle = min(worst_min_angle, q.min_angle_deg)
+        quality = None if math.isinf(worst_min_angle) else worst_min_angle
+    return PUMGResult(
+        method="pcdm",
+        stats=stats,
+        n_points=total_points,
+        n_triangles=total_triangles,
+        runtime=rt,
+        final_mesh=None,
+        quality=None,
+        extras={
+            "n_parts": partition.n_parts,
+            "min_angle_deg": quality,
+            "splits_sent": sum(o.splits_sent for o in objs),
+            "splits_received": sum(o.splits_received for o in objs),
+            "subdomain_objects": objs,
+        },
+    )

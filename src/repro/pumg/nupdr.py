@@ -1,0 +1,166 @@
+"""Non-Uniform Parallel Delaunay Refinement on the MRTS (NUPDR / ONUPDR).
+
+Paper §III: the in-core NUPDR is master/worker over quadtree leaves; the
+MRTS port makes each leaf a mobile object and the refinement queue another
+mobile object that also owns the quadtree.  Execution is driven by
+``update`` messages; refining a leaf first *collects its buffer* BUF (the
+adjacent leaves) via ``construct buffer`` / ``add to buffer`` messages,
+then refines, then reports back.
+
+The §III optimizations are individually toggleable (and ablated in
+``benchmarks/test_ablation_onupdr_opts.py``):
+
+* ``lock_queue``      — pin the refinement-queue object in core;
+* ``direct_calls``    — handlers invoked inline for co-resident objects
+  (the RegionObject already prefers ``ctx.call_direct``);
+* ``reorder_queue``   — serve the leaf with the most in-core buffer
+  members first, and boost its scheduling priority;
+* ``priorities``      — raise the OOC priority of a leaf (and, in
+  decreasing steps, its buffer) while its refinement is in flight;
+* ``multicast``       — use the experimental multicast mobile message to
+  collect leaf+BUF on one node and read buffers directly (§III Findings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mobile import MobileObject
+from repro.core.runtime import handler
+
+__all__ = ["ONUPDROptions", "RefinementQueueObject"]
+
+
+@dataclass(frozen=True)
+class ONUPDROptions:
+    """Toggles for the §III ONUPDR optimizations."""
+
+    lock_queue: bool = True
+    direct_calls: bool = True
+    reorder_queue: bool = True
+    priorities: bool = True
+    multicast: bool = False
+    max_concurrent: int = 4
+
+
+class RefinementQueueObject(MobileObject):
+    """The NUPDR master: quadtree owner and refinement queue.
+
+    ``leaves`` maps region id -> (mobile pointer, neighbor ids, box).
+    The queue dispatches refinements while respecting the paper's buffer
+    exclusivity: a leaf and its whole buffer are removed from the queue for
+    the duration of the refinement (two adjacent leaves never refine
+    concurrently, which is what makes buffered refinement correct).
+    """
+
+    def __init__(self, pointer, leaves: dict, options: ONUPDROptions) -> None:
+        super().__init__(pointer)
+        self.leaves = dict(leaves)
+        self.options = options
+        self.queue: list[int] = []
+        self.queued: set[int] = set()
+        self.busy: set[int] = set()
+        self.in_progress = 0
+        self.dispatches = 0
+        self.updates = 0
+
+    # -- helpers ------------------------------------------------------------
+    def _buffer_of(self, leaf_id: int) -> list[int]:
+        return self.leaves[leaf_id][1]
+
+    def _enqueue(self, leaf_id: int) -> None:
+        if leaf_id not in self.queued:
+            self.queued.add(leaf_id)
+            self.queue.append(leaf_id)
+
+    def _pick_next(self, ctx) -> int | None:
+        """Choose a startable queued leaf (none of leaf+BUF busy)."""
+        best_idx = None
+        best_key = None
+        for idx, leaf_id in enumerate(self.queue):
+            if leaf_id in self.busy:
+                continue
+            buf = self._buffer_of(leaf_id)
+            if any(b in self.busy for b in buf):
+                continue
+            if not self.options.reorder_queue:
+                return idx
+            # §III: prefer leaves with many buffer members, favouring those
+            # whose buffers are already in core.
+            in_core = sum(
+                1
+                for b in buf
+                if ctx.is_resident(self.leaves[b][0])
+            )
+            key = (in_core, len(buf), -idx)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_idx = idx
+        return best_idx
+
+    def _dispatch(self, ctx) -> None:
+        while self.in_progress < self.options.max_concurrent:
+            idx = self._pick_next(ctx)
+            if idx is None:
+                return
+            leaf_id = self.queue.pop(idx)
+            self.queued.discard(leaf_id)
+            buf = self._buffer_of(leaf_id)
+            self.busy.add(leaf_id)
+            self.busy.update(buf)
+            self.in_progress += 1
+            self.dispatches += 1
+            leaf_ptr = self.leaves[leaf_id][0]
+            buf_ptrs = [self.leaves[b][0] for b in buf]
+            if self.options.priorities:
+                # High priority for the leaf; decreasing for the buffer in
+                # the order they were engaged (paper §III).
+                ctx.set_priority(leaf_ptr, 100.0)
+                for rank_pos, ptr in enumerate(buf_ptrs):
+                    ctx.set_priority(ptr, 50.0 - rank_pos)
+            if self.options.reorder_queue:
+                ctx.boost_schedule(leaf_ptr, 10.0)
+            if self.options.multicast:
+                # Collect leaf + buffer on one node; deliver only to the
+                # leaf, which reads buffers via ctx.peek.
+                ctx.post_multicast(
+                    [leaf_ptr] + buf_ptrs, "construct_buffer", 1,
+                    leaf_ptr, 0,
+                )
+            else:
+                for ptr in [leaf_ptr] + buf_ptrs:
+                    sent = False
+                    if self.options.direct_calls:
+                        sent = ctx.call_direct(
+                            ptr, "construct_buffer", leaf_ptr, len(buf_ptrs)
+                        )
+                    if not sent:
+                        ctx.post(ptr, "construct_buffer", leaf_ptr, len(buf_ptrs))
+
+    # -- handlers ------------------------------------------------------------
+    @handler
+    def start(self, ctx, dirty_ids) -> None:
+        """Kick off: enqueue the initially dirty leaves and dispatch."""
+        for leaf_id in dirty_ids:
+            self._enqueue(leaf_id)
+        self._dispatch(ctx)
+
+    @handler
+    def update(self, ctx, leaf_id: int, dirty_ids) -> None:
+        """A leaf finished refining; new dirty leaves may have appeared."""
+        self.updates += 1
+        self.in_progress -= 1
+        self.busy.discard(leaf_id)
+        for b in self._buffer_of(leaf_id):
+            self.busy.discard(b)
+        if self.options.priorities:
+            ctx.set_priority(self.leaves[leaf_id][0], 0.0)
+            for b in self._buffer_of(leaf_id):
+                ctx.set_priority(self.leaves[b][0], 0.0)
+        for d in dirty_ids:
+            self._enqueue(d)
+        self._dispatch(ctx)
+
+    @property
+    def idle(self) -> bool:
+        return self.in_progress == 0 and not self.queue

@@ -1,0 +1,82 @@
+"""Uniform Parallel Delaunay Refinement on the MRTS (UPDR / OUPDR).
+
+The UPDR of the paper uses a simple uniform data decomposition with buffer
+zones and *structured communication with global synchronization*: during
+each phase every process knows exactly who it exchanges data with, and
+phases are separated by barriers.
+
+We realize that schedule with a coordinator object sweeping the four
+colors of a 2x2-tiled block grid: all dirty blocks of one color refine
+concurrently (their buffers are guaranteed disjoint), the coordinator
+barriers on their completion reports, then moves to the next color; a full
+sweep with no dirty blocks terminates the run.  The per-block refinement
+machinery (buffer collection, patch refinement) is shared with NUPDR via
+:class:`repro.pumg.objects.RegionObject`.
+"""
+
+from __future__ import annotations
+
+from repro.core.mobile import MobileObject
+from repro.core.runtime import handler
+
+__all__ = ["UPDRCoordinatorObject"]
+
+N_COLORS = 4
+
+
+class UPDRCoordinatorObject(MobileObject):
+    """Color-phased barrier coordinator for UPDR.
+
+    ``blocks`` maps block id -> (mobile pointer, neighbor ids, color).
+    """
+
+    def __init__(self, pointer, blocks: dict) -> None:
+        super().__init__(pointer)
+        self.blocks = dict(blocks)
+        self.dirty: set[int] = set()
+        self.color = 0
+        self.outstanding = 0
+        self.idle_colors = 0  # consecutive colors with nothing to do
+        self.phases = 0
+        self.launches = 0
+
+    def _launch_color(self, ctx) -> None:
+        """Start every dirty block of the current color; barrier on them."""
+        while True:
+            targets = sorted(
+                b for b in self.dirty if self.blocks[b][2] == self.color
+            )
+            if targets:
+                break
+            self.idle_colors += 1
+            if self.idle_colors >= N_COLORS:
+                return  # full quiet sweep: refinement complete
+            self.color = (self.color + 1) % N_COLORS
+        self.idle_colors = 0
+        self.phases += 1
+        self.outstanding = len(targets)
+        for block_id in targets:
+            self.dirty.discard(block_id)
+            ptr, neighbors, _color = self.blocks[block_id]
+            buf_ptrs = [self.blocks[n][0] for n in neighbors]
+            self.launches += 1
+            for p in [ptr] + buf_ptrs:
+                if not ctx.call_direct(p, "construct_buffer", ptr, len(buf_ptrs)):
+                    ctx.post(p, "construct_buffer", ptr, len(buf_ptrs))
+
+    @handler
+    def start(self, ctx, dirty_ids) -> None:
+        self.dirty.update(dirty_ids)
+        self.color = 0
+        self.idle_colors = 0
+        self._launch_color(ctx)
+
+    @handler
+    def update(self, ctx, block_id: int, dirty_ids) -> None:
+        """Completion report from a block (the barrier counts these)."""
+        self.dirty.update(dirty_ids)
+        self.outstanding -= 1
+        if self.outstanding == 0:
+            # Barrier reached: next color phase.
+            self.color = (self.color + 1) % N_COLORS
+            self._launch_color(ctx)

@@ -1,0 +1,103 @@
+"""Cluster assembly and presets mirroring the paper's testbeds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.engine import Engine
+from repro.sim.network import NetworkSpec, SimNetwork
+from repro.sim.node import NodeSpec, SimNode
+
+__all__ = ["ClusterSpec", "SimCluster", "sciclone_spec", "stems_spec", "xeon_smp_spec"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster: ``n_nodes`` identical nodes plus a fabric."""
+
+    n_nodes: int
+    node: NodeSpec = field(default_factory=NodeSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+
+    @property
+    def total_pes(self) -> int:
+        return self.n_nodes * self.node.cores
+
+    @property
+    def total_memory(self) -> int:
+        return self.n_nodes * self.node.memory_bytes
+
+
+class SimCluster:
+    """Instantiated simulation state for a :class:`ClusterSpec`."""
+
+    def __init__(self, engine: Engine, spec: ClusterSpec) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.nodes = [SimNode(engine, rank, spec.node) for rank in range(spec.n_nodes)]
+        self.network = SimNetwork(engine, spec.n_nodes, spec.network)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __getitem__(self, rank: int) -> SimNode:
+        return self.nodes[rank]
+
+
+def sciclone_spec(n_nodes: int = 32, dual_cpu: bool = True) -> ClusterSpec:
+    """Approximation of the SciClone subclusters used in the paper.
+
+    The dual-CPU partition: Sun Fire 280R, 2 PEs at 900 MHz, 2 GB RAM.
+    The single-CPU partition: Sun Fire V120, 1 PE at 650 MHz, 1 GB RAM.
+    Per-PE speed is normalized so the STEMS Power5 cores are the 1.0
+    reference and the older Sun cores are slower, matching the paper's note
+    that "MRTS applications run on the newer faster STEMS cluster".
+    """
+    if dual_cpu:
+        node = NodeSpec(
+            cores=2,
+            memory_bytes=2 * 1024**3,
+            disk_latency=8e-3,
+            disk_bandwidth=80e6,
+            core_speed=0.55,
+        )
+    else:
+        node = NodeSpec(
+            cores=1,
+            memory_bytes=1 * 1024**3,
+            disk_latency=8e-3,
+            disk_bandwidth=60e6,
+            core_speed=0.55,
+        )
+    net = NetworkSpec(latency=60e-6, bandwidth=90e6)
+    return ClusterSpec(n_nodes=n_nodes, node=node, network=net)
+
+
+def stems_spec(n_nodes: int = 4) -> ClusterSpec:
+    """The STEMS cluster: four 4-way IBM OpenPower 720 nodes, 8 GB each."""
+    node = NodeSpec(
+        cores=4,
+        memory_bytes=8 * 1024**3,
+        disk_latency=5e-3,
+        disk_bandwidth=160e6,
+        disk_channels=2,
+        core_speed=1.0,
+    )
+    net = NetworkSpec(latency=40e-6, bandwidth=120e6)
+    return ClusterSpec(n_nodes=n_nodes, node=node, network=net)
+
+
+def xeon_smp_spec() -> ClusterSpec:
+    """The Dell PowerEdge 6600 (4x Xeon MP 1.47 GHz, 16 GB) of Table VII."""
+    node = NodeSpec(
+        cores=4,
+        memory_bytes=16 * 1024**3,
+        disk_latency=6e-3,
+        disk_bandwidth=120e6,
+        core_speed=0.85,
+    )
+    return ClusterSpec(n_nodes=1, node=node, network=NetworkSpec())

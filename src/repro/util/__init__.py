@@ -1,0 +1,23 @@
+"""Shared utilities: id generation, deterministic RNG, formatting, errors."""
+
+from repro.util.errors import (
+    MRTSError,
+    ObjectNotFound,
+    SerializationError,
+    OutOfMemory,
+    ConfigError,
+)
+from repro.util.ids import IdAllocator
+from repro.util.fmt import human_bytes, human_time, format_table
+
+__all__ = [
+    "MRTSError",
+    "ObjectNotFound",
+    "SerializationError",
+    "OutOfMemory",
+    "ConfigError",
+    "IdAllocator",
+    "human_bytes",
+    "human_time",
+    "format_table",
+]

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the runtime derives from :class:`MRTSError` so that
+applications can catch runtime failures without masking programming errors.
+"""
+
+
+class MRTSError(Exception):
+    """Base class for all runtime-system errors."""
+
+
+class ObjectNotFound(MRTSError):
+    """A mobile pointer could not be resolved to a live or stored object."""
+
+
+class SerializationError(MRTSError):
+    """A mobile object failed to (de)serialize."""
+
+
+class OutOfMemory(MRTSError):
+    """A node exhausted its memory budget and eviction could not free enough.
+
+    Raised when the hard swapping threshold cannot be satisfied, e.g. because
+    too many objects are locked in core (the paper explicitly warns that
+    locking too many objects "can result in running out of memory").
+    """
+
+
+class ConfigError(MRTSError):
+    """Invalid runtime configuration."""
+
+
+class TerminationError(MRTSError):
+    """The runtime failed to reach a quiescent termination state."""

@@ -1,0 +1,48 @@
+"""Human-readable formatting helpers used by reports and the CLI."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def human_bytes(n: float) -> str:
+    """Format a byte count with a binary-prefix unit, e.g. ``1.5 GiB``."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(n)} B"
+            return f"{n:.1f} {unit}"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def human_time(seconds: float) -> str:
+    """Format a duration, choosing s / min / h as appropriate."""
+    if seconds < 0:
+        return "-" + human_time(-seconds)
+    if seconds < 120:
+        return f"{seconds:.1f} s"
+    minutes = seconds / 60.0
+    if minutes < 120:
+        return f"{minutes:.1f} min"
+    return f"{minutes / 60.0:.1f} h"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table (paper-style report output)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

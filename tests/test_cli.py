@@ -1,0 +1,43 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+from repro.evalsim.experiments import ALL_EXPERIMENTS
+
+
+def test_list_flag(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ALL_EXPERIMENTS:
+        assert name in out
+
+
+def test_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "available experiments" in capsys.readouterr().out
+
+
+def test_runs_cheap_experiment(capsys):
+    assert main(["fig1", "--scale", "0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out
+    assert "regenerated" in out
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_bad_scale_errors():
+    with pytest.raises(SystemExit):
+        main(["fig1", "--scale", "0"])
+    with pytest.raises(SystemExit):
+        main(["fig1", "--scale", "2"])
+
+
+def test_multiple_experiments(capsys):
+    assert main(["intro_turnaround", "ablation_directory", "--scale", "0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "intro_turnaround" in out and "ablation_directory" in out

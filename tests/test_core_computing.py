@@ -1,0 +1,131 @@
+"""Tests for the computing layer: task scheduling policies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CentralQueueExecutor,
+    SerialExecutor,
+    Task,
+    ThreadPoolExecutorBackend,
+    WorkStealingExecutor,
+    make_executor,
+)
+
+
+def flat_tasks(n, dur=1.0):
+    return [Task(dur) for _ in range(n)]
+
+
+def test_task_totals():
+    t = Task(1.0, children=[Task(2.0), Task(3.0, children=[Task(1.0)])])
+    assert t.total_work() == pytest.approx(7.0)
+    assert t.critical_path() == pytest.approx(5.0)  # 1 + 3 + 1
+
+
+def test_serial_executor_sums_everything():
+    result = SerialExecutor().schedule(flat_tasks(4, 2.0))
+    assert result.makespan == pytest.approx(8.0)
+    assert result.busy == [pytest.approx(8.0)]
+
+
+def test_workstealing_perfect_split():
+    ws = WorkStealingExecutor(workers=2, overhead=0.0, steal_cost=0.0)
+    result = ws.schedule(flat_tasks(4, 1.0))
+    assert result.makespan == pytest.approx(2.0)
+    assert result.utilization == pytest.approx(1.0)
+
+
+def test_workstealing_steals_from_loaded_victim():
+    ws = WorkStealingExecutor(workers=2, overhead=0.0, steal_cost=0.0)
+    # One root that spawns three children: worker 2 must steal.
+    root = Task(1.0, children=[Task(1.0), Task(1.0), Task(1.0)])
+    result = ws.schedule([root])
+    assert result.steals >= 1
+    assert result.makespan < root.total_work()
+
+
+def test_central_queue_contention_grows_with_workers():
+    few = CentralQueueExecutor(workers=2, overhead=0.0, contention=1e-3)
+    many = CentralQueueExecutor(workers=8, overhead=0.0, contention=1e-3)
+    tasks = flat_tasks(64, 1e-3)
+    # Same work, but the wide pool pays more per dequeue.
+    t_few = few.schedule(tasks).makespan * 2
+    t_many = many.schedule(tasks).makespan * 8
+    assert t_many > t_few
+
+
+def test_workstealing_beats_central_queue_on_fine_grain():
+    """The Table VII effect: TBB-like stealing scales a bit better."""
+    tree = [
+        Task(1e-4, children=[Task(1e-4, children=[Task(1e-4)]), Task(1e-4)])
+        for _ in range(64)
+    ]
+    ws = WorkStealingExecutor(workers=4).schedule(tree)
+    cq = CentralQueueExecutor(workers=4).schedule(tree)
+    assert ws.makespan <= cq.makespan
+
+
+def test_make_executor():
+    assert isinstance(make_executor("serial", 1), SerialExecutor)
+    assert isinstance(make_executor("workstealing", 4), WorkStealingExecutor)
+    assert isinstance(make_executor("centralqueue", 4), CentralQueueExecutor)
+    with pytest.raises(ValueError):
+        make_executor("openmp", 4)
+
+
+def test_invalid_workers_rejected():
+    with pytest.raises(ValueError):
+        WorkStealingExecutor(workers=0)
+    with pytest.raises(ValueError):
+        CentralQueueExecutor(workers=2, overhead=-1.0)
+
+
+def test_thread_pool_backend_runs_real_code():
+    pool = ThreadPoolExecutorBackend(workers=4)
+    try:
+        results = pool.map_tasks([lambda k=k: k * k for k in range(8)])
+        assert results == [k * k for k in range(8)]
+        future = pool.submit(sum, [1, 2, 3])
+        assert future.result() == 6
+    finally:
+        pool.shutdown()
+
+
+def test_thread_pool_worker_validation():
+    with pytest.raises(ValueError):
+        ThreadPoolExecutorBackend(workers=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    durations=st.lists(
+        st.floats(min_value=1e-6, max_value=1.0), min_size=1, max_size=40
+    ),
+    workers=st.integers(min_value=1, max_value=8),
+)
+def test_schedulers_respect_work_and_span_bounds(durations, workers):
+    """Property: makespan >= max(total/P, longest task) for both policies.
+
+    (The classic lower bounds; overheads push the makespan up, never below.)
+    """
+    tasks = [Task(d) for d in durations]
+    total = sum(durations)
+    longest = max(durations)
+    for policy in (
+        WorkStealingExecutor(workers, overhead=0.0, steal_cost=0.0),
+        CentralQueueExecutor(workers, overhead=0.0, contention=0.0),
+    ):
+        result = policy.schedule(tasks)
+        assert result.makespan >= total / workers - 1e-9
+        assert result.makespan >= longest - 1e-9
+        assert sum(result.busy) == pytest.approx(total, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(workers=st.integers(min_value=1, max_value=8))
+def test_more_workers_never_hurt_without_overheads(workers):
+    tasks = flat_tasks(16, 0.5)
+    one = WorkStealingExecutor(1, overhead=0.0, steal_cost=0.0).schedule(tasks)
+    many = WorkStealingExecutor(workers, overhead=0.0, steal_cost=0.0).schedule(tasks)
+    assert many.makespan <= one.makespan + 1e-9

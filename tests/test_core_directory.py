@@ -1,0 +1,138 @@
+"""Tests for the distributed directory (lazy / eager / home policies)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import make_directory
+
+
+def test_make_directory_policies():
+    for policy in ("lazy", "eager", "home"):
+        d = make_directory(policy, 4)
+        assert d.policy == policy
+    with pytest.raises(ValueError):
+        make_directory("gossip", 4)
+
+
+def test_register_and_location():
+    d = make_directory("lazy", 4)
+    d.register(10, 2)
+    assert d.location(10) == 2
+    assert 10 in d
+    assert 99 not in d
+
+
+def test_lookup_unregistered_raises():
+    d = make_directory("lazy", 4)
+    with pytest.raises(KeyError):
+        d.lookup(5, 0)
+
+
+def test_lazy_lookup_uses_local_hint():
+    d = make_directory("lazy", 4)
+    d.register(10, 2)
+    # Node 2 (creator) knows; node 0 has no hint, guesses oid % n == 2.
+    assert d.lookup(10, 2) == 2
+    assert d.lookup(10, 0) == 10 % 4
+
+
+def test_lazy_migration_updates_only_old_node():
+    d = make_directory("lazy", 4)
+    d.register(10, 0)
+    d.hints[3][10] = 0  # node 3 learned the old location
+    d.migrated(10, 1)
+    assert d.location(10) == 1
+    assert d.hints[0][10] == 1      # forward pointer at the old node
+    assert d.hints[3][10] == 0      # stale hint remains (lazy!)
+
+
+def test_lazy_forwarding_chain_and_arrival_update():
+    d = make_directory("lazy", 4)
+    # oid chosen so the modulo fallback guess (9 % 4 == 1) is stale.
+    d.register(9, 0)
+    d.migrated(9, 1)
+    d.migrated(9, 2)
+    # Message from node 3 lands on a stale location, gets forwarded.
+    first = d.lookup(9, 3)
+    hops = [first]
+    at = first
+    while d.truth[9] != at:
+        at = d.next_hop(9, at)
+        hops.append(at)
+    assert hops[-1] == 2
+    assert d.stats.forwards >= 1
+    # Arrival sends updates back along the path.
+    updates = d.arrived(9, hops[:-1] + [3])
+    assert updates >= 1
+    assert d.hints[3][9] == 2  # node 3 corrected
+
+
+def test_eager_migration_updates_everyone():
+    d = make_directory("eager", 4)
+    d.register(10, 0)
+    cost = d.migrated(10, 3)
+    assert cost == 3  # n_nodes - 1 broadcasts
+    for node in range(4):
+        assert d.hints[node][10] == 3
+        assert d.lookup(10, node) == 3
+
+
+def test_home_policy_indirection():
+    d = make_directory("home", 4)
+    d.register(10, 0)
+    d.migrated(10, 3)
+    # Home of 10 is 10 % 4 == 2; a fresh node asks home and gets the truth.
+    assert d.home_of(10) == 2
+    assert d.lookup(10, 1) == 3
+    assert d.stats.home_queries >= 1
+    # Second lookup from the same node hits the cached hint (no new query).
+    before = d.stats.home_queries
+    assert d.lookup(10, 1) == 3
+    assert d.stats.home_queries == before
+
+
+def test_unregister_clears_state():
+    d = make_directory("lazy", 2)
+    d.register(5, 1)
+    d.unregister(5)
+    assert 5 not in d
+    with pytest.raises(KeyError):
+        d.migrated(5, 0)
+
+
+def test_migrate_unregistered_raises():
+    for policy in ("lazy", "eager", "home"):
+        d = make_directory(policy, 2)
+        with pytest.raises(KeyError):
+            d.migrated(1, 0)
+
+
+def test_directory_needs_positive_nodes():
+    with pytest.raises(ValueError):
+        make_directory("lazy", 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    moves=st.lists(st.integers(min_value=0, max_value=7), min_size=0, max_size=20),
+    policy=st.sampled_from(["lazy", "eager", "home"]),
+    asker=st.integers(min_value=0, max_value=7),
+)
+def test_forwarding_always_converges(moves, policy, asker):
+    """Property: following next_hop from any lookup reaches the object.
+
+    This is the key liveness property of lazy updates: chains may be long
+    but always terminate at the true location.
+    """
+    d = make_directory(policy, 8)
+    d.register(42, 0)
+    for dst in moves:
+        if dst != d.location(42):
+            d.migrated(42, dst)
+    at = d.lookup(42, asker)
+    seen = set()
+    while d.truth[42] != at:
+        assert at not in seen, "forwarding cycle detected"
+        seen.add(at)
+        at = d.next_hop(42, at)
+    assert at == d.location(42)

@@ -1,0 +1,136 @@
+"""Tests for mobile objects, pointers, serialization, and messages."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    Message,
+    MessageQueue,
+    MobileObject,
+    MobilePointer,
+    MulticastMessage,
+    PickleSerializer,
+)
+from repro.util.errors import SerializationError
+
+
+class Payload(MobileObject):
+    def __init__(self, pointer, items=None):
+        super().__init__(pointer)
+        self.items = items or []
+
+
+def _ptr(oid=1):
+    return MobilePointer(oid=oid)
+
+
+# ------------------------------------------------------------ MobilePointer
+def test_pointer_equality_by_oid():
+    assert MobilePointer(1) == MobilePointer(1, last_known_node=5)
+    assert MobilePointer(1) != MobilePointer(2)
+    assert len({MobilePointer(1), MobilePointer(1)}) == 1
+
+
+# ------------------------------------------------------------- MobileObject
+def test_object_pack_unpack_roundtrip():
+    obj = Payload(_ptr(), items=[1, "two", (3.0,)])
+    data = obj.pack()
+    clone = Payload(_ptr())
+    clone.unpack(data)
+    assert clone.items == [1, "two", (3.0,)]
+
+
+def test_state_excludes_runtime_fields():
+    obj = Payload(_ptr(), items=[1])
+    state = obj.get_state()
+    assert "pointer" not in state
+    assert "_size_cache" not in state
+    assert state["items"] == [1]
+
+
+def test_nbytes_cached_until_dirty():
+    obj = Payload(_ptr(), items=[0] * 10)
+    first = obj.nbytes()
+    obj.items.extend(range(1000))
+    assert obj.nbytes() == first  # stale cache
+    obj.mark_dirty()
+    assert obj.nbytes() > first
+
+
+def test_serializer_error_wrapped():
+    class Evil:
+        def __reduce__(self):
+            raise RuntimeError("nope")
+
+    with pytest.raises(SerializationError):
+        PickleSerializer().pack(Evil())
+    with pytest.raises(SerializationError):
+        PickleSerializer().unpack(b"garbage")
+
+
+@given(
+    st.lists(
+        st.one_of(st.integers(), st.text(max_size=20), st.floats(allow_nan=False)),
+        max_size=30,
+    )
+)
+def test_pack_unpack_property(items):
+    """Property: any plain payload round-trips exactly."""
+    obj = Payload(_ptr(), items=items)
+    clone = Payload(_ptr(2))
+    clone.unpack(obj.pack())
+    assert clone.items == items
+
+
+# ------------------------------------------------------------------ Message
+def test_message_nbytes_grows_with_payload():
+    small = Message(_ptr(), "h", args=(1,))
+    big = Message(_ptr(), "h", args=(list(range(1000)),))
+    assert big.nbytes() > small.nbytes() > 0
+
+
+def test_message_seq_monotonic():
+    a = Message(_ptr(), "h")
+    b = Message(_ptr(), "h")
+    assert b.seq > a.seq
+
+
+def test_multicast_validation():
+    with pytest.raises(ValueError):
+        MulticastMessage([], "h")
+    with pytest.raises(ValueError):
+        MulticastMessage([_ptr()], "h", deliver_count=2)
+    with pytest.raises(ValueError):
+        MulticastMessage([_ptr(), _ptr(2)], "h", deliver_count=0)
+    msg = MulticastMessage([_ptr(), _ptr(2)], "h", deliver_count=1)
+    assert msg.nbytes() > 0
+
+
+# ------------------------------------------------------------- MessageQueue
+def test_queue_fifo_order():
+    q = MessageQueue()
+    msgs = [Message(_ptr(), f"h{i}") for i in range(3)]
+    for m in msgs:
+        q.push(m)
+    assert len(q) == 3
+    assert q.peek() is msgs[0]
+    assert [q.pop() for _ in range(3)] == msgs
+    assert not q
+
+
+def test_queue_pop_empty_raises():
+    with pytest.raises(IndexError):
+        MessageQueue().pop()
+
+
+def test_queue_peek_empty_none():
+    assert MessageQueue().peek() is None
+
+
+def test_queue_iteration_preserves_order():
+    q = MessageQueue()
+    msgs = [Message(_ptr(), f"h{i}") for i in range(4)]
+    for m in msgs:
+        q.push(m)
+    assert list(q) == msgs
+    assert len(q) == 4  # iteration does not consume

@@ -1,0 +1,220 @@
+"""Tests for the out-of-core layer: thresholds, locks, priorities, plans."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MRTSConfig, OOCLayer
+from repro.util.errors import OutOfMemory
+
+
+def make_layer(budget=1000, **config_kw):
+    config = MRTSConfig(**config_kw)
+    return OOCLayer(config, budget=budget)
+
+
+def test_admit_within_budget_no_evictions():
+    ooc = make_layer()
+    assert ooc.admit(1, 400) == []
+    ooc.confirm_admit(1)
+    assert ooc.memory_used == 400
+    assert ooc.is_resident(1)
+
+
+def test_admit_over_budget_plans_evictions():
+    ooc = make_layer(budget=1000)
+    for oid in (1, 2):
+        ooc.admit(oid, 400)
+        ooc.confirm_admit(oid)
+    victims = ooc.admit(3, 400)
+    assert victims == [1]  # LRU: oldest goes
+    for v in victims:
+        ooc.confirm_evict(v)
+    ooc.confirm_admit(3)
+    assert ooc.memory_used == 800
+    assert not ooc.is_resident(1)
+
+
+def test_admit_duplicate_rejected():
+    ooc = make_layer()
+    ooc.admit(1, 10)
+    with pytest.raises(ValueError):
+        ooc.admit(1, 10)
+
+
+def test_object_too_large_raises():
+    ooc = make_layer(budget=100)
+    with pytest.raises(OutOfMemory):
+        ooc.admit(1, 200)
+
+
+def test_locked_objects_never_evicted():
+    ooc = make_layer(budget=1000)
+    for oid in (1, 2):
+        ooc.admit(oid, 400)
+        ooc.confirm_admit(oid)
+    ooc.lock(1)
+    victims = ooc.admit(3, 400)
+    assert victims == [2]
+
+
+def test_all_locked_raises_out_of_memory():
+    """The paper's warning: locking too many objects exhausts memory."""
+    ooc = make_layer(budget=1000)
+    for oid in (1, 2):
+        ooc.admit(oid, 400)
+        ooc.confirm_admit(oid)
+        ooc.lock(oid)
+    with pytest.raises(OutOfMemory, match="locked"):
+        ooc.admit(3, 400)
+
+
+def test_priority_protects_from_eviction():
+    ooc = make_layer(budget=1000)
+    for oid in (1, 2):
+        ooc.admit(oid, 400)
+        ooc.confirm_admit(oid)
+    ooc.set_priority(1, 10.0)  # high priority: keep in core
+    victims = ooc.admit(3, 400)
+    assert victims == [2]
+
+
+def test_queued_messages_raise_effective_priority():
+    ooc = make_layer(budget=1000)
+    for oid in (1, 2):
+        ooc.admit(oid, 400)
+        ooc.confirm_admit(oid)
+    ooc.set_queue_length(1, 5)  # has pending work: keep it
+    victims = ooc.admit(3, 400)
+    assert victims == [2]
+
+
+def test_plan_load_roundtrip():
+    ooc = make_layer(budget=1000)
+    for oid in (1, 2):
+        ooc.admit(oid, 400)
+        ooc.confirm_admit(oid)
+    victims = ooc.admit(3, 400)
+    for v in victims:
+        ooc.confirm_evict(v)
+    ooc.confirm_admit(3)
+    # Bring object 1 back: needs room again.
+    plan = ooc.plan_load(1)
+    assert plan  # someone must go
+    for v in plan:
+        ooc.confirm_evict(v)
+    ooc.confirm_load(1)
+    assert ooc.is_resident(1)
+    assert ooc.memory_used <= ooc.budget
+
+
+def test_plan_load_already_resident_is_noop():
+    ooc = make_layer()
+    ooc.admit(1, 100)
+    ooc.confirm_admit(1)
+    assert ooc.plan_load(1) == []
+
+
+def test_confirm_evict_guards():
+    ooc = make_layer()
+    ooc.admit(1, 100)
+    ooc.confirm_admit(1)
+    ooc.lock(1)
+    with pytest.raises(ValueError):
+        ooc.confirm_evict(1)
+    ooc.unlock(1)
+    ooc.confirm_evict(1)
+    with pytest.raises(ValueError):
+        ooc.confirm_evict(1)
+
+
+def test_hard_threshold_tracks_largest_stored():
+    ooc = make_layer(budget=1000, hard_threshold_factor=2.0)
+    assert ooc.hard_threshold() == 0  # nothing stored yet
+    ooc.admit(1, 300)
+    ooc.confirm_admit(1)
+    ooc.confirm_evict(1)
+    assert ooc.hard_threshold() == 600
+
+
+def test_soft_threshold_advice():
+    ooc = make_layer(budget=1000, soft_threshold_fraction=0.5)
+    ooc.admit(1, 700)
+    ooc.confirm_admit(1)
+    assert ooc.below_soft_threshold()
+    advice = ooc.advise_swap()
+    assert advice == [1]
+    ooc.set_queue_length(1, 2)
+    assert ooc.advise_swap() == []  # pending work: not advised out
+
+
+def test_advise_swap_above_threshold_empty():
+    ooc = make_layer(budget=1000)
+    ooc.admit(1, 100)
+    ooc.confirm_admit(1)
+    assert ooc.advise_swap() == []
+
+
+def test_resize_grows_and_shrinks():
+    ooc = make_layer(budget=1000)
+    ooc.admit(1, 100)
+    ooc.confirm_admit(1)
+    assert ooc.resize(1, 300) == []
+    assert ooc.memory_used == 300
+    ooc.resize(1, 50)
+    assert ooc.memory_used == 50
+
+
+def test_resize_non_resident_rejected():
+    ooc = make_layer()
+    ooc.admit(1, 100)
+    ooc.confirm_admit(1)
+    ooc.confirm_evict(1)
+    with pytest.raises(ValueError):
+        ooc.resize(1, 200)
+
+
+def test_forget_frees_memory():
+    ooc = make_layer()
+    ooc.admit(1, 100)
+    ooc.confirm_admit(1)
+    ooc.forget(1)
+    assert ooc.memory_used == 0
+    assert not ooc.is_resident(1)
+
+
+def test_prefetch_respects_depth_and_memory():
+    ooc = make_layer(budget=1000, prefetch_depth=2)
+    for oid in (1, 2, 3, 4):
+        ooc.admit(oid, 200)
+        ooc.confirm_admit(oid)
+    for oid in (1, 2, 3):
+        ooc.confirm_evict(oid)
+    picks = ooc.prefetch_candidates([1, 2, 3])
+    assert len(picks) <= 2
+    # Resident object never prefetched.
+    assert 4 not in ooc.prefetch_candidates([4, 1])
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        make_layer(budget=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=400), min_size=1, max_size=30),
+    scheme=st.sampled_from(["lru", "lfu", "mru", "mu", "lu"]),
+)
+def test_memory_never_exceeds_budget(sizes, scheme):
+    """Property: executing every plan keeps memory within budget."""
+    ooc = OOCLayer(MRTSConfig(swap_scheme=scheme), budget=1000)
+    for oid, size in enumerate(sizes):
+        try:
+            victims = ooc.admit(oid, size)
+        except OutOfMemory:
+            continue
+        for v in victims:
+            ooc.confirm_evict(v)
+        ooc.confirm_admit(oid)
+        assert 0 <= ooc.memory_used <= ooc.budget
+    assert ooc.high_water <= ooc.budget

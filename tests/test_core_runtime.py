@@ -1,0 +1,428 @@
+"""Integration tests for the MRTS runtime: messaging, out-of-core, migration,
+multicast, directory routing, termination, failure modes."""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    FileBackend,
+    MemoryBackend,
+    MobileObject,
+    MRTS,
+    MRTSConfig,
+    handler,
+)
+from repro.sim.cluster import ClusterSpec
+from repro.sim.node import NodeSpec
+from repro.util.errors import MRTSError, OutOfMemory
+
+
+class Counter(MobileObject):
+    def __init__(self, ptr, start=0):
+        super().__init__(ptr)
+        self.value = start
+        self.seen_nodes = []
+
+    @handler
+    def bump(self, ctx, amount=1, reply_to=None, limit=None):
+        self.value += amount
+        self.seen_nodes.append(ctx.node)
+        if reply_to is not None and (limit is None or self.value < limit):
+            ctx.post(reply_to, "bump", amount, reply_to=self.pointer, limit=limit)
+
+
+class Blob(MobileObject):
+    def __init__(self, ptr, size=1000):
+        super().__init__(ptr)
+        self.payload = bytes(size)
+        self.touches = 0
+
+    @handler
+    def touch(self, ctx):
+        self.touches += 1
+
+    @handler
+    def grow(self, ctx, extra):
+        self.payload += bytes(extra)
+
+
+def small_cluster(n_nodes=2, cores=1, memory=1 << 22):
+    return ClusterSpec(
+        n_nodes=n_nodes, node=NodeSpec(cores=cores, memory_bytes=memory)
+    )
+
+
+# ---------------------------------------------------------------- messaging
+def test_single_message_runs_handler():
+    rt = MRTS(small_cluster(1))
+    c = rt.create_object(Counter)
+    rt.post(c, "bump", 5)
+    stats = rt.run()
+    assert rt.get_object(c).value == 5
+    assert stats.total_time >= 0
+    assert rt.termination.quiescent
+
+
+def test_unknown_handler_raises():
+    rt = MRTS(small_cluster(1))
+    c = rt.create_object(Counter)
+    rt.post(c, "no_such_handler")
+    with pytest.raises(MRTSError, match="no handler"):
+        rt.run()
+
+
+def test_non_handler_method_rejected():
+    class Sneaky(MobileObject):
+        def not_a_handler(self, ctx):
+            pass
+
+    rt = MRTS(small_cluster(1))
+    s = rt.create_object(Sneaky)
+    rt.post(s, "not_a_handler")
+    with pytest.raises(MRTSError, match="no handler"):
+        rt.run()
+
+
+def test_cross_node_ping_pong():
+    rt = MRTS(small_cluster(2))
+    a = rt.create_object(Counter, node=0)
+    b = rt.create_object(Counter, node=1)
+    rt.post(a, "bump", 1, reply_to=b, limit=5)
+    stats = rt.run()
+    total = rt.get_object(a).value + rt.get_object(b).value
+    assert total == 9  # a reaches 5, b reaches 4
+    assert stats.messages_sent > 0
+    assert stats.comm_time > 0
+
+
+def test_messages_processed_fifo_per_object():
+    order = []
+
+    class Recorder(MobileObject):
+        @handler
+        def mark(self, ctx, tag):
+            order.append(tag)
+
+    rt = MRTS(small_cluster(1))
+    r = rt.create_object(Recorder)
+    for tag in ("a", "b", "c"):
+        rt.post(r, "mark", tag)
+    rt.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_handler_can_create_objects():
+    class Spawner(MobileObject):
+        def __init__(self, ptr):
+            super().__init__(ptr)
+            self.children = []
+
+        @handler
+        def spawn(self, ctx, n):
+            for k in range(n):
+                child = ctx.create(Counter, node=ctx.node)
+                self.children.append(child)
+                ctx.post(child, "bump", k)
+
+    rt = MRTS(small_cluster(1))
+    s = rt.create_object(Spawner)
+    rt.post(s, "spawn", 3)
+    rt.run()
+    spawner = rt.get_object(s)
+    assert len(spawner.children) == 3
+    values = sorted(rt.get_object(c).value for c in spawner.children)
+    assert values == [0, 1, 2]
+
+
+def test_explicit_charge_shapes_virtual_time():
+    class Sleeper(MobileObject):
+        @handler
+        def work(self, ctx, seconds):
+            ctx.charge(seconds)
+
+    rt = MRTS(small_cluster(1))
+    s = rt.create_object(Sleeper)
+    rt.post(s, "work", 2.5)
+    stats = rt.run()
+    assert stats.total_time >= 2.5
+    assert stats.comp_time >= 2.5
+
+
+def test_two_cores_overlap_compute():
+    class Sleeper(MobileObject):
+        @handler
+        def work(self, ctx, seconds):
+            ctx.charge(seconds)
+
+    spec = small_cluster(1, cores=2)
+    rt = MRTS(spec)
+    objs = [rt.create_object(Sleeper) for _ in range(2)]
+    for o in objs:
+        rt.post(o, "work", 1.0)
+    stats = rt.run()
+    # Two 1 s handlers on two cores: ~1 s wall, 2 s compute.
+    assert stats.total_time == pytest.approx(1.0, rel=0.1)
+    assert stats.comp_time == pytest.approx(2.0, rel=0.01)
+
+
+def test_single_core_serializes_compute():
+    class Sleeper(MobileObject):
+        @handler
+        def work(self, ctx, seconds):
+            ctx.charge(seconds)
+
+    rt = MRTS(small_cluster(1, cores=1))
+    objs = [rt.create_object(Sleeper) for _ in range(2)]
+    for o in objs:
+        rt.post(o, "work", 1.0)
+    stats = rt.run()
+    assert stats.total_time == pytest.approx(2.0, rel=0.05)
+
+
+# -------------------------------------------------------------- out-of-core
+def test_spill_and_reload_preserves_state():
+    spec = small_cluster(1, memory=300_000)
+    rt = MRTS(spec)
+    blobs = [rt.create_object(Blob, 100_000) for _ in range(6)]
+    for _ in range(2):
+        for b in blobs:
+            rt.post(b, "touch")
+    stats = rt.run()
+    assert all(rt.get_object(b).touches == 2 for b in blobs)
+    assert stats.objects_stored > 0
+    assert stats.objects_loaded > 0
+    assert stats.disk_time > 0
+    assert rt.nodes[0].ooc.high_water <= 300_000
+
+
+def test_real_file_spill(tmp_path):
+    spec = small_cluster(1, memory=250_000)
+    backend = FileBackend(tmp_path / "spill")
+    rt = MRTS(spec, storage_factory=lambda r: backend)
+    blobs = [rt.create_object(Blob, 100_000) for _ in range(5)]
+    for b in blobs:
+        rt.post(b, "touch")
+    rt.run()
+    # Files must really have existed on disk.
+    assert rt.nodes[0].storage.stores > 0
+    assert all(rt.get_object(b).touches == 1 for b in blobs)
+
+
+def test_locked_object_stays_resident():
+    spec = small_cluster(1, memory=300_000)
+    rt = MRTS(spec)
+    pinned = rt.create_object(Blob, 100_000)
+    rt.nodes[0].ooc.lock(pinned.oid)
+    others = [rt.create_object(Blob, 100_000) for _ in range(5)]
+    for b in others:
+        rt.post(b, "touch")
+    rt.run()
+    assert rt.nodes[0].ooc.is_resident(pinned.oid)
+
+
+def test_object_growth_triggers_eviction():
+    spec = small_cluster(1, memory=300_000)
+    rt = MRTS(spec)
+    a = rt.create_object(Blob, 100_000)
+    b = rt.create_object(Blob, 100_000)
+    rt.post(a, "grow", 150_000)
+    rt.run()
+    ooc = rt.nodes[0].ooc
+    assert ooc.memory_used <= ooc.budget
+    assert rt.get_object(a).payload == bytes(250_000)
+
+
+def test_oversized_object_rejected():
+    spec = small_cluster(1, memory=10_000)
+    rt = MRTS(spec)
+    with pytest.raises(OutOfMemory):
+        rt.create_object(Blob, 50_000)
+
+
+def test_cost_model_overrides_sizes_and_costs():
+    class BigModel(CostModel):
+        def handler_cost(self, obj, handler_name, msg):
+            return 3.0
+
+        def object_nbytes(self, obj):
+            return 200_000  # pretend each blob is 200 KB
+
+    spec = small_cluster(1, memory=500_000)
+    rt = MRTS(spec, cost_model=BigModel())
+    blobs = [rt.create_object(Blob, 10) for _ in range(4)]  # tiny for real
+    for b in blobs:
+        rt.post(b, "touch")
+    stats = rt.run()
+    # Modeled sizes force spills despite tiny real objects.
+    assert stats.objects_stored > 0
+    assert stats.comp_time == pytest.approx(12.0, rel=0.01)
+
+
+# ----------------------------------------------------------------- multicast
+def test_multicast_collects_and_delivers():
+    class Leaf(MobileObject):
+        def __init__(self, ptr):
+            super().__init__(ptr)
+            self.refined = 0
+
+        @handler
+        def refine(self, ctx, buddies):
+            # All buddies must be co-resident and in core right now.
+            assert all(ctx.is_resident(p) for p in buddies)
+            self.refined += 1
+
+    class Root(MobileObject):
+        @handler
+        def go(self, ctx, leaves):
+            ctx.post_multicast(leaves, "refine", 1, leaves[1:])
+
+    rt = MRTS(small_cluster(2))
+    leaves = [rt.create_object(Leaf, node=k % 2) for k in range(4)]
+    root = rt.create_object(Root, node=0)
+    rt.post(root, "go", leaves)
+    rt.run()
+    assert rt.get_object(leaves[0]).refined == 1
+    # All leaves ended up on the gather node (the first leaf's node).
+    gather = rt.object_location(leaves[0])
+    assert all(rt.object_location(p) == gather for p in leaves)
+
+
+def test_multicast_deliver_count_two():
+    class Leaf(MobileObject):
+        def __init__(self, ptr):
+            super().__init__(ptr)
+            self.hits = 0
+
+        @handler
+        def poke(self, ctx):
+            self.hits += 1
+
+    class Root(MobileObject):
+        @handler
+        def go(self, ctx, leaves):
+            ctx.post_multicast(leaves, "poke", 2)
+
+    rt = MRTS(small_cluster(1))
+    leaves = [rt.create_object(Leaf) for _ in range(3)]
+    root = rt.create_object(Root)
+    rt.post(root, "go", leaves)
+    rt.run()
+    hits = [rt.get_object(p).hits for p in leaves]
+    assert hits == [1, 1, 0]
+
+
+# ----------------------------------------------------------------- migration
+def test_migration_moves_object_and_messages():
+    rt = MRTS(small_cluster(2))
+    c = rt.create_object(Counter, node=0)
+    rt.migrate(c, 1)
+    rt.post(c, "bump", 7)
+    rt.run()
+    assert rt.object_location(c) == 1
+    assert rt.get_object(c).value == 7
+
+
+def test_migration_to_same_node_is_noop():
+    rt = MRTS(small_cluster(2))
+    c = rt.create_object(Counter, node=0)
+    rt.migrate(c, 0)
+    rt.post(c, "bump")
+    rt.run()
+    assert rt.object_location(c) == 0
+
+
+def test_stale_directory_hint_forwards():
+    """Send to an object that has migrated: lazy forwarding must deliver."""
+    rt = MRTS(small_cluster(3))
+    c = rt.create_object(Counter, node=0)
+    rt.post(c, "bump")  # teach node 0's tables
+    rt.run()
+    rt.migrate(c, 2)
+    rt.post(c, "bump")
+    rt.run()
+    assert rt.get_object(c).value == 2
+    assert rt.object_location(c) == 2
+
+
+# --------------------------------------------------------------- direct call
+def test_call_direct_runs_inline():
+    calls = []
+
+    class Pair(MobileObject):
+        @handler
+        def first(self, ctx, other):
+            ok = ctx.call_direct(other, "second")
+            calls.append(("direct", ok))
+            if not ok:
+                ctx.post(other, "second")
+
+        @handler
+        def second(self, ctx):
+            calls.append(("second", ctx.node))
+
+    rt = MRTS(small_cluster(1))
+    a = rt.create_object(Pair)
+    b = rt.create_object(Pair)
+    rt.post(a, "first", b)
+    rt.run()
+    assert ("direct", True) in calls
+    assert any(c[0] == "second" for c in calls)
+
+
+def test_call_direct_fails_for_remote():
+    outcomes = []
+
+    class Pair(MobileObject):
+        @handler
+        def first(self, ctx, other):
+            outcomes.append(ctx.call_direct(other, "second"))
+
+        @handler
+        def second(self, ctx):
+            pass
+
+    rt = MRTS(small_cluster(2))
+    a = rt.create_object(Pair, node=0)
+    b = rt.create_object(Pair, node=1)
+    rt.post(a, "first", b)
+    rt.run()
+    assert outcomes == [False]
+
+
+# ------------------------------------------------------------------ lifecycle
+def test_destroy_object():
+    rt = MRTS(small_cluster(1))
+    c = rt.create_object(Counter)
+    rt.post(c, "bump")
+    rt.run()
+
+    class Destroyer(MobileObject):
+        @handler
+        def kill(self, ctx, victim):
+            ctx.destroy(victim)
+
+    d = rt.create_object(Destroyer)
+    rt.post(d, "kill", c)
+    rt.run()
+    assert c.oid not in rt.directory
+
+
+def test_run_without_messages_is_trivially_quiescent():
+    rt = MRTS(small_cluster(1))
+    rt.create_object(Counter)
+    stats = rt.run()
+    assert stats.total_time == 0.0
+
+
+def test_priorities_steer_eviction_order():
+    spec = small_cluster(1, memory=300_000)
+    rt = MRTS(spec)
+    favored = rt.create_object(Blob, 100_000)
+    victim = rt.create_object(Blob, 100_000)
+    rt.nodes[0].ooc.set_priority(favored.oid, 100.0)
+    # Force pressure: a third object must push someone out.
+    rt.create_object(Blob, 100_000)
+    extra = rt.create_object(Blob, 50_000)
+    ooc = rt.nodes[0].ooc
+    assert ooc.is_resident(favored.oid)
+    assert not ooc.is_resident(victim.oid)

@@ -1,0 +1,133 @@
+"""Tests for the five swap schemes (LRU, LFU, MRU, MU, LU)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import LFU, LRU, LU, MRU, MU, make_scheme
+
+
+def test_make_scheme_names():
+    for name, cls in [("lru", LRU), ("lfu", LFU), ("mru", MRU), ("mu", MU), ("lu", LU)]:
+        assert isinstance(make_scheme(name), cls)
+        assert isinstance(make_scheme(name.upper()), cls)
+
+
+def test_make_scheme_unknown():
+    with pytest.raises(ValueError):
+        make_scheme("arc")
+
+
+def test_lru_evicts_oldest():
+    lru = LRU()
+    for oid in (1, 2, 3):
+        lru.touch(oid)
+    assert lru.victim([1, 2, 3]) == 1
+    lru.touch(1)  # 2 is now oldest
+    assert lru.victim([1, 2, 3]) == 2
+
+
+def test_mru_evicts_newest():
+    mru = MRU()
+    for oid in (1, 2, 3):
+        mru.touch(oid)
+    assert mru.victim([1, 2, 3]) == 3
+
+
+def test_lfu_evicts_least_frequent():
+    lfu = LFU()
+    for oid, times in [(1, 3), (2, 1), (3, 2)]:
+        for _ in range(times):
+            lfu.touch(oid)
+    assert lfu.victim([1, 2, 3]) == 2
+
+
+def test_mu_evicts_most_frequent():
+    mu = MU()
+    for oid, times in [(1, 3), (2, 1), (3, 2)]:
+        for _ in range(times):
+            mu.touch(oid)
+    assert mu.victim([1, 2, 3]) == 1
+
+
+def test_lu_prefers_stale_rarely_used():
+    lu = LU()
+    # Object 1: used once, long ago.  Object 2: used once, just now.
+    lu.touch(1)
+    for _ in range(10):
+        lu.touch(3)
+    lu.touch(2)
+    assert lu.victim([1, 2]) == 1
+
+
+def test_victim_restricted_to_candidates():
+    lru = LRU()
+    for oid in (1, 2, 3):
+        lru.touch(oid)
+    assert lru.victim([2, 3]) == 2
+
+
+def test_victim_empty_raises():
+    with pytest.raises(ValueError):
+        LRU().victim([])
+
+
+def test_untouched_objects_score_zero():
+    lru = LRU()
+    lru.touch(5)
+    # Object never touched sorts before touched ones under LRU.
+    assert lru.victim([5, 9]) == 9
+
+
+def test_forget_clears_state():
+    lfu = LFU()
+    for _ in range(5):
+        lfu.touch(1)
+    lfu.forget(1)
+    assert lfu.count(1) == 0
+    assert lfu.last_touch(1) == 0
+
+
+def test_tie_breaks_on_lower_oid():
+    lfu = LFU()
+    lfu.touch(7)
+    lfu.touch(3)
+    # Equal counts: lower oid evicted first (determinism).
+    assert lfu.victim([7, 3]) == 3
+
+
+@given(
+    touches=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=100)
+)
+def test_lru_victim_is_minimum_last_touch(touches):
+    """Property: LRU's victim has the minimal last-touch time."""
+    lru = LRU()
+    for oid in touches:
+        lru.touch(oid)
+    candidates = sorted(set(touches))
+    victim = lru.victim(candidates)
+    assert lru.last_touch(victim) == min(lru.last_touch(o) for o in candidates)
+
+
+@given(
+    touches=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=100)
+)
+def test_lfu_victim_is_minimum_count(touches):
+    lfu = LFU()
+    for oid in touches:
+        lfu.touch(oid)
+    candidates = sorted(set(touches))
+    victim = lfu.victim(candidates)
+    assert lfu.count(victim) == min(lfu.count(o) for o in candidates)
+
+
+@given(
+    touches=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=60),
+    scheme_name=st.sampled_from(["lru", "lfu", "mru", "mu", "lu"]),
+)
+def test_all_schemes_pick_from_candidates(touches, scheme_name):
+    """Property: every scheme returns one of the offered candidates."""
+    scheme = make_scheme(scheme_name)
+    for oid in touches:
+        scheme.touch(oid)
+    candidates = sorted(set(touches))
+    assert scheme.victim(candidates) in candidates

@@ -1,0 +1,92 @@
+"""Tests for execution tracing."""
+
+from repro.core import MobileObject, MRTS, handler
+from repro.core.trace import attach_tracer
+from repro.sim.cluster import ClusterSpec
+from repro.sim.node import NodeSpec
+
+
+class Blob(MobileObject):
+    def __init__(self, pointer, size=40_000):
+        super().__init__(pointer)
+        self.data = bytes(size)
+        self.hits = 0
+
+    @handler
+    def hit(self, ctx, peer=None):
+        self.hits += 1
+        if peer is not None:
+            ctx.post(peer, "hit")
+
+
+def build(memory=1 << 22, n_nodes=2):
+    cluster = ClusterSpec(
+        n_nodes=n_nodes, node=NodeSpec(cores=1, memory_bytes=memory)
+    )
+    return MRTS(cluster)
+
+
+def test_tracer_records_handlers_and_sends():
+    rt = build()
+    tracer = attach_tracer(rt)
+    a = rt.create_object(Blob, node=0)
+    b = rt.create_object(Blob, node=1)
+    rt.post(a, "hit", peer=b)
+    rt.run()
+    kinds = tracer.summary()
+    assert kinds.get("handler") == 2
+    assert kinds.get("send", 0) >= 1
+    handler_events = tracer.by_kind("handler")
+    assert any("hit" in e.detail for e in handler_events)
+
+
+def test_tracer_records_disk_when_spilling():
+    rt = build(memory=100_000, n_nodes=1)
+    tracer = attach_tracer(rt)
+    ptrs = [rt.create_object(Blob, 40_000) for _ in range(4)]
+    for p in ptrs:
+        rt.post(p, "hit")
+    rt.run()
+    disk = tracer.by_kind("disk")
+    assert disk
+    assert any("store" in e.detail for e in disk)
+    assert any("load" in e.detail for e in disk)
+
+
+def test_timeline_rendering():
+    rt = build()
+    tracer = attach_tracer(rt)
+    a = rt.create_object(Blob, node=0)
+    rt.post(a, "hit")
+    rt.run()
+    text = tracer.timeline()
+    assert "handler" in text
+    assert "node 0" in text
+    limited = tracer.timeline(limit=1)
+    assert len(limited.splitlines()) == 1
+
+
+def test_timestamps_monotone_per_sort():
+    rt = build()
+    tracer = attach_tracer(rt)
+    a = rt.create_object(Blob, node=0)
+    b = rt.create_object(Blob, node=1)
+    for _ in range(3):
+        rt.post(a, "hit", peer=b)
+    rt.run()
+    times = [e.time for e in sorted(tracer.events, key=lambda e: e.time)]
+    assert times == sorted(times)
+    assert all(e.duration >= 0 for e in tracer.events)
+
+
+def test_detach_stops_recording():
+    rt = build()
+    tracer = attach_tracer(rt)
+    a = rt.create_object(Blob, node=0)
+    rt.post(a, "hit")
+    rt.run()
+    before = len(tracer.events)
+    tracer.detach()
+    rt.post(a, "hit")
+    rt.run()
+    assert len(tracer.events) == before

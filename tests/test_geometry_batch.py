@@ -1,0 +1,155 @@
+"""Tests for vectorized geometric kernels vs the scalar exact predicates."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import (
+    circumcenter,
+    circumradius_sq,
+    dist_sq,
+    orient2d_exact,
+)
+from repro.geometry.batch import (
+    bad_triangle_mask,
+    circumcenter_batch,
+    circumradius_sq_batch,
+    orient2d_batch,
+    shortest_edge_sq_batch,
+)
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+pt = st.tuples(finite, finite)
+
+
+def _tri_arrays(tris):
+    a = np.array([t[0] for t in tris])
+    b = np.array([t[1] for t in tris])
+    c = np.array([t[2] for t in tris])
+    return a, b, c
+
+
+def test_orient2d_batch_signs():
+    tris = [
+        ((0, 0), (1, 0), (0, 1)),   # ccw
+        ((0, 0), (0, 1), (1, 0)),   # cw
+        ((0, 0), (1, 1), (2, 2)),   # collinear
+    ]
+    det, uncertain = orient2d_batch(*_tri_arrays(tris))
+    assert det[0] > 0 and det[1] < 0
+    assert uncertain[2]  # collinear: filter cannot certify
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(pt, pt, pt), min_size=1, max_size=20))
+def test_orient2d_batch_certified_signs_match_exact(tris):
+    """Where the filter is certain, the sign equals the exact predicate."""
+    det, uncertain = orient2d_batch(*_tri_arrays(tris))
+    for k, (a, b, c) in enumerate(tris):
+        if not uncertain[k]:
+            assert np.sign(det[k]) == orient2d_exact(a, b, c)
+
+
+def test_batch_shape_validation():
+    with pytest.raises(ValueError):
+        orient2d_batch(np.zeros((3,)), np.zeros((3, 2)), np.zeros((3, 2)))
+
+
+def test_circumcenter_batch_matches_scalar():
+    tris = [
+        ((0.0, 0.0), (4.0, 0.0), (0.0, 3.0)),
+        ((1.0, 1.0), (2.0, 1.0), (1.5, 2.0)),
+    ]
+    cc = circumcenter_batch(*_tri_arrays(tris))
+    for k, (a, b, c) in enumerate(tris):
+        expected = circumcenter(a, b, c)
+        assert cc[k, 0] == pytest.approx(expected[0])
+        assert cc[k, 1] == pytest.approx(expected[1])
+
+
+def test_circumcenter_batch_degenerate_nan():
+    cc = circumcenter_batch(
+        np.array([[0.0, 0.0]]), np.array([[1.0, 1.0]]), np.array([[2.0, 2.0]])
+    )
+    assert np.isnan(cc).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(pt, pt, pt), min_size=1, max_size=15))
+def test_circumradius_batch_matches_scalar(tris):
+    a, b, c = _tri_arrays(tris)
+    r_sq = circumradius_sq_batch(a, b, c)
+    for k, (pa, pb, pc) in enumerate(tris):
+        try:
+            expected = circumradius_sq(pa, pb, pc)
+        except ZeroDivisionError:
+            assert not np.isfinite(r_sq[k])
+            continue
+        longest = max(dist_sq(pa, pb), dist_sq(pb, pc), dist_sq(pc, pa))
+        if not math.isfinite(expected) or longest == 0:
+            continue
+        if expected > 1e4 * longest or expected > 1e12:
+            continue  # needle triangle: both results are noise
+        assert r_sq[k] == pytest.approx(expected, rel=1e-6, abs=1e-9)
+
+
+def test_shortest_edge_batch():
+    tris = [((0, 0), (3, 0), (0, 4))]
+    short = shortest_edge_sq_batch(*_tri_arrays(tris))
+    assert short[0] == pytest.approx(9.0)
+
+
+def test_bad_triangle_mask_quality():
+    # A skinny triangle (bad ratio) and an equilateral (good).
+    h = math.sqrt(3) / 2
+    tris = [
+        ((0.0, 0.0), (1.0, 0.0), (0.5, 0.01)),
+        ((0.0, 0.0), (1.0, 0.0), (0.5, h)),
+    ]
+    mask = bad_triangle_mask(*_tri_arrays(tris))
+    assert mask.tolist() == [True, False]
+
+
+def test_bad_triangle_mask_sizing():
+    h = math.sqrt(3) / 2
+    tris = [((0.0, 0.0), (1.0, 0.0), (0.5, h))]  # circumradius ~0.577
+    a, b, c = _tri_arrays(tris)
+    centers = circumcenter_batch(a, b, c)
+    small_h = np.full(1, 0.1)
+    big_h = np.full(1, 10.0)
+    assert bad_triangle_mask(a, b, c, h_at_center=small_h).tolist() == [True]
+    assert bad_triangle_mask(a, b, c, h_at_center=big_h).tolist() == [False]
+    assert centers.shape == (1, 2)
+
+
+def test_bad_triangle_mask_min_length_protects():
+    tris = [((0.0, 0.0), (1.0, 0.0), (0.5, 0.01))]  # bad but tiny edges? no:
+    a, b, c = _tri_arrays(tris)
+    assert bad_triangle_mask(a, b, c, min_length=2.0).tolist() == [False]
+
+
+def test_bad_triangle_mask_degenerate_never_bad():
+    tris = [((0.0, 0.0), (1.0, 1.0), (2.0, 2.0))]
+    assert bad_triangle_mask(*_tri_arrays(tris)).tolist() == [False]
+
+
+def test_batch_agrees_with_mesh_scan():
+    """The vectorized mask finds the same bad set as the scalar refiner."""
+    from repro.geometry import unit_square
+    from repro.mesh import find_bad_triangles, triangulate_pslg, refine
+    from repro.mesh.sizing import uniform_sizing
+
+    tri = triangulate_pslg(unit_square())
+    refine(tri, sizing=uniform_sizing(0.3))
+    tris = list(tri.triangles())
+    coords = [tri.coords(t) for t in tris]
+    a, b, c = _tri_arrays(coords)
+    centers = circumcenter_batch(a, b, c)
+    sizing = uniform_sizing(0.15)  # tighter than the mesh satisfies
+    h = np.array([sizing((x, y)) for x, y in centers])
+    mask = bad_triangle_mask(a, b, c, h_at_center=h)
+    scalar_bad = set(find_bad_triangles(tri, sizing=sizing))
+    batch_bad = {tris[k] for k in range(len(tris)) if mask[k]}
+    assert batch_bad == scalar_bad

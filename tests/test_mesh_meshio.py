@@ -1,0 +1,154 @@
+"""Tests for Triangle-format I/O and SVG rendering."""
+
+import io
+
+import pytest
+
+from repro.geometry import pipe_cross_section, unit_square
+from repro.mesh import refine, triangulate_pslg, uniform_sizing
+from repro.mesh.meshio import (
+    mesh_to_svg,
+    read_mesh,
+    read_poly,
+    write_ele,
+    write_mesh,
+    write_node,
+    write_poly,
+)
+
+
+def _mesh(h=0.25):
+    tri = triangulate_pslg(unit_square())
+    refine(tri, sizing=uniform_sizing(h))
+    return tri
+
+
+# -------------------------------------------------------------------- .poly
+def test_poly_roundtrip_square():
+    buf = io.StringIO()
+    write_poly(unit_square(), buf)
+    clone = read_poly(io.StringIO(buf.getvalue()))
+    assert clone.vertices == unit_square().vertices
+    assert clone.segments == unit_square().segments
+    assert clone.holes == []
+
+
+def test_poly_roundtrip_with_holes():
+    pslg = pipe_cross_section(n=12)
+    buf = io.StringIO()
+    write_poly(pslg, buf)
+    clone = read_poly(io.StringIO(buf.getvalue()))
+    assert clone.vertices == pslg.vertices
+    assert sorted(clone.segments) == sorted(pslg.segments)
+    assert clone.holes == pslg.holes
+    clone.validate()
+
+
+def test_poly_roundtrip_exact_floats():
+    """repr-based writing must preserve coordinates bit-for-bit."""
+    pslg = pipe_cross_section(n=16)
+    buf = io.StringIO()
+    write_poly(pslg, buf)
+    clone = read_poly(io.StringIO(buf.getvalue()))
+    for (x1, y1), (x2, y2) in zip(pslg.vertices, clone.vertices):
+        assert x1 == x2 and y1 == y2
+
+
+def test_poly_files_on_disk(tmp_path):
+    path = tmp_path / "square.poly"
+    write_poly(unit_square(), path)
+    assert read_poly(path).segments == unit_square().segments
+
+
+def test_read_poly_handles_comments_and_blanks():
+    text = """# comment
+4 2 0 0
+
+1 0.0 0.0
+2 1.0 0.0  # trailing comment
+3 1.0 1.0
+4 0.0 1.0
+4 0
+1 1 2
+2 2 3
+3 3 4
+4 4 1
+0
+"""
+    pslg = read_poly(io.StringIO(text))
+    assert len(pslg.vertices) == 4
+    assert len(pslg.segments) == 4
+
+
+def test_read_empty_poly_raises():
+    with pytest.raises(ValueError):
+        read_poly(io.StringIO("# nothing\n"))
+
+
+# --------------------------------------------------------------- .node/.ele
+def test_mesh_roundtrip():
+    tri = _mesh()
+    node_buf, ele_buf = io.StringIO(), io.StringIO()
+    write_mesh(tri, node_buf, ele_buf)
+    points, triangles = read_mesh(
+        io.StringIO(node_buf.getvalue()), io.StringIO(ele_buf.getvalue())
+    )
+    assert len(points) == tri.n_vertices
+    assert len(triangles) == tri.n_triangles
+    # All indices valid and triangles non-degenerate.
+    for a, b, c in triangles:
+        assert len({a, b, c}) == 3
+        assert 0 <= max(a, b, c) < len(points)
+
+
+def test_mesh_roundtrip_point_set_identical():
+    tri = _mesh(h=0.3)
+    node_buf, ele_buf = io.StringIO(), io.StringIO()
+    write_mesh(tri, node_buf, ele_buf)
+    points, _ = read_mesh(
+        io.StringIO(node_buf.getvalue()), io.StringIO(ele_buf.getvalue())
+    )
+    original = {tri.vertex(v) for t in tri.triangles() for v in t}
+    assert set(points) == original
+
+
+def test_write_node_ele_shapes():
+    node_buf, ele_buf = io.StringIO(), io.StringIO()
+    write_node([(0.0, 0.0), (1.0, 0.0)], node_buf)
+    write_ele([(0, 1, 0)], ele_buf)  # content not validated by writer
+    assert node_buf.getvalue().splitlines()[0] == "2 2 0 0"
+    assert ele_buf.getvalue().splitlines()[0] == "1 3 0"
+
+
+# ---------------------------------------------------------------------- SVG
+def test_svg_contains_all_triangles():
+    tri = _mesh()
+    svg = mesh_to_svg(tri)
+    assert svg.count("<polygon") == tri.n_triangles
+    assert svg.startswith("<svg")
+    assert svg.rstrip().endswith("</svg>")
+
+
+def test_svg_writes_to_file(tmp_path):
+    tri = _mesh()
+    path = tmp_path / "mesh.svg"
+    mesh_to_svg(tri, path)
+    assert path.read_text().count("<polygon") == tri.n_triangles
+
+
+def test_svg_custom_colors():
+    tri = _mesh(h=0.5)
+    tris = list(tri.triangles())
+    colors = {tris[0]: "#ff0000"}
+    svg = mesh_to_svg(tri, color_of=colors)
+    assert "#ff0000" in svg
+
+
+def test_svg_empty_mesh_raises():
+    from repro.geometry.pslg import BoundingBox
+    from repro.mesh import Triangulation
+
+    empty = Triangulation(BoundingBox(0, 0, 1, 1))
+    # Only super-triangles exist: no real triangles to draw.
+    with pytest.raises(ValueError):
+        mesh_to_svg(empty)

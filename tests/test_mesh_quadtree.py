@@ -1,0 +1,150 @@
+"""Tests for the quadtree decomposition structure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.pslg import BoundingBox
+from repro.mesh import QuadTree
+
+
+def _unit_tree():
+    return QuadTree(BoundingBox(0, 0, 1, 1))
+
+
+def test_root_is_single_leaf():
+    tree = _unit_tree()
+    assert tree.n_leaves == 1
+    assert tree.root.is_leaf
+    assert tree.root.depth == 0
+
+
+def test_split_creates_four_children():
+    tree = _unit_tree()
+    kids = tree.split(0)
+    assert len(kids) == 4
+    assert tree.n_leaves == 4
+    assert not tree.root.is_leaf
+    for cid in kids:
+        child = tree.node(cid)
+        assert child.depth == 1
+        assert child.side == pytest.approx(0.5)
+
+
+def test_split_twice_rejected():
+    tree = _unit_tree()
+    tree.split(0)
+    with pytest.raises(ValueError):
+        tree.split(0)
+
+
+def test_children_tile_parent_exactly():
+    tree = _unit_tree()
+    kids = tree.split(0)
+    total = sum(tree.node(c).box.width * tree.node(c).box.height for c in kids)
+    assert total == pytest.approx(1.0)
+    # Quadrant corners meet at the parent center.
+    assert tree.node(kids[0]).box.xmax == pytest.approx(0.5)
+    assert tree.node(kids[3]).box.xmin == pytest.approx(0.5)
+
+
+def test_leaf_at_descends():
+    tree = _unit_tree()
+    tree.split(0)
+    leaf = tree.leaf_at((0.9, 0.9))
+    assert leaf.box.xmin == pytest.approx(0.5)
+    assert leaf.box.ymin == pytest.approx(0.5)
+
+
+def test_leaf_at_outside_raises():
+    tree = _unit_tree()
+    with pytest.raises(KeyError):
+        tree.leaf_at((2.0, 2.0))
+
+
+def test_rectangular_box_squared_up():
+    tree = QuadTree(BoundingBox(0, 0, 2, 1))
+    assert tree.root.box.width == pytest.approx(2.0)
+    assert tree.root.box.height == pytest.approx(2.0)
+
+
+def test_degenerate_box_rejected():
+    with pytest.raises(ValueError):
+        QuadTree(BoundingBox(0, 0, 0, 0))
+
+
+def test_build_to_uniform_target():
+    tree = _unit_tree()
+    tree.build(lambda p: 0.26)
+    # Need side <= 0.26: two splits gives 0.25.
+    assert all(leaf.side <= 0.26 for leaf in tree.leaves())
+    assert tree.n_leaves == 16
+
+
+def test_build_graded_target():
+    """Fine near origin => deeper leaves there."""
+    tree = _unit_tree()
+
+    def target(p):
+        return max(0.06, 0.05 + 0.5 * (p[0] + p[1]))
+
+    tree.build(target)
+    depth_origin = tree.leaf_at((0.01, 0.01)).depth
+    depth_far = tree.leaf_at((0.99, 0.99)).depth
+    assert depth_origin > depth_far
+
+
+def test_build_max_depth_cap():
+    tree = _unit_tree()
+    tree.build(lambda p: 1e-12, max_depth=3)
+    assert all(leaf.depth <= 3 for leaf in tree.leaves())
+
+
+def test_build_invalid_target_rejected():
+    tree = _unit_tree()
+    with pytest.raises(ValueError):
+        tree.build(lambda p: 0.0)
+
+
+def test_neighbors_of_quadrant():
+    tree = _unit_tree()
+    kids = tree.split(0)
+    sw = tree.node(kids[0])
+    nbrs = {n.leaf_id for n in tree.neighbors(sw.leaf_id)}
+    assert nbrs == set(kids[1:])  # all other quadrants touch SW (corner counts)
+
+
+def test_neighbors_requires_leaf():
+    tree = _unit_tree()
+    tree.split(0)
+    with pytest.raises(ValueError):
+        tree.neighbors(0)
+
+
+def test_balance_enforces_two_to_one():
+    tree = _unit_tree()
+    kids = tree.split(0)
+    # Split SW twice: depth-3 leaves next to depth-1 ones.
+    grand = tree.split(kids[0])
+    tree.split(grand[3])
+    assert not tree.is_balanced()
+    splits = tree.balance()
+    assert splits > 0
+    assert tree.is_balanced()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=0, max_size=20))
+def test_leaves_always_tile_root(split_choices):
+    """Property: after arbitrary splits, leaves exactly tile the root area."""
+    tree = _unit_tree()
+    for choice in split_choices:
+        leaves = list(tree.leaves())
+        leaf = leaves[choice % len(leaves)]
+        if leaf.depth < 8:
+            tree.split(leaf.leaf_id)
+    area = sum(l.box.width * l.box.height for l in tree.leaves())
+    assert area == pytest.approx(1.0)
+    # Any sample point belongs to exactly one leaf.
+    for p in [(0.1, 0.2), (0.7, 0.3), (0.999, 0.999)]:
+        owners = [l for l in tree.leaves() if l.contains(p)]
+        assert tree.leaf_at(p) in owners

@@ -1,0 +1,116 @@
+"""Tests for domain decomposition: blocks, quadtrees, coarse partitions."""
+
+import pytest
+
+from repro.geometry import PSLG, unit_square, pipe_cross_section
+from repro.geometry.pslg import BoundingBox
+from repro.pumg import (
+    block_decomposition,
+    partition_coarse_mesh,
+    quadtree_decomposition,
+)
+from repro.mesh.sizing import uniform_sizing, point_source_sizing
+
+
+# ------------------------------------------------------------------ blocks
+def test_block_grid_shapes():
+    blocks = block_decomposition(BoundingBox(0, 0, 1, 1), 3, 3)
+    assert len(blocks) == 9
+    total = sum(b.box.width * b.box.height for b in blocks)
+    assert total == pytest.approx(1.0)
+
+
+def test_block_neighbors_eight_connected():
+    blocks = block_decomposition(BoundingBox(0, 0, 1, 1), 3, 3)
+    center = blocks[4]  # (1,1)
+    assert len(center.neighbors) == 8
+    corner = blocks[0]
+    assert len(corner.neighbors) == 3
+
+
+def test_block_coloring_separates_neighbors():
+    """Same-color blocks are never adjacent (not even diagonally)."""
+    blocks = block_decomposition(BoundingBox(0, 0, 2, 2), 4, 4)
+    for b in blocks:
+        for n in b.neighbors:
+            assert blocks[n].color != b.color
+    assert {b.color for b in blocks} == {0, 1, 2, 3}
+
+
+def test_block_grid_validation():
+    with pytest.raises(ValueError):
+        block_decomposition(BoundingBox(0, 0, 1, 1), 0, 2)
+    with pytest.raises(ValueError):
+        block_decomposition(BoundingBox(0, 0, 0, 0), 2, 2)
+
+
+# ---------------------------------------------------------------- quadtree
+def test_quadtree_decomposition_uniform():
+    tree = quadtree_decomposition(
+        BoundingBox(0, 0, 1, 1), uniform_sizing(0.1), granularity=4.0
+    )
+    # target leaf side 0.4 -> two levels of splits.
+    assert tree.n_leaves == 16
+    assert tree.is_balanced()
+
+
+def test_quadtree_decomposition_graded():
+    sizing = point_source_sizing([((0.0, 0.0), 0.02)], background=0.5)
+    tree = quadtree_decomposition(
+        BoundingBox(0, 0, 1, 1), sizing, granularity=4.0
+    )
+    corner = tree.leaf_at((0.01, 0.01))
+    far = tree.leaf_at((0.99, 0.99))
+    assert corner.depth > far.depth
+
+
+def test_quadtree_granularity_validation():
+    with pytest.raises(ValueError):
+        quadtree_decomposition(BoundingBox(0, 0, 1, 1), uniform_sizing(1.0), 0.0)
+
+
+# --------------------------------------------------------------- partition
+def test_partition_covers_all_triangles():
+    partition = partition_coarse_mesh(unit_square(), 4)
+    assert partition.n_parts == 4
+    assert all(p >= 0 for p in partition.coarse_triangle_parts)
+    # Every part got some triangles (seeds exist).
+    for p in range(4):
+        assert partition.part_seeds[p]
+
+
+def test_partition_interfaces_reference_two_parts():
+    partition = partition_coarse_mesh(unit_square(), 3)
+    for key, (a, b) in partition.interfaces.items():
+        assert 0 <= a < b < 3
+        # The interface edge must appear in both parts' boundary PSLGs.
+        for part in (a, b):
+            pts = set(map(tuple, partition.sub_pslgs[part].vertices))
+            assert key[0] in pts and key[1] in pts
+
+
+def test_partition_sub_pslgs_are_closed():
+    """Each subdomain boundary must have even vertex degree (closed loops)."""
+    partition = partition_coarse_mesh(unit_square(), 4)
+    for sub in partition.sub_pslgs:
+        degree = {}
+        for i, j in sub.segments:
+            degree[i] = degree.get(i, 0) + 1
+            degree[j] = degree.get(j, 0) + 1
+        assert all(d % 2 == 0 for d in degree.values())
+
+
+def test_partition_works_on_domain_with_hole():
+    partition = partition_coarse_mesh(pipe_cross_section(24), 4)
+    assert partition.n_parts == 4
+    assert partition.interfaces
+
+
+def test_partition_single_part_has_no_interfaces():
+    partition = partition_coarse_mesh(unit_square(), 1)
+    assert partition.interfaces == {}
+
+
+def test_partition_validation():
+    with pytest.raises(ValueError):
+        partition_coarse_mesh(unit_square(), 0)

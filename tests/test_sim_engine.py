@@ -1,0 +1,262 @@
+"""Tests for the discrete-event kernel: ordering, processes, combinators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Engine, Interrupt, all_of, any_of
+
+
+def test_clock_starts_at_zero():
+    eng = Engine()
+    assert eng.now == 0.0
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+    eng.timeout(5.0)
+    eng.run()
+    assert eng.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    fired = []
+    for delay in (3.0, 1.0, 2.0):
+        ev = eng.timeout(delay, value=delay)
+        ev.add_callback(lambda e: fired.append(e.value))
+    eng.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_simultaneous_events_fifo():
+    """Ties at equal times break by scheduling order (determinism)."""
+    eng = Engine()
+    fired = []
+    for i in range(10):
+        ev = eng.timeout(1.0, value=i)
+        ev.add_callback(lambda e: fired.append(e.value))
+    eng.run()
+    assert fired == list(range(10))
+
+
+def test_process_waits_and_returns():
+    eng = Engine()
+
+    def body():
+        yield eng.timeout(2.0)
+        yield eng.timeout(3.0)
+        return "done"
+
+    proc = eng.process(body())
+    result = eng.run(until=proc)
+    assert result == "done"
+    assert eng.now == 5.0
+
+
+def test_process_receives_event_value():
+    eng = Engine()
+    seen = []
+
+    def body():
+        value = yield eng.timeout(1.0, value=42)
+        seen.append(value)
+
+    eng.process(body())
+    eng.run()
+    assert seen == [42]
+
+
+def test_processes_can_join():
+    eng = Engine()
+
+    def child():
+        yield eng.timeout(4.0)
+        return 7
+
+    def parent():
+        value = yield eng.process(child())
+        return value + 1
+
+    proc = eng.process(parent())
+    assert eng.run(until=proc) == 8
+    assert eng.now == 4.0
+
+
+def test_event_succeed_wakes_waiter():
+    eng = Engine()
+    gate = eng.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((eng.now, value))
+
+    def opener():
+        yield eng.timeout(9.0)
+        gate.succeed("open")
+
+    eng.process(waiter())
+    eng.process(opener())
+    eng.run()
+    assert log == [(9.0, "open")]
+
+
+def test_event_fail_raises_in_waiter():
+    eng = Engine()
+    gate = eng.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    eng.process(waiter())
+    gate.fail(ValueError("boom"))
+    eng.run()
+    assert caught == ["boom"]
+
+
+def test_double_trigger_rejected():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.timeout(-1.0)
+
+
+def test_run_until_time_stops_clock():
+    eng = Engine()
+    eng.timeout(10.0)
+    eng.run(until=4.0)
+    assert eng.now == 4.0
+    eng.run()
+    assert eng.now == 10.0
+
+
+def test_run_until_unfired_event_deadlocks():
+    eng = Engine()
+    gate = eng.event()
+    with pytest.raises(RuntimeError, match="deadlock"):
+        eng.run(until=gate)
+
+
+def test_interrupt_process():
+    eng = Engine()
+    log = []
+
+    def sleeper():
+        try:
+            yield eng.timeout(100.0)
+            log.append("completed")
+        except Interrupt as intr:
+            log.append(("interrupted", eng.now, intr.cause))
+
+    def interrupter(target):
+        yield eng.timeout(5.0)
+        target.interrupt("wakeup")
+
+    proc = eng.process(sleeper())
+    eng.process(interrupter(proc))
+    eng.run()
+    assert log == [("interrupted", 5.0, "wakeup")]
+
+
+def test_interrupt_after_completion_is_noop():
+    eng = Engine()
+
+    def quick():
+        yield eng.timeout(1.0)
+
+    proc = eng.process(quick())
+    eng.run()
+    proc.interrupt()  # must not raise
+    eng.run()
+
+
+def test_all_of_collects_values():
+    eng = Engine()
+    events = [eng.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+    combo = all_of(eng, events)
+    assert eng.run(until=combo) == [3.0, 1.0, 2.0]
+    assert eng.now == 3.0
+
+
+def test_all_of_empty_fires_immediately():
+    eng = Engine()
+    combo = all_of(eng, [])
+    assert eng.run(until=combo) == []
+
+
+def test_any_of_returns_first():
+    eng = Engine()
+    events = [eng.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+    combo = any_of(eng, events)
+    index, value = eng.run(until=combo)
+    assert (index, value) == (1, 1.0)
+    assert eng.now == 1.0
+
+
+def test_any_of_empty_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        any_of(eng, [])
+
+
+def test_yield_non_event_is_type_error():
+    eng = Engine()
+
+    def bad():
+        yield 42
+
+    eng.process(bad())
+    with pytest.raises(TypeError):
+        eng.run()
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_clock_is_monotonic_under_arbitrary_timeouts(delays):
+    """Property: processing any set of timeouts never moves time backwards."""
+    eng = Engine()
+    observed = []
+    for d in delays:
+        eng.timeout(d).add_callback(lambda e: observed.append(eng.now))
+    eng.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+    assert eng.now == max(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.floats(min_value=0.0, max_value=100.0),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_nested_process_end_times(pairs):
+    """Property: a process sleeping a then b ends exactly at a+b."""
+    eng = Engine()
+    results = []
+
+    def body(a, b):
+        yield eng.timeout(a)
+        yield eng.timeout(b)
+        results.append(eng.now)
+
+    starts = []
+    for a, b in pairs:
+        starts.append((a, b))
+        eng.process(body(a, b))
+    eng.run()
+    assert sorted(results) == sorted(a + b for a, b in starts)

@@ -1,0 +1,42 @@
+"""Tests for formatting helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.util import format_table, human_bytes, human_time
+
+
+def test_human_bytes_units():
+    assert human_bytes(0) == "0 B"
+    assert human_bytes(512) == "512 B"
+    assert human_bytes(2048) == "2.0 KiB"
+    assert human_bytes(3 * 1024**2) == "3.0 MiB"
+    assert human_bytes(5 * 1024**3) == "5.0 GiB"
+    assert human_bytes(2 * 1024**4) == "2.0 TiB"
+
+
+def test_human_time_units():
+    assert human_time(30) == "30.0 s"
+    assert human_time(600) == "10.0 min"
+    assert human_time(3 * 3600) == "3.0 h"
+    assert human_time(-30) == "-30.0 s"
+
+
+@given(st.floats(min_value=0, max_value=1e15))
+def test_human_bytes_always_formats(n):
+    out = human_bytes(n)
+    assert any(out.endswith(u) for u in ("B", "KiB", "MiB", "GiB", "TiB"))
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "v"], [["a", 1], ["bb", 22]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    # title, header, separator, two rows
+    assert len(lines) == 5
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # all rows aligned to same width
+
+
+def test_format_table_no_title():
+    out = format_table(["x"], [[1]])
+    assert out.splitlines()[0].startswith("x")

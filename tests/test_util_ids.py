@@ -1,0 +1,51 @@
+"""Unit and property tests for id allocation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import IdAllocator
+
+
+def test_single_allocator_is_sequential():
+    alloc = IdAllocator()
+    assert [alloc.allocate() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_peek_does_not_consume():
+    alloc = IdAllocator(rank=1, stride=3)
+    assert alloc.peek() == 1
+    assert alloc.allocate() == 1
+    assert alloc.peek() == 4
+
+
+def test_rank_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        IdAllocator(rank=3, stride=3)
+    with pytest.raises(ValueError):
+        IdAllocator(rank=-1, stride=2)
+    with pytest.raises(ValueError):
+        IdAllocator(rank=0, stride=0)
+
+
+@given(
+    stride=st.integers(min_value=1, max_value=16),
+    per_rank=st.integers(min_value=0, max_value=50),
+)
+def test_striped_allocators_never_collide(stride, per_rank):
+    """Ids from different ranks form disjoint sets (the key invariant)."""
+    seen = set()
+    for rank in range(stride):
+        alloc = IdAllocator(rank=rank, stride=stride)
+        for _ in range(per_rank):
+            value = alloc.allocate()
+            assert value not in seen
+            assert value % stride == rank
+            seen.add(value)
+
+
+@given(stride=st.integers(min_value=1, max_value=8))
+def test_allocation_is_monotonic(stride):
+    alloc = IdAllocator(rank=stride - 1, stride=stride)
+    values = [alloc.allocate() for _ in range(10)]
+    assert values == sorted(values)
+    assert len(set(values)) == len(values)
