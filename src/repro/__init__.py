@@ -22,6 +22,10 @@ Subpackages
 ``repro.evalsim``
     Paper-scale evaluation harness: calibrated cost models and one driver per
     figure/table of the paper's evaluation section.
+``repro.testing``
+    Verification apparatus: deterministic storage fault injection, executable
+    cross-layer invariants, reference swap-scheme models, seeded stress
+    workloads, and the ``mrts-bench selftest`` harness.
 """
 
 __version__ = "1.0.0"

@@ -6,6 +6,13 @@ Usage::
     python -m repro.cli all                  # everything (slow)
     python -m repro.cli --scale 0.5 table1   # thinned size grids
     python -m repro.cli --list               # available experiment ids
+    python -m repro.cli selftest             # invariant-checked smoke run
+
+``selftest`` runs one seeded storm workload per swap-scheme/directory-
+policy combination on a deliberately tiny memory budget and verifies the
+cross-layer invariants afterwards (see :mod:`repro.testing`).  Exit code
+is non-zero if any configuration violates an invariant — an operational
+health check, not a benchmark.
 """
 
 from __future__ import annotations
@@ -24,11 +31,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiments", nargs="*",
-        help="experiment ids (see --list), or 'all'",
+        help="experiment ids (see --list), 'all', or 'selftest'",
     )
     parser.add_argument(
         "--scale", type=float, default=1.0,
         help="shrink size grids (0 < scale <= 1) for quicker runs",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed for 'selftest'",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     args = parser.parse_args(argv)
@@ -37,7 +48,11 @@ def main(argv: list[str] | None = None) -> int:
         print("available experiments:")
         for name in ALL_EXPERIMENTS:
             print(f"  {name}")
+        print("  selftest (invariant-checked runtime smoke test)")
         return 0
+
+    if args.experiments == ["selftest"]:
+        return _selftest(args.seed)
     if not 0.0 < args.scale <= 1.0:
         parser.error("--scale must be in (0, 1]")
 
@@ -57,6 +72,20 @@ def main(argv: list[str] | None = None) -> int:
         print(experiment.render())
         print(f"[{name} regenerated in {elapsed:.1f}s]\n")
     return 0
+
+
+def _selftest(seed: int) -> int:
+    from repro.testing import selftest
+
+    start = time.perf_counter()
+    reports = selftest(seed=seed)
+    elapsed = time.perf_counter() - start
+    for report in reports:
+        print(report.render())
+    failed = sum(1 for r in reports if not r.ok)
+    verdict = "PASS" if failed == 0 else f"FAIL ({failed}/{len(reports)})"
+    print(f"[selftest {verdict} in {elapsed:.1f}s]")
+    return 0 if failed == 0 else 1
 
 
 if __name__ == "__main__":

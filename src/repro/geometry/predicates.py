@@ -147,14 +147,40 @@ def circumcenter(a: Point, b: Point, c: Point) -> Point:
     """Circumcenter of a non-degenerate triangle.
 
     Raises :class:`ZeroDivisionError` for collinear input — callers check
-    orientation first.
+    orientation first.  When the float cross product underflows to zero on
+    a triangle that is *exactly* non-degenerate (tiny coordinates), the
+    computation falls back to rational arithmetic; coordinates too large
+    for a float come back as ±inf, which callers already guard with
+    ``isfinite`` (see :func:`dist_sq`).
     """
     d = 2.0 * ((a[0] - c[0]) * (b[1] - c[1]) - (a[1] - c[1]) * (b[0] - c[0]))
+    if d == 0.0:
+        return _circumcenter_exact(a, b, c)
     a2 = (a[0] - c[0]) ** 2 + (a[1] - c[1]) ** 2
     b2 = (b[0] - c[0]) ** 2 + (b[1] - c[1]) ** 2
     ux = c[0] + (a2 * (b[1] - c[1]) - b2 * (a[1] - c[1])) / d
     uy = c[1] + (b2 * (a[0] - c[0]) - a2 * (b[0] - c[0])) / d
     return (ux, uy)
+
+
+def _circumcenter_exact(a: Point, b: Point, c: Point) -> Point:
+    """Rational-arithmetic circumcenter; ZeroDivisionError when collinear."""
+    ax, ay = Fraction(a[0]) - Fraction(c[0]), Fraction(a[1]) - Fraction(c[1])
+    bx, by = Fraction(b[0]) - Fraction(c[0]), Fraction(b[1]) - Fraction(c[1])
+    d = 2 * (ax * by - ay * bx)  # exact: zero iff truly collinear
+    a2 = ax * ax + ay * ay
+    b2 = bx * bx + by * by
+    ux = Fraction(c[0]) + (a2 * by - b2 * ay) / d
+    uy = Fraction(c[1]) + (b2 * ax - a2 * bx) / d
+    return (_clamp_float(ux), _clamp_float(uy))
+
+
+def _clamp_float(value: Fraction) -> float:
+    """Fraction -> float, saturating to ±inf instead of OverflowError."""
+    try:
+        return float(value)
+    except OverflowError:
+        return float("inf") if value > 0 else float("-inf")
 
 
 def circumradius_sq(a: Point, b: Point, c: Point) -> float:

@@ -1,0 +1,76 @@
+"""repro.testing — verification harness for the MRTS runtime.
+
+The paper evaluates MRTS by running three mesh generation methods on real
+clusters and checking the runs complete with the expected breakdowns.  A
+reproduction needs something stronger and cheaper: a way to *prove to
+ourselves*, on every change, that the four layers still agree with each
+other and with their specifications.  This package is that apparatus:
+
+* :mod:`repro.testing.faults` — deterministic fault injection for the
+  storage layer (fail the Nth store, torn writes, intermittent seeded
+  failures) so recovery paths are testable instead of theoretical;
+* :mod:`repro.testing.invariants` — executable cross-layer invariants
+  (memory accounting, residency/storage agreement, directory truth,
+  quiescence) checked against a live runtime;
+* :mod:`repro.testing.models` — small, obviously-correct reference models
+  of the five swapping schemes for model-based property testing;
+* :mod:`repro.testing.workloads` — seeded workload generators (object
+  populations, skewed access traces, message storms) shared by tests,
+  stress runs and benchmarks;
+* :mod:`repro.testing.harness` — :class:`RuntimeHarness`, wiring the above
+  into an invariant-checked runtime factory, plus :func:`selftest` used by
+  ``mrts-bench selftest``.
+
+Everything here is import-light and dependency-free so production code can
+ship it (the CLI selftest uses it operationally, not just in pytest).
+"""
+
+from repro.testing.faults import FaultPlan, FaultyBackend, StorageFault
+from repro.testing.harness import HarnessReport, RuntimeHarness, selftest
+from repro.testing.invariants import (
+    InvariantViolation,
+    assert_invariants,
+    check_mesh,
+    check_ooc_layer,
+    check_runtime,
+)
+from repro.testing.models import (
+    ReferenceLFU,
+    ReferenceLRU,
+    ReferenceLU,
+    ReferenceMRU,
+    ReferenceMU,
+    make_reference,
+)
+from repro.testing.workloads import (
+    StormActor,
+    WorkloadSpec,
+    access_trace,
+    object_sizes,
+    run_storm,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultyBackend",
+    "StorageFault",
+    "HarnessReport",
+    "RuntimeHarness",
+    "selftest",
+    "InvariantViolation",
+    "assert_invariants",
+    "check_mesh",
+    "check_ooc_layer",
+    "check_runtime",
+    "ReferenceLFU",
+    "ReferenceLRU",
+    "ReferenceLU",
+    "ReferenceMRU",
+    "ReferenceMU",
+    "make_reference",
+    "StormActor",
+    "WorkloadSpec",
+    "access_trace",
+    "object_sizes",
+    "run_storm",
+]

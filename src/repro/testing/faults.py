@@ -1,0 +1,139 @@
+"""Deterministic fault injection for the storage layer.
+
+Out-of-core correctness claims ("a checkpoint is exactly an unload of
+everything", "restore repopulates a fresh runtime") are only testable if
+storage can fail on demand.  :class:`FaultyBackend` wraps any
+:class:`~repro.core.storage.StorageBackend` and fails operations according
+to a :class:`FaultPlan` — a pure, seeded schedule, so every failing run is
+replayable bit-for-bit.
+
+Fault kinds
+-----------
+
+* **fail-stop**: the Nth store/load raises :class:`StorageFault` and the
+  backend refuses all further operations (a died disk);
+* **intermittent**: each operation fails with seeded probability but the
+  backend stays usable (a flaky NFS mount);
+* **torn write**: a store persists only a prefix of the payload before
+  raising — the dangerous case for recovery code, because a later load
+  *succeeds* and returns corrupt bytes unless the caller validates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.storage import StorageBackend
+from repro.util.errors import MRTSError
+
+__all__ = ["StorageFault", "FaultPlan", "FaultyBackend"]
+
+
+class StorageFault(MRTSError):
+    """An injected storage-layer failure."""
+
+
+@dataclass
+class FaultPlan:
+    """Seeded schedule of storage failures.
+
+    ``fail_store_at`` / ``fail_load_at`` are 1-based operation ordinals:
+    ``fail_store_at=3`` makes the third store fail.  ``store_fail_rate`` /
+    ``load_fail_rate`` inject intermittent failures drawn from ``seed``.
+    ``torn_write_fraction`` controls how much of the payload a failing
+    store persists (0 = nothing, 0.5 = first half); ``None`` means failing
+    stores persist nothing at all and leave prior contents intact.
+    ``fail_stop`` makes the first injected failure permanent.
+    """
+
+    fail_store_at: Optional[int] = None
+    fail_load_at: Optional[int] = None
+    store_fail_rate: float = 0.0
+    load_fail_rate: float = 0.0
+    torn_write_fraction: Optional[float] = None
+    fail_stop: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("store_fail_rate", "load_fail_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.torn_write_fraction is not None and not (
+            0.0 <= self.torn_write_fraction < 1.0
+        ):
+            raise ValueError("torn_write_fraction must be in [0, 1)")
+        for name in ("fail_store_at", "fail_load_at"):
+            at = getattr(self, name)
+            if at is not None and at < 1:
+                raise ValueError(f"{name} is a 1-based ordinal, got {at}")
+
+
+class FaultyBackend(StorageBackend):
+    """Wrap ``inner``, failing operations per a :class:`FaultPlan`.
+
+    Bookkeeping (``stores``, ``loads``, ``faults_injected``) counts
+    *attempts*, so tests can assert exactly where a run died.
+    """
+
+    def __init__(self, inner: StorageBackend, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.stores = 0
+        self.loads = 0
+        self.faults_injected = 0
+        self.dead = False
+        self._rng = random.Random(plan.seed)
+
+    # ------------------------------------------------------------- injection
+    def _trip(self, op: str, oid: int) -> None:
+        self.faults_injected += 1
+        if self.plan.fail_stop:
+            self.dead = True
+        raise StorageFault(f"injected {op} fault on object {oid}")
+
+    def _check_dead(self, op: str, oid: int) -> None:
+        if self.dead:
+            raise StorageFault(
+                f"storage is fail-stopped; {op} of object {oid} refused"
+            )
+
+    def _should_fail(self, ordinal: int, at: Optional[int], rate: float) -> bool:
+        if at is not None and ordinal == at:
+            return True
+        return rate > 0.0 and self._rng.random() < rate
+
+    # ------------------------------------------------------------ operations
+    def store(self, oid: int, data: bytes) -> None:
+        self._check_dead("store", oid)
+        self.stores += 1
+        if self._should_fail(self.stores, self.plan.fail_store_at,
+                             self.plan.store_fail_rate):
+            frac = self.plan.torn_write_fraction
+            if frac is not None:
+                self.inner.store(oid, data[: int(len(data) * frac)])
+            self._trip("store", oid)
+        self.inner.store(oid, data)
+
+    def load(self, oid: int) -> bytes:
+        self._check_dead("load", oid)
+        self.loads += 1
+        if self._should_fail(self.loads, self.plan.fail_load_at,
+                             self.plan.load_fail_rate):
+            self._trip("load", oid)
+        return self.inner.load(oid)
+
+    def delete(self, oid: int) -> None:
+        self._check_dead("delete", oid)
+        self.inner.delete(oid)
+
+    def contains(self, oid: int) -> bool:
+        return self.inner.contains(oid)
+
+    def size(self, oid: int) -> int:
+        return self.inner.size(oid)
+
+    def stored_ids(self) -> list[int]:
+        return self.inner.stored_ids()

@@ -1,0 +1,184 @@
+"""An invariant-checked runtime factory plus the operational selftest.
+
+:class:`RuntimeHarness` builds an :class:`~repro.core.runtime.MRTS` whose
+per-node storage is optionally wrapped in a
+:class:`~repro.testing.faults.FaultyBackend`, runs workloads against it,
+and re-checks the cross-layer invariants at every event boundary.  Tests
+use it to get a pressured-but-verified runtime in two lines; the CLI's
+``selftest`` subcommand uses it to smoke-check an installation the way
+``fsck`` checks a filesystem.
+
+Determinism note: the harness defaults to :class:`FixedCostModel` (every
+handler charges the same virtual compute time) instead of measured wall
+time, so identical seeds produce identical virtual schedules — the
+property the determinism tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import MRTSConfig
+from repro.core.runtime import MRTS, CostModel
+from repro.core.stats import RunStats
+from repro.core.storage import FileBackend, MemoryBackend, StorageBackend
+from repro.sim.cluster import ClusterSpec
+from repro.sim.node import NodeSpec
+from repro.testing.faults import FaultPlan, FaultyBackend
+from repro.testing.invariants import InvariantViolation, check_runtime
+from repro.testing.workloads import WorkloadSpec, run_storm
+
+__all__ = ["FixedCostModel", "HarnessReport", "RuntimeHarness", "selftest"]
+
+
+class FixedCostModel(CostModel):
+    """Charge a constant virtual compute cost per handler invocation."""
+
+    def __init__(self, cost: float = 1e-4) -> None:
+        if cost < 0:
+            raise ValueError("cost must be >= 0")
+        self.cost = cost
+
+    def handler_cost(self, obj, handler_name, msg) -> Optional[float]:
+        return self.cost
+
+
+@dataclass
+class HarnessReport:
+    """Outcome of one checked run: headline counters plus violations."""
+
+    label: str
+    total_time: float
+    messages: int
+    evictions: int
+    overruns: int
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        status = "ok" if self.ok else f"FAIL ({len(self.violations)})"
+        line = (
+            f"{self.label:<28} {status:<10} t={self.total_time:.4f}s "
+            f"msgs={self.messages} evictions={self.evictions} "
+            f"overruns={self.overruns}"
+        )
+        if self.violations:
+            line += "".join(f"\n    - {v}" for v in self.violations)
+        return line
+
+
+class RuntimeHarness:
+    """Build a runtime with instrumented storage and checked invariants."""
+
+    def __init__(
+        self,
+        n_nodes: int = 2,
+        cores: int = 1,
+        memory_bytes: int = 1 << 20,
+        config: Optional[MRTSConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        spill_dir: Optional[str] = None,
+        cost: float = 1e-4,
+        io_depth: int = 2,
+    ) -> None:
+        self.fault_backends: dict[int, FaultyBackend] = {}
+        self._spill_dir = spill_dir
+        self._fault_plan = fault_plan
+        self.runtime = MRTS(
+            ClusterSpec(
+                n_nodes=n_nodes,
+                node=NodeSpec(cores=cores, memory_bytes=memory_bytes),
+            ),
+            config=config,
+            storage_factory=self._make_backend,
+            cost_model=FixedCostModel(cost),
+            io_depth=io_depth,
+        )
+
+    def _make_backend(self, rank: int) -> StorageBackend:
+        inner: StorageBackend
+        if self._spill_dir is not None:
+            inner = FileBackend(f"{self._spill_dir}/node-{rank}")
+        else:
+            inner = MemoryBackend()
+        if self._fault_plan is None:
+            return inner
+        # One independent injector per node, offset seeds so nodes don't
+        # fail in lockstep.
+        plan = FaultPlan(
+            fail_store_at=self._fault_plan.fail_store_at,
+            fail_load_at=self._fault_plan.fail_load_at,
+            store_fail_rate=self._fault_plan.store_fail_rate,
+            load_fail_rate=self._fault_plan.load_fail_rate,
+            torn_write_fraction=self._fault_plan.torn_write_fraction,
+            fail_stop=self._fault_plan.fail_stop,
+            seed=self._fault_plan.seed + rank,
+        )
+        backend = FaultyBackend(inner, plan)
+        self.fault_backends[rank] = backend
+        return backend
+
+    # ------------------------------------------------------------- execution
+    def check(self) -> list[str]:
+        """Current invariant violations (empty = healthy)."""
+        return check_runtime(self.runtime)
+
+    def run_and_check(self) -> RunStats:
+        """Run to quiescence, then raise on any invariant violation."""
+        stats = self.runtime.run()
+        problems = self.check()
+        if problems:
+            raise InvariantViolation(problems)
+        return stats
+
+    def run_storm(self, spec: Optional[WorkloadSpec] = None):
+        """Drive a storm workload and invariant-check the aftermath."""
+        spec = spec or WorkloadSpec()
+        actors = run_storm(self.runtime, spec)
+        problems = self.check()
+        if problems:
+            raise InvariantViolation(problems)
+        return actors
+
+    def report(self, label: str = "run") -> HarnessReport:
+        stats = self.runtime.stats
+        return HarnessReport(
+            label=label,
+            total_time=stats.total_time,
+            messages=stats.messages_sent,
+            evictions=sum(n.ooc.evictions for n in self.runtime.nodes),
+            overruns=sum(n.ooc.overruns for n in self.runtime.nodes),
+            violations=self.check(),
+        )
+
+
+def selftest(seed: int = 0) -> list[HarnessReport]:
+    """Smoke-check the runtime under every swap scheme and directory policy.
+
+    Runs one seeded storm per configuration on a deliberately tiny memory
+    budget (so eviction, spill and reload all trigger) and reports the
+    invariant-check outcome of each.  Used by ``mrts-bench selftest``.
+    """
+    reports: list[HarnessReport] = []
+    spec = WorkloadSpec(n_actors=10, payload_bytes=4096, initial_pulses=3,
+                        hops=5, fanout=2, seed=seed)
+    for scheme in MRTSConfig.VALID_SCHEMES:
+        for policy in MRTSConfig.VALID_DIRECTORY:
+            label = f"storm[{scheme}/{policy}]"
+            harness = RuntimeHarness(
+                n_nodes=3,
+                memory_bytes=20 * 1024,
+                config=MRTSConfig(swap_scheme=scheme, directory_policy=policy),
+            )
+            try:
+                harness.run_storm(spec)
+                reports.append(harness.report(label))
+            except InvariantViolation as exc:
+                report = harness.report(label)
+                report.violations = exc.violations
+                reports.append(report)
+    return reports

@@ -1,0 +1,210 @@
+"""Executable cross-layer invariants of the MRTS runtime.
+
+The four layers each keep their own bookkeeping of the same facts — where
+an object is, how big it is, how many messages it owes.  Bugs show up as
+*disagreement* between layers long before they show up as wrong meshes.
+These checkers walk a live runtime at an event boundary and return every
+disagreement they find as a human-readable violation string.
+
+Invariants checked (``check_runtime``):
+
+* **memory accounting** — each node's ``memory_used`` equals the sum of
+  its resident objects' sizes; budget overruns are only tolerated when the
+  OOC layer recorded them;
+* **residency agreement** — the OOC layer and the control layer track the
+  same object set; an object is spilled (``obj is None``) iff the OOC
+  layer says non-resident, and spilled objects' bytes exist in storage;
+* **directory truth** — the directory's authoritative location for every
+  live object is exactly the node holding it, and no object lives on two
+  nodes;
+* **lock sanity** — lock counts are non-negative and, at quiescence, zero
+  (every runtime-internal pin must have been released);
+* **quiescence** — at quiescence no messages are queued, no handlers are
+  in flight, and the termination detector agrees.
+
+``check_ooc_layer`` applies the memory/lock subset to a bare
+:class:`~repro.core.ooc.OOCLayer` (unit tests).  ``check_mesh`` validates
+a :class:`~repro.mesh.Triangulation`: constrained-Delaunay conformity plus
+positive areas and an optional minimum-angle floor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from repro.mesh.quality import triangle_angles, triangle_area
+from repro.util.errors import MRTSError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ooc import OOCLayer
+    from repro.core.runtime import MRTS
+    from repro.mesh.triangulation import Triangulation
+
+__all__ = [
+    "InvariantViolation",
+    "check_ooc_layer",
+    "check_runtime",
+    "check_mesh",
+    "assert_invariants",
+]
+
+
+class InvariantViolation(MRTSError):
+    """A cross-layer invariant does not hold; carries all violations found."""
+
+    def __init__(self, violations: list[str]) -> None:
+        self.violations = violations
+        preview = "; ".join(violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        super().__init__(f"{len(violations)} invariant violation(s): {preview}{more}")
+
+
+def check_ooc_layer(ooc: "OOCLayer", label: str = "ooc") -> list[str]:
+    """Internal-consistency violations of one out-of-core layer."""
+    problems: list[str] = []
+    resident_bytes = sum(r.nbytes for r in ooc.table.values() if r.resident)
+    if resident_bytes != ooc.memory_used:
+        problems.append(
+            f"{label}: memory_used={ooc.memory_used} but resident objects "
+            f"sum to {resident_bytes}"
+        )
+    if ooc.memory_used > ooc.budget and ooc.overruns == 0:
+        problems.append(
+            f"{label}: over budget ({ooc.memory_used}/{ooc.budget}) "
+            "with no recorded overrun"
+        )
+    if ooc.high_water < ooc.memory_used:
+        problems.append(
+            f"{label}: high_water={ooc.high_water} below "
+            f"memory_used={ooc.memory_used}"
+        )
+    for oid, rec in ooc.table.items():
+        if rec.nbytes < 0:
+            problems.append(f"{label}: object {oid} has negative size")
+        if rec.locked < 0:
+            problems.append(f"{label}: object {oid} has negative lock count")
+        if rec.locked > 0 and not rec.resident:
+            problems.append(f"{label}: object {oid} locked but not resident")
+        if rec.queued_messages < 0:
+            problems.append(f"{label}: object {oid} negative queue length")
+    return problems
+
+
+def check_runtime(runtime: "MRTS") -> list[str]:
+    """Cross-layer violations of a full runtime at an event boundary."""
+    problems: list[str] = []
+    quiescent = runtime.termination.quiescent
+    seen: dict[int, int] = {}  # oid -> node actually holding it
+
+    for nrt in runtime.nodes:
+        label = f"node {nrt.rank}"
+        problems.extend(check_ooc_layer(nrt.ooc, label))
+
+        local_ids = set(nrt.locals)
+        tracked_ids = set(nrt.ooc.table)
+        for oid in local_ids - tracked_ids:
+            problems.append(f"{label}: object {oid} local but untracked by OOC")
+        for oid in tracked_ids - local_ids:
+            problems.append(f"{label}: object {oid} tracked by OOC but not local")
+
+        for oid, rec in nrt.locals.items():
+            if oid in seen:
+                problems.append(
+                    f"object {oid} lives on both node {seen[oid]} and {nrt.rank}"
+                )
+            seen[oid] = nrt.rank
+            resident = nrt.ooc.is_resident(oid)
+            if resident and rec.obj is None:
+                problems.append(
+                    f"{label}: object {oid} marked resident but has no "
+                    "in-core instance"
+                )
+            if not resident:
+                if rec.obj is not None:
+                    problems.append(
+                        f"{label}: object {oid} spilled by OOC but still in core"
+                    )
+                if not nrt.storage.contains(oid):
+                    problems.append(
+                        f"{label}: spilled object {oid} missing from storage"
+                    )
+            if rec.in_flight < 0:
+                problems.append(f"{label}: object {oid} negative in_flight")
+            if quiescent:
+                if rec.queue:
+                    problems.append(
+                        f"{label}: object {oid} has {len(rec.queue)} queued "
+                        "messages at quiescence"
+                    )
+                if rec.in_flight:
+                    problems.append(
+                        f"{label}: object {oid} has a handler in flight "
+                        "at quiescence"
+                    )
+                if oid in nrt.ooc.table and nrt.ooc.table[oid].locked:
+                    problems.append(
+                        f"{label}: object {oid} still locked at quiescence"
+                    )
+
+    truth = runtime.directory.truth
+    for oid, node in seen.items():
+        if truth.get(oid) != node:
+            problems.append(
+                f"directory says object {oid} is on node {truth.get(oid)}, "
+                f"actually on node {node}"
+            )
+    for oid in set(truth) - set(seen):
+        problems.append(f"directory tracks object {oid} which lives nowhere")
+    for oid in set(runtime._objects_by_oid) - set(seen):
+        problems.append(f"pointer table has object {oid} which lives nowhere")
+
+    if quiescent and runtime.termination.outstanding != 0:
+        problems.append(
+            f"termination detector quiescent with "
+            f"{runtime.termination.outstanding} outstanding items"
+        )
+    return problems
+
+
+def check_mesh(
+    mesh: "Triangulation", min_angle_deg: Optional[float] = None
+) -> list[str]:
+    """Conformity violations of a triangulation (empty = valid)."""
+    problems = list(mesh.check_delaunay())
+    for tri in mesh.triangles():
+        coords = mesh.coords(tri)
+        area = triangle_area(*coords)
+        if not area > 0.0:
+            problems.append(f"triangle {tri} has non-positive area {area}")
+            continue
+        if min_angle_deg is not None:
+            smallest = math.degrees(min(triangle_angles(*coords)))
+            if smallest < min_angle_deg:
+                problems.append(
+                    f"triangle {tri} angle {smallest:.2f} deg below "
+                    f"floor {min_angle_deg}"
+                )
+    return problems
+
+
+def assert_invariants(subject, **kwargs) -> None:
+    """Raise :class:`InvariantViolation` if ``subject`` violates invariants.
+
+    Dispatches on type: an :class:`MRTS` runtime, an :class:`OOCLayer`, or
+    a :class:`Triangulation` (kwargs forwarded to the specific checker).
+    """
+    from repro.core.ooc import OOCLayer
+    from repro.core.runtime import MRTS
+    from repro.mesh.triangulation import Triangulation
+
+    if isinstance(subject, MRTS):
+        problems = check_runtime(subject, **kwargs)
+    elif isinstance(subject, OOCLayer):
+        problems = check_ooc_layer(subject, **kwargs)
+    elif isinstance(subject, Triangulation):
+        problems = check_mesh(subject, **kwargs)
+    else:
+        raise TypeError(f"no invariant checker for {type(subject).__name__}")
+    if problems:
+        raise InvariantViolation(problems)

@@ -1,0 +1,137 @@
+"""Reference models of the five swapping schemes.
+
+:mod:`repro.core.swapping` keeps incremental per-object bookkeeping
+(last-touch clock, touch counts) because ``victim()`` sits on the eviction
+hot path.  These models answer the same questions by *replaying a recorded
+event log* from scratch on every query — slow, stateless between queries,
+and obviously correct.  Property tests drive both with the same random
+touch/forget/victim sequences and require identical answers; any
+divergence is a bug in the fast path's bookkeeping.
+
+The scoring formulas themselves are shared vocabulary with the paper
+(LRU/MRU by recency, LFU/MU by frequency, LU by decayed usage) — what the
+models de-duplicate is the *state maintenance*, which is where cache
+implementations actually rot.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = [
+    "ReferenceScheme",
+    "ReferenceLRU",
+    "ReferenceMRU",
+    "ReferenceLFU",
+    "ReferenceMU",
+    "ReferenceLU",
+    "make_reference",
+]
+
+
+class ReferenceScheme:
+    """Log-replaying twin of :class:`repro.core.swapping.SwapScheme`."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._events: list[tuple[str, int]] = []
+
+    def touch(self, oid: int) -> None:
+        self._events.append(("touch", oid))
+
+    def forget(self, oid: int) -> None:
+        self._events.append(("forget", oid))
+
+    # ---------------------------------------------------------------- replay
+    def _replay(self) -> tuple[int, dict[int, int], dict[int, int]]:
+        """Rebuild (clock, last_touch, count) from the event log.
+
+        The clock advances on every touch, including touches of objects
+        later forgotten — mirroring the fast path, where ``forget`` drops
+        the object's entries but never rewinds the clock.
+        """
+        clock = 0
+        last: dict[int, int] = {}
+        count: dict[int, int] = {}
+        for kind, oid in self._events:
+            if kind == "touch":
+                clock += 1
+                last[oid] = clock
+                count[oid] = count.get(oid, 0) + 1
+            else:
+                last.pop(oid, None)
+                count.pop(oid, None)
+        return clock, last, count
+
+    def last_touch(self, oid: int) -> int:
+        _, last, _ = self._replay()
+        return last.get(oid, 0)
+
+    def count(self, oid: int) -> int:
+        _, _, count = self._replay()
+        return count.get(oid, 0)
+
+    def _score_from(
+        self, oid: int, clock: int, last: dict[int, int], count: dict[int, int]
+    ) -> float:
+        raise NotImplementedError
+
+    def victim(self, candidates: Iterable[int]) -> int:
+        clock, last, count = self._replay()
+        pool = sorted(candidates)
+        if not pool:
+            raise ValueError("no eviction candidates")
+        return min(pool, key=lambda o: (self._score_from(o, clock, last, count), o))
+
+
+class ReferenceLRU(ReferenceScheme):
+    name = "lru"
+
+    def _score_from(self, oid, clock, last, count):
+        return float(last.get(oid, 0))
+
+
+class ReferenceMRU(ReferenceScheme):
+    name = "mru"
+
+    def _score_from(self, oid, clock, last, count):
+        return -float(last.get(oid, 0))
+
+
+class ReferenceLFU(ReferenceScheme):
+    name = "lfu"
+
+    def _score_from(self, oid, clock, last, count):
+        return float(count.get(oid, 0))
+
+
+class ReferenceMU(ReferenceScheme):
+    name = "mu"
+
+    def _score_from(self, oid, clock, last, count):
+        return -float(count.get(oid, 0))
+
+
+class ReferenceLU(ReferenceScheme):
+    name = "lu"
+
+    def _score_from(self, oid, clock, last, count):
+        age = clock - last.get(oid, 0) + 1
+        return count.get(oid, 0) / age
+
+
+_MODELS = {
+    cls.name: cls
+    for cls in (ReferenceLRU, ReferenceMRU, ReferenceLFU, ReferenceMU, ReferenceLU)
+}
+
+
+def make_reference(name: str) -> ReferenceScheme:
+    """Instantiate the reference model for a scheme name."""
+    try:
+        return _MODELS[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown swap scheme {name!r}; choose from {sorted(_MODELS)}"
+        ) from None

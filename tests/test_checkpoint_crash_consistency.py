@@ -1,0 +1,194 @@
+"""Crash-consistency tests: checkpoint/restore under injected storage faults.
+
+The paper claims fault tolerance falls out of the out-of-core subsystem
+("check and restore functionality ... can be implemented with little
+effort").  These tests hold that claim to its operational meaning: a run
+that crashes mid-flight must be resumable from its last checkpoint and
+converge to the *same final state* as a run that never crashed.
+
+StormActor cascades are delivery-order independent by construction (the
+forwarding PRNG is keyed on cascade-tree tokens, not arrival order), so
+"same final state" is exact equality, not a statistical claim.
+"""
+
+import pytest
+
+from repro.core import MRTSConfig, MemoryBackend, MobileObject
+from repro.core.checkpoint import Checkpoint, CheckpointPolicy, checkpoint, restore
+from repro.testing import (
+    FaultPlan,
+    FaultyBackend,
+    RuntimeHarness,
+    StorageFault,
+    StormActor,
+    WorkloadSpec,
+    run_storm,
+)
+from repro.util.errors import SerializationError
+
+
+SPEC = WorkloadSpec(
+    n_actors=8, payload_bytes=2048, initial_pulses=2, hops=4, fanout=2,
+    grow_every=3, grow_bytes=512, seed=7,
+)
+
+
+def final_state(runtime, pointers):
+    """oid -> (hits, forwarded, payload length) for every actor."""
+    out = {}
+    for ptr in pointers:
+        obj = runtime.get_object(ptr)
+        out[ptr.oid] = (obj.hits, obj.forwarded, len(obj.payload))
+    return out
+
+
+def phase2(runtime, pointers_by_oid, oids):
+    """Post a second wave of pulses to the three lowest-oid actors."""
+    for k, oid in enumerate(sorted(oids)[:3]):
+        runtime.post(pointers_by_oid[oid], "pulse", 3, 2, f"q{k}")
+    runtime.run()
+
+
+# ------------------------------------------------------------- equivalence
+def test_restore_equals_uninterrupted_run(harness):
+    # Reference: phase 1 + phase 2 with no interruption.
+    ref = harness(n_nodes=2, memory_bytes=64 * 1024)
+    ref_actors = ref.run_storm(SPEC)
+    oids = [p.oid for p in ref_actors]
+    phase2(ref.runtime, {p.oid: p for p in ref_actors}, oids)
+    assert ref.check() == []
+    want = final_state(ref.runtime, ref_actors)
+
+    # Checkpointed: phase 1, snapshot, "crash", restore elsewhere, phase 2.
+    first = harness(n_nodes=2, memory_bytes=64 * 1024)
+    actors = first.run_storm(SPEC)
+    snap = checkpoint(first.runtime)
+    del first  # the crash
+
+    second = harness(n_nodes=2, memory_bytes=64 * 1024)
+    pointers = restore(snap, second.runtime)
+    assert set(pointers) == set(oids)
+    phase2(second.runtime, pointers, oids)
+    assert second.check() == []
+    got = final_state(second.runtime, [pointers[oid] for oid in oids])
+    assert got == want
+
+
+def test_checkpoint_captures_pending_messages(harness):
+    """Messages posted but not yet run survive the snapshot round-trip."""
+    a = harness(n_nodes=2, memory_bytes=64 * 1024)
+    actors = [
+        a.runtime.create_object(StormActor, 1024, 3, 4, 128, node=i % 2)
+        for i in range(4)
+    ]
+    for ptr in actors:
+        a.runtime.post(ptr, "meet", actors)
+    a.runtime.post(actors[0], "pulse", 2, 2, "p0")
+
+    snap = checkpoint(a.runtime)
+    assert snap.pending_messages == len(actors) + 1  # 4 meets + 1 pulse
+    # Bytes round-trip preserves the snapshot verbatim.
+    clone = Checkpoint.from_bytes(snap.to_bytes())
+    assert clone.n_objects == snap.n_objects == 4
+    assert clone.pending_messages == snap.pending_messages
+
+    # Both the original and a restored runtime run the pending work to the
+    # same final state.
+    a.run_and_check()
+    want = final_state(a.runtime, actors)
+
+    b = harness(n_nodes=2, memory_bytes=64 * 1024)
+    pointers = restore(clone, b.runtime)
+    b.run_and_check()
+    got = final_state(b.runtime, list(pointers.values()))
+    assert got == want
+
+
+# -------------------------------------------------------------- crash paths
+def test_crash_on_spill_recovers_from_checkpoint(harness):
+    """A fail-stopped disk kills the run; the checkpoint resumes it.
+
+    Memory is sized so phase 1 (object creation + introductions) fits in
+    core, then the pulse wave's payload growth forces spills — which the
+    fault plan kills.  Recovery restores the pre-crash snapshot on a
+    healthy harness and re-runs the wave.
+    """
+    tight = 24 * 1024  # 8 actors x 2 KiB leaves little headroom for growth
+    wave = dict(pointers=None, oids=None)
+
+    def run_wave(h, pointers_by_oid, oids):
+        for k, oid in enumerate(sorted(oids)[:2]):
+            h.runtime.post(pointers_by_oid[oid], "pulse", 5, 2, f"w{k}")
+        h.runtime.run()
+
+    # Reference: healthy end-to-end run.
+    ref = harness(n_nodes=2, memory_bytes=tight)
+    ref_actors = run_storm(ref.runtime, WorkloadSpec(
+        n_actors=8, payload_bytes=2048, initial_pulses=0, seed=11,
+        grow_every=2, grow_bytes=1024,
+    ))
+    oids = [p.oid for p in ref_actors]
+    run_wave(ref, {p.oid: p for p in ref_actors}, oids)
+    assert ref.check() == []
+    want = final_state(ref.runtime, ref_actors)
+
+    # Crashing run: same shape, but the disk dies on its 3rd store.
+    crashing = harness(
+        n_nodes=2, memory_bytes=tight,
+        fault_plan=FaultPlan(fail_store_at=3, fail_stop=True),
+    )
+    actors = run_storm(crashing.runtime, WorkloadSpec(
+        n_actors=8, payload_bytes=2048, initial_pulses=0, seed=11,
+        grow_every=2, grow_bytes=1024,
+    ))
+    snap = checkpoint(crashing.runtime)
+    with pytest.raises(StorageFault):
+        run_wave(crashing, {p.oid: p for p in actors}, oids)
+    assert any(b.faults_injected for b in crashing.fault_backends.values())
+
+    # Recovery: healthy harness, restored state, replayed wave.
+    recovered = harness(n_nodes=2, memory_bytes=tight)
+    pointers = restore(snap, recovered.runtime)
+    run_wave(recovered, pointers, oids)
+    assert recovered.check() == []
+    got = final_state(recovered.runtime, [pointers[oid] for oid in oids])
+    assert got == want
+
+
+def test_torn_write_leaves_corrupt_bytes():
+    """A torn store must be treated as failed even though a load 'works'."""
+
+    class Payload(MobileObject):
+        def __init__(self, ptr):
+            super().__init__(ptr)
+            self.blob = bytes(range(256)) * 16
+
+    from repro.core.mobile import MobilePointer
+
+    backend = FaultyBackend(
+        MemoryBackend(),
+        FaultPlan(fail_store_at=1, torn_write_fraction=0.5),
+    )
+    obj = Payload(MobilePointer(oid=1))
+    packed = obj.pack()
+    with pytest.raises(StorageFault):
+        backend.store(1, packed)
+    # The dangerous part: storage *contains* the object, but truncated.
+    assert backend.contains(1)
+    torn = backend.load(1)
+    assert len(torn) < len(packed)
+    with pytest.raises(SerializationError):
+        obj.unpack(torn)
+
+
+# ------------------------------------------------------------------- policy
+def test_checkpoint_policy_triggers_on_interval(harness):
+    h = harness(n_nodes=2, memory_bytes=64 * 1024)
+    policy = CheckpointPolicy(h.runtime, interval=5)
+    assert policy.take_if_due() is None  # nothing retired yet
+
+    h.run_storm(WorkloadSpec(n_actors=6, initial_pulses=2, hops=3, seed=2))
+    snap = policy.take_if_due()
+    assert snap is not None and snap.n_objects == 6
+    assert policy.latest is snap
+    assert policy.take_if_due() is None  # no new work since

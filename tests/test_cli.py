@@ -41,3 +41,38 @@ def test_multiple_experiments(capsys):
     assert main(["intro_turnaround", "ablation_directory", "--scale", "0.25"]) == 0
     out = capsys.readouterr().out
     assert "intro_turnaround" in out and "ablation_directory" in out
+
+
+def test_selftest_listed(capsys):
+    main(["--list"])
+    assert "selftest" in capsys.readouterr().out
+
+
+def test_selftest_passes(capsys):
+    assert main(["selftest", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "selftest PASS" in out
+    assert "storm[lru/lazy]" in out
+    # One report line per scheme x directory-policy combination.
+    assert out.count("storm[") == 15
+
+
+def test_selftest_reports_failures(capsys, monkeypatch):
+    """A selftest that finds violations must exit non-zero and say why."""
+    import repro.cli as cli_mod
+    from repro.testing import HarnessReport
+
+    def fake_selftest(seed=0):
+        return [
+            HarnessReport("storm[lru/lazy]", 0.0, 1, 0, 0,
+                          violations=["node 0: memory_used off by 7"]),
+            HarnessReport("storm[lfu/lazy]", 0.0, 1, 0, 0),
+        ]
+
+    import repro.testing
+
+    monkeypatch.setattr(repro.testing, "selftest", fake_selftest)
+    assert main(["selftest"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL (1/2)" in out
+    assert "memory_used off by 7" in out

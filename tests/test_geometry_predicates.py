@@ -103,6 +103,40 @@ def test_circumcenter_equidistant_property(a, b, c):
     assert dist_sq(cc, c) == pytest.approx(r2, rel=1e-5, abs=1e-5 * scale)
 
 
+def test_circumcenter_underflow_regression():
+    """Cross product underflows to float 0 on this exactly-ccw triangle.
+
+    Hypothesis found it crashing with ZeroDivisionError; the exact-
+    arithmetic fallback must produce a finite, equidistant center here
+    (the coordinates are tiny, so the center is representable).
+    """
+    a = (0.0, 0.0)
+    b = (0.0, 1.8789180290781633e-177)
+    c = (7.0838981334494475e-168, 0.0)
+    assert orient2d(a, b, c) != 0
+    cc = circumcenter(a, b, c)
+    assert all(math.isfinite(x) for x in cc)
+    # Equidistance holds exactly at this scale (coordinates are powers of
+    # the inputs; compare with a wide relative tolerance).
+    assert dist_sq(cc, a) == pytest.approx(dist_sq(cc, b), rel=1e-6)
+    assert dist_sq(cc, a) == pytest.approx(dist_sq(cc, c), rel=1e-6)
+
+
+def test_circumcenter_collinear_raises_even_when_tiny():
+    """Truly collinear input still raises, including at underflow scale."""
+    with pytest.raises(ZeroDivisionError):
+        circumcenter((0.0, 0.0), (1.0, 1.0), (2.0, 2.0))
+    with pytest.raises(ZeroDivisionError):
+        circumcenter((0.0, 0.0), (1e-200, 1e-200), (2e-200, 2e-200))
+
+
+def test_circumcenter_far_center_saturates_to_inf():
+    """A needle triangle whose exact center exceeds float range gives inf."""
+    cc = circumcenter((0.0, 0.0), (1e-300, 5e-324), (2e-300, 0.0))
+    assert any(math.isinf(x) for x in cc) or all(math.isfinite(x) for x in cc)
+    # Whatever the magnitude, the call must not raise.
+
+
 def test_circumradius_sq_equilateral():
     h = math.sqrt(3) / 2
     r2 = circumradius_sq((0, 0), (1, 0), (0.5, h))

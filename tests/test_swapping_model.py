@@ -1,0 +1,101 @@
+"""Model-based property tests for the swapping schemes.
+
+Drives each fast scheme (incremental bookkeeping, repro.core.swapping) and
+its log-replaying reference model (repro.testing.models) with the same
+random touch/forget/victim sequences and requires identical answers for
+every observable: victims, last-touch clocks, touch counts.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MRTSConfig, make_scheme
+from repro.core.swapping import LFU, LRU, LU, MRU, MU
+from repro.testing import make_reference
+
+SCHEMES = MRTSConfig.VALID_SCHEMES
+OIDS = st.integers(min_value=0, max_value=7)
+
+op = st.one_of(
+    st.tuples(st.just("touch"), OIDS),
+    st.tuples(st.just("forget"), OIDS),
+    st.tuples(st.just("victim"), st.frozensets(OIDS, min_size=1, max_size=8)),
+)
+op_sequences = st.lists(op, max_size=80)
+
+
+@pytest.mark.parametrize("name", SCHEMES)
+@settings(max_examples=60, deadline=None)
+@given(ops=op_sequences)
+def test_scheme_matches_reference_model(name, ops):
+    fast = make_scheme(name)
+    model = make_reference(name)
+    for kind, arg in ops:
+        if kind == "touch":
+            fast.touch(arg)
+            model.touch(arg)
+        elif kind == "forget":
+            fast.forget(arg)
+            model.forget(arg)
+        else:
+            assert fast.victim(arg) == model.victim(arg), (
+                f"{name}: victim disagrees on candidates {sorted(arg)}"
+            )
+    for oid in range(8):
+        assert fast.last_touch(oid) == model.last_touch(oid)
+        assert fast.count(oid) == model.count(oid)
+
+
+@pytest.mark.parametrize("name", SCHEMES)
+@settings(max_examples=40, deadline=None)
+@given(ops=op_sequences, candidates=st.frozensets(OIDS, min_size=1))
+def test_victim_is_member_and_pure(name, ops, candidates):
+    """victim() picks from the candidate set and does not mutate state."""
+    scheme = make_scheme(name)
+    for kind, arg in ops:
+        if kind == "touch":
+            scheme.touch(arg)
+        elif kind == "forget":
+            scheme.forget(arg)
+    first = scheme.victim(candidates)
+    assert first in candidates
+    assert scheme.victim(candidates) == first
+
+
+def test_lru_vs_mru_are_opposites():
+    """On distinct recencies the LRU and MRU victims are the extremes."""
+    lru, mru = LRU(), MRU()
+    for s in (lru, mru):
+        for oid in (1, 2, 3):
+            s.touch(oid)
+    assert lru.victim({1, 2, 3}) == 1
+    assert mru.victim({1, 2, 3}) == 3
+
+
+def test_lfu_vs_mu_are_opposites():
+    lfu, mu = LFU(), MU()
+    for s in (lfu, mu):
+        for oid, n in ((1, 3), (2, 1), (3, 2)):
+            for _ in range(n):
+                s.touch(oid)
+    assert lfu.victim({1, 2, 3}) == 2
+    assert mu.victim({1, 2, 3}) == 1
+
+
+def test_lu_decays_with_age():
+    """A heavily-used-long-ago object loses to a lightly-used-recent one."""
+    lu = LU()
+    for _ in range(5):
+        lu.touch(1)  # five early touches
+    for _ in range(20):
+        lu.touch(2)  # age object 1 by twenty clock ticks
+    lu.touch(3)  # one very recent touch
+    # Object 1: count 5, age 21 -> ~0.24; object 3: count 1, age 1 -> 1.0.
+    assert lu.victim({1, 3}) == 1
+
+
+def test_untouched_objects_evict_first_under_lru_and_lfu():
+    for name in ("lru", "lfu"):
+        s = make_scheme(name)
+        s.touch(5)
+        assert s.victim({5, 9}) == 9  # 9 never touched: score 0

@@ -1,0 +1,112 @@
+"""Unit tests for the storage fault injector."""
+
+import pytest
+
+from repro.core import MemoryBackend
+from repro.testing import FaultPlan, FaultyBackend, StorageFault
+
+
+def make(plan):
+    return FaultyBackend(MemoryBackend(), plan)
+
+
+# ------------------------------------------------------------------ planning
+def test_plan_validates_rates_and_ordinals():
+    with pytest.raises(ValueError):
+        FaultPlan(store_fail_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(load_fail_rate=-0.1)
+    with pytest.raises(ValueError):
+        FaultPlan(torn_write_fraction=1.0)
+    with pytest.raises(ValueError):
+        FaultPlan(fail_store_at=0)
+    with pytest.raises(ValueError):
+        FaultPlan(fail_load_at=-1)
+
+
+# ------------------------------------------------------------------ ordinals
+def test_nth_store_fails_and_rest_succeed():
+    b = make(FaultPlan(fail_store_at=2))
+    b.store(1, b"one")
+    with pytest.raises(StorageFault):
+        b.store(2, b"two")
+    b.store(3, b"three")  # not fail-stop: later stores work
+    assert b.load(1) == b"one"
+    assert not b.contains(2)
+    assert b.stores == 3 and b.faults_injected == 1
+
+
+def test_nth_load_fails():
+    b = make(FaultPlan(fail_load_at=2))
+    b.store(1, b"x")
+    assert b.load(1) == b"x"
+    with pytest.raises(StorageFault):
+        b.load(1)
+    assert b.load(1) == b"x"
+    assert b.loads == 3
+
+
+def test_fail_stop_bricks_the_backend():
+    b = make(FaultPlan(fail_store_at=1, fail_stop=True))
+    with pytest.raises(StorageFault):
+        b.store(1, b"x")
+    assert b.dead
+    for op in (lambda: b.store(2, b"y"), lambda: b.load(1), lambda: b.delete(1)):
+        with pytest.raises(StorageFault, match="fail-stopped"):
+            op()
+
+
+# -------------------------------------------------------------- intermittent
+def test_intermittent_failures_are_seed_reproducible():
+    def failure_pattern(seed):
+        b = make(FaultPlan(store_fail_rate=0.4, seed=seed))
+        pattern = []
+        for i in range(50):
+            try:
+                b.store(i, b"d")
+                pattern.append(False)
+            except StorageFault:
+                pattern.append(True)
+        return pattern
+
+    a, b_, c = failure_pattern(1), failure_pattern(1), failure_pattern(2)
+    assert a == b_          # same seed, same schedule
+    assert a != c           # different seed, different schedule
+    assert any(a) and not all(a)
+
+
+def test_zero_rates_never_fail():
+    b = make(FaultPlan())
+    for i in range(100):
+        b.store(i, bytes([i]))
+    assert all(b.load(i) == bytes([i]) for i in range(100))
+    assert b.faults_injected == 0
+
+
+# --------------------------------------------------------------- torn writes
+def test_torn_write_persists_prefix():
+    b = make(FaultPlan(fail_store_at=1, torn_write_fraction=0.25))
+    with pytest.raises(StorageFault):
+        b.store(7, bytes(100))
+    assert b.contains(7)
+    assert b.size(7) == 25
+
+
+def test_failed_store_without_tearing_preserves_old_contents():
+    b = make(FaultPlan(fail_store_at=2))
+    b.store(7, b"old")
+    with pytest.raises(StorageFault):
+        b.store(7, b"newer")
+    assert b.load(7) == b"old"
+
+
+# --------------------------------------------------------------- passthrough
+def test_passthrough_bookkeeping():
+    b = make(FaultPlan())
+    b.store(1, b"aa")
+    b.store(2, b"bbbb")
+    assert sorted(b.stored_ids()) == [1, 2]
+    assert b.total_bytes() == 6
+    assert b.largest_object() == 4
+    b.delete(1)
+    assert not b.contains(1)

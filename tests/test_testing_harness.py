@@ -1,0 +1,65 @@
+"""Unit tests for RuntimeHarness and the operational selftest."""
+
+import pytest
+
+from repro.core import MRTSConfig
+from repro.testing import (
+    FaultPlan,
+    InvariantViolation,
+    RuntimeHarness,
+    WorkloadSpec,
+    selftest,
+)
+from repro.testing.harness import FixedCostModel
+
+
+def test_fixed_cost_model_charges_constant():
+    model = FixedCostModel(0.25)
+    assert model.handler_cost(None, "x", None) == 0.25
+    with pytest.raises(ValueError):
+        FixedCostModel(-1.0)
+
+
+def test_fixed_cost_makes_virtual_time_deterministic():
+    def total_time():
+        h = RuntimeHarness(n_nodes=2, memory_bytes=1 << 20, cost=1e-3)
+        h.run_storm(WorkloadSpec(n_actors=4, initial_pulses=1, hops=3, seed=1))
+        return h.runtime.stats.total_time
+
+    assert total_time() == total_time()
+
+
+def test_fault_plan_is_cloned_per_node_with_offset_seeds():
+    h = RuntimeHarness(
+        n_nodes=3, fault_plan=FaultPlan(store_fail_rate=0.5, seed=10)
+    )
+    assert set(h.fault_backends) == {0, 1, 2}
+    seeds = [b.plan.seed for b in h.fault_backends.values()]
+    assert len(set(seeds)) == 3  # nodes fail independently, not in lockstep
+
+
+def test_run_and_check_raises_on_corruption():
+    h = RuntimeHarness(n_nodes=2, memory_bytes=1 << 20)
+    h.run_storm(WorkloadSpec(n_actors=4, seed=2))
+    h.runtime.directory.truth[31337] = 0  # sabotage
+    with pytest.raises(InvariantViolation, match="31337"):
+        h.run_and_check()
+
+
+def test_report_counters_reflect_the_run():
+    h = RuntimeHarness(n_nodes=2, memory_bytes=16 * 1024)
+    h.run_storm(WorkloadSpec(n_actors=8, payload_bytes=3000, seed=4))
+    report = h.report("pressure")
+    assert report.ok and report.label == "pressure"
+    assert report.messages > 0
+    assert report.evictions > 0
+    assert "pressure" in report.render() and "ok" in report.render()
+
+
+def test_selftest_covers_the_full_config_matrix():
+    reports = selftest(seed=3)
+    n_schemes = len(MRTSConfig.VALID_SCHEMES)
+    n_policies = len(MRTSConfig.VALID_DIRECTORY)
+    assert len(reports) == n_schemes * n_policies
+    assert all(r.ok for r in reports)
+    assert any(r.evictions > 0 for r in reports)

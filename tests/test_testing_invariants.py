@@ -1,0 +1,149 @@
+"""Tests that the invariant checkers catch what they claim to catch.
+
+Each test corrupts exactly one piece of cross-layer bookkeeping on an
+otherwise healthy runtime and asserts the checker names it.  A checker
+that never fires is worse than none — these are the tests of the tests.
+"""
+
+import pytest
+
+from repro.core import MRTSConfig, OOCLayer
+from repro.geometry import unit_square
+from repro.mesh import triangulate_pslg
+from repro.pumg import sequential_mesh
+from repro.testing import (
+    InvariantViolation,
+    WorkloadSpec,
+    assert_invariants,
+    check_mesh,
+    check_ooc_layer,
+    check_runtime,
+)
+
+
+@pytest.fixture
+def healthy(harness):
+    h = harness(n_nodes=2, memory_bytes=32 * 1024)
+    h.run_storm(WorkloadSpec(n_actors=6, payload_bytes=2048, seed=3))
+    return h.runtime
+
+
+# --------------------------------------------------------------- ooc checker
+def test_bare_ooc_layer_clean():
+    ooc = OOCLayer(MRTSConfig(), budget=1 << 20)
+    ooc.admit(1, 100)
+    ooc.confirm_admit(1)
+    assert check_ooc_layer(ooc) == []
+
+
+def test_ooc_detects_memory_miscount():
+    ooc = OOCLayer(MRTSConfig(), budget=1 << 20)
+    ooc.admit(1, 100)
+    ooc.confirm_admit(1)
+    ooc.memory_used += 7  # corrupt
+    problems = check_ooc_layer(ooc)
+    assert any("memory_used" in p for p in problems)
+
+
+def test_ooc_detects_silent_overrun():
+    ooc = OOCLayer(MRTSConfig(), budget=1000)
+    ooc.admit(1, 100)
+    ooc.confirm_admit(1)
+    ooc.table[1].nbytes = 2000
+    ooc.memory_used = 2000  # over budget, overruns == 0
+    assert any("overrun" in p for p in check_ooc_layer(ooc))
+
+
+def test_ooc_detects_locked_nonresident():
+    ooc = OOCLayer(MRTSConfig(), budget=1 << 20)
+    ooc.admit(1, 100)
+    ooc.confirm_admit(1)
+    ooc.table[1].resident = False
+    ooc.memory_used = 0
+    ooc.table[1].locked = 1
+    assert any("locked but not resident" in p for p in check_ooc_layer(ooc))
+
+
+# ----------------------------------------------------------- runtime checker
+def test_healthy_runtime_has_no_violations(healthy):
+    assert check_runtime(healthy) == []
+    assert_invariants(healthy)  # does not raise
+
+
+def test_detects_directory_lie(healthy):
+    oid = next(iter(healthy.nodes[0].locals))
+    healthy.directory.truth[oid] = 1  # object actually lives on node 0
+    problems = check_runtime(healthy)
+    assert any("directory says" in p for p in problems)
+
+
+def test_detects_phantom_directory_entry(healthy):
+    healthy.directory.truth[99999] = 0
+    assert any("lives nowhere" in p for p in check_runtime(healthy))
+
+
+def test_detects_ooc_locals_divergence(healthy):
+    nrt = healthy.nodes[0]
+    oid = next(iter(nrt.locals))
+    nrt.ooc.table.pop(oid)
+    # Fix the memory count so only the divergence fires, not accounting.
+    nrt.ooc.memory_used = sum(
+        r.nbytes for r in nrt.ooc.table.values() if r.resident
+    )
+    assert any("not local" in p or "untracked" in p
+               for p in check_runtime(healthy))
+
+
+def test_detects_leaked_lock_at_quiescence(healthy):
+    nrt = healthy.nodes[0]
+    oid = next(o for o in nrt.locals if nrt.ooc.is_resident(o))
+    nrt.ooc.lock(oid)
+    assert any("still locked at quiescence" in p
+               for p in check_runtime(healthy))
+
+
+def test_detects_spill_without_storage(healthy):
+    nrt = healthy.nodes[0]
+    oid = next(iter(nrt.locals))
+    rec = nrt.locals[oid]
+    residency = nrt.ooc.table[oid]
+    if residency.resident:
+        residency.resident = False
+        nrt.ooc.memory_used -= residency.nbytes
+    rec.obj = None
+    nrt.storage.delete(oid)
+    assert any("missing from storage" in p for p in check_runtime(healthy))
+
+
+def test_assert_invariants_raises_with_details(healthy):
+    healthy.directory.truth[424242] = 0
+    with pytest.raises(InvariantViolation) as exc:
+        assert_invariants(healthy)
+    assert exc.value.violations
+    assert "424242" in str(exc.value)
+
+
+def test_assert_invariants_rejects_unknown_subject():
+    with pytest.raises(TypeError):
+        assert_invariants(object())
+
+
+# -------------------------------------------------------------- mesh checker
+def test_refined_mesh_is_conforming():
+    mesh = sequential_mesh(unit_square(), ("uniform", 0.2))
+    assert check_mesh(mesh) == []
+
+
+def test_mesh_checker_detects_vertex_corruption():
+    tri = triangulate_pslg(unit_square())
+    # Drag an interior-facing vertex far away: orientation/adjacency break.
+    victim = len(tri.points) - 1
+    tri.points[victim] = (1e6, 1e6)
+    assert check_mesh(tri) != []
+
+
+def test_mesh_checker_angle_floor():
+    mesh = sequential_mesh(unit_square(), ("uniform", 0.2))
+    # An impossible floor flags every triangle; a permissive one flags none.
+    assert check_mesh(mesh, min_angle_deg=89.0) != []
+    assert check_mesh(mesh, min_angle_deg=1.0) == []
