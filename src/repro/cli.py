@@ -31,7 +31,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiments", nargs="*",
-        help="experiment ids (see --list), 'all', or 'selftest'",
+        help="experiment ids (see --list), 'all', 'selftest', or 'perf'",
     )
     parser.add_argument(
         "--scale", type=float, default=1.0,
@@ -39,9 +39,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--seed", type=int, default=0,
-        help="workload seed for 'selftest'",
+        help="workload seed for 'selftest' / 'perf'",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="perf: compare against the committed baseline instead of "
+        "overwriting it; non-zero exit on >10%% regression",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="perf: path of the benchmark report (default BENCH_ooc.json)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -49,10 +58,15 @@ def main(argv: list[str] | None = None) -> int:
         for name in ALL_EXPERIMENTS:
             print(f"  {name}")
         print("  selftest (invariant-checked runtime smoke test)")
+        print("  perf (out-of-core fast-path benchmark -> BENCH_ooc.json)")
         return 0
 
     if args.experiments == ["selftest"]:
         return _selftest(args.seed)
+    if args.experiments == ["perf"]:
+        if not 0.0 < args.scale <= 1.0:
+            parser.error("--scale must be in (0, 1]")
+        return _perf(args.seed, args.scale, args.check, args.output)
     if not 0.0 < args.scale <= 1.0:
         parser.error("--scale must be in (0, 1]")
 
@@ -71,6 +85,30 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.perf_counter() - start
         print(experiment.render())
         print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+def _perf(seed: int, scale: float, check: bool, output: str | None) -> int:
+    from repro import perf
+
+    path = output or perf.BENCH_FILENAME
+    start = time.perf_counter()
+    report = perf.run_perf_suite(seed=seed, scale=scale)
+    elapsed = time.perf_counter() - start
+    print(perf.render_report(report))
+    if check:
+        baseline = perf.load_baseline(path)
+        if baseline is None:
+            print(f"[perf FAIL: no baseline at {path}]")
+            return 1
+        failures = perf.check_against_baseline(report, baseline)
+        for failure in failures:
+            print(f"  REGRESSION: {failure}")
+        verdict = "PASS" if not failures else f"FAIL ({len(failures)})"
+        print(f"[perf --check {verdict} vs {path} in {elapsed:.1f}s]")
+        return 0 if not failures else 1
+    perf.write_report(report, path)
+    print(f"[perf report written to {path} in {elapsed:.1f}s]")
     return 0
 
 

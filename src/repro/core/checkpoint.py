@@ -94,9 +94,13 @@ def checkpoint(runtime: MRTS) -> Checkpoint:
                 )
             obj = rec.obj
             if obj is None:
+                # Write-behind keeps storage.store() synchronous in Python
+                # time, so a spilled object's bytes are always readable
+                # here even while its virtual disk charge is still
+                # draining.
                 payload = nrt.storage.load(oid)
             else:
-                payload = obj.pack()
+                payload = runtime._pack_local(rec)
             cls = runtime._obj_class(oid)
             residency = nrt.ooc.table[oid]
             pending = [
@@ -156,7 +160,12 @@ def restore(
         for _ in range(rec.locked):
             nrt.ooc.lock(rec.oid)
         queue = MessageQueue()
-        nrt.locals[rec.oid] = _LocalObject(obj=obj, queue=queue)
+        # Freshly restored state is dirty (this runtime's storage has no
+        # copy) but the payload doubles as a warm pack cache.
+        nrt.locals[rec.oid] = _LocalObject(
+            obj=obj, queue=queue, pack_cache=rec.payload
+        )
+        runtime._bind_dirty(nrt, rec.oid, obj)
         runtime.directory.register(rec.oid, rec.node)
         runtime._objects_by_oid[rec.oid] = ptr
         runtime._obj_classes[rec.oid] = cls

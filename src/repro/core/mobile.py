@@ -99,6 +99,11 @@ class MobileObject:
     def __init__(self, pointer: MobilePointer) -> None:
         self.pointer = pointer
         self._size_cache: Optional[int] = None
+        # Runtime-installed observer fired on mark_dirty(); lets the
+        # out-of-core layer keep Residency.dirty as the single source of
+        # truth for "storage copy is stale" without the object knowing
+        # anything about residency.
+        self._dirty_cb: Optional[Any] = None
 
     # -- identity ----------------------------------------------------------
     @property
@@ -122,6 +127,7 @@ class MobileObject:
         state = dict(self.__dict__)
         state.pop("pointer", None)
         state.pop("_size_cache", None)
+        state.pop("_dirty_cb", None)
         return state
 
     def set_state(self, state: Any) -> None:
@@ -143,8 +149,11 @@ class MobileObject:
         return self._size_cache
 
     def mark_dirty(self) -> None:
-        """Invalidate the cached size after mutating the payload."""
+        """Record a payload mutation: size cache and storage copy are stale."""
         self._size_cache = None
+        cb = getattr(self, "_dirty_cb", None)
+        if cb is not None:
+            cb()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(oid={self.pointer.oid})"

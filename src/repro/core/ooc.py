@@ -10,18 +10,37 @@ Paper §II.D/E responsibilities implemented here:
   unused objects are forcefully unloaded otherwise),
 * advise swapping when free memory drops below the **soft threshold**
   (a fraction of total memory),
-* maintain a small prefetch set driven by control-layer hints.
+* maintain a small prefetch set driven by control-layer hints,
+* track per-object **dirty** state so the driver can skip the write-back
+  for objects whose storage copy is already current (clean spills).
 
 This class is *pure policy*: it mutates only its own bookkeeping and
 returns lists of actions (object ids to evict / load) that the driver
 executes, charging real or virtual disk time.  That separation is what
 lets the same logic run under the threaded and the simulated drivers.
+
+Victim ranking is two-tiered and fully incremental — no O(n log n)
+re-sort of the residency table per plan:
+
+* objects with a non-zero *effective priority* (user hint + queued-message
+  pressure) live in a small lazy min-heap (:class:`_PressureTier`) keyed
+  by ``(effective, scheme score, oid)``, updated on priority/queue/
+  residency changes with stale entries skipped at pop time;
+* everything else (the common case: effective priority exactly 0) is
+  ranked by the swap scheme's own incremental index
+  (:meth:`~repro.core.swapping.SwapScheme.iter_in_eviction_order`).
+
+The two sorted streams are merged on the identical composite key the old
+full sort used, so the victim order is unchanged — property tests in
+``tests/test_eviction_index_property.py`` pin this against the log-replay
+reference models.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
 
 from repro.core.config import MRTSConfig
 from repro.core.swapping import SwapScheme, make_scheme
@@ -50,6 +69,58 @@ class Residency:
     dirty: bool = True  # needs write-back before eviction counts as clean
 
 
+class _PressureTier:
+    """Lazy min-heap of the few objects with non-zero effective priority.
+
+    Entries are ``(effective, score, oid, stamp)``; re-prioritizing pushes
+    a fresh entry and the old one is skipped at iteration time (its stamp
+    no longer matches).  The heap is compacted when stale entries dominate
+    so it cannot grow without bound under priority churn.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, float, int, int]] = []
+        self._live: dict[int, tuple[float, float, int]] = {}
+        self._stamp = 0
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._live
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def live_ids(self) -> list[int]:
+        return list(self._live)
+
+    def set(self, oid: int, effective: float, score: float) -> None:
+        self._stamp += 1
+        self._live[oid] = (effective, score, self._stamp)
+        heapq.heappush(self._heap, (effective, score, oid, self._stamp))
+        self._maybe_compact()
+
+    def discard(self, oid: int) -> None:
+        self._live.pop(oid, None)
+        self._maybe_compact()
+
+    def iter_in_order(self) -> Iterator[tuple[float, float, int]]:
+        """Yield live ``(effective, score, oid)`` in ascending key order."""
+        heap = list(self._heap)  # snapshot: iteration must not consume state
+        while heap:
+            effective, score, oid, stamp = heapq.heappop(heap)
+            entry = self._live.get(oid)
+            if entry is not None and entry[2] == stamp:
+                yield effective, score, oid
+
+    def _maybe_compact(self) -> None:
+        if len(self._heap) > 64 and len(self._heap) > 4 * len(self._live):
+            self._heap = [
+                (eff, score, oid, stamp)
+                for (eff, score, oid, stamp) in self._heap
+                if self._live.get(oid, (0.0, 0.0, -1))[2] == stamp
+            ]
+            heapq.heapify(self._heap)
+
+
 class OOCLayer:
     """Residency manager for one node."""
 
@@ -69,8 +140,18 @@ class OOCLayer:
         self.high_water = 0
         self.evictions = 0
         self.forced_evictions = 0
+        # Evictions whose storage copy was already current: the driver
+        # skipped pack + store + the disk-store charge entirely.
+        self.clean_evictions = 0
         self.overruns = 0
         self._largest_stored = 0
+        # Thresholds are hot-path reads: the soft threshold is a constant
+        # of the budget, the hard threshold changes only when a new largest
+        # object is stored (tracked in confirm_evict).
+        self._soft_threshold = int(config.soft_threshold_fraction * self.budget)
+        self._hard_threshold = 0
+        self._pressure = _PressureTier()
+        self._pressure_clock = -1
 
     # ------------------------------------------------------------- queries
     @property
@@ -86,14 +167,17 @@ class OOCLayer:
 
     def hard_threshold(self) -> int:
         """Free-memory floor: hard_factor x largest object stored on disk."""
-        return int(self.config.hard_threshold_factor * self._largest_stored)
+        return self._hard_threshold
 
     def soft_threshold(self) -> int:
-        return int(self.config.soft_threshold_fraction * self.budget)
+        return self._soft_threshold
 
     def below_soft_threshold(self) -> bool:
         """True when the layer should be 'advised' to start swapping."""
-        return self.memory_free < self.soft_threshold()
+        return self.memory_free < self._soft_threshold
+
+    def is_dirty(self, oid: int) -> bool:
+        return self.table[oid].dirty
 
     # ------------------------------------------------------------ lifecycle
     def admit(self, oid: int, nbytes: int) -> list[int]:
@@ -108,6 +192,7 @@ class OOCLayer:
         evictions = self._plan_free(nbytes)
         self.table[oid] = Residency(oid, nbytes)
         self.scheme.touch(oid)
+        self.scheme.index_add(oid)
         return evictions
 
     def confirm_admit(self, oid: int) -> None:
@@ -122,6 +207,7 @@ class OOCLayer:
         if rec is not None and rec.resident:
             self.memory_used -= rec.nbytes
         self.scheme.forget(oid)
+        self._pressure.discard(oid)
 
     def resize(self, oid: int, nbytes: int) -> list[int]:
         """Object grew/shrank in place; returns evictions needed for growth."""
@@ -161,12 +247,28 @@ class OOCLayer:
     def touch(self, oid: int) -> None:
         """Record an access (message delivery, handler run)."""
         self.scheme.touch(oid)
+        if oid in self._pressure:
+            rec = self.table.get(oid)
+            if rec is not None:
+                self._pressure.set(
+                    oid, self._effective(rec), self.scheme._score(oid)
+                )
+
+    def mark_dirty(self, oid: int) -> None:
+        """The in-core object diverged from its storage copy."""
+        rec = self.table.get(oid)
+        if rec is not None:
+            rec.dirty = True
 
     def set_priority(self, oid: int, priority: float) -> None:
-        self.table[oid].priority = priority
+        rec = self.table[oid]
+        rec.priority = priority
+        self._retier(rec)
 
     def set_queue_length(self, oid: int, n: int) -> None:
-        self.table[oid].queued_messages = n
+        rec = self.table[oid]
+        rec.queued_messages = n
+        self._retier(rec)
 
     def lock(self, oid: int) -> None:
         """Pin the object in core (paper: locked objects are never unloaded).
@@ -185,25 +287,87 @@ class OOCLayer:
         return self.table[oid].locked > 0
 
     # ----------------------------------------------------------- swap plans
+    def _effective(self, rec: Residency) -> float:
+        return rec.priority + _QUEUE_PRIORITY_WEIGHT * rec.queued_messages
+
+    def _retier(self, rec: Residency) -> None:
+        """Place a record in the pressure tier iff resident with eff != 0."""
+        if not rec.resident:
+            self._pressure.discard(rec.oid)
+            return
+        effective = self._effective(rec)
+        if effective != 0.0:
+            self._pressure.set(
+                rec.oid, effective, self.scheme._score(rec.oid)
+            )
+        else:
+            self._pressure.discard(rec.oid)
+
+    def _refresh_pressure_scores(self) -> None:
+        """Re-score pressure entries for clock-sensitive schemes (LU).
+
+        LU's score is a function of the global clock, so cached scores in
+        the pressure heap go stale whenever *any* object is touched.  Only
+        needed when the clock actually advanced since the last refresh,
+        and only for the (few) pressure-tier members.
+        """
+        if self._pressure_clock == self.scheme._clock:
+            return
+        self._pressure_clock = self.scheme._clock
+        for oid in self._pressure.live_ids():
+            rec = self.table.get(oid)
+            if rec is None or not rec.resident:
+                self._pressure.discard(oid)
+            else:
+                self._pressure.set(
+                    oid, self._effective(rec), self.scheme._score(oid)
+                )
+
     def _eviction_rank(self, rec: Residency) -> tuple:
         """Sort key: lower = evict sooner.
 
         Priority (user hints + queued-message pressure) dominates; the swap
-        scheme's score breaks ties among equal-priority objects.
+        scheme's score breaks ties among equal-priority objects.  This is
+        the reference definition; the incremental iteration reproduces it.
         """
-        effective = rec.priority + _QUEUE_PRIORITY_WEIGHT * rec.queued_messages
-        return (effective, self.scheme._score(rec.oid), rec.oid)
+        return (self._effective(rec), self.scheme._score(rec.oid), rec.oid)
+
+    def iter_eviction_candidates(
+        self, protect: Iterable[int] = ()
+    ) -> Iterator[int]:
+        """Evictable resident objects, best victim first (lazy).
+
+        Merges the pressure tier and the scheme's zero-priority index on
+        the composite ``(effective, score, oid)`` key.  Locked, protected
+        and (transiently) non-resident entries are filtered at yield time,
+        so plans that stop early never pay for ranking the rest.  The
+        layer must not be mutated while a returned iterator is live.
+        """
+        protected = set(protect)
+        if self.scheme.clock_sensitive:
+            self._refresh_pressure_scores()
+
+        def zero_tier() -> Iterator[tuple[float, float, int]]:
+            for oid in self.scheme.iter_in_eviction_order():
+                if oid in self._pressure:
+                    continue  # ranked (and yielded) by the pressure tier
+                yield (0.0, self.scheme._score(oid), oid)
+
+        merged = heapq.merge(self._pressure.iter_in_order(), zero_tier())
+        for _effective, _score, oid in merged:
+            rec = self.table.get(oid)
+            if (
+                rec is None
+                or not rec.resident
+                or rec.locked
+                or oid in protected
+            ):
+                continue
+            yield oid
 
     def eviction_candidates(self, protect: Iterable[int] = ()) -> list[int]:
         """Evictable resident objects, best victim first."""
-        protected = set(protect)
-        recs = [
-            rec
-            for rec in self.table.values()
-            if rec.resident and not rec.locked and rec.oid not in protected
-        ]
-        recs.sort(key=self._eviction_rank)
-        return [rec.oid for rec in recs]
+        return list(self.iter_eviction_candidates(protect))
 
     def _plan_free(self, need: int, protect: Iterable[int] = ()) -> list[int]:
         """Pick victims so ``need`` bytes fit, preferring threshold headroom.
@@ -214,16 +378,24 @@ class OOCLayer:
         proceeds as long as ``need`` itself fits.  :class:`OutOfMemory` is
         raised only when the bytes genuinely don't fit — e.g. too many
         locked objects, the failure mode the paper warns about.
+
+        One lazy pass over the candidate stream: phase 1 takes victims (in
+        order, no skipping) until ``need`` fits, phase 2 continues the same
+        stream taking only *unused* objects until the headroom target —
+        equivalent to the old restart-and-skip double scan over a full
+        sort, without ranking candidates the plan never reaches.
         """
-        target_free = need + self.hard_threshold()
+        target_free = need + self._hard_threshold
         if self.memory_free >= target_free:
             return []
         victims: list[int] = []
         freed = 0
-        candidates = self.eviction_candidates(protect)
+        stream = self.iter_eviction_candidates(protect)
         # First make the allocation itself fit — any evictable object may go.
-        for oid in candidates:
+        pending: Optional[int] = None
+        for oid in stream:
             if self.memory_free + freed >= need:
+                pending = oid  # first candidate phase 1 did not consume
                 break
             victims.append(oid)
             freed += self.table[oid].nbytes
@@ -236,12 +408,18 @@ class OOCLayer:
         # Then push free memory toward the hard-threshold headroom, but only
         # by forcefully unloading *unused* objects (paper: "unused objects
         # are forcefully unloaded") — no pending messages, no priority hint.
-        taken = set(victims)
-        for oid in candidates:
+        for oid in ([pending] if pending is not None else []):
+            if self.memory_free + freed >= target_free:
+                return victims
+            rec = self.table[oid]
+            if rec.queued_messages > 0 or rec.priority > 0:
+                continue
+            victims.append(oid)
+            freed += rec.nbytes
+            self.forced_evictions += 1
+        for oid in stream:
             if self.memory_free + freed >= target_free:
                 break
-            if oid in taken:
-                continue
             rec = self.table[oid]
             if rec.queued_messages > 0 or rec.priority > 0:
                 continue
@@ -262,17 +440,30 @@ class OOCLayer:
         return self._plan_free(rec.nbytes, protect={oid})
 
     def confirm_evict(self, oid: int) -> int:
-        """Account an eviction; returns bytes freed."""
+        """Account an eviction; returns bytes freed.
+
+        ``clean_evictions`` counts the spills whose storage copy was
+        already current — the driver consulted :attr:`Residency.dirty`
+        and skipped the write-back.
+        """
         rec = self.table[oid]
         if not rec.resident:
             raise ValueError(f"object {oid} already non-resident")
         if rec.locked:
             raise ValueError(f"evicting locked object {oid}")
         rec.resident = False
+        if not rec.dirty:
+            self.clean_evictions += 1
         rec.dirty = False
         self.memory_used -= rec.nbytes
         self.evictions += 1
-        self._largest_stored = max(self._largest_stored, rec.nbytes)
+        if rec.nbytes > self._largest_stored:
+            self._largest_stored = rec.nbytes
+            self._hard_threshold = int(
+                self.config.hard_threshold_factor * rec.nbytes
+            )
+        self.scheme.index_discard(oid)
+        self._pressure.discard(oid)
         return rec.nbytes
 
     def confirm_load(self, oid: int, nbytes: Optional[int] = None) -> None:
@@ -286,6 +477,8 @@ class OOCLayer:
         self.memory_used += rec.nbytes
         self.high_water = max(self.high_water, self.memory_used)
         self.scheme.touch(oid)
+        self.scheme.index_add(oid)
+        self._retier(rec)
 
     def advise_swap(self, protect: Iterable[int] = ()) -> list[int]:
         """Soft-threshold advice: victims to spill proactively.
@@ -298,8 +491,8 @@ class OOCLayer:
             return []
         victims = []
         freed = 0
-        want = self.soft_threshold() - self.memory_free
-        for oid in self.eviction_candidates(protect):
+        want = self._soft_threshold - self.memory_free
+        for oid in self.iter_eviction_candidates(protect):
             if self.table[oid].queued_messages > 0:
                 continue
             victims.append(oid)
@@ -315,7 +508,7 @@ class OOCLayer:
         must not trigger evictions — it is purely opportunistic).
         """
         picks: list[int] = []
-        budget = self.memory_free - self.hard_threshold()
+        budget = self.memory_free - self._hard_threshold
         for oid in upcoming:
             if len(picks) >= self.config.prefetch_depth:
                 break

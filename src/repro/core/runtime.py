@@ -52,10 +52,24 @@ _SERVICE_MSG_BYTES = 64
 _SHUTDOWN = object()
 
 
-def handler(fn: Callable) -> Callable:
-    """Decorator marking a :class:`MobileObject` method as a message handler."""
-    fn._mrts_handler = True
-    return fn
+def handler(fn: Optional[Callable] = None, *, readonly: bool = False) -> Callable:
+    """Decorator marking a :class:`MobileObject` method as a message handler.
+
+    ``@handler(readonly=True)`` declares that the handler never mutates the
+    object's serialized state.  The runtime then skips the conservative
+    post-handler dirty marking (and re-sizing), so a spill of an object that
+    only served read-only handlers since its last load needs no write-back —
+    the storage copy is still current.  A readonly handler that *does*
+    mutate state must call ``self.mark_dirty()`` itself or its changes can
+    be lost on eviction.
+    """
+
+    def mark(f: Callable) -> Callable:
+        f._mrts_handler = True
+        f._mrts_readonly = readonly
+        return f
+
+    return mark(fn) if fn is not None else mark
 
 
 class CostModel:
@@ -88,6 +102,11 @@ class _LocalObject:
     obj: Optional[MobileObject]  # None while spilled to disk
     queue: MessageQueue = field(default_factory=MessageQueue)
     in_flight: int = 0  # handlers currently executing against the object
+    # Serialized bytes of the current in-core state, or None if not packed
+    # since the last mutation.  Invalidated through the object's dirty
+    # hook, so an unchanged object is packed at most once per residency
+    # epoch no matter how many size probes / spills look at it.
+    pack_cache: Optional[bytes] = None
 
 
 class HandlerContext:
@@ -241,10 +260,61 @@ class _NodeRuntime:
         # Out-of-core medium: None = local disk; a node rank = remote
         # memory server reached over the interconnect (paper [33]).
         self.spill_server: Optional[int] = None
+        self.write_behind = _WriteBehind(runtime, rank)
 
     def queue_len(self, oid: int) -> int:
         rec = self.locals.get(oid)
         return len(rec.queue) if rec is not None else 0
+
+
+class _WriteBehind:
+    """Per-node pipelined write-behind queue for spill stores.
+
+    ``storage.store()`` has already run in Python time when :meth:`submit`
+    is called — the bytes are durable immediately, so crash consistency,
+    fault injection and checkpoint reads behave exactly as with
+    synchronous spills.  What is deferred is the *virtual disk time* of
+    the store: it drains through the node's disk server in a detached
+    process, concurrently with whatever the evicting worker does next
+    (typically the target object's disk read), instead of serializing in
+    front of it.
+
+    :meth:`wait` is the completion barrier: a re-load of an object whose
+    own store is still in flight first waits for that store's virtual
+    completion, so on the disk timeline a load can never observe bytes
+    from "before" they were written.  At most one store per object can be
+    pending, because every path back to eviction goes through a load,
+    which waits here first.
+    """
+
+    def __init__(self, runtime: "MRTS", rank: int) -> None:
+        self.runtime = runtime
+        self.rank = rank
+        self.pending: dict[int, Any] = {}  # oid -> completion SimEvent
+
+    def submit(self, oid: int, nbytes: int) -> None:
+        """Queue the virtual disk charge for a store that already happened."""
+        done = self.runtime.engine.event()
+        self.pending[oid] = done
+        self.runtime.engine.process(
+            self._drain(oid, nbytes, done), name=f"write-behind[{oid}]"
+        )
+
+    def _drain(self, oid: int, nbytes: int, done):
+        try:
+            yield from self.runtime._disk_xfer(
+                self.rank, nbytes, is_store=True, blocking=False
+            )
+        finally:
+            if self.pending.get(oid) is done:
+                del self.pending[oid]
+            done.succeed()
+
+    def wait(self, oid: int):
+        """Process body: block until ``oid`` has no in-flight store."""
+        done = self.pending.get(oid)
+        if done is not None:
+            yield done
 
 
 class MRTS:
@@ -370,14 +440,16 @@ class MRTS:
             raise TypeError(f"{cls.__name__} is not a MobileObject")
         obj.on_init()
         nrt = self.nodes[node]
-        nbytes = self._obj_nbytes(obj)
+        local = _LocalObject(obj=obj)
+        nbytes = self._obj_nbytes_local(local)
         victims = nrt.ooc.admit(oid, nbytes)
         # Synchronous bookkeeping; the disk time for forced evictions is
         # charged by a detached process so creation never blocks the caller.
         for victim in victims:
             self._evict_now(nrt, victim)
         nrt.ooc.confirm_admit(oid)
-        nrt.locals[oid] = _LocalObject(obj=obj)
+        nrt.locals[oid] = local
+        self._bind_dirty(nrt, oid, obj)
         self.directory.register(oid, node)
         self._objects_by_oid[oid] = ptr
         self._obj_classes[oid] = cls
@@ -402,9 +474,42 @@ class MRTS:
         self._objects_by_oid.pop(ptr.oid, None)
         self._obj_classes.pop(ptr.oid, None)
 
-    def _obj_nbytes(self, obj: MobileObject) -> int:
+    def _obj_nbytes_local(self, rec: _LocalObject) -> int:
+        """Size of a local record's object, routed through the pack cache.
+
+        When the object uses the default packed-size estimate, the bytes
+        produced to measure it are kept in ``rec.pack_cache`` so a
+        following spill does not serialize the same state again.
+        """
+        obj = rec.obj
         n = self.cost_model.object_nbytes(obj)
-        return n if n is not None else obj.nbytes()
+        if n is not None:
+            return n
+        if type(obj).nbytes is not MobileObject.nbytes:
+            return obj.nbytes()  # subclass with its own (cheap) size
+        return max(len(self._pack_local(rec)), 1)
+
+    def _pack_local(self, rec: _LocalObject) -> bytes:
+        """Serialize via the per-residency cache (at most once per epoch)."""
+        if rec.pack_cache is None:
+            rec.pack_cache = rec.obj.pack()
+        return rec.pack_cache
+
+    def _bind_dirty(self, nrt: _NodeRuntime, oid: int, obj: MobileObject) -> None:
+        """Install the dirty hook: object mutation -> residency + cache.
+
+        The hook only fires through to the layers while ``obj`` is the
+        node's current in-core instance — a stale reference held after a
+        spill or migration cannot corrupt the residency dirty bit.
+        """
+
+        def _on_dirty() -> None:
+            rec = nrt.locals.get(oid)
+            if rec is not None and rec.obj is obj:
+                rec.pack_cache = None
+                nrt.ooc.mark_dirty(oid)
+
+        obj._dirty_cb = _on_dirty
 
     def _with_residency(self, ptr: MobilePointer, fn) -> None:
         node = self.directory.location(ptr.oid)
@@ -422,20 +527,30 @@ class MRTS:
 
     # =========================================================== spill/load
     def _evict_now(self, nrt: _NodeRuntime, oid: int) -> None:
-        """Synchronously spill an object; charges disk time asynchronously."""
+        """Synchronously spill an object; its disk-store time drains behind.
+
+        Dirty-aware: when the residency record says the storage copy is
+        still current (the object only served read-only handlers since its
+        load), the pack, the ``storage.store()`` and the virtual disk
+        charge are all skipped — a clean eviction costs nothing but
+        bookkeeping.  Dirty spills store their bytes immediately (Python
+        time) and queue the virtual disk charge on the node's write-behind
+        queue, so the evicting worker never waits for the store.
+        """
         rec = nrt.locals[oid]
         if rec.obj is None:
             raise MRTSError(f"evicting already-spilled object {oid}")
         rec.obj.on_unregister(nrt.rank)
-        data = rec.obj.pack()
-        nrt.storage.store(oid, data)
-        modeled = nrt.ooc.table[oid].nbytes
+        residency = nrt.ooc.table[oid]
+        dirty = residency.dirty
+        modeled = residency.nbytes
+        if dirty:
+            nrt.storage.store(oid, self._pack_local(rec))
         rec.obj = None
+        rec.pack_cache = None
         nrt.ooc.confirm_evict(oid)
-        self.engine.process(
-            self._charge_disk(nrt.rank, modeled, is_store=True),
-            name=f"spill[{oid}]",
-        )
+        if dirty:
+            nrt.write_behind.submit(oid, modeled)
 
     def _disk_xfer(self, rank: int, nbytes: int, is_store: bool, blocking: bool):
         """One out-of-core transfer with the right per-PE span attribution.
@@ -463,9 +578,6 @@ class MRTS:
         span = (self.engine.now - start) if blocking else service
         self.stats.node(rank).add_disk(service, nbytes, is_store, span=span)
 
-    def _charge_disk(self, rank: int, nbytes: int, is_store: bool):
-        yield from self._disk_xfer(rank, nbytes, is_store, blocking=False)
-
     def _load_blocking(self, nrt: _NodeRuntime, oid: int, background: bool = False):
         """Process body: bring ``oid`` in core, evicting victims first.
 
@@ -474,7 +586,13 @@ class MRTS:
         """
         blocking = not background
         target = nrt.ooc.table[oid]
-        # Evict until the object fits.  Plans go stale across disk yields
+        # Write-behind completion barrier: if this object's own spill is
+        # still draining its virtual store, a re-load must wait for it —
+        # on the disk timeline the bytes do not exist "before" the store
+        # completes.  (Victim spills below never need this: an object can
+        # only be spilled again after a load, which passes through here.)
+        yield from nrt.write_behind.wait(oid)
+        # Evict until the object fits.  Plans can go stale across yields
         # (victims can get pinned by a handler, or evicted by someone
         # else), so re-validate each victim and re-plan until there is
         # room or nothing can be done but wait for pins to release.
@@ -503,14 +621,12 @@ class MRTS:
                     continue  # raced with another evictor
                 if nrt.ooc.is_locked(victim) or not nrt.ooc.is_resident(victim):
                     continue  # pinned since the plan was made
-                vrec.obj.on_unregister(nrt.rank)
-                data = vrec.obj.pack()
-                nrt.storage.store(victim, data)
-                modeled = nrt.ooc.table[victim].nbytes
-                vrec.obj = None
-                nrt.ooc.confirm_evict(victim)
+                # Pipelined spill: bytes snapshot + memory release happen
+                # now; the store's disk time drains through the write-
+                # behind queue concurrently with the target's read below
+                # instead of serializing in front of it.
+                self._evict_now(nrt, victim)
                 progress = True
-                yield from self._disk_xfer(nrt.rank, modeled, True, blocking)
             if not progress and nrt.ooc.memory_free < target.nbytes:
                 # Everything evictable is pinned right now; let handlers
                 # finish and retry.
@@ -532,7 +648,11 @@ class MRTS:
         MobileObject.__init__(obj, ptr)
         obj.unpack(data)
         rec.obj = obj
+        # The loaded bytes *are* the pack of the current state: start the
+        # residency epoch clean with a warm pack cache.
+        rec.pack_cache = data
         nrt.ooc.confirm_load(oid)
+        self._bind_dirty(nrt, oid, obj)
         obj.on_register(nrt.rank)
 
     def _obj_class(self, oid: int) -> type:
@@ -851,7 +971,7 @@ class MRTS:
         # ---- atomic swap ----
         obj = rec.obj
         obj.on_unregister(src)
-        data = obj.pack()
+        data = self._pack_local(rec)
         queue = rec.queue
         del nrt.locals[oid]
         nrt.ooc.forget(oid)
@@ -859,7 +979,12 @@ class MRTS:
         clone = object.__new__(self._obj_class(oid))
         MobileObject.__init__(clone, self._objects_by_oid[oid])
         clone.unpack(data)
-        dst_nrt.locals[oid] = _LocalObject(obj=clone, queue=queue)
+        # The destination residency starts dirty (its storage has no copy
+        # yet) but the clone's pack cache is warm: first spill packs free.
+        dst_nrt.locals[oid] = _LocalObject(
+            obj=clone, queue=queue, pack_cache=data
+        )
+        self._bind_dirty(dst_nrt, oid, clone)
         self._objects_by_oid[oid].last_known_node = dst
         svc = self.directory.migrated(oid, dst)
         self._emit_service_updates(src, [src], svc)
@@ -950,7 +1075,14 @@ class MRTS:
                 nrt.ooc.unlock(oid)
         # Object size may have changed during the handler (skip if the
         # object migrated away while we were charging compute time).
-        if nrt.locals.get(oid) is rec and rec.obj is not None:
+        # Readonly handlers promised not to mutate serialized state, so the
+        # object stays clean and keeps its size — that is what lets the
+        # eviction path skip the write-back for read-mostly objects.
+        if (
+            nrt.locals.get(oid) is rec
+            and rec.obj is not None
+            and not getattr(fn, "_mrts_readonly", False)
+        ):
             rec.obj.mark_dirty()
             self._account_growth(nrt, oid)
         # Dispatch messages the handler produced.
@@ -986,7 +1118,7 @@ class MRTS:
         the layer recovers on the next cycle.
         """
         rec = nrt.locals[oid]
-        new_size = self._obj_nbytes(rec.obj)
+        new_size = self._obj_nbytes_local(rec)
         try:
             victims = nrt.ooc.resize(oid, new_size)
         except OutOfMemory:
@@ -1034,8 +1166,9 @@ class MRTS:
         probe = Message(target, handler_name, args, kwargs, source_node=node)
         modeled = self.cost_model.handler_cost(obj, handler_name, probe)
         ctx.extra_charge += modeled if modeled is not None else measured
-        obj.mark_dirty()
-        self._account_growth(nrt, target.oid)
+        if not getattr(fn, "_mrts_readonly", False):
+            obj.mark_dirty()
+            self._account_growth(nrt, target.oid)
         return True
 
     # ------------------------------------------------------------ inspection

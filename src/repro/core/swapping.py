@@ -8,9 +8,28 @@ While the LRU scheme enjoys highest performance most of the time, for some
 applications (e.g., PCDM) the LFU can be up to 7% faster."
 
 Each scheme tracks object *touches* (a message delivered, a handler run, a
-load) and answers ``victim(candidates)``: among the given evictable object
-ids, which to spill first.  Priorities and locks are handled a level up in
-the out-of-core layer; schemes only encode the base ordering.
+load) and exposes one ranking API, :meth:`SwapScheme.iter_in_eviction_order`:
+yield object ids best-victim-first.  Priorities and locks are handled a
+level up in the out-of-core layer; schemes only encode the base ordering.
+
+Two ranking paths share the same scoring formulas:
+
+* an explicit ``candidates`` set is ranked by sorting on
+  ``(_score(oid), oid)`` — the reference path, used by tests and ad-hoc
+  queries;
+* with no candidates, the scheme walks its **incremental eviction index**
+  — the set of ids registered through :meth:`index_add` (the out-of-core
+  layer keeps it equal to the resident set).  The index is maintained on
+  every touch, so ranking is amortized O(1)/O(log n) per victim instead of
+  the O(n log n) full re-sort the eviction hot path used to pay:
+
+  - LRU/MRU keep an :class:`~collections.OrderedDict` recency list
+    (``move_to_end`` per touch; iteration *is* the eviction order),
+  - LFU/MU keep count buckets (a dict-of-sets move per touch),
+  - LU's score decays with the global clock, so relative order can change
+    without any touch; it keeps a clock-stamped lazily rebuilt order with
+    stale-entry skipping — free to iterate repeatedly within one clock
+    epoch (the shape of an eviction burst), rebuilt only after new touches.
 
 Interpretation of the five schemes (the paper names them without defining
 MU/LU; we use the natural readings):
@@ -25,29 +44,39 @@ MU/LU; we use the natural readings):
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections import OrderedDict
+from typing import Iterable, Iterator, Optional
 
 __all__ = ["SwapScheme", "make_scheme", "LRU", "MRU", "LFU", "MU", "LU"]
 
 
 class SwapScheme:
-    """Base class: touch bookkeeping plus victim selection."""
+    """Base class: touch bookkeeping plus incremental victim ordering."""
 
     name = "base"
+    # True when _score depends on the global clock (not just the object's
+    # own touches) — the out-of-core layer must refresh cached scores of
+    # priority-tier members whenever the clock advanced.
+    clock_sensitive = False
 
     def __init__(self) -> None:
         self._clock = 0
         self._last_touch: dict[int, int] = {}
         self._count: dict[int, int] = {}
+        self._indexed: set[int] = set()
 
     def touch(self, oid: int) -> None:
         """Record an access to object ``oid``."""
         self._clock += 1
+        old_count = self._count.get(oid, 0)
         self._last_touch[oid] = self._clock
-        self._count[oid] = self._count.get(oid, 0) + 1
+        self._count[oid] = old_count + 1
+        if oid in self._indexed:
+            self._index_touch(oid, old_count)
 
     def forget(self, oid: int) -> None:
         """Drop bookkeeping for a destroyed object."""
+        self.index_discard(oid)
         self._last_touch.pop(oid, None)
         self._count.pop(oid, None)
 
@@ -61,25 +90,85 @@ class SwapScheme:
         """Eviction key: the candidate with the smallest score is evicted."""
         raise NotImplementedError
 
-    def victim(self, candidates: Iterable[int]) -> int:
-        """Pick the object to evict among ``candidates``.
+    # ------------------------------------------------------ eviction index
+    def index_add(self, oid: int) -> None:
+        """Register a (resident) object with the eviction index.
 
-        Ties break on lower oid for determinism.  Raises ValueError when
-        there is nothing to evict.
+        Contract: the object was touched at the moment it entered the
+        index (admission and re-load both touch), so recency structures
+        may append it as the most recent entry.
         """
-        best = None
-        best_key = None
-        for oid in candidates:
-            key = (self._score(oid), oid)
-            if best_key is None or key < best_key:
-                best_key = key
-                best = oid
-        if best is None:
-            raise ValueError("no eviction candidates")
-        return best
+        if oid not in self._indexed:
+            self._indexed.add(oid)
+            self._index_add(oid)
+
+    def index_discard(self, oid: int) -> None:
+        """Drop an object from the eviction index (evicted / forgotten)."""
+        if oid in self._indexed:
+            self._indexed.remove(oid)
+            self._index_discard(oid)
+
+    def indexed_ids(self) -> set[int]:
+        return set(self._indexed)
+
+    # Subclass hooks for the incremental structures.
+    def _index_add(self, oid: int) -> None:  # pragma: no cover - overridden
+        pass
+
+    def _index_discard(self, oid: int) -> None:  # pragma: no cover
+        pass
+
+    def _index_touch(self, oid: int, old_count: int) -> None:  # pragma: no cover
+        pass
+
+    def _iter_index(self) -> Iterator[int]:
+        """Indexed ids best-victim-first; subclasses use their structures.
+
+        Mutating the index while a returned iterator is live is undefined;
+        plans materialize their victims before executing them.
+        """
+        yield from sorted(
+            self._indexed, key=lambda oid: (self._score(oid), oid)
+        )
+
+    # ---------------------------------------------------------- public API
+    def iter_in_eviction_order(
+        self, candidates: Optional[Iterable[int]] = None
+    ) -> Iterator[int]:
+        """Yield object ids in eviction order (best victim first).
+
+        With ``candidates`` the given set is ranked by ``(_score, oid)``
+        (ties break on lower oid for determinism); with ``None`` the
+        incremental index is walked, which is the hot path the out-of-core
+        layer uses.  Both produce the same order over the same set.
+        """
+        if candidates is None:
+            return self._iter_index()
+        return iter(
+            sorted(candidates, key=lambda oid: (self._score(oid), oid))
+        )
 
 
-class LRU(SwapScheme):
+class _RecencyList(SwapScheme):
+    """Shared OrderedDict recency structure for LRU and MRU."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def _index_add(self, oid: int) -> None:
+        # Freshly touched on entry (see index_add contract): append-at-end
+        # equals recency order.
+        self._order[oid] = None
+
+    def _index_discard(self, oid: int) -> None:
+        self._order.pop(oid, None)
+
+    def _index_touch(self, oid: int, old_count: int) -> None:
+        self._order.move_to_end(oid)
+
+
+class LRU(_RecencyList):
     """Evict least recently used: oldest last touch first."""
 
     name = "lru"
@@ -87,8 +176,11 @@ class LRU(SwapScheme):
     def _score(self, oid: int) -> float:
         return float(self.last_touch(oid))
 
+    def _iter_index(self) -> Iterator[int]:
+        yield from self._order
 
-class MRU(SwapScheme):
+
+class MRU(_RecencyList):
     """Evict most recently used: newest last touch first."""
 
     name = "mru"
@@ -96,8 +188,51 @@ class MRU(SwapScheme):
     def _score(self, oid: int) -> float:
         return -float(self.last_touch(oid))
 
+    def _iter_index(self) -> Iterator[int]:
+        yield from reversed(self._order)
 
-class LFU(SwapScheme):
+
+class _CountBuckets(SwapScheme):
+    """Shared count-bucket structure for LFU and MU.
+
+    One set of ids per touch count; a touch moves the id up one bucket.
+    Iteration walks the (few, distinct) counts in score order and each
+    bucket in oid order — exactly the ``(score, oid)`` ranking.
+    """
+
+    _reverse_counts = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._buckets: dict[int, set[int]] = {}
+
+    def _bucket_move(self, oid: int, old: int, new: int) -> None:
+        members = self._buckets.get(old)
+        if members is not None:
+            members.discard(oid)
+            if not members:
+                del self._buckets[old]
+        self._buckets.setdefault(new, set()).add(oid)
+
+    def _index_add(self, oid: int) -> None:
+        self._buckets.setdefault(self.count(oid), set()).add(oid)
+
+    def _index_discard(self, oid: int) -> None:
+        members = self._buckets.get(self.count(oid))
+        if members is not None:
+            members.discard(oid)
+            if not members:
+                del self._buckets[self.count(oid)]
+
+    def _index_touch(self, oid: int, old_count: int) -> None:
+        self._bucket_move(oid, old_count, old_count + 1)
+
+    def _iter_index(self) -> Iterator[int]:
+        for count in sorted(self._buckets, reverse=self._reverse_counts):
+            yield from sorted(self._buckets.get(count, ()))
+
+
+class LFU(_CountBuckets):
     """Evict least frequently used: lowest touch count first."""
 
     name = "lfu"
@@ -106,23 +241,55 @@ class LFU(SwapScheme):
         return float(self.count(oid))
 
 
-class MU(SwapScheme):
+class MU(_CountBuckets):
     """Evict most used: highest touch count first."""
 
     name = "mu"
+    _reverse_counts = True
 
     def _score(self, oid: int) -> float:
         return -float(self.count(oid))
 
 
 class LU(SwapScheme):
-    """Evict least used (recency-weighted): count decayed by age."""
+    """Evict least used (recency-weighted): count decayed by age.
+
+    ``count / age`` shrinks for everyone as the clock advances and two
+    objects' *relative* order can change without either being touched, so
+    no once-built structure stays valid across touches.  Instead the order
+    is rebuilt lazily, stamped with the clock it was built at, and entries
+    evicted since the build are skipped on iteration — repeated plans
+    within one eviction burst (no touches, hence no clock movement) reuse
+    the same build.
+    """
 
     name = "lu"
+    clock_sensitive = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache: Optional[list[int]] = None
+        self._cache_clock = -1
 
     def _score(self, oid: int) -> float:
         age = self._clock - self.last_touch(oid) + 1
         return self.count(oid) / age
+
+    def _index_add(self, oid: int) -> None:
+        self._cache = None
+
+    def _index_discard(self, oid: int) -> None:
+        pass  # stale entries are skipped during iteration
+
+    def _iter_index(self) -> Iterator[int]:
+        if self._cache is None or self._cache_clock != self._clock:
+            self._cache = sorted(
+                self._indexed, key=lambda oid: (self._score(oid), oid)
+            )
+            self._cache_clock = self._clock
+        for oid in self._cache:
+            if oid in self._indexed:
+                yield oid
 
 
 _SCHEMES = {cls.name: cls for cls in (LRU, MRU, LFU, MU, LU)}

@@ -1,0 +1,262 @@
+"""Out-of-core fast-path benchmark: the repo's perf trajectory baseline.
+
+Two workloads aim pressure at the spill path the paper's Tables IV–VI
+measure:
+
+* **clean_read_storm** — a read-mostly cascade over far more objects than
+  fit in core.  Objects are mutated once (the introduction phase) and then
+  only serve ``@handler(readonly=True)`` reads, so after their first spill
+  the storage copy stays current forever.  A dirty-aware spill path stores
+  each object at most once; a naive path re-writes every eviction.  This is
+  the workload the ``--check`` regression gate watches.
+* **oupdr_model** — the paper's OUPDR skeleton (color-phase rounds with
+  buffer exchanges) on a deliberately memory-starved cluster, i.e. a
+  mutation-heavy out-of-core run where write-backs are genuinely needed
+  and the win must come from cheap victim selection and pipelined
+  write-behind rather than skipped stores.
+
+``run_perf_suite`` returns (and ``mrts-bench perf`` writes) a JSON report:
+wall-clock seconds, virtual makespan, bytes moved, eviction counts and the
+paper's overlap metric per workload.  All virtual-time metrics are
+deterministic functions of the seed, so the committed ``BENCH_ooc.json``
+doubles as a regression baseline: ``mrts-bench perf --check`` fails when
+bytes written (or the makespan) regress by more than 10 %.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import MRTSConfig
+from repro.core.mobile import MobileObject
+from repro.core.runtime import MRTS, handler
+from repro.sim.cluster import ClusterSpec
+from repro.sim.node import NodeSpec
+
+__all__ = [
+    "BENCH_FILENAME",
+    "ReadOnlyActor",
+    "run_clean_read_storm",
+    "run_oupdr_model_bench",
+    "run_perf_suite",
+    "check_against_baseline",
+]
+
+BENCH_FILENAME = "BENCH_ooc.json"
+
+# Metrics that are pure functions of the seed (virtual time, byte counts)
+# and therefore eligible for exact regression gating.  Wall-clock is
+# reported but never gated — CI machines differ.
+_GATED_METRICS = ("bytes_stored", "virtual_makespan_s")
+_GATE_TOLERANCE = 0.10
+
+
+class ReadOnlyActor(MobileObject):
+    """A mobile object that serves read-only lookups and forwards chains.
+
+    ``meet`` (mutating, runs once before the measured storm) stores the
+    peer pointer list.  ``read`` is declared readonly: it inspects the
+    payload and forwards the chain to the next seeded-random peer without
+    touching serialized state, so the object stays *clean* from its first
+    post-introduction load onward.
+    """
+
+    def __init__(self, ptr, payload_bytes: int, seed: int,
+                 hot_fraction: float, hot_weight: float) -> None:
+        super().__init__(ptr)
+        self.payload = bytes(payload_bytes)
+        self.seed = seed
+        self.hot_fraction = hot_fraction
+        self.hot_weight = hot_weight
+        self.peers: list = []
+
+    @handler
+    def meet(self, ctx, peers) -> None:
+        self.peers = list(peers)
+
+    @handler(readonly=True)
+    def read(self, ctx, steps: int, chain: int, checksum: int = 0) -> None:
+        # Touch the payload (a real read) without mutating anything.
+        checksum = (checksum + self.payload[:64].count(0)) & 0xFFFFFFFF
+        if steps <= 0 or not self.peers:
+            return
+        rng = random.Random(f"{self.seed}:{chain}:{steps}:{self.oid}")
+        n = len(self.peers)
+        n_hot = max(1, int(n * self.hot_fraction))
+        if rng.random() < self.hot_weight:
+            target = self.peers[rng.randrange(n_hot)]
+        else:
+            target = self.peers[rng.randrange(n)]
+        ctx.post(target, "read", steps - 1, chain, checksum)
+
+
+@dataclass
+class _WorkloadResult:
+    wall_s: float
+    runtime: MRTS
+
+    def metrics(self) -> dict:
+        rt = self.runtime
+        stats = rt.stats
+        evictions = sum(n.ooc.evictions for n in rt.nodes)
+        clean = sum(getattr(n.ooc, "clean_evictions", 0) for n in rt.nodes)
+        return {
+            "wall_s": round(self.wall_s, 3),
+            "virtual_makespan_s": round(stats.total_time, 6),
+            "bytes_stored": stats.bytes_to_disk,
+            "bytes_loaded": sum(n.bytes_loaded for n in stats.nodes),
+            "objects_stored": stats.objects_stored,
+            "objects_loaded": stats.objects_loaded,
+            "backend_stores": sum(n.storage.stores for n in rt.nodes),
+            "backend_bytes_written": sum(
+                n.storage.bytes_written for n in rt.nodes
+            ),
+            "evictions": evictions,
+            "clean_evictions": clean,
+            "overlap_pct": round(stats.overlap_pct(), 2),
+        }
+
+
+def _fixed_cost_model(cost: float):
+    from repro.testing.harness import FixedCostModel
+
+    return FixedCostModel(cost)
+
+
+def run_clean_read_storm(
+    seed: int = 0,
+    n_objects: int = 48,
+    payload_bytes: int = 32 * 1024,
+    n_chains: int = 8,
+    chain_len: int = 60,
+    n_nodes: int = 2,
+    memory_bytes: int = 256 * 1024,
+    scale: float = 1.0,
+) -> _WorkloadResult:
+    """Read-mostly storm: clean objects cycle through core far oftener
+    than they change."""
+    chain_len = max(1, int(chain_len * scale))
+    runtime = MRTS(
+        ClusterSpec(
+            n_nodes=n_nodes,
+            node=NodeSpec(cores=1, memory_bytes=memory_bytes),
+        ),
+        config=MRTSConfig(swap_scheme="lru"),
+        cost_model=_fixed_cost_model(1e-4),
+        io_depth=2,
+    )
+    actors = [
+        runtime.create_object(
+            ReadOnlyActor, payload_bytes, seed, 0.2, 0.8, node=i % n_nodes
+        )
+        for i in range(n_objects)
+    ]
+    for ptr in actors:
+        runtime.post(ptr, "meet", actors)
+    runtime.run()  # introductions: the one mutating phase
+    rng = random.Random(seed)
+    for chain in range(n_chains):
+        runtime.post(
+            actors[rng.randrange(len(actors))], "read", chain_len, chain
+        )
+    wall0 = time.perf_counter()
+    runtime.run()
+    wall = time.perf_counter() - wall0
+    return _WorkloadResult(wall_s=wall, runtime=runtime)
+
+
+def run_oupdr_model_bench(
+    seed: int = 0,
+    total_elements: int = 400_000,
+    n_nodes: int = 2,
+    cores: int = 2,
+    memory_bytes: int = 8 * 1024 * 1024,
+    scale: float = 1.0,
+) -> _WorkloadResult:
+    """OUPDR-style modeled run on a memory-starved cluster (write-heavy)."""
+    from repro.evalsim.apps import run_updr_model
+
+    total_elements = max(50_000, int(total_elements * scale))
+    cluster = ClusterSpec(
+        n_nodes=n_nodes,
+        node=NodeSpec(cores=cores, memory_bytes=memory_bytes),
+    )
+    wall0 = time.perf_counter()
+    result = run_updr_model(total_elements, cluster, mrts=True)
+    wall = time.perf_counter() - wall0
+    return _WorkloadResult(wall_s=wall, runtime=result.runtime)
+
+
+def run_perf_suite(seed: int = 0, scale: float = 1.0) -> dict:
+    """Run both workloads; returns the BENCH_ooc.json document."""
+    storm = run_clean_read_storm(seed=seed, scale=scale)
+    oupdr = run_oupdr_model_bench(seed=seed, scale=scale)
+    return {
+        "version": 1,
+        "seed": seed,
+        "scale": scale,
+        "workloads": {
+            "clean_read_storm": storm.metrics(),
+            "oupdr_model": oupdr.metrics(),
+        },
+    }
+
+
+def check_against_baseline(
+    report: dict, baseline: dict, tolerance: float = _GATE_TOLERANCE
+) -> list[str]:
+    """Regression gate: deterministic metrics may not regress past tolerance.
+
+    Returns human-readable failure strings (empty = pass).  Improvements
+    (fewer bytes, shorter makespan) always pass.
+    """
+    failures: list[str] = []
+    base_wl = baseline.get("workloads", {})
+    for name, metrics in report.get("workloads", {}).items():
+        base = base_wl.get(name)
+        if base is None:
+            continue
+        for key in _GATED_METRICS:
+            if key not in base or key not in metrics:
+                continue
+            old, new = float(base[key]), float(metrics[key])
+            if old <= 0:
+                continue
+            if new > old * (1.0 + tolerance):
+                failures.append(
+                    f"{name}.{key} regressed: {new:g} vs baseline {old:g} "
+                    f"(+{100.0 * (new / old - 1.0):.1f}%, "
+                    f"allowed +{100.0 * tolerance:.0f}%)"
+                )
+    return failures
+
+
+def render_report(report: dict) -> str:
+    lines = ["perf suite (out-of-core fast path):"]
+    for name, metrics in report["workloads"].items():
+        lines.append(
+            f"  {name:<18} makespan={metrics['virtual_makespan_s']:.3f}s "
+            f"stored={metrics['bytes_stored']}B in {metrics['objects_stored']} ops "
+            f"evictions={metrics['evictions']} "
+            f"(clean={metrics['clean_evictions']}) "
+            f"overlap={metrics['overlap_pct']}% wall={metrics['wall_s']:.2f}s"
+        )
+    return "\n".join(lines)
+
+
+def load_baseline(path: str) -> Optional[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

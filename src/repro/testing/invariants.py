@@ -19,6 +19,9 @@ Invariants checked (``check_runtime``):
   nodes;
 * **lock sanity** — lock counts are non-negative and, at quiescence, zero
   (every runtime-internal pin must have been released);
+* **dirty consistency** — a dirty record is always resident (eviction
+  either writes the divergence back or there was none), and a clean
+  resident object has a storage copy backing the write-back it would skip;
 * **quiescence** — at quiescence no messages are queued, no handlers are
   in flight, and the termination detector agrees.
 
@@ -88,6 +91,13 @@ def check_ooc_layer(ooc: "OOCLayer", label: str = "ooc") -> list[str]:
             problems.append(f"{label}: object {oid} locked but not resident")
         if rec.queued_messages < 0:
             problems.append(f"{label}: object {oid} negative queue length")
+        if rec.dirty and not rec.resident:
+            # A spilled object must have written back any divergence: a
+            # dirty non-resident record means an update was lost (the
+            # eviction path skipped a store it should have paid).
+            problems.append(
+                f"{label}: object {oid} dirty but not resident (lost update)"
+            )
     return problems
 
 
@@ -119,6 +129,19 @@ def check_runtime(runtime: "MRTS") -> list[str]:
                 problems.append(
                     f"{label}: object {oid} marked resident but has no "
                     "in-core instance"
+                )
+            if (
+                resident
+                and oid in nrt.ooc.table
+                and not nrt.ooc.table[oid].dirty
+                and not nrt.storage.contains(oid)
+            ):
+                # Clean means "the storage copy is current" — so a copy
+                # must exist; otherwise a clean eviction would skip the
+                # store and the state would be unrecoverable.
+                problems.append(
+                    f"{label}: object {oid} marked clean but storage has "
+                    "no copy to skip the write-back against"
                 )
             if not resident:
                 if rec.obj is not None:

@@ -1,12 +1,13 @@
 """Reference models of the five swapping schemes.
 
-:mod:`repro.core.swapping` keeps incremental per-object bookkeeping
-(last-touch clock, touch counts) because ``victim()`` sits on the eviction
-hot path.  These models answer the same questions by *replaying a recorded
-event log* from scratch on every query — slow, stateless between queries,
-and obviously correct.  Property tests drive both with the same random
-touch/forget/victim sequences and require identical answers; any
-divergence is a bug in the fast path's bookkeeping.
+:mod:`repro.core.swapping` keeps incremental per-object bookkeeping and
+per-scheme eviction indexes because ``iter_in_eviction_order()`` sits on
+the eviction hot path.  These models answer the same questions by
+*replaying a recorded event log* from scratch on every query — slow,
+stateless between queries, and obviously correct.  Property tests drive
+both with the same random touch/forget/rank sequences and require
+identical answers; any divergence is a bug in the fast path's bookkeeping
+or its incremental index maintenance.
 
 The scoring formulas themselves are shared vocabulary with the paper
 (LRU/MRU by recency, LFU/MU by frequency, LU by decayed usage) — what the
@@ -77,12 +78,19 @@ class ReferenceScheme:
     ) -> float:
         raise NotImplementedError
 
-    def victim(self, candidates: Iterable[int]) -> int:
+    def iter_in_eviction_order(self, candidates: Iterable[int]):
+        """Rank ``candidates`` best-victim-first, ties broken on lower oid.
+
+        Mirrors :meth:`SwapScheme.iter_in_eviction_order` over an explicit
+        candidate set (the reference has no incremental index to walk).
+        """
         clock, last, count = self._replay()
-        pool = sorted(candidates)
-        if not pool:
-            raise ValueError("no eviction candidates")
-        return min(pool, key=lambda o: (self._score_from(o, clock, last, count), o))
+        return iter(
+            sorted(
+                candidates,
+                key=lambda o: (self._score_from(o, clock, last, count), o),
+            )
+        )
 
 
 class ReferenceLRU(ReferenceScheme):

@@ -6,6 +6,11 @@ from hypothesis import given, strategies as st
 from repro.core import LFU, LRU, LU, MRU, MU, make_scheme
 
 
+def victim(scheme, candidates):
+    """First entry of the eviction order over an explicit candidate set."""
+    return next(scheme.iter_in_eviction_order(candidates))
+
+
 def test_make_scheme_names():
     for name, cls in [("lru", LRU), ("lfu", LFU), ("mru", MRU), ("mu", MU), ("lu", LU)]:
         assert isinstance(make_scheme(name), cls)
@@ -21,16 +26,16 @@ def test_lru_evicts_oldest():
     lru = LRU()
     for oid in (1, 2, 3):
         lru.touch(oid)
-    assert lru.victim([1, 2, 3]) == 1
+    assert victim(lru, [1, 2, 3]) == 1
     lru.touch(1)  # 2 is now oldest
-    assert lru.victim([1, 2, 3]) == 2
+    assert victim(lru, [1, 2, 3]) == 2
 
 
 def test_mru_evicts_newest():
     mru = MRU()
     for oid in (1, 2, 3):
         mru.touch(oid)
-    assert mru.victim([1, 2, 3]) == 3
+    assert victim(mru, [1, 2, 3]) == 3
 
 
 def test_lfu_evicts_least_frequent():
@@ -38,7 +43,7 @@ def test_lfu_evicts_least_frequent():
     for oid, times in [(1, 3), (2, 1), (3, 2)]:
         for _ in range(times):
             lfu.touch(oid)
-    assert lfu.victim([1, 2, 3]) == 2
+    assert victim(lfu, [1, 2, 3]) == 2
 
 
 def test_mu_evicts_most_frequent():
@@ -46,7 +51,7 @@ def test_mu_evicts_most_frequent():
     for oid, times in [(1, 3), (2, 1), (3, 2)]:
         for _ in range(times):
             mu.touch(oid)
-    assert mu.victim([1, 2, 3]) == 1
+    assert victim(mu, [1, 2, 3]) == 1
 
 
 def test_lu_prefers_stale_rarely_used():
@@ -56,26 +61,25 @@ def test_lu_prefers_stale_rarely_used():
     for _ in range(10):
         lu.touch(3)
     lu.touch(2)
-    assert lu.victim([1, 2]) == 1
+    assert victim(lu, [1, 2]) == 1
 
 
-def test_victim_restricted_to_candidates():
+def test_order_restricted_to_candidates():
     lru = LRU()
     for oid in (1, 2, 3):
         lru.touch(oid)
-    assert lru.victim([2, 3]) == 2
+    assert list(lru.iter_in_eviction_order([2, 3])) == [2, 3]
 
 
-def test_victim_empty_raises():
-    with pytest.raises(ValueError):
-        LRU().victim([])
+def test_empty_candidates_yield_nothing():
+    assert list(LRU().iter_in_eviction_order([])) == []
 
 
 def test_untouched_objects_score_zero():
     lru = LRU()
     lru.touch(5)
     # Object never touched sorts before touched ones under LRU.
-    assert lru.victim([5, 9]) == 9
+    assert victim(lru, [5, 9]) == 9
 
 
 def test_forget_clears_state():
@@ -92,7 +96,28 @@ def test_tie_breaks_on_lower_oid():
     lfu.touch(7)
     lfu.touch(3)
     # Equal counts: lower oid evicted first (determinism).
-    assert lfu.victim([7, 3]) == 3
+    assert victim(lfu, [7, 3]) == 3
+
+
+def test_index_order_matches_candidate_order():
+    """The incremental index walk equals ranking the indexed set."""
+    for name in ("lru", "lfu", "mru", "mu", "lu"):
+        scheme = make_scheme(name)
+        for oid in (1, 2, 3, 2, 1, 4, 2):
+            scheme.touch(oid)
+            scheme.index_add(oid)
+        scheme.index_discard(3)
+        expected = list(scheme.iter_in_eviction_order({1, 2, 4}))
+        assert list(scheme.iter_in_eviction_order()) == expected, name
+
+
+def test_index_discard_is_idempotent():
+    lru = LRU()
+    lru.touch(1)
+    lru.index_add(1)
+    lru.index_discard(1)
+    lru.index_discard(1)
+    assert list(lru.iter_in_eviction_order()) == []
 
 
 @given(
@@ -104,8 +129,8 @@ def test_lru_victim_is_minimum_last_touch(touches):
     for oid in touches:
         lru.touch(oid)
     candidates = sorted(set(touches))
-    victim = lru.victim(candidates)
-    assert lru.last_touch(victim) == min(lru.last_touch(o) for o in candidates)
+    first = victim(lru, candidates)
+    assert lru.last_touch(first) == min(lru.last_touch(o) for o in candidates)
 
 
 @given(
@@ -116,18 +141,19 @@ def test_lfu_victim_is_minimum_count(touches):
     for oid in touches:
         lfu.touch(oid)
     candidates = sorted(set(touches))
-    victim = lfu.victim(candidates)
-    assert lfu.count(victim) == min(lfu.count(o) for o in candidates)
+    first = victim(lfu, candidates)
+    assert lfu.count(first) == min(lfu.count(o) for o in candidates)
 
 
 @given(
     touches=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=60),
     scheme_name=st.sampled_from(["lru", "lfu", "mru", "mu", "lu"]),
 )
-def test_all_schemes_pick_from_candidates(touches, scheme_name):
-    """Property: every scheme returns one of the offered candidates."""
+def test_all_schemes_rank_exactly_the_candidates(touches, scheme_name):
+    """Property: the eviction order is a permutation of the candidates."""
     scheme = make_scheme(scheme_name)
     for oid in touches:
         scheme.touch(oid)
     candidates = sorted(set(touches))
-    assert scheme.victim(candidates) in candidates
+    order = list(scheme.iter_in_eviction_order(candidates))
+    assert sorted(order) == candidates

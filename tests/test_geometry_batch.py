@@ -82,12 +82,27 @@ def test_circumradius_batch_matches_scalar(tris):
     a, b, c = _tri_arrays(tris)
     r_sq = circumradius_sq_batch(a, b, c)
     for k, (pa, pb, pc) in enumerate(tris):
+        longest = max(dist_sq(pa, pb), dist_sq(pb, pc), dist_sq(pc, pa))
         try:
             expected = circumradius_sq(pa, pb, pc)
         except ZeroDivisionError:
             assert not np.isfinite(r_sq[k])
             continue
-        longest = max(dist_sq(pa, pb), dist_sq(pb, pc), dist_sq(pc, pa))
+        if not np.isfinite(r_sq[k]):
+            # The batch kernel pivots at c, so a triangle whose doubled
+            # area is at cancellation scale can round d to exactly 0 and
+            # come back NaN even though the scalar path (different pivot)
+            # survives.  Accept NaN only for such degenerate slivers.
+            area2 = max(
+                abs((pb[0] - pa[0]) * (pc[1] - pa[1])
+                    - (pb[1] - pa[1]) * (pc[0] - pa[0])),
+                abs((pc[0] - pb[0]) * (pa[1] - pb[1])
+                    - (pc[1] - pb[1]) * (pa[0] - pb[0])),
+                abs((pa[0] - pc[0]) * (pb[1] - pc[1])
+                    - (pa[1] - pc[1]) * (pb[0] - pc[0])),
+            )
+            assert area2 <= 1e-9 * longest
+            continue
         if not math.isfinite(expected) or longest == 0:
             continue
         if expected > 1e4 * longest or expected > 1e12:

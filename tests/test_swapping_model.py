@@ -2,8 +2,11 @@
 
 Drives each fast scheme (incremental bookkeeping, repro.core.swapping) and
 its log-replaying reference model (repro.testing.models) with the same
-random touch/forget/victim sequences and requires identical answers for
-every observable: victims, last-touch clocks, touch counts.
+random touch/forget/rank sequences and requires identical answers for
+every observable: full eviction orders, last-touch clocks, touch counts.
+The fast scheme additionally maintains its incremental eviction index in
+lockstep (index_add on touch), and the index walk must agree with the
+reference ranking of the indexed set at every query point.
 """
 
 import pytest
@@ -19,9 +22,13 @@ OIDS = st.integers(min_value=0, max_value=7)
 op = st.one_of(
     st.tuples(st.just("touch"), OIDS),
     st.tuples(st.just("forget"), OIDS),
-    st.tuples(st.just("victim"), st.frozensets(OIDS, min_size=1, max_size=8)),
+    st.tuples(st.just("rank"), st.frozensets(OIDS, min_size=1, max_size=8)),
 )
 op_sequences = st.lists(op, max_size=80)
+
+
+def victim(scheme, candidates):
+    return next(scheme.iter_in_eviction_order(candidates))
 
 
 @pytest.mark.parametrize("name", SCHEMES)
@@ -30,17 +37,24 @@ op_sequences = st.lists(op, max_size=80)
 def test_scheme_matches_reference_model(name, ops):
     fast = make_scheme(name)
     model = make_reference(name)
+    indexed = set()
     for kind, arg in ops:
         if kind == "touch":
             fast.touch(arg)
+            fast.index_add(arg)
+            indexed.add(arg)
             model.touch(arg)
         elif kind == "forget":
             fast.forget(arg)
+            indexed.discard(arg)
             model.forget(arg)
         else:
-            assert fast.victim(arg) == model.victim(arg), (
-                f"{name}: victim disagrees on candidates {sorted(arg)}"
-            )
+            assert list(fast.iter_in_eviction_order(arg)) == list(
+                model.iter_in_eviction_order(arg)
+            ), f"{name}: order disagrees on candidates {sorted(arg)}"
+            assert list(fast.iter_in_eviction_order()) == list(
+                model.iter_in_eviction_order(indexed)
+            ), f"{name}: incremental index disagrees with reference ranking"
     for oid in range(8):
         assert fast.last_touch(oid) == model.last_touch(oid)
         assert fast.count(oid) == model.count(oid)
@@ -49,17 +63,17 @@ def test_scheme_matches_reference_model(name, ops):
 @pytest.mark.parametrize("name", SCHEMES)
 @settings(max_examples=40, deadline=None)
 @given(ops=op_sequences, candidates=st.frozensets(OIDS, min_size=1))
-def test_victim_is_member_and_pure(name, ops, candidates):
-    """victim() picks from the candidate set and does not mutate state."""
+def test_ranking_is_member_complete_and_pure(name, ops, candidates):
+    """Ranking permutes the candidate set and does not mutate state."""
     scheme = make_scheme(name)
     for kind, arg in ops:
         if kind == "touch":
             scheme.touch(arg)
         elif kind == "forget":
             scheme.forget(arg)
-    first = scheme.victim(candidates)
-    assert first in candidates
-    assert scheme.victim(candidates) == first
+    first = list(scheme.iter_in_eviction_order(candidates))
+    assert sorted(first) == sorted(candidates)
+    assert list(scheme.iter_in_eviction_order(candidates)) == first
 
 
 def test_lru_vs_mru_are_opposites():
@@ -68,8 +82,8 @@ def test_lru_vs_mru_are_opposites():
     for s in (lru, mru):
         for oid in (1, 2, 3):
             s.touch(oid)
-    assert lru.victim({1, 2, 3}) == 1
-    assert mru.victim({1, 2, 3}) == 3
+    assert victim(lru, {1, 2, 3}) == 1
+    assert victim(mru, {1, 2, 3}) == 3
 
 
 def test_lfu_vs_mu_are_opposites():
@@ -78,8 +92,8 @@ def test_lfu_vs_mu_are_opposites():
         for oid, n in ((1, 3), (2, 1), (3, 2)):
             for _ in range(n):
                 s.touch(oid)
-    assert lfu.victim({1, 2, 3}) == 2
-    assert mu.victim({1, 2, 3}) == 1
+    assert victim(lfu, {1, 2, 3}) == 2
+    assert victim(mu, {1, 2, 3}) == 1
 
 
 def test_lu_decays_with_age():
@@ -91,11 +105,11 @@ def test_lu_decays_with_age():
         lu.touch(2)  # age object 1 by twenty clock ticks
     lu.touch(3)  # one very recent touch
     # Object 1: count 5, age 21 -> ~0.24; object 3: count 1, age 1 -> 1.0.
-    assert lu.victim({1, 3}) == 1
+    assert victim(lu, {1, 3}) == 1
 
 
 def test_untouched_objects_evict_first_under_lru_and_lfu():
     for name in ("lru", "lfu"):
         s = make_scheme(name)
         s.touch(5)
-        assert s.victim({5, 9}) == 9  # 9 never touched: score 0
+        assert victim(s, {5, 9}) == 9  # 9 never touched: score 0
