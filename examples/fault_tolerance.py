@@ -1,28 +1,46 @@
 #!/usr/bin/env python3
-"""Checkpoint/restore on top of the out-of-core subsystem.
+"""Automatic recovery: a supervised run survives storage failures.
 
 The paper's conclusion: "check and restore functionality for fault
 tolerance can be implemented with little effort on top of the out-of-core
-subsystem".  This example runs a phased computation, snapshots between
-phases, simulates a crash, and resumes from the snapshot on a brand-new
-runtime — finishing with exactly the result the uninterrupted run gets.
+subsystem".  The manual half (checkpoint/restore between phases) is one
+call each; this example shows the *closed loop* — a
+:class:`~repro.core.recovery.RecoveryPolicy` owns the runtime, snapshots
+it at phase boundaries, and when the storage medium misbehaves:
+
+* transient faults are absorbed by the retry/backoff layer (counted in
+  ``RunStats.storage_retries``) and the application never notices;
+* a fail-stop fault kills the run mid-phase — the supervisor rebuilds a
+  fresh runtime from the latest snapshot, replays the work posted since,
+  and the final result is identical to an uninterrupted run.
 
 Run:  python examples/fault_tolerance.py
 """
 
-from repro.core import Checkpoint, MobileObject, MRTS, checkpoint, handler, restore
+from dataclasses import replace
+
+from repro.core import MobileObject, MRTS, handler
+from repro.core.recovery import RecoveryPolicy
+from repro.core.storage import MemoryBackend
 from repro.sim.cluster import ClusterSpec
 from repro.sim.node import NodeSpec
+from repro.testing.faults import FaultPlan, FaultyBackend
 
 
 class Cell(MobileObject):
-    """One cell of a toy iterative stencil over a ring of mobile objects."""
+    """One cell of a toy iterative stencil over a ring of mobile objects.
 
-    def __init__(self, pointer, index, value=0.0):
+    The ballast makes cells big enough that the squeezed memory budget
+    forces constant spill traffic — exactly where storage faults bite.
+    """
+
+    def __init__(self, pointer, index, value=0.0, ballast=16 * 1024):
         super().__init__(pointer)
         self.index = index
         self.value = float(value)
         self.neighbors = []
+        self.ballast = bytes(ballast)
+        self.incoming = 0.0
 
     @handler
     def wire(self, ctx, neighbors):
@@ -36,72 +54,108 @@ class Cell(MobileObject):
     @handler
     def absorb(self, ctx, amount):
         # Accumulate only: addition commutes, so the result is independent
-        # of message ordering (and therefore of checkpoint/restore timing).
-        self.incoming = getattr(self, "incoming", 0.0) + amount
+        # of message ordering (and therefore of crash/restore timing).
+        self.incoming += amount
 
     @handler
     def commit(self, ctx):
-        self.value = self.value / 2 + getattr(self, "incoming", 0.0)
+        self.value = self.value / 2 + self.incoming
         self.incoming = 0.0
 
 
-def cluster():
-    return ClusterSpec(n_nodes=2, node=NodeSpec(cores=2, memory_bytes=1 << 22))
+N_CELLS = 8
+PHASES = 4
 
 
-def build(rt, n_cells=8):
-    ptrs = [rt.create_object(Cell, k, 100.0 if k == 0 else 0.0, node=k % 2)
-            for k in range(n_cells)]
-    for k, p in enumerate(ptrs):
-        rt.post(p, "wire", [ptrs[(k - 1) % n_cells], ptrs[(k + 1) % n_cells]])
-    rt.run()
-    return ptrs
+def make_supervisor(plan=None):
+    """A supervised stencil runtime; ``plan`` injects storage faults.
+
+    The factory heals the medium on rebuilds (the failed disk was
+    replaced): incarnation 0 gets the fault plan, later ones run clean.
+    """
+    incarnation = [0]
+
+    def factory(config=None):
+        i = incarnation[0]
+        incarnation[0] += 1
+
+        def make_backend(rank):
+            backend = MemoryBackend()
+            if plan is not None and i == 0:
+                backend = FaultyBackend(
+                    backend, replace(plan, seed=plan.seed + rank)
+                )
+            return backend
+
+        return MRTS(
+            ClusterSpec(n_nodes=2, node=NodeSpec(cores=2,
+                                                 memory_bytes=48 * 1024)),
+            config=config,
+            storage_factory=make_backend,
+        )
+
+    def build(rt):
+        ptrs = [
+            rt.create_object(Cell, k, 100.0 if k == 0 else 0.0, node=k % 2)
+            for k in range(N_CELLS)
+        ]
+        for k, p in enumerate(ptrs):
+            rt.post(p, "wire",
+                    [ptrs[(k - 1) % N_CELLS], ptrs[(k + 1) % N_CELLS]])
+        return ptrs
+
+    return RecoveryPolicy(factory, build=build, interval=30,
+                          class_map={"Cell": Cell})
 
 
-def phase(rt, ptrs):
-    for p in ptrs:
-        rt.post(p, "exchange")
-    rt.run()
-    for p in ptrs:
-        rt.post(p, "commit")
-    rt.run()
-
-
-def values(rt, ptrs):
-    return [round(rt.get_object(p).value, 6) for p in ptrs]
+def run_phases(sup):
+    """All posts go through the supervisor so they land in the replay log:
+    a restart mid-phase re-posts them against the restored snapshot."""
+    sup.run()  # wiring
+    ptrs = [sup.pointers[oid] for oid in sorted(sup.pointers)]
+    for _ in range(PHASES):
+        for p in ptrs:
+            sup.post(p, "exchange")
+        sup.run()
+        for p in ptrs:
+            sup.post(p, "commit")
+        sup.run()
+    return [round(sup.get_object(p).value, 6) for p in ptrs]
 
 
 def main():
-    # Reference run: 4 uninterrupted phases.
-    ref = MRTS(cluster())
-    ref_ptrs = build(ref)
-    for _ in range(4):
-        phase(ref, ref_ptrs)
-    expected = values(ref, ref_ptrs)
-    print("uninterrupted result:", expected)
+    # Reference: same workload on a healthy medium.
+    expected = run_phases(make_supervisor())
+    print("uninterrupted result:  ", expected)
 
-    # Fault-tolerant run: snapshot after phase 2, crash, restore, resume.
-    rt = MRTS(cluster())
-    ptrs = build(rt)
-    phase(rt, ptrs)
-    phase(rt, ptrs)
-    snap = checkpoint(rt)
-    blob = snap.to_bytes()
-    print(f"checkpoint after phase 2: {snap.n_objects} objects, "
-          f"{len(blob)} bytes on stable storage")
+    # Act 1 — a flaky medium (transient faults on 1 in 8 stores/loads).
+    # The retry layer absorbs every one; no restart is ever needed.
+    flaky = make_supervisor(
+        FaultPlan(store_fail_rate=0.125, load_fail_rate=0.125, seed=11)
+    )
+    result = run_phases(flaky)
+    print("flaky-medium result:   ", result)
+    print(f"  retries={flaky.runtime.stats.storage_retries} "
+          f"restarts={flaky.restarts}")
+    assert result == expected
+    assert flaky.runtime.stats.storage_retries > 0 and flaky.restarts == 0
 
-    del rt  # --- the crash ---
+    # Act 2 — the medium fail-stops on its 25th store, killing the run
+    # mid-phase.  The supervisor restores the latest snapshot into a
+    # fresh runtime, replays the posts made since, and carries on.
+    failstop = make_supervisor(
+        FaultPlan(fail_store_at=25, fail_stop=True, seed=7)
+    )
+    result = run_phases(failstop)
+    print("fail-stop result:      ", result)
+    print(f"  restarts={failstop.restarts} "
+          f"snapshots={len(failstop.checkpointer.snapshots)}")
+    for event in failstop.events:
+        print("   .", event)
+    assert result == expected, "recovery must be transparent to the result"
+    assert failstop.restarts >= 1, "the fail-stop should have forced a restart"
 
-    rt2 = MRTS(cluster())
-    restored = restore(Checkpoint.from_bytes(blob), rt2, class_map={"Cell": Cell})
-    ptrs2 = [restored[p.oid] for p in ptrs]
-    print("restored on a fresh runtime; resuming phases 3 and 4...")
-    phase(rt2, ptrs2)
-    phase(rt2, ptrs2)
-    resumed = values(rt2, ptrs2)
-    print("resumed result:      ", resumed)
-    assert resumed == expected, "restore must be transparent to the result"
-    print("fault tolerance OK: identical to the uninterrupted run")
+    print("fault tolerance OK: both runs identical to the uninterrupted run")
 
 
 if __name__ == "__main__":

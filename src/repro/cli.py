@@ -7,12 +7,18 @@ Usage::
     python -m repro.cli --scale 0.5 table1   # thinned size grids
     python -m repro.cli --list               # available experiment ids
     python -m repro.cli selftest             # invariant-checked smoke run
+    python -m repro.cli chaos                # recovery chaos matrix
 
 ``selftest`` runs one seeded storm workload per swap-scheme/directory-
 policy combination on a deliberately tiny memory budget and verifies the
 cross-layer invariants afterwards (see :mod:`repro.testing`).  Exit code
 is non-zero if any configuration violates an invariant — an operational
 health check, not a benchmark.
+
+``chaos`` runs the seeded fault-injection matrix (intermittent, fail-stop,
+torn-write and disk-full plans) with automatic recovery enabled and
+verifies each run converges to the fault-free final state with invariants
+intact (see :mod:`repro.testing.chaos`).
 """
 
 from __future__ import annotations
@@ -31,7 +37,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiments", nargs="*",
-        help="experiment ids (see --list), 'all', 'selftest', or 'perf'",
+        help="experiment ids (see --list), 'all', 'selftest', 'perf', "
+        "or 'chaos'",
     )
     parser.add_argument(
         "--scale", type=float, default=1.0,
@@ -59,10 +66,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name}")
         print("  selftest (invariant-checked runtime smoke test)")
         print("  perf (out-of-core fast-path benchmark -> BENCH_ooc.json)")
+        print("  chaos (fault-injection + automatic-recovery matrix)")
         return 0
 
     if args.experiments == ["selftest"]:
         return _selftest(args.seed)
+    if args.experiments == ["chaos"]:
+        return _chaos(args.seed)
     if args.experiments == ["perf"]:
         if not 0.0 < args.scale <= 1.0:
             parser.error("--scale must be in (0, 1]")
@@ -110,6 +120,23 @@ def _perf(seed: int, scale: float, check: bool, output: str | None) -> int:
     perf.write_report(report, path)
     print(f"[perf report written to {path} in {elapsed:.1f}s]")
     return 0
+
+
+def _chaos(seed: int) -> int:
+    from dataclasses import replace as _replace
+
+    from repro.testing.chaos import CHAOS_MATRIX, run_chaos_matrix
+
+    specs = [_replace(s, seed=s.seed + seed) for s in CHAOS_MATRIX]
+    start = time.perf_counter()
+    reports = run_chaos_matrix(specs)
+    elapsed = time.perf_counter() - start
+    for report in reports:
+        print(report.render())
+    failed = sum(1 for r in reports if not r.ok)
+    verdict = "PASS" if failed == 0 else f"FAIL ({failed}/{len(reports)})"
+    print(f"[chaos {verdict} in {elapsed:.1f}s]")
+    return 0 if failed == 0 else 1
 
 
 def _selftest(seed: int) -> int:

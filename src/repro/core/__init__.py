@@ -17,10 +17,16 @@ from repro.core.mobile import MobileObject, MobilePointer, PickleSerializer, Ser
 from repro.core.messages import Message, MessageQueue, MulticastMessage
 from repro.core.swapping import LFU, LRU, LU, MRU, MU, SwapScheme, make_scheme
 from repro.core.storage import (
+    FRAME_OVERHEAD,
+    ChecksummedBackend,
     CountingBackend,
     FileBackend,
     MemoryBackend,
+    RetryPolicy,
+    RetryingBackend,
     StorageBackend,
+    decode_frame,
+    encode_frame,
 )
 from repro.core.directory import Directory, DirectoryStats, make_directory
 from repro.core.ooc import OOCLayer, Residency
@@ -44,6 +50,7 @@ from repro.core.runtime import (
     handler,
 )
 from repro.core.checkpoint import Checkpoint, CheckpointPolicy, checkpoint, restore
+from repro.core.recovery import RecoveryFailed, RecoveryPolicy
 from repro.core.remote_memory import (
     MemoryPool,
     RemoteMemoryBackend,
@@ -82,6 +89,12 @@ __all__ = [
     "MemoryBackend",
     "FileBackend",
     "CountingBackend",
+    "ChecksummedBackend",
+    "RetryPolicy",
+    "RetryingBackend",
+    "FRAME_OVERHEAD",
+    "encode_frame",
+    "decode_frame",
     "Directory",
     "DirectoryStats",
     "make_directory",
@@ -103,6 +116,8 @@ __all__ = [
     "CheckpointPolicy",
     "checkpoint",
     "restore",
+    "RecoveryPolicy",
+    "RecoveryFailed",
     "MemoryPool",
     "RemoteMemoryBackend",
     "attach_remote_memory",

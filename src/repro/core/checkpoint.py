@@ -28,7 +28,8 @@ from typing import Optional
 from repro.core.messages import Message, MessageQueue
 from repro.core.mobile import MobileObject, MobilePointer
 from repro.core.runtime import MRTS, _LocalObject
-from repro.util.errors import MRTSError
+from repro.core.storage import decode_frame, encode_frame
+from repro.util.errors import CorruptObject, MRTSError
 
 __all__ = ["Checkpoint", "checkpoint", "restore", "CheckpointPolicy"]
 
@@ -56,14 +57,47 @@ class Checkpoint:
     outstanding: int = 0
 
     def to_bytes(self) -> bytes:
-        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        """Serialize with the same length+CRC32 frame as stored objects.
+
+        A torn snapshot write then fails loudly at :meth:`from_bytes`
+        (:class:`CorruptObject`) instead of unpickling garbage.
+        """
+        return encode_frame(
+            pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        )
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Checkpoint":
-        snapshot = pickle.loads(data)
+        try:
+            payload = decode_frame(data, context="checkpoint")
+        except CorruptObject:
+            # Pre-frame snapshots (or raw pickles in old tests) may still
+            # be valid pickles; accept them for backward compatibility.
+            payload = data
+        try:
+            snapshot = pickle.loads(payload)
+        except Exception as exc:
+            raise CorruptObject(f"checkpoint does not unpickle: {exc}") from exc
         if not isinstance(snapshot, cls):
             raise MRTSError("data is not a Checkpoint")
         return snapshot
+
+    def payload_for(self, oid: int) -> Optional[bytes]:
+        """Packed bytes of ``oid`` in this snapshot, or None if absent.
+
+        Backed by a lazily built index (excluded from pickling) so the
+        corrupt-load fallback path is O(1) per lookup.
+        """
+        index = getattr(self, "_payload_index", None)
+        if index is None:
+            index = {rec.oid: rec.payload for rec in self.objects}
+            object.__setattr__(self, "_payload_index", index)
+        return index.get(oid)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_payload_index", None)
+        return state
 
     @property
     def n_objects(self) -> int:

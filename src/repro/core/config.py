@@ -29,6 +29,19 @@ class MRTSConfig:
       ``"centralqueue"`` (GCD-like), or ``"serial"``.
     * ``overdecomposition`` — recommended N/P ratio hint used by the
       application drivers when they choose subdomain counts (N >> P).
+
+    Self-healing knobs (PR 3):
+
+    * ``storage_retries`` — retries after the first attempt of a storage
+      op on a transient fault (``RetryingBackend``); 0 disables retrying.
+    * ``retry_base_delay_s`` / ``retry_max_delay_s`` — capped exponential
+      backoff schedule; ``retry_op_timeout_s`` bounds the cumulative
+      backoff a single operation may accrue before giving up.
+    * ``checksum_frames`` — wrap every packed object in a length+CRC32
+      frame so torn writes are detected at load (``CorruptObject``).
+    * ``degraded`` — start in degraded mode (normally entered at runtime
+      when the medium reports full): hard-threshold headroom drops to its
+      floor and proactive soft-threshold spills are suppressed.
     """
 
     memory_budget: int = 256 * 1024 * 1024
@@ -40,6 +53,12 @@ class MRTSConfig:
     overdecomposition: int = 8
     prefetch_depth: int = 2
     message_aggregation: int = 1
+    storage_retries: int = 3
+    retry_base_delay_s: float = 0.001
+    retry_max_delay_s: float = 0.100
+    retry_op_timeout_s: float = 1.0
+    checksum_frames: bool = True
+    degraded: bool = False
 
     VALID_SCHEMES = ("lru", "lfu", "mru", "mu", "lu")
     VALID_DIRECTORY = ("lazy", "eager", "home")
@@ -73,3 +92,13 @@ class MRTSConfig:
             raise ConfigError("prefetch_depth must be >= 0")
         if self.message_aggregation < 1:
             raise ConfigError("message_aggregation must be >= 1")
+        if self.storage_retries < 0:
+            raise ConfigError("storage_retries must be >= 0")
+        if self.retry_base_delay_s < 0:
+            raise ConfigError("retry_base_delay_s must be >= 0")
+        if self.retry_max_delay_s < self.retry_base_delay_s:
+            raise ConfigError(
+                "retry_max_delay_s must be >= retry_base_delay_s"
+            )
+        if self.retry_op_timeout_s < 0:
+            raise ConfigError("retry_op_timeout_s must be >= 0")

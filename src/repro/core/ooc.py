@@ -152,6 +152,13 @@ class OOCLayer:
         self._hard_threshold = 0
         self._pressure = _PressureTier()
         self._pressure_clock = -1
+        # Degraded mode (medium reported full): the hard factor collapses
+        # to its 1.0 floor (minimum forced unloading) and advise_swap
+        # stops proposing proactive spills — backpressure that keeps all
+        # but strictly necessary stores off the full medium.
+        self.degraded = bool(getattr(config, "degraded", False))
+        if self.degraded:
+            self._hard_threshold = self._largest_stored
 
     # ------------------------------------------------------------- queries
     @property
@@ -459,9 +466,8 @@ class OOCLayer:
         self.evictions += 1
         if rec.nbytes > self._largest_stored:
             self._largest_stored = rec.nbytes
-            self._hard_threshold = int(
-                self.config.hard_threshold_factor * rec.nbytes
-            )
+            factor = 1.0 if self.degraded else self.config.hard_threshold_factor
+            self._hard_threshold = int(factor * rec.nbytes)
         self.scheme.index_discard(oid)
         self._pressure.discard(oid)
         return rec.nbytes
@@ -485,13 +491,22 @@ class OOCLayer:
 
         Called by the control layer when it sees little in-core work; only
         returns objects with no queued messages (they will be needed soon
-        otherwise).
+        otherwise).  In degraded mode proactive spills are suppressed —
+        pure extra traffic against a medium that reported full — but
+        budget *overruns* are still paid down: a concurrent-load race can
+        consume freed memory before a load confirms, and degraded or not,
+        the node must settle back under its budget.
         """
-        if not self.below_soft_threshold():
+        if self.degraded:
+            want = self.memory_used - self.budget
+        elif self.below_soft_threshold():
+            want = self._soft_threshold - self.memory_free
+        else:
+            return []
+        if want <= 0:
             return []
         victims = []
         freed = 0
-        want = self._soft_threshold - self.memory_free
         for oid in self.iter_eviction_candidates(protect):
             if self.table[oid].queued_messages > 0:
                 continue
@@ -500,6 +515,17 @@ class OOCLayer:
             if freed >= want:
                 break
         return victims
+
+    def enter_degraded(self) -> None:
+        """Medium reported full: tighten to the floor, stop proactive spills.
+
+        The hard swapping threshold is recomputed with factor 1.0 — the
+        minimum headroom that still guarantees the largest stored object
+        can be reloaded — so forced unloading (which *stores* bytes)
+        happens as rarely as correctness allows.
+        """
+        self.degraded = True
+        self._hard_threshold = self._largest_stored
 
     def prefetch_candidates(self, upcoming: Iterable[int]) -> list[int]:
         """Of the hinted upcoming objects, which to prefetch now.

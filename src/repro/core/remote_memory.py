@@ -22,8 +22,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.runtime import MRTS
-from repro.core.storage import CountingBackend, MemoryBackend, StorageBackend
-from repro.util.errors import ConfigError, ObjectNotFound
+from repro.core.storage import MemoryBackend, StorageBackend
+from repro.util.errors import ConfigError, ObjectNotFound, StorageFull
 
 __all__ = ["RemoteMemoryBackend", "MemoryPool", "attach_remote_memory"]
 
@@ -78,7 +78,7 @@ class RemoteMemoryBackend(StorageBackend):
     def store(self, oid: int, data: bytes) -> None:
         old = self.pool.store.size(oid) if self.pool.store.contains(oid) else 0
         if self.pool.used - old + len(data) > self.pool.capacity:
-            raise ConfigError(
+            raise StorageFull(
                 f"remote memory pool exhausted ({self.pool.used} B used, "
                 f"{len(data)} B incoming, {self.pool.capacity} B capacity)"
             )
@@ -104,21 +104,34 @@ class RemoteMemoryBackend(StorageBackend):
 
 
 def attach_remote_memory(
-    runtime: MRTS, pool_bytes_per_node: int
+    runtime: MRTS, pool_bytes_per_node: int, fault_plan=None
 ) -> list[MemoryPool]:
     """Replace every node's spill storage with remote-memory backends.
 
     Must be called on a fresh runtime (before objects exist).  Each node
     gets a dedicated pool of ``pool_bytes_per_node`` hosted by its ring
-    neighbor.  Returns the pools for inspection.
+    neighbor.  The backend is composed through the runtime's self-healing
+    stack (retry + checksummed frames + counting), exactly like a disk
+    backend; pass a :class:`~repro.testing.faults.FaultPlan` to exercise
+    it under injected faults (each node's plan reseeded by rank).
+    Returns the pools for inspection.
     """
     if runtime._objects_by_oid:
         raise ConfigError("attach_remote_memory requires a fresh runtime")
     pools = []
     for nrt in runtime.nodes:
         pool = MemoryPool(pool_bytes_per_node)
-        backend = RemoteMemoryBackend(runtime, nrt.rank, pool)
-        nrt.storage = CountingBackend(backend)
-        nrt.spill_server = backend.server_rank
+        remote = RemoteMemoryBackend(runtime, nrt.rank, pool)
+        backend: StorageBackend = remote
+        if fault_plan is not None:
+            from dataclasses import replace
+
+            from repro.testing.faults import FaultyBackend
+
+            backend = FaultyBackend(
+                backend, replace(fault_plan, seed=fault_plan.seed + nrt.rank)
+            )
+        nrt.storage = runtime._compose_storage(nrt.rank, backend)
+        nrt.spill_server = remote.server_rank
         pools.append(pool)
     return pools

@@ -38,12 +38,24 @@ from repro.core.messages import Message, MessageQueue, MulticastMessage
 from repro.core.mobile import MobileObject, MobilePointer
 from repro.core.ooc import OOCLayer
 from repro.core.stats import RunStats
-from repro.core.storage import CountingBackend, MemoryBackend, StorageBackend
+from repro.core.storage import (
+    ChecksummedBackend,
+    CountingBackend,
+    MemoryBackend,
+    RetryPolicy,
+    RetryingBackend,
+    StorageBackend,
+)
 from repro.sim.cluster import ClusterSpec, SimCluster
 from repro.sim.engine import Engine
 from repro.sim.node import NodeSpec
 from repro.sim.resources import Store
-from repro.util.errors import MRTSError, ObjectNotFound, OutOfMemory
+from repro.util.errors import (
+    CorruptObject,
+    MRTSError,
+    ObjectNotFound,
+    OutOfMemory,
+)
 from repro.util.ids import IdAllocator
 
 __all__ = ["MRTS", "HandlerContext", "CostModel", "MeasuredCostModel", "handler"]
@@ -247,7 +259,7 @@ class _NodeRuntime:
             runtime.config, budget=runtime.spec.node.memory_bytes
         )
         backend = runtime.storage_factory(rank)
-        self.storage = CountingBackend(backend)
+        self.storage = runtime._compose_storage(rank, backend)
         self.tokens = Store(runtime.engine)
         self.workers: list = []
         self.prefetching: set[int] = set()
@@ -362,6 +374,16 @@ class MRTS:
         self.stats = RunStats()
         self._done_event = self.engine.event()
         self.termination = TerminationDetector(self._on_quiescent)
+        # Installed by RecoveryPolicy: oid -> last checkpointed payload (or
+        # None).  _load_blocking falls back to it when the storage copy
+        # fails frame validation (torn write detected as CorruptObject).
+        self.recovery_source: Optional[Callable[[int], Optional[bytes]]] = None
+        # Objects whose storage copy was rewritten since the supervisor's
+        # last snapshot (cleared by RecoveryPolicy at every checkpoint and
+        # restore).  For these the snapshot payload is stale, so the
+        # corrupt-load fallback must escalate instead of silently rewinding
+        # one object to an older cut than the rest of the world.
+        self.stored_since_snapshot: set[int] = set()
         self.nodes = [_NodeRuntime(self, r) for r in range(cluster.n_nodes)]
         self._id_alloc = IdAllocator()
         self._objects_by_oid: dict[int, MobilePointer] = {}
@@ -426,6 +448,57 @@ class MRTS:
 
     def _node_executor(self, rank: int):
         return self._executors[rank]
+
+    # ======================================================== self-healing
+    def _compose_storage(self, rank: int, backend: StorageBackend) -> CountingBackend:
+        """Wrap a factory backend in the self-healing storage stack.
+
+        Counting(Checksummed(Retrying(backend))): retries innermost so
+        transient faults are absorbed before the frame layer ever sees
+        them; frames outside retry so a :class:`CorruptObject` (permanent
+        by definition) is never retried; counting outermost so byte
+        accounting sees unframed payload sizes, unchanged from before.
+        """
+        cfg = self.config
+        if cfg.storage_retries > 0:
+            policy = RetryPolicy(
+                max_attempts=cfg.storage_retries + 1,
+                base_delay_s=cfg.retry_base_delay_s,
+                max_delay_s=cfg.retry_max_delay_s,
+                op_timeout_s=cfg.retry_op_timeout_s,
+                seed=rank,
+            )
+
+            def on_retry(op: str, oid: int, attempt: int, delay: float) -> None:
+                # Late attribute lookup so attach_tracer's wrapping of
+                # _note_retry is seen by backends composed before it ran.
+                self._note_retry(rank, op, oid, attempt, delay)
+
+            backend = RetryingBackend(backend, policy, on_retry=on_retry)
+        if cfg.checksum_frames:
+            backend = ChecksummedBackend(backend)
+        return CountingBackend(backend)
+
+    def _note_retry(
+        self, rank: int, op: str, oid: int, attempt: int, delay: float
+    ) -> None:
+        """A storage op on ``rank`` is about to be retried (tracer hook)."""
+        self.stats.node(rank).storage_retries += 1
+
+    def _note_corrupt(self, rank: int, oid: int) -> None:
+        """A load on ``rank`` failed frame validation (tracer hook)."""
+        self.stats.node(rank).corrupt_loads += 1
+
+    @property
+    def degraded(self) -> bool:
+        """True once any node's OOC layer entered degraded mode."""
+        return any(n.ooc.degraded for n in self.nodes)
+
+    def enter_degraded_mode(self) -> None:
+        """Tighten every node for a full medium: headroom to the floor,
+        proactive spills suppressed (see :meth:`OOCLayer.enter_degraded`)."""
+        for node in self.nodes:
+            node.ooc.enter_degraded()
 
     # ====================================================== object lifecycle
     def _create_object(
@@ -546,6 +619,7 @@ class MRTS:
         modeled = residency.nbytes
         if dirty:
             nrt.storage.store(oid, self._pack_local(rec))
+            self.stored_since_snapshot.add(oid)
         rec.obj = None
         rec.pack_cache = None
         nrt.ooc.confirm_evict(oid)
@@ -642,7 +716,29 @@ class MRTS:
         # virtual I/O another worker may have loaded, mutated and
         # re-spilled the object — the storage now holds the newer state,
         # and resurrecting a pre-transfer snapshot would lose updates.
-        data = nrt.storage.load(oid)
+        try:
+            data = nrt.storage.load(oid)
+        except CorruptObject:
+            # Torn write detected at load.  Treat it like a miss: fall
+            # back to the last checkpointed copy when recovery installed
+            # one, and repair the torn storage copy so the residency
+            # invariant (a clean resident has a current storage copy)
+            # holds for the rest of the run.  Only safe when the object
+            # was NOT re-stored since that snapshot — a stale payload
+            # would silently rewind one object to an older cut than the
+            # rest of the world; escalating instead lets the supervisor
+            # restore a *consistent* cut and replay.
+            self._note_corrupt(nrt.rank, oid)
+            fallback = None
+            if (
+                self.recovery_source is not None
+                and oid not in self.stored_since_snapshot
+            ):
+                fallback = self.recovery_source(oid)
+            if fallback is None:
+                raise
+            nrt.storage.store(oid, fallback)
+            data = fallback
         ptr = self._objects_by_oid[oid]
         obj = object.__new__(self._obj_class(oid))
         MobileObject.__init__(obj, ptr)

@@ -52,6 +52,8 @@ class NodeStats:
     objects_stored: int = 0
     bytes_loaded: int = 0
     bytes_stored: int = 0
+    storage_retries: int = 0
+    corrupt_loads: int = 0
 
     def add_comp(self, seconds: float) -> None:
         self.comp_time += seconds
@@ -172,3 +174,11 @@ class RunStats:
     @property
     def bytes_to_disk(self) -> int:
         return sum(n.bytes_stored for n in self.nodes)
+
+    @property
+    def storage_retries(self) -> int:
+        return sum(n.storage_retries for n in self.nodes)
+
+    @property
+    def corrupt_loads(self) -> int:
+        return sum(n.corrupt_loads for n in self.nodes)

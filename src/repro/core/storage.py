@@ -16,18 +16,45 @@ Backends:
 * :class:`CountingBackend` — wrapper adding byte/op accounting used by the
   stats layer and the simulated driver (which charges virtual disk time
   for the byte counts it reports).
+
+Self-healing wrappers (composed by the runtime around any of the above):
+
+* :class:`ChecksummedBackend` — wraps every packed object in a
+  length + CRC32 *frame* at the storage boundary, so a torn write or bit
+  rot is *detected* at load (:class:`~repro.util.errors.CorruptObject`)
+  instead of silently returning garbage bytes;
+* :class:`RetryingBackend` — capped exponential backoff with seeded
+  jitter and a per-operation backoff budget, absorbing intermittent
+  faults (:class:`~repro.util.errors.TransientStorageError`, e.g. a
+  flaky NFS mount) transparently.
 """
 
 from __future__ import annotations
 
 import os
+import random
+import struct
 import tempfile
+import time
+import zlib
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
-from repro.util.errors import ObjectNotFound
+from repro.util.errors import CorruptObject, ObjectNotFound, TransientStorageError
 
-__all__ = ["StorageBackend", "MemoryBackend", "FileBackend", "CountingBackend"]
+__all__ = [
+    "StorageBackend",
+    "MemoryBackend",
+    "FileBackend",
+    "CountingBackend",
+    "ChecksummedBackend",
+    "RetryPolicy",
+    "RetryingBackend",
+    "FRAME_OVERHEAD",
+    "encode_frame",
+    "decode_frame",
+]
 
 
 class StorageBackend:
@@ -180,6 +207,203 @@ class CountingBackend(StorageBackend):
 
     def delete(self, oid: int) -> None:
         self.inner.delete(oid)
+
+    def contains(self, oid: int) -> bool:
+        return self.inner.contains(oid)
+
+    def size(self, oid: int) -> int:
+        return self.inner.size(oid)
+
+    def stored_ids(self) -> list[int]:
+        return self.inner.stored_ids()
+
+
+# ======================================================= checksummed frames
+#
+# Frame layout (little-endian):
+#
+#   +--------+----------------+--------------+---------------------+
+#   | magic  | payload length | CRC32(payload)| payload bytes ...  |
+#   | 4 B    | 8 B  (<Q)      | 4 B  (<I)     | length B           |
+#   +--------+----------------+--------------+---------------------+
+#
+# Every strict prefix of a frame fails validation: a prefix shorter than
+# the header is rejected outright, and any longer prefix carries a length
+# field larger than the bytes that follow.  A flipped payload bit fails
+# the CRC.  That is exactly the property torn-write recovery needs: a
+# partially persisted store can never be loaded as a valid object.
+
+_FRAME_MAGIC = b"MRF1"
+_FRAME_HEADER = struct.Struct("<4sQI")
+FRAME_OVERHEAD = _FRAME_HEADER.size
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a magic + length + CRC32 frame."""
+    return (
+        _FRAME_HEADER.pack(_FRAME_MAGIC, len(payload), zlib.crc32(payload))
+        + payload
+    )
+
+
+def decode_frame(data: bytes, context: str = "object") -> bytes:
+    """Validate and strip a frame; raises :class:`CorruptObject` on damage."""
+    if len(data) < FRAME_OVERHEAD:
+        raise CorruptObject(
+            f"{context}: {len(data)} B is shorter than the "
+            f"{FRAME_OVERHEAD} B frame header (torn write?)"
+        )
+    magic, length, crc = _FRAME_HEADER.unpack_from(data)
+    if magic != _FRAME_MAGIC:
+        raise CorruptObject(f"{context}: bad frame magic {magic!r}")
+    payload = data[FRAME_OVERHEAD:]
+    if len(payload) != length:
+        raise CorruptObject(
+            f"{context}: frame promises {length} B but carries "
+            f"{len(payload)} B (torn write?)"
+        )
+    if zlib.crc32(payload) != crc:
+        raise CorruptObject(f"{context}: payload CRC mismatch (bit rot?)")
+    return payload
+
+
+class ChecksummedBackend(StorageBackend):
+    """Wrap ``inner``, framing every object with a length + CRC32 check.
+
+    Detection only: a corrupt frame raises :class:`CorruptObject` at load;
+    the out-of-core layer treats that like a miss and falls back to the
+    last checkpoint copy (see :mod:`repro.core.recovery`).  ``size``
+    reports *payload* size so callers see the same bytes they stored.
+    """
+
+    def __init__(self, inner: StorageBackend) -> None:
+        self.inner = inner
+        self.corrupt_loads = 0
+
+    def store(self, oid: int, data: bytes) -> None:
+        self.inner.store(oid, encode_frame(data))
+
+    def load(self, oid: int) -> bytes:
+        try:
+            return decode_frame(self.inner.load(oid), context=f"object {oid}")
+        except CorruptObject:
+            self.corrupt_loads += 1
+            raise
+
+    def delete(self, oid: int) -> None:
+        self.inner.delete(oid)
+
+    def contains(self, oid: int) -> bool:
+        return self.inner.contains(oid)
+
+    def size(self, oid: int) -> int:
+        return max(self.inner.size(oid) - FRAME_OVERHEAD, 0)
+
+    def stored_ids(self) -> list[int]:
+        return self.inner.stored_ids()
+
+
+# ================================================================= retrying
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with seeded jitter and a per-op budget.
+
+    ``max_attempts`` counts the first try: 4 means one attempt plus up to
+    three retries.  The k-th retry waits ``base_delay_s * 2**(k-1)``
+    capped at ``max_delay_s``, shrunk by up to ``jitter`` (a fraction in
+    [0, 1]) drawn from a PRNG seeded with ``seed`` — so a retry schedule
+    is a pure function of the policy, replayable bit-for-bit.  When the
+    cumulative backoff a further retry would need exceeds
+    ``op_timeout_s``, the operation gives up early and re-raises — the
+    per-op timeout that keeps one wedged store from stalling a node.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.001
+    max_delay_s: float = 0.100
+    op_timeout_s: float = 1.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+        if self.op_timeout_s < 0:
+            raise ValueError("op_timeout_s must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, retry_no: int, rng: random.Random) -> float:
+        """Backoff before the ``retry_no``-th retry (1-based)."""
+        raw = min(self.base_delay_s * 2 ** (retry_no - 1), self.max_delay_s)
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+class RetryingBackend(StorageBackend):
+    """Wrap ``inner``, absorbing transient faults with seeded backoff.
+
+    Only :class:`~repro.util.errors.TransientStorageError` is retried —
+    permanent conditions (:class:`CorruptObject`, :class:`StorageFull`,
+    :class:`ObjectNotFound`) propagate immediately.  ``on_retry(op, oid,
+    attempt, delay)`` fires before each retry, which is how the runtime
+    counts retries into :class:`~repro.core.stats.RunStats` and emits
+    tracer events.  ``sleep`` defaults to a no-op because the MRTS charges
+    time virtually; pass ``time.sleep`` for a wall-clock deployment.
+    """
+
+    def __init__(
+        self,
+        inner: StorageBackend,
+        policy: Optional[RetryPolicy] = None,
+        on_retry: Optional[Callable[[str, int, int, float], None]] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.on_retry = on_retry
+        self.sleep = sleep
+        self.retries = 0
+        self.gave_up = 0
+        self.backoff_s = 0.0
+        self._rng = random.Random(self.policy.seed)
+
+    # ------------------------------------------------------------- core loop
+    def _attempt(self, op: str, oid: int, fn: Callable[[], object]) -> object:
+        policy = self.policy
+        attempt = 1
+        budget = policy.op_timeout_s
+        while True:
+            try:
+                return fn()
+            except TransientStorageError:
+                if attempt >= policy.max_attempts:
+                    self.gave_up += 1
+                    raise
+                delay = policy.delay(attempt, self._rng)
+                if delay > budget:
+                    # Per-op timeout: the backoff budget is spent.
+                    self.gave_up += 1
+                    raise
+                budget -= delay
+                self.retries += 1
+                self.backoff_s += delay
+                if self.on_retry is not None:
+                    self.on_retry(op, oid, attempt, delay)
+                if self.sleep is not None:
+                    self.sleep(delay)
+                attempt += 1
+
+    # ------------------------------------------------------------ operations
+    def store(self, oid: int, data: bytes) -> None:
+        self._attempt("store", oid, lambda: self.inner.store(oid, data))
+
+    def load(self, oid: int) -> bytes:
+        return self._attempt("load", oid, lambda: self.inner.load(oid))
+
+    def delete(self, oid: int) -> None:
+        self._attempt("delete", oid, lambda: self.inner.delete(oid))
 
     def contains(self, oid: int) -> bool:
         return self.inner.contains(oid)

@@ -26,7 +26,7 @@ class TraceEvent:
 
     time: float
     node: int
-    kind: str       # "handler" | "disk" | "send"
+    kind: str       # "handler" | "disk" | "send" | "retry" | "corrupt"
     detail: str
     duration: float = 0.0
 
@@ -83,8 +83,10 @@ def attach_tracer(runtime: MRTS) -> Tracer:
     """Instrument a runtime; returns the collecting :class:`Tracer`.
 
     Wraps ``_execute_handler`` (one "handler" event per message),
-    ``_disk_xfer`` (one "disk" event per transfer) and ``_send_proc``
-    (one "send" event per wire message).
+    ``_disk_xfer`` (one "disk" event per transfer), ``_send_proc``
+    (one "send" event per wire message), ``_note_retry`` (one "retry"
+    event per absorbed storage fault) and ``_note_corrupt`` (one
+    "corrupt" event per frame-validation failure at load).
     """
     tracer = Tracer(runtime)
 
@@ -125,12 +127,32 @@ def attach_tracer(runtime: MRTS) -> Tracer:
             runtime.engine.now - start,
         )
 
+    orig_retry = runtime._note_retry
+
+    def traced_retry(rank, op, oid, attempt, delay):
+        orig_retry(rank, op, oid, attempt, delay)
+        tracer.record(
+            rank,
+            "retry",
+            f"{op} oid {oid}, attempt {attempt}, backoff {delay * 1e3:.3f} ms",
+        )
+
+    orig_corrupt = runtime._note_corrupt
+
+    def traced_corrupt(rank, oid):
+        orig_corrupt(rank, oid)
+        tracer.record(rank, "corrupt", f"load oid {oid} failed frame check")
+
     tracer._originals = {
         "_execute_handler": orig_exec,
         "_disk_xfer": orig_disk,
         "_send_proc": orig_send,
+        "_note_retry": orig_retry,
+        "_note_corrupt": orig_corrupt,
     }
     runtime._execute_handler = traced_exec
     runtime._disk_xfer = traced_disk
     runtime._send_proc = traced_send
+    runtime._note_retry = traced_retry
+    runtime._note_corrupt = traced_corrupt
     return tracer

@@ -19,12 +19,23 @@ other and with their specifications.  This package is that apparatus:
   stress runs and benchmarks;
 * :mod:`repro.testing.harness` — :class:`RuntimeHarness`, wiring the above
   into an invariant-checked runtime factory, plus :func:`selftest` used by
-  ``mrts-bench selftest``.
+  ``mrts-bench selftest``;
+* :mod:`repro.testing.chaos` — the seeded chaos matrix: storm workloads
+  under intermittent / fail-stop / torn-write / disk-full fault plans with
+  automatic recovery enabled, verified against the fault-free run (used by
+  ``mrts-bench chaos``).
 
 Everything here is import-light and dependency-free so production code can
 ship it (the CLI selftest uses it operationally, not just in pytest).
 """
 
+from repro.testing.chaos import (
+    CHAOS_MATRIX,
+    ChaosReport,
+    ChaosSpec,
+    run_chaos_case,
+    run_chaos_matrix,
+)
 from repro.testing.faults import FaultPlan, FaultyBackend, StorageFault
 from repro.testing.harness import HarnessReport, RuntimeHarness, selftest
 from repro.testing.invariants import (
@@ -51,6 +62,11 @@ from repro.testing.workloads import (
 )
 
 __all__ = [
+    "CHAOS_MATRIX",
+    "ChaosReport",
+    "ChaosSpec",
+    "run_chaos_case",
+    "run_chaos_matrix",
     "FaultPlan",
     "FaultyBackend",
     "StorageFault",

@@ -1,0 +1,300 @@
+"""The chaos matrix: seeded storm workloads under supervised recovery.
+
+Each :class:`ChaosSpec` names a failure regime — intermittent faults a
+flaky medium absorbs through retries, fail-stop faults that kill the run
+and force an automatic restore, a disk that reports full and pushes the
+runtime into degraded mode — and :func:`run_chaos_case` executes the same
+seeded storm twice: once fault-free (the reference) and once under the
+spec's :class:`~repro.testing.faults.FaultPlan` with a
+:class:`~repro.core.recovery.RecoveryPolicy` supervising.
+
+The verdict leans on the StormActor property PR 1 established: cascades
+are delivery-order independent (the forwarding PRNG is keyed on
+cascade-tree tokens, never arrival order), so the final application state
+is a pure function of the spec — any retry, rollback or replay the
+recovery machinery performs must land on *exactly* the reference state,
+and the cross-layer invariants must hold at every phase boundary.
+
+Everything is seeded: a failing case replays bit-for-bit.  Used by
+``tests/test_chaos_recovery.py`` and the ``mrts-bench chaos`` subcommand.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.config import MRTSConfig
+from repro.core.recovery import RecoveryPolicy
+from repro.core.runtime import MRTS
+from repro.core.storage import MemoryBackend
+from repro.sim.cluster import ClusterSpec
+from repro.sim.node import NodeSpec
+from repro.testing.faults import FaultPlan, FaultyBackend
+from repro.testing.harness import FixedCostModel
+from repro.testing.invariants import check_runtime
+from repro.testing.workloads import StormActor
+
+__all__ = ["ChaosSpec", "ChaosReport", "CHAOS_MATRIX", "run_chaos_case",
+           "run_chaos_matrix"]
+
+# Sentinel: the recovered incarnations keep the same fault plan as the
+# first (the medium stays flaky); ``None`` means the rebuilt incarnation
+# gets a healthy medium (the failed disk was replaced).
+SAME_PLAN = "same"
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One cell of the chaos matrix."""
+
+    name: str
+    plan: FaultPlan
+    # Fault plan for post-restart incarnations: SAME_PLAN or None.
+    recovery_plan: Optional[object] = SAME_PLAN
+    min_restarts: int = 0          # assert at least this many restarts
+    max_restarts: int = 8          # supervisor budget
+    expect_retries: bool = False   # assert the retry layer absorbed faults
+    expect_degraded: bool = False  # assert degraded mode was entered
+    # Workload shape (kept small: the matrix runs in CI).
+    n_actors: int = 8
+    payload_bytes: int = 2048
+    pulses: int = 3
+    hops: int = 4
+    fanout: int = 2
+    grow_every: int = 2
+    grow_bytes: int = 1024
+    n_nodes: int = 2
+    memory_bytes: int = 24 * 1024
+    interval: int = 40             # checkpoint interval (retired items)
+    seed: int = 0
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos case."""
+
+    name: str
+    state_matches: bool
+    violations: list[str] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+    restarts: int = 0
+    degraded: bool = False
+    retries: int = 0
+    corrupt_loads: int = 0
+    events: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def render(self) -> str:
+        status = "ok" if self.ok else f"FAIL ({len(self.problems)})"
+        line = (
+            f"{self.name:<24} {status:<10} restarts={self.restarts} "
+            f"retries={self.retries} corrupt={self.corrupt_loads}"
+            f"{' degraded' if self.degraded else ''}"
+        )
+        for event in self.events:
+            line += f"\n    . {event}"
+        for problem in self.problems:
+            line += f"\n    - {problem}"
+        return line
+
+
+# The matrix.  Ordinals/rates are tuned so faults actually fire inside the
+# supervised run (creation + introductions fit in core; the pulse phases
+# grow payloads and force spills), and every case is deterministic per seed.
+CHAOS_MATRIX: list[ChaosSpec] = [
+    ChaosSpec(
+        name="intermittent-store",
+        plan=FaultPlan(store_fail_rate=0.08, seed=1),
+        expect_retries=True,
+    ),
+    ChaosSpec(
+        name="intermittent-load",
+        plan=FaultPlan(load_fail_rate=0.08, seed=2),
+        expect_retries=True,
+    ),
+    ChaosSpec(
+        name="flaky-nfs",
+        plan=FaultPlan(store_fail_rate=0.05, load_fail_rate=0.05,
+                       torn_write_fraction=0.5, seed=3),
+        expect_retries=True,
+    ),
+    ChaosSpec(
+        name="fail-stop-store",
+        plan=FaultPlan(fail_store_at=4, fail_stop=True, seed=4),
+        recovery_plan=None,
+        min_restarts=1,
+    ),
+    ChaosSpec(
+        name="fail-stop-load",
+        plan=FaultPlan(fail_load_at=3, fail_stop=True, seed=5),
+        recovery_plan=None,
+        min_restarts=1,
+    ),
+    ChaosSpec(
+        name="torn-fail-stop",
+        plan=FaultPlan(fail_store_at=2, torn_write_fraction=0.5,
+                       fail_stop=True, seed=6),
+        recovery_plan=None,
+        min_restarts=1,
+    ),
+    ChaosSpec(
+        name="disk-full",
+        plan=FaultPlan(disk_full_at=6, seed=7),
+        recovery_plan=None,
+        min_restarts=1,
+        expect_degraded=True,
+    ),
+]
+
+
+def _final_state(supervisor_like, pointers) -> dict[int, tuple]:
+    """oid -> (hits, forwarded, payload length): the equality witness."""
+    out = {}
+    for ptr in pointers:
+        obj = supervisor_like.get_object(ptr)
+        out[ptr.oid] = (obj.hits, obj.forwarded, len(obj.payload))
+    return out
+
+
+def _make_supervisor(
+    spec: ChaosSpec, plan: Optional[FaultPlan]
+) -> RecoveryPolicy:
+    """A supervised storm runtime; ``plan=None`` builds the reference."""
+    incarnation = [0]
+
+    def factory(config=None) -> MRTS:
+        i = incarnation[0]
+        incarnation[0] += 1
+        if i == 0:
+            active = plan
+        elif spec.recovery_plan is SAME_PLAN or spec.recovery_plan == SAME_PLAN:
+            active = plan
+        else:
+            active = spec.recovery_plan
+
+        def make_backend(rank: int):
+            inner = MemoryBackend()
+            if active is None:
+                return inner
+            # Reseed per node and per incarnation: nodes must not fail in
+            # lockstep, and a restarted run must not replay the exact
+            # fault sequence that killed its predecessor.
+            return FaultyBackend(
+                inner, replace(active, seed=active.seed + rank + 1000 * i)
+            )
+
+        return MRTS(
+            ClusterSpec(
+                n_nodes=spec.n_nodes,
+                node=NodeSpec(cores=1, memory_bytes=spec.memory_bytes),
+            ),
+            config=config or MRTSConfig(),
+            storage_factory=make_backend,
+            cost_model=FixedCostModel(1e-4),
+        )
+
+    def build(runtime: MRTS):
+        actors = [
+            runtime.create_object(
+                StormActor, spec.payload_bytes, spec.seed, spec.grow_every,
+                spec.grow_bytes, node=i % spec.n_nodes,
+            )
+            for i in range(spec.n_actors)
+        ]
+        for ptr in actors:
+            runtime.post(ptr, "meet", actors)
+        return actors
+
+    return RecoveryPolicy(
+        factory, build=build, interval=spec.interval,
+        max_restarts=spec.max_restarts,
+    )
+
+
+def _drive(spec: ChaosSpec, supervisor: RecoveryPolicy) -> list[str]:
+    """Run introductions + pulse phases; returns invariant violations.
+
+    Every phase boundary (= possible checkpoint cut) is invariant-checked,
+    so a recovery that restored a subtly inconsistent world is caught at
+    the next boundary, not just at the end.
+    """
+    violations: list[str] = []
+
+    def check(label: str) -> None:
+        for v in check_runtime(supervisor.runtime):
+            violations.append(f"{label}: {v}")
+
+    supervisor.run()  # introductions (the meets posted by build)
+    check("after meets")
+    actors = sorted(supervisor.pointers.values(), key=lambda p: p.oid)
+    rng = random.Random(spec.seed)
+    for k in range(spec.pulses):
+        target = actors[rng.randrange(len(actors))]
+        supervisor.post(target, "pulse", spec.hops, spec.fanout, f"p{k}")
+        supervisor.run()
+        check(f"after pulse {k}")
+    return violations
+
+
+def run_chaos_case(spec: ChaosSpec) -> ChaosReport:
+    """Execute one matrix cell: reference run, chaos run, verdict."""
+    reference = _make_supervisor(spec, plan=None)
+    ref_violations = _drive(spec, reference)
+    want = _final_state(
+        reference, sorted(reference.pointers.values(), key=lambda p: p.oid)
+    )
+
+    chaos = _make_supervisor(spec, plan=spec.plan)
+    violations = _drive(spec, chaos)
+    got = _final_state(
+        chaos, sorted(chaos.pointers.values(), key=lambda p: p.oid)
+    )
+
+    stats = chaos.runtime.stats
+    report = ChaosReport(
+        name=spec.name,
+        state_matches=(got == want),
+        violations=violations,
+        restarts=chaos.restarts,
+        degraded=chaos._degraded,
+        retries=stats.storage_retries,
+        corrupt_loads=stats.corrupt_loads,
+        events=list(chaos.events),
+    )
+    if ref_violations:
+        report.problems.append(
+            f"reference run violated invariants: {ref_violations}"
+        )
+    if not report.state_matches:
+        diff = {
+            oid: (got.get(oid), want.get(oid))
+            for oid in set(got) | set(want)
+            if got.get(oid) != want.get(oid)
+        }
+        report.problems.append(f"final state diverged: {diff}")
+    if violations:
+        report.problems.extend(violations)
+    if chaos.restarts < spec.min_restarts:
+        report.problems.append(
+            f"expected >= {spec.min_restarts} restarts, saw {chaos.restarts}"
+        )
+    if spec.expect_retries and report.retries == 0:
+        report.problems.append("expected the retry layer to absorb faults")
+    if spec.expect_degraded and not report.degraded:
+        report.problems.append("expected degraded mode to engage")
+    if spec.expect_degraded:
+        if not all(n.ooc.degraded for n in chaos.runtime.nodes):
+            report.problems.append("degraded flag not set on every node")
+    return report
+
+
+def run_chaos_matrix(
+    specs: Optional[list[ChaosSpec]] = None,
+) -> list[ChaosReport]:
+    """Run every matrix cell; used by ``mrts-bench chaos``."""
+    return [run_chaos_case(spec) for spec in (specs or CHAOS_MATRIX)]

@@ -26,13 +26,21 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.storage import StorageBackend
-from repro.util.errors import MRTSError
+from repro.util.errors import StorageFull, TransientStorageError
 
 __all__ = ["StorageFault", "FaultPlan", "FaultyBackend"]
 
 
-class StorageFault(MRTSError):
-    """An injected storage-layer failure."""
+class StorageFault(TransientStorageError):
+    """An injected storage-layer failure.
+
+    Derives from :class:`TransientStorageError` so the runtime's
+    :class:`~repro.core.storage.RetryingBackend` treats injected faults
+    exactly like real-world transient ones: intermittent faults are
+    absorbed by retries, while fail-stop plans keep failing until the
+    retry budget is exhausted and the fault surfaces to the recovery
+    policy.
+    """
 
 
 @dataclass
@@ -46,6 +54,9 @@ class FaultPlan:
     store persists (0 = nothing, 0.5 = first half); ``None`` means failing
     stores persist nothing at all and leave prior contents intact.
     ``fail_stop`` makes the first injected failure permanent.
+    ``disk_full_at`` makes every store with ordinal >= it raise
+    :class:`~repro.util.errors.StorageFull` without persisting anything —
+    a medium that ran out of room (loads and deletes still work).
     """
 
     fail_store_at: Optional[int] = None
@@ -54,6 +65,7 @@ class FaultPlan:
     load_fail_rate: float = 0.0
     torn_write_fraction: Optional[float] = None
     fail_stop: bool = False
+    disk_full_at: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -65,7 +77,7 @@ class FaultPlan:
             0.0 <= self.torn_write_fraction < 1.0
         ):
             raise ValueError("torn_write_fraction must be in [0, 1)")
-        for name in ("fail_store_at", "fail_load_at"):
+        for name in ("fail_store_at", "fail_load_at", "disk_full_at"):
             at = getattr(self, name)
             if at is not None and at < 1:
                 raise ValueError(f"{name} is a 1-based ordinal, got {at}")
@@ -109,6 +121,13 @@ class FaultyBackend(StorageBackend):
     def store(self, oid: int, data: bytes) -> None:
         self._check_dead("store", oid)
         self.stores += 1
+        if (self.plan.disk_full_at is not None
+                and self.stores >= self.plan.disk_full_at):
+            self.faults_injected += 1
+            raise StorageFull(
+                f"injected disk-full on store #{self.stores} "
+                f"(object {oid}, {len(data)} B)"
+            )
         if self._should_fail(self.stores, self.plan.fail_store_at,
                              self.plan.store_fail_rate):
             frac = self.plan.torn_write_fraction

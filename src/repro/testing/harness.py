@@ -109,15 +109,9 @@ class RuntimeHarness:
             return inner
         # One independent injector per node, offset seeds so nodes don't
         # fail in lockstep.
-        plan = FaultPlan(
-            fail_store_at=self._fault_plan.fail_store_at,
-            fail_load_at=self._fault_plan.fail_load_at,
-            store_fail_rate=self._fault_plan.store_fail_rate,
-            load_fail_rate=self._fault_plan.load_fail_rate,
-            torn_write_fraction=self._fault_plan.torn_write_fraction,
-            fail_stop=self._fault_plan.fail_stop,
-            seed=self._fault_plan.seed + rank,
-        )
+        from dataclasses import replace
+
+        plan = replace(self._fault_plan, seed=self._fault_plan.seed + rank)
         backend = FaultyBackend(inner, plan)
         self.fault_backends[rank] = backend
         return backend

@@ -13,6 +13,35 @@ class ObjectNotFound(MRTSError):
     """A mobile pointer could not be resolved to a live or stored object."""
 
 
+class TransientStorageError(MRTSError):
+    """A storage operation failed in a way that may succeed on retry.
+
+    The retry layer (:class:`repro.core.storage.RetryingBackend`) only
+    re-attempts operations that raise this class; permanent conditions
+    (:class:`CorruptObject`, :class:`StorageFull`, :class:`ObjectNotFound`)
+    deliberately do not derive from it, so they surface immediately.
+    """
+
+
+class CorruptObject(MRTSError):
+    """Stored bytes failed frame validation (torn write, bit rot).
+
+    Raised by the checksummed-frame layer at *load* time, turning silent
+    corruption into a detectable error the out-of-core layer can treat
+    like a miss (falling back to the last checkpoint copy when one exists).
+    """
+
+
+class StorageFull(MRTSError):
+    """The out-of-core medium has no room for the incoming bytes.
+
+    Not transient (retrying will not help) — the runtime reacts by
+    entering degraded mode: the hard-threshold headroom is tightened to
+    its floor and proactive (soft-threshold) spills are suppressed, so
+    only strictly necessary stores reach the full medium.
+    """
+
+
 class SerializationError(MRTSError):
     """A mobile object failed to (de)serialize."""
 

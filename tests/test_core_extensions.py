@@ -16,7 +16,7 @@ from repro.core import (
 )
 from repro.sim.cluster import ClusterSpec
 from repro.sim.node import NodeSpec
-from repro.util.errors import ConfigError
+from repro.util.errors import ConfigError, StorageFull
 
 
 class Blob(MobileObject):
@@ -73,7 +73,7 @@ def test_remote_memory_backend_spills_over_network():
 def test_remote_memory_pool_exhaustion_raises():
     rt = MRTS(cluster(n=2, memory=120_000))
     attach_remote_memory(rt, pool_bytes_per_node=60_000)
-    with pytest.raises(ConfigError, match="exhausted"):
+    with pytest.raises(StorageFull, match="exhausted"):
         # Spills begin during creation already; the pool cannot hold two
         # 50 KB objects, so somewhere in create/post/run it must overflow.
         ptrs = [rt.create_object(Blob, 50_000, node=0) for _ in range(4)]

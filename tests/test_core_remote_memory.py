@@ -1,0 +1,171 @@
+"""Backfill unit tests for the remote-memory out-of-core medium.
+
+Covers the pool's byte accounting under overwrite/delete/failed-store,
+ring server assignment, composition through the self-healing storage
+stack (frames on the wire, retries against a flaky interconnect), and
+exhaustion semantics (StorageFull is permanent: never retried, pool left
+consistent).
+"""
+
+import pytest
+
+from repro.core import MRTS, MobileObject, attach_remote_memory, handler
+from repro.core.remote_memory import MemoryPool, RemoteMemoryBackend
+from repro.core.storage import FRAME_OVERHEAD, CountingBackend, decode_frame
+from repro.sim.cluster import ClusterSpec
+from repro.sim.node import NodeSpec
+from repro.testing.faults import FaultPlan, StorageFault
+from repro.util.errors import ConfigError, ObjectNotFound, StorageFull
+
+
+class Blob(MobileObject):
+    def __init__(self, pointer, size=50_000):
+        super().__init__(pointer)
+        self.data = bytes(size)
+        self.touches = 0
+
+    @handler
+    def touch(self, ctx):
+        self.touches += 1
+
+
+def cluster(n=2, memory=120_000):
+    return ClusterSpec(n_nodes=n, node=NodeSpec(cores=1, memory_bytes=memory))
+
+
+# ------------------------------------------------------------ pool accounting
+def test_pool_accounting_store_delete_roundtrip():
+    rt = MRTS(cluster())
+    pool = MemoryPool(1000)
+    backend = RemoteMemoryBackend(rt, 0, pool)
+    backend.store(1, b"x" * 300)
+    assert (pool.used, pool.free) == (300, 700)
+    assert backend.contains(1)
+    assert backend.size(1) == 300
+    assert backend.load(1) == b"x" * 300
+    assert backend.stored_ids() == [1]
+    backend.delete(1)
+    assert (pool.used, pool.free) == (0, 1000)
+    assert not backend.contains(1)
+
+
+def test_pool_overwrite_charges_only_the_delta():
+    rt = MRTS(cluster())
+    pool = MemoryPool(1000)
+    backend = RemoteMemoryBackend(rt, 0, pool)
+    backend.store(1, b"a" * 400)
+    backend.store(1, b"b" * 600)  # bigger: +200
+    assert pool.used == 600
+    backend.store(1, b"c" * 100)  # smaller: -500
+    assert pool.used == 100
+    assert backend.load(1) == b"c" * 100
+
+
+def test_failed_store_leaves_pool_unchanged():
+    rt = MRTS(cluster())
+    pool = MemoryPool(1000)
+    backend = RemoteMemoryBackend(rt, 0, pool)
+    backend.store(1, b"x" * 900)
+    with pytest.raises(StorageFull):
+        backend.store(2, b"y" * 200)
+    assert pool.used == 900
+    assert not backend.contains(2)
+
+
+def test_overwrite_that_would_exceed_capacity_counts_reclaimed_bytes():
+    rt = MRTS(cluster())
+    pool = MemoryPool(1000)
+    backend = RemoteMemoryBackend(rt, 0, pool)
+    backend.store(1, b"x" * 900)
+    backend.store(1, b"y" * 1000)  # fits: the old 900 are reclaimed
+    assert pool.used == 1000
+
+
+def test_missing_object_semantics():
+    rt = MRTS(cluster())
+    backend = RemoteMemoryBackend(rt, 0, MemoryPool(100))
+    with pytest.raises(ObjectNotFound):
+        backend.load(9)
+    with pytest.raises(ObjectNotFound):
+        backend.size(9)
+    backend.delete(9)  # idempotent no-op
+
+
+def test_pool_capacity_must_be_positive():
+    with pytest.raises(ConfigError):
+        MemoryPool(0)
+    with pytest.raises(ConfigError):
+        MemoryPool(-5)
+
+
+# ------------------------------------------------------------ server topology
+def test_default_server_is_ring_neighbor():
+    rt = MRTS(cluster(n=3))
+    assert RemoteMemoryBackend(rt, 0, MemoryPool(10)).server_rank == 1
+    assert RemoteMemoryBackend(rt, 2, MemoryPool(10)).server_rank == 0
+    assert RemoteMemoryBackend(rt, 1, MemoryPool(10), server_rank=0).server_rank == 0
+
+
+def test_attach_assigns_ring_servers_and_counting_stack():
+    rt = MRTS(cluster(n=3))
+    attach_remote_memory(rt, pool_bytes_per_node=1 << 20)
+    assert [nrt.spill_server for nrt in rt.nodes] == [1, 2, 0]
+    for nrt in rt.nodes:
+        assert isinstance(nrt.storage, CountingBackend)
+
+
+# ------------------------------------------------- self-healing stack on top
+def test_pool_holds_checksummed_frames():
+    """Bytes on the remote server carry the frame: a reader on the server
+    side can validate them, and sizes account for the overhead."""
+    rt = MRTS(cluster())
+    pools = attach_remote_memory(rt, pool_bytes_per_node=1 << 20)
+    nrt = rt.nodes[0]
+    nrt.storage.store(7, b"p" * 100)
+    assert nrt.storage.size(7) == 100  # frame stripped at the stack surface
+    raw = pools[0].store.load(7)
+    assert len(raw) == 100 + FRAME_OVERHEAD
+    assert decode_frame(raw) == b"p" * 100
+    assert pools[0].used == 100 + FRAME_OVERHEAD
+
+
+def test_flaky_interconnect_absorbed_by_retries():
+    rt = MRTS(cluster())
+    pools = attach_remote_memory(
+        rt, pool_bytes_per_node=10 << 20,
+        fault_plan=FaultPlan(store_fail_rate=0.2, load_fail_rate=0.2, seed=5),
+    )
+    ptrs = [rt.create_object(Blob, 50_000, node=0) for _ in range(4)]
+    for p in ptrs:
+        rt.post(p, "touch")
+    stats = rt.run()
+    assert all(rt.get_object(p).touches == 1 for p in ptrs)
+    assert stats.storage_retries > 0
+    assert sum(pool.used for pool in pools) > 0
+
+
+def test_fail_stop_interconnect_exhausts_retries_and_raises():
+    rt = MRTS(cluster())
+    attach_remote_memory(
+        rt, pool_bytes_per_node=10 << 20,
+        fault_plan=FaultPlan(fail_store_at=2, fail_stop=True, seed=6),
+    )
+    with pytest.raises(StorageFault):
+        ptrs = [rt.create_object(Blob, 50_000, node=0) for _ in range(4)]
+        for p in ptrs:
+            rt.post(p, "touch")
+        rt.run()
+    assert rt.stats.storage_retries > 0  # it did try before giving up
+
+
+def test_pool_exhaustion_is_permanent_not_retried():
+    rt = MRTS(cluster())
+    attach_remote_memory(rt, pool_bytes_per_node=60_000)
+    with pytest.raises(StorageFull, match="exhausted"):
+        ptrs = [rt.create_object(Blob, 50_000, node=0) for _ in range(4)]
+        for p in ptrs:
+            rt.post(p, "touch")
+        rt.run()
+    # StorageFull is permanent: the retry layer must not have burned
+    # attempts on it.
+    assert rt.stats.storage_retries == 0

@@ -1,0 +1,243 @@
+"""Unit tests for the retry/backoff storage layer.
+
+:class:`RetryingBackend` is the innermost ring of the self-healing
+storage stack: it absorbs :class:`TransientStorageError` with capped
+exponential backoff and seeded jitter, gives up when attempts or the
+per-op backoff budget run out, and reports every retry through the
+``on_retry`` hook.  Permanent failures must pass through untouched —
+retrying a checksum mismatch or a full disk only wastes the budget the
+recovery layer needs.
+"""
+
+import pytest
+
+from repro.core.storage import (
+    ChecksummedBackend,
+    CountingBackend,
+    MemoryBackend,
+    RetryPolicy,
+    RetryingBackend,
+    encode_frame,
+)
+from repro.testing.faults import FaultPlan, FaultyBackend, StorageFault
+from repro.util.errors import (
+    CorruptObject,
+    ObjectNotFound,
+    StorageFull,
+    TransientStorageError,
+)
+
+
+class FlakyBackend(MemoryBackend):
+    """Fail the first ``n`` calls of each op with a chosen exception."""
+
+    def __init__(self, fail_first=0, exc=StorageFault):
+        super().__init__()
+        self.fail_first = fail_first
+        self.exc = exc
+        self.calls = {"store": 0, "load": 0, "delete": 0}
+
+    def _maybe_fail(self, op):
+        self.calls[op] += 1
+        if self.calls[op] <= self.fail_first:
+            raise self.exc(f"injected {op} #{self.calls[op]}")
+
+    def store(self, oid, data):
+        self._maybe_fail("store")
+        super().store(oid, data)
+
+    def load(self, oid):
+        self._maybe_fail("load")
+        return super().load(oid)
+
+    def delete(self, oid):
+        self._maybe_fail("delete")
+        super().delete(oid)
+
+
+# ------------------------------------------------------------------ policy
+def test_policy_validation():
+    with pytest.raises(ValueError, match="max_attempts"):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError, match="base_delay_s"):
+        RetryPolicy(base_delay_s=-0.1)
+    with pytest.raises(ValueError, match="base_delay_s"):
+        RetryPolicy(base_delay_s=0.5, max_delay_s=0.1)
+    with pytest.raises(ValueError, match="op_timeout_s"):
+        RetryPolicy(op_timeout_s=-1.0)
+    with pytest.raises(ValueError, match="jitter"):
+        RetryPolicy(jitter=1.5)
+
+
+def test_backoff_doubles_and_caps():
+    import random
+
+    policy = RetryPolicy(base_delay_s=0.010, max_delay_s=0.040, jitter=0.0)
+    rng = random.Random(0)
+    delays = [policy.delay(k, rng) for k in range(1, 6)]
+    assert delays == [0.010, 0.020, 0.040, 0.040, 0.040]
+
+
+def test_jitter_only_shrinks_the_delay():
+    import random
+
+    policy = RetryPolicy(base_delay_s=0.010, max_delay_s=0.010, jitter=0.5)
+    rng = random.Random(42)
+    for k in range(1, 20):
+        d = policy.delay(k, rng)
+        assert 0.005 <= d <= 0.010
+
+
+def test_retry_schedule_is_deterministic_per_seed():
+    def schedule(seed):
+        inner = FlakyBackend(fail_first=3)
+        backend = RetryingBackend(
+            inner, RetryPolicy(max_attempts=5, seed=seed)
+        )
+        backend.store(1, b"x")
+        return backend.backoff_s
+
+    assert schedule(7) == schedule(7)
+    assert schedule(7) != schedule(8)
+
+
+# ----------------------------------------------------------- absorb/give up
+def test_absorbs_transient_store_faults():
+    inner = FlakyBackend(fail_first=2)
+    backend = RetryingBackend(inner, RetryPolicy(max_attempts=4))
+    backend.store(1, b"payload")
+    inner.fail_first = 0
+    assert inner.load(1) == b"payload"
+    assert backend.retries == 2
+    assert backend.gave_up == 0
+
+
+def test_absorbs_transient_load_and_delete_faults():
+    inner = FlakyBackend(fail_first=1)
+    backend = RetryingBackend(inner, RetryPolicy(max_attempts=3))
+    inner.fail_first = 0
+    backend.store(1, b"payload")
+    inner.fail_first = 1  # load and delete each fail once
+    assert backend.load(1) == b"payload"
+    backend.delete(1)
+    assert not backend.contains(1)
+    assert backend.retries == 2
+
+
+def test_gives_up_after_max_attempts():
+    inner = FlakyBackend(fail_first=10)
+    backend = RetryingBackend(inner, RetryPolicy(max_attempts=3))
+    with pytest.raises(StorageFault):
+        backend.store(1, b"x")
+    assert inner.calls["store"] == 3
+    assert backend.retries == 2
+    assert backend.gave_up == 1
+
+
+def test_per_op_timeout_stops_retrying_early():
+    inner = FlakyBackend(fail_first=10)
+    policy = RetryPolicy(
+        max_attempts=10, base_delay_s=0.010, max_delay_s=0.010,
+        op_timeout_s=0.025, jitter=0.0,
+    )
+    backend = RetryingBackend(inner, policy)
+    with pytest.raises(StorageFault):
+        backend.store(1, b"x")
+    # Budget 0.025 admits two 0.010 retries; the third would overdraw.
+    assert inner.calls["store"] == 3
+    assert backend.gave_up == 1
+
+
+def test_zero_timeout_means_no_retries():
+    inner = FlakyBackend(fail_first=1)
+    backend = RetryingBackend(
+        inner, RetryPolicy(max_attempts=5, op_timeout_s=0.0)
+    )
+    with pytest.raises(StorageFault):
+        backend.store(1, b"x")
+    assert backend.retries == 0
+
+
+# ------------------------------------------------- permanent errors pass by
+@pytest.mark.parametrize("exc", [CorruptObject, StorageFull])
+def test_never_retries_permanent_errors(exc):
+    inner = FlakyBackend(fail_first=5, exc=exc)
+    backend = RetryingBackend(inner, RetryPolicy(max_attempts=5))
+    with pytest.raises(exc):
+        backend.store(1, b"x")
+    assert inner.calls["store"] == 1
+    assert backend.retries == 0
+
+
+def test_object_not_found_passes_through():
+    backend = RetryingBackend(MemoryBackend(), RetryPolicy())
+    with pytest.raises(ObjectNotFound):
+        backend.load(99)
+    assert backend.retries == 0
+
+
+# --------------------------------------------------------------- callbacks
+def test_on_retry_callback_sees_each_retry():
+    seen = []
+    inner = FlakyBackend(fail_first=2)
+    backend = RetryingBackend(
+        inner, RetryPolicy(max_attempts=4),
+        on_retry=lambda op, oid, attempt, delay: seen.append(
+            (op, oid, attempt, delay)
+        ),
+    )
+    backend.store(7, b"x")
+    assert [(op, oid, attempt) for op, oid, attempt, _ in seen] == [
+        ("store", 7, 1), ("store", 7, 2)
+    ]
+    assert all(delay >= 0 for _, _, _, delay in seen)
+    assert sum(d for _, _, _, d in seen) == pytest.approx(backend.backoff_s)
+
+
+def test_sleep_hook_receives_the_backoff():
+    slept = []
+    inner = FlakyBackend(fail_first=1)
+    backend = RetryingBackend(
+        inner, RetryPolicy(max_attempts=2, jitter=0.0, base_delay_s=0.003),
+        sleep=slept.append,
+    )
+    backend.store(1, b"x")
+    assert slept == [0.003]
+
+
+# ------------------------------------------------------- stack composition
+def test_retry_under_checksums_repairs_flaky_medium():
+    """Frames outside retry: a retried store still round-trips the frame."""
+    inner = FaultyBackend(
+        MemoryBackend(), FaultPlan(store_fail_rate=0.4, seed=3)
+    )
+    stack = CountingBackend(
+        ChecksummedBackend(RetryingBackend(inner, RetryPolicy(max_attempts=8)))
+    )
+    for oid in range(20):
+        stack.store(oid, bytes([oid]) * 64)
+    for oid in range(20):
+        assert stack.load(oid) == bytes([oid]) * 64
+        assert stack.size(oid) == 64
+    assert stack.stores == 20
+
+
+def test_corrupt_frame_is_not_retried():
+    """A torn frame under the checksum layer fails fast, no retry burn."""
+    inner = MemoryBackend()
+    retrying = RetryingBackend(inner, RetryPolicy(max_attempts=5))
+    stack = ChecksummedBackend(retrying)
+    inner.store(1, encode_frame(b"payload")[:-3])  # torn write residue
+    with pytest.raises(CorruptObject):
+        stack.load(1)
+    assert retrying.retries == 0
+
+
+def test_passthrough_ops_do_not_touch_retry_machinery():
+    inner = FlakyBackend(fail_first=0)
+    backend = RetryingBackend(inner, RetryPolicy())
+    backend.store(1, b"abc")
+    assert backend.contains(1)
+    assert backend.size(1) == 3
+    assert backend.stored_ids() == [1]
+    assert isinstance(TransientStorageError("x"), Exception)
