@@ -131,8 +131,9 @@ def checkpoint(runtime: MRTS) -> Checkpoint:
                 # Write-behind keeps storage.store() synchronous in Python
                 # time, so a spilled object's bytes are always readable
                 # here even while its virtual disk charge is still
-                # draining.
-                payload = nrt.storage.load(oid)
+                # draining.  Delta spills may have left an append-log;
+                # the canonical payload reassembles it into one full blob.
+                payload = runtime._canonical_payload(nrt, oid)
             else:
                 payload = runtime._pack_local(rec)
             cls = runtime._obj_class(oid)

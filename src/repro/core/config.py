@@ -42,6 +42,24 @@ class MRTSConfig:
     * ``degraded`` — start in degraded mode (normally entered at runtime
       when the medium reports full): hard-threshold headroom drops to its
       floor and proactive soft-threshold spills are suppressed.
+
+    Data-plane knobs (PR 4):
+
+    * ``compress_spills`` — size-adaptive compression tier above the
+      frame layer; requires ``checksum_frames`` (the flags byte lives in
+      the frame header).  ``compress_min_bytes`` skips tiny payloads,
+      ``compress_large_bytes`` is the boundary between
+      ``compress_level_small`` (thorough) and ``compress_level_large``
+      (fast) zlib levels.
+    * ``delta_spills`` — serializers with ``supports_delta`` spill only
+      the segments appended since the last stored copy, as an append-log
+      of frames; also requires ``checksum_frames`` (segment boundaries
+      are frames).
+    * ``delta_log_frames_max`` — compact (full re-store) once an
+      object's append-log reaches this many frames.
+    * ``delta_compact_factor`` — compact when the log's payload bytes
+      exceed this multiple of the base segment (real-payload objects
+      only; modeled stand-ins compact on frame count alone).
     """
 
     memory_budget: int = 256 * 1024 * 1024
@@ -59,6 +77,14 @@ class MRTSConfig:
     retry_op_timeout_s: float = 1.0
     checksum_frames: bool = True
     degraded: bool = False
+    compress_spills: bool = True
+    compress_min_bytes: int = 1024
+    compress_large_bytes: int = 256 * 1024
+    compress_level_small: int = 3
+    compress_level_large: int = 1
+    delta_spills: bool = True
+    delta_log_frames_max: int = 8
+    delta_compact_factor: float = 2.0
 
     VALID_SCHEMES = ("lru", "lfu", "mru", "mu", "lu")
     VALID_DIRECTORY = ("lazy", "eager", "home")
@@ -102,3 +128,16 @@ class MRTSConfig:
             )
         if self.retry_op_timeout_s < 0:
             raise ConfigError("retry_op_timeout_s must be >= 0")
+        if self.compress_min_bytes < 0:
+            raise ConfigError("compress_min_bytes must be >= 0")
+        if self.compress_large_bytes < self.compress_min_bytes:
+            raise ConfigError(
+                "compress_large_bytes must be >= compress_min_bytes"
+            )
+        for knob in ("compress_level_small", "compress_level_large"):
+            if not 0 <= getattr(self, knob) <= 9:
+                raise ConfigError(f"{knob} must be a zlib level in [0, 9]")
+        if self.delta_log_frames_max < 1:
+            raise ConfigError("delta_log_frames_max must be >= 1")
+        if self.delta_compact_factor < 1.0:
+            raise ConfigError("delta_compact_factor must be >= 1")

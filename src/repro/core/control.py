@@ -8,7 +8,7 @@ delivered the run-time system detects a termination condition").
 
 from __future__ import annotations
 
-from collections import deque
+import heapq
 from typing import Callable, Optional
 
 __all__ = ["TerminationDetector", "ReadyQueue"]
@@ -68,34 +68,100 @@ class ReadyQueue:
     optimization additionally reorders by in-core buffer availability,
     which the application expresses through priorities (see the runtime's
     ``boost`` parameter).
+
+    The queue is indexed: each member carries a cached scheduling key in a
+    lazy min-heap, and mutations (push, boost, residency change) only
+    *touch* the member so its key is recomputed at the next pop.  A pop
+    validates the apparent winner's cached key against a live recompute —
+    a mismatch (e.g. its message queue drained while it waited) restamps
+    the entry and retries.  Keys can only *improve* through a touched
+    mutation, so a validated winner is the true maximum; the linear scan
+    this replaces survives verbatim in the property-test oracle
+    (``tests/test_ready_queue_index.py``).
     """
 
     def __init__(self, discipline: str = "fifo"):
         if discipline not in ("fifo", "busiest"):
             raise ValueError(f"unknown ready-queue discipline {discipline!r}")
         self.discipline = discipline
-        self._fifo: deque[int] = deque()
-        self._member: set[int] = set()
+        # oid -> [seq, stamp, cached_key]; seq is FIFO arrival order,
+        # stamp matches the entry's current heap node (stale nodes skip).
+        self._entries: dict[int, list] = {}
+        self._heap: list[tuple] = []
+        self._touched: set[int] = set()
         self._boost: dict[int, float] = {}
+        self._seq = 0
+        self._clock = 0
 
     def __len__(self) -> int:
-        return len(self._fifo)
+        return len(self._entries)
 
     def __bool__(self) -> bool:
-        return bool(self._fifo)
+        return bool(self._entries)
 
     def __contains__(self, oid: int) -> bool:
-        return oid in self._member
+        return oid in self._entries
 
     def push(self, oid: int) -> None:
         """Mark the object ready (idempotent)."""
-        if oid not in self._member:
-            self._member.add(oid)
-            self._fifo.append(oid)
+        if oid not in self._entries:
+            self._seq += 1
+            self._entries[oid] = [self._seq, -1, None]
+        # Even for an existing member the queue length just grew, which
+        # can change a "busiest" key.
+        self._touched.add(oid)
 
     def boost(self, oid: int, amount: float) -> None:
         """Scheduling hint: raise the object's service preference."""
         self._boost[oid] = self._boost.get(oid, 0.0) + amount
+        if oid in self._entries:
+            self._touched.add(oid)
+
+    def note_resident(self, oid: int, resident: bool = True) -> None:
+        """Residency change notification from the out-of-core layer.
+
+        The in-core preference is part of the scheduling key, so a load
+        or eviction must invalidate the member's cached key.
+        """
+        if oid in self._entries:
+            self._touched.add(oid)
+
+    def snapshot(self) -> list[int]:
+        """Member oids in FIFO arrival order (read-only view).
+
+        Public replacement for reaching into queue internals — the
+        prefetcher uses it to see what is coming up.
+        """
+        return sorted(self._entries, key=lambda oid: self._entries[oid][0])
+
+    # Min-heap key: negate the oracle's max-key components so that the
+    # heap minimum is the scan maximum; seq ascending breaks ties the
+    # same way the oracle's -idx does.
+    def _live_key(
+        self,
+        oid: int,
+        queue_len: Callable[[int], int],
+        resident: Optional[Callable[[int], bool]],
+    ) -> tuple:
+        return (
+            -self._boost.get(oid, 0.0),
+            0 if (resident is not None and resident(oid)) else 1,
+            -(queue_len(oid) if self.discipline == "busiest" else 0),
+            self._entries[oid][0],
+        )
+
+    def _restamp(
+        self,
+        oid: int,
+        queue_len: Callable[[int], int],
+        resident: Optional[Callable[[int], bool]],
+    ) -> None:
+        entry = self._entries[oid]
+        key = self._live_key(oid, queue_len, resident)
+        self._clock += 1
+        entry[1] = self._clock
+        entry[2] = key
+        heapq.heappush(self._heap, (key, self._clock, oid))
 
     def pop(
         self,
@@ -111,27 +177,25 @@ class ReadyQueue:
         the decision the paper describes as influencing swapping ("the
         input from the control layer influences the swapping decisions").
         """
-        while self._fifo:
-            if self.discipline == "fifo" and not self._boost and resident is None:
-                oid = self._fifo.popleft()
-            else:
-                # Pick max (boost, residency, queue length), stable on FIFO
-                # position.
-                best_idx = 0
-                best_key = None
-                for idx, cand in enumerate(self._fifo):
-                    key = (
-                        self._boost.get(cand, 0.0),
-                        1 if (resident is not None and resident(cand)) else 0,
-                        queue_len(cand) if self.discipline == "busiest" else 0,
-                        -idx,
-                    )
-                    if best_key is None or key > best_key:
-                        best_key = key
-                        best_idx = idx
-                oid = self._fifo[best_idx]
-                del self._fifo[best_idx]
-            self._member.discard(oid)
+        for oid in self._touched:
+            if oid in self._entries:
+                self._restamp(oid, queue_len, resident)
+        self._touched.clear()
+        while self._entries:
+            if not self._heap:  # pragma: no cover - defensive resync
+                for oid in list(self._entries):
+                    self._restamp(oid, queue_len, resident)
+            key, stamp, oid = heapq.heappop(self._heap)
+            entry = self._entries.get(oid)
+            if entry is None or entry[1] != stamp:
+                continue  # stale node for a popped/restamped member
+            live = self._live_key(oid, queue_len, resident)
+            if live != key:
+                # Key drifted without a touch (queue drained in place):
+                # reinsert with the live key and keep looking.
+                self._restamp(oid, queue_len, resident)
+                continue
+            del self._entries[oid]
             self._boost.pop(oid, None)
             if queue_len(oid) > 0:
                 return oid

@@ -54,13 +54,58 @@ class Serializer:
     The paper requires applications to define pack/unpack because object
     internals are arbitrary; :class:`PickleSerializer` is the provided
     default for plain-Python payloads.
+
+    Beyond the mandatory pack/unpack pair, a serializer may opt into the
+    data-plane fast paths (see :mod:`repro.core.codec`):
+
+    * :meth:`size_estimate` — a cheap size for the out-of-core accountant,
+      so ``nbytes()`` probes stop serializing just to measure;
+    * ``supports_delta`` + :meth:`delta_token` / :meth:`pack_delta` /
+      :meth:`unpack_segments` — declare the payload *append-mostly* so the
+      runtime spills only what grew since the last stored copy, as an
+      append-log of frames reassembled at load.
     """
+
+    #: True when the payload is append-mostly and the delta hooks below
+    #: produce usable incremental segments.
+    supports_delta = False
 
     def pack(self, payload: Any) -> bytes:
         raise NotImplementedError
 
     def unpack(self, data: bytes) -> Any:
         raise NotImplementedError
+
+    def size_estimate(self, payload: Any) -> Optional[int]:
+        """Cheap serialized-size estimate, or None to pack-and-measure."""
+        return None
+
+    def delta_token(self, payload: Any) -> Any:
+        """Opaque marker of "how much is already stored" (e.g. a length).
+
+        The runtime records the token at every store and hands it back to
+        :meth:`pack_delta` on the next dirty spill.  ``None`` disables
+        delta spilling for that store.
+        """
+        return None
+
+    def pack_delta(self, payload: Any, token: Any) -> Optional[bytes]:
+        """Bytes covering everything *since* ``token``, or None.
+
+        Returning None means the state cannot be expressed as an append
+        against the token (it shrank, was rewritten, ...) and the runtime
+        falls back to a full store.
+        """
+        return None
+
+    def unpack_segments(self, segments: "list[bytes]") -> Any:
+        """Reassemble a payload from a full segment plus delta segments."""
+        if len(segments) == 1:
+            return self.unpack(segments[0])
+        raise SerializationError(
+            f"{type(self).__name__} cannot reassemble "
+            f"{len(segments)} segments (supports_delta is False)"
+        )
 
 
 class PickleSerializer(Serializer):
@@ -141,11 +186,23 @@ class MobileObject:
         self.set_state(self.serializer.unpack(data))
         self.mark_dirty()
 
+    def unpack_segments(self, segments: list[bytes]) -> None:
+        """Restore state from a stored base segment plus delta segments."""
+        self.set_state(self.serializer.unpack_segments(segments))
+        self.mark_dirty()
+
     # -- size accounting ----------------------------------------------------------
     def nbytes(self) -> int:
-        """In-memory footprint estimate used by the out-of-core layer."""
+        """In-memory footprint estimate used by the out-of-core layer.
+
+        Prefers the serializer's cheap :meth:`Serializer.size_estimate`
+        and only packs to measure when no estimator is available.
+        """
         if self._size_cache is None:
-            self._size_cache = max(len(self.pack()), 1)
+            est = self.serializer.size_estimate(self.get_state())
+            if est is None:
+                est = len(self.pack())
+            self._size_cache = max(est, 1)
         return self._size_cache
 
     def mark_dirty(self) -> None:

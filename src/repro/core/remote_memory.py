@@ -85,6 +85,15 @@ class RemoteMemoryBackend(StorageBackend):
         self.pool.store.store(oid, data)
         self.pool.used += len(data) - old
 
+    def append(self, oid: int, data: bytes) -> None:
+        if self.pool.used + len(data) > self.pool.capacity:
+            raise StorageFull(
+                f"remote memory pool exhausted ({self.pool.used} B used, "
+                f"{len(data)} B appending, {self.pool.capacity} B capacity)"
+            )
+        self.pool.store.append(oid, data)
+        self.pool.used += len(data)
+
     def load(self, oid: int) -> bytes:
         return self.pool.store.load(oid)
 

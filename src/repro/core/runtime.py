@@ -40,6 +40,8 @@ from repro.core.ooc import OOCLayer
 from repro.core.stats import RunStats
 from repro.core.storage import (
     ChecksummedBackend,
+    CompressingBackend,
+    CompressionPolicy,
     CountingBackend,
     MemoryBackend,
     RetryPolicy,
@@ -119,6 +121,19 @@ class _LocalObject:
     # hook, so an unchanged object is packed at most once per residency
     # epoch no matter how many size probes / spills look at it.
     pack_cache: Optional[bytes] = None
+    # Delta-spill bookkeeping for the stored copy (valid only while the
+    # storage holds a current full/append-log copy of this object):
+    # ``stored_token`` is the serializer's delta token as of the last
+    # store (None = next dirty spill must be a full store);
+    # ``log_frames`` counts segments in the stored append-log;
+    # ``base/log_payload_bytes`` drive bytes-factor compaction;
+    # ``stored_modeled`` is the modeled size already charged to the
+    # virtual disk, so a modeled delta spill charges only the growth.
+    stored_token: Any = None
+    log_frames: int = 0
+    base_payload_bytes: int = 0
+    log_payload_bytes: int = 0
+    stored_modeled: int = 0
 
 
 class HandlerContext:
@@ -136,6 +151,7 @@ class HandlerContext:
         self.node = node
         self.outbox: list[Message | MulticastMessage] = []
         self.extra_charge = 0.0
+        self._size_hint: Optional[tuple] = None  # ("abs"|"delta", nbytes)
 
     # -- messaging --------------------------------------------------------
     def post(
@@ -222,6 +238,33 @@ class HandlerContext:
         self.runtime.nodes[self.node].ooc.touch(target.oid)
         return rec.obj
 
+    # -- size accounting -----------------------------------------------------
+    def grew(self, nbytes: int) -> None:
+        """Report that this handler grew the object's state by ``nbytes``.
+
+        Pack-free accounting: the runtime applies the reported growth to
+        the out-of-core budget instead of re-serializing the object to
+        measure it.  Multiple calls accumulate; the hint is consumed by
+        the post-handler growth accounting of the handler's own object.
+        """
+        if nbytes < 0:
+            raise ValueError("negative growth; use report_size instead")
+        if self._size_hint is None:
+            self._size_hint = ("delta", nbytes)
+        else:
+            kind, n = self._size_hint
+            self._size_hint = (kind, n + nbytes)
+
+    def report_size(self, nbytes: int) -> None:
+        """Report the object's absolute serialized size after this handler."""
+        if nbytes < 0:
+            raise ValueError("object size cannot be negative")
+        self._size_hint = ("abs", nbytes)
+
+    def _take_size_hint(self) -> Optional[tuple]:
+        hint, self._size_hint = self._size_hint, None
+        return hint
+
     # -- compute ------------------------------------------------------------
     def charge(self, seconds: float) -> None:
         """Add explicit compute cost (modeled applications)."""
@@ -277,6 +320,26 @@ class _NodeRuntime:
     def queue_len(self, oid: int) -> int:
         rec = self.locals.get(oid)
         return len(rec.queue) if rec is not None else 0
+
+    def _find_layer(self, cls: type):
+        # Walked on every access (not cached) because attach_remote_memory
+        # re-composes self.storage mid-run.
+        layer = self.storage
+        while layer is not None:
+            if isinstance(layer, cls):
+                return layer
+            layer = getattr(layer, "inner", None)
+        return None
+
+    @property
+    def compressor(self) -> Optional[CompressingBackend]:
+        """The node's compression tier, or None when disabled."""
+        return self._find_layer(CompressingBackend)
+
+    @property
+    def frame_layer(self) -> Optional[ChecksummedBackend]:
+        """The node's frame (checksum) tier, or None when disabled."""
+        return self._find_layer(ChecksummedBackend)
 
 
 class _WriteBehind:
@@ -453,11 +516,14 @@ class MRTS:
     def _compose_storage(self, rank: int, backend: StorageBackend) -> CountingBackend:
         """Wrap a factory backend in the self-healing storage stack.
 
-        Counting(Checksummed(Retrying(backend))): retries innermost so
-        transient faults are absorbed before the frame layer ever sees
-        them; frames outside retry so a :class:`CorruptObject` (permanent
-        by definition) is never retried; counting outermost so byte
-        accounting sees unframed payload sizes, unchanged from before.
+        Counting(Compressing(Checksummed(Retrying(backend)))): retries
+        innermost so transient faults are absorbed before the frame layer
+        ever sees them; frames outside retry so a :class:`CorruptObject`
+        (permanent by definition) is never retried; the compression tier
+        rides on the frame layer (the flags byte records what was
+        deflated) and is only composed when both ``compress_spills`` and
+        ``checksum_frames`` are on; counting outermost so byte accounting
+        sees raw unframed payload sizes, unchanged from before.
         """
         cfg = self.config
         if cfg.storage_retries > 0:
@@ -477,6 +543,16 @@ class MRTS:
             backend = RetryingBackend(backend, policy, on_retry=on_retry)
         if cfg.checksum_frames:
             backend = ChecksummedBackend(backend)
+            if cfg.compress_spills:
+                backend = CompressingBackend(
+                    backend,
+                    CompressionPolicy(
+                        min_bytes=cfg.compress_min_bytes,
+                        level_small=cfg.compress_level_small,
+                        large_bytes=cfg.compress_large_bytes,
+                        level_large=cfg.compress_level_large,
+                    ),
+                )
         return CountingBackend(backend)
 
     def _note_retry(
@@ -488,6 +564,22 @@ class MRTS:
     def _note_corrupt(self, rank: int, oid: int) -> None:
         """A load on ``rank`` failed frame validation (tracer hook)."""
         self.stats.node(rank).corrupt_loads += 1
+
+    def _note_pack(self, rank: int, op: str, seconds: float, nbytes: int) -> None:
+        """A serialization op ran on ``rank`` (tracer hook); ``op`` is
+        ``"pack"`` or ``"unpack"``."""
+        if op == "pack":
+            self.stats.node(rank).add_pack(seconds, nbytes)
+        else:
+            self.stats.node(rank).add_unpack(seconds, nbytes)
+
+    def _note_spill(
+        self, rank: int, oid: int, kind: str, raw: int, stored: int
+    ) -> None:
+        """A dirty spill persisted on ``rank`` (tracer hook); ``kind`` is
+        ``"delta"`` or ``"full"``, ``raw``/``stored`` are payload bytes
+        before and after the compression tier."""
+        self.stats.node(rank).add_spill(kind, raw, stored)
 
     @property
     def degraded(self) -> bool:
@@ -547,12 +639,17 @@ class MRTS:
         self._objects_by_oid.pop(ptr.oid, None)
         self._obj_classes.pop(ptr.oid, None)
 
-    def _obj_nbytes_local(self, rec: _LocalObject) -> int:
-        """Size of a local record's object, routed through the pack cache.
+    def _obj_nbytes_local(
+        self, rec: _LocalObject, rank: Optional[int] = None
+    ) -> int:
+        """Size of a local record's object, without packing when possible.
 
-        When the object uses the default packed-size estimate, the bytes
-        produced to measure it are kept in ``rec.pack_cache`` so a
-        following spill does not serialize the same state again.
+        Resolution order: cost-model override (modeled apps), subclass
+        ``nbytes`` override (cheap exact size), the serializer's
+        :meth:`~repro.core.mobile.Serializer.size_estimate` (pack-free),
+        and only then pack-to-measure — whose bytes are kept in
+        ``rec.pack_cache`` so a following spill does not serialize the
+        same state again.
         """
         obj = rec.obj
         n = self.cost_model.object_nbytes(obj)
@@ -560,12 +657,21 @@ class MRTS:
             return n
         if type(obj).nbytes is not MobileObject.nbytes:
             return obj.nbytes()  # subclass with its own (cheap) size
-        return max(len(self._pack_local(rec)), 1)
+        est = obj.serializer.size_estimate(obj.get_state())
+        if est is not None:
+            return max(est, 1)
+        return max(len(self._pack_local(rec, rank)), 1)
 
-    def _pack_local(self, rec: _LocalObject) -> bytes:
+    def _pack_local(self, rec: _LocalObject, rank: Optional[int] = None) -> bytes:
         """Serialize via the per-residency cache (at most once per epoch)."""
         if rec.pack_cache is None:
+            wall0 = _time.perf_counter()
             rec.pack_cache = rec.obj.pack()
+            if rank is not None:
+                self._note_pack(
+                    rank, "pack", _time.perf_counter() - wall0,
+                    len(rec.pack_cache),
+                )
         return rec.pack_cache
 
     def _bind_dirty(self, nrt: _NodeRuntime, oid: int, obj: MobileObject) -> None:
@@ -617,14 +723,99 @@ class MRTS:
         residency = nrt.ooc.table[oid]
         dirty = residency.dirty
         modeled = residency.nbytes
+        charge = 0
         if dirty:
-            nrt.storage.store(oid, self._pack_local(rec))
-            self.stored_since_snapshot.add(oid)
+            charge = self._store_spill(nrt, rec, oid, modeled)
         rec.obj = None
         rec.pack_cache = None
         nrt.ooc.confirm_evict(oid)
+        nrt.ready.note_resident(oid, False)
         if dirty:
-            nrt.write_behind.submit(oid, modeled)
+            nrt.write_behind.submit(oid, charge)
+
+    def _store_spill(
+        self, nrt: _NodeRuntime, rec: _LocalObject, oid: int, modeled: int
+    ) -> int:
+        """Persist a dirty object's state; returns the virtual disk charge.
+
+        Delta path (serializer declares the payload append-mostly, a
+        current stored base exists, and the append-log has room): pack
+        only what grew since the recorded token and append it as one
+        delta frame.  Modeled objects charge the modeled *growth*; real
+        objects charge the post-compression appended bytes.  Full path:
+        store the whole pack and charge the modeled size, exactly as
+        before delta spills existed.  Compaction (a forced full store)
+        triggers on ``delta_log_frames_max`` for everyone and
+        additionally on ``delta_compact_factor`` for real payloads,
+        bounding both reassembly work and log bloat.
+        """
+        obj = rec.obj
+        ser = obj.serializer
+        cfg = self.config
+        delta_ok = (
+            cfg.delta_spills
+            and ser.supports_delta
+            and rec.stored_token is not None
+            and nrt.frame_layer is not None
+            and rec.log_frames < cfg.delta_log_frames_max
+        )
+        payload = None
+        if delta_ok:
+            wall0 = _time.perf_counter()
+            payload = ser.pack_delta(obj.get_state(), rec.stored_token)
+            if payload is not None:
+                self._note_pack(
+                    nrt.rank, "pack", _time.perf_counter() - wall0,
+                    len(payload),
+                )
+        is_modeled = self.cost_model.object_nbytes(obj) is not None
+        if (
+            payload is not None
+            and not is_modeled
+            and rec.log_payload_bytes + len(payload)
+            > cfg.delta_compact_factor * max(rec.base_payload_bytes, 1)
+        ):
+            payload = None  # log outgrew its base: compact via full store
+        if payload is not None:
+            nrt.storage.append(oid, payload)
+            rec.log_frames += 1
+            rec.log_payload_bytes += len(payload)
+            rec.stored_token = ser.delta_token(obj.get_state())
+            stored = self._last_stored_len(nrt, len(payload))
+            if is_modeled:
+                charge = max(modeled - rec.stored_modeled, 1)
+            else:
+                charge = max(stored, 1)
+            self._note_spill(nrt.rank, oid, "delta", len(payload), stored)
+        else:
+            data = self._pack_local(rec, nrt.rank)
+            nrt.storage.store(oid, data)
+            rec.log_frames = 1
+            rec.base_payload_bytes = len(data)
+            rec.log_payload_bytes = 0
+            rec.stored_token = (
+                ser.delta_token(obj.get_state())
+                if cfg.delta_spills
+                and ser.supports_delta
+                and nrt.frame_layer is not None
+                else None
+            )
+            stored = self._last_stored_len(nrt, len(data))
+            charge = modeled
+            self._note_spill(nrt.rank, oid, "full", len(data), stored)
+        rec.stored_modeled = modeled
+        self.stored_since_snapshot.add(oid)
+        return charge
+
+    def _last_stored_len(self, nrt: _NodeRuntime, fallback: int) -> int:
+        """Payload bytes the last store/append actually put on the medium."""
+        comp = nrt.compressor
+        if comp is not None:
+            return comp.last_stored_len
+        frame = nrt.frame_layer
+        if frame is not None:
+            return frame.last_payload_len
+        return fallback
 
     def _disk_xfer(self, rank: int, nbytes: int, is_store: bool, blocking: bool):
         """One out-of-core transfer with the right per-PE span attribution.
@@ -716,8 +907,9 @@ class MRTS:
         # virtual I/O another worker may have loaded, mutated and
         # re-spilled the object — the storage now holds the newer state,
         # and resurrecting a pre-transfer snapshot would lose updates.
+        repaired = False
         try:
-            data = nrt.storage.load(oid)
+            segments = nrt.storage.load_segments(oid)
         except CorruptObject:
             # Torn write detected at load.  Treat it like a miss: fall
             # back to the last checkpointed copy when recovery installed
@@ -738,21 +930,61 @@ class MRTS:
             if fallback is None:
                 raise
             nrt.storage.store(oid, fallback)
-            data = fallback
+            segments = [fallback]
+            repaired = True
         ptr = self._objects_by_oid[oid]
         obj = object.__new__(self._obj_class(oid))
         MobileObject.__init__(obj, ptr)
-        obj.unpack(data)
+        wall0 = _time.perf_counter()
+        if len(segments) == 1:
+            obj.unpack(segments[0])
+        else:
+            obj.unpack_segments(segments)
+        self._note_pack(
+            nrt.rank, "unpack", _time.perf_counter() - wall0,
+            sum(len(s) for s in segments),
+        )
         rec.obj = obj
-        # The loaded bytes *are* the pack of the current state: start the
-        # residency epoch clean with a warm pack cache.
-        rec.pack_cache = data
+        # A single loaded segment *is* the pack of the current state:
+        # start the residency epoch clean with a warm pack cache.  An
+        # append-log reassembly has no single-blob equivalent.
+        rec.pack_cache = segments[0] if len(segments) == 1 else None
         nrt.ooc.confirm_load(oid)
         self._bind_dirty(nrt, oid, obj)
+        if repaired:
+            # The repair rewrote a full (possibly older) copy: the delta
+            # bookkeeping no longer describes the medium.  Force the next
+            # dirty spill to re-baseline with a full store.
+            rec.stored_token = None
+            rec.log_frames = 1
+            rec.base_payload_bytes = len(segments[0])
+            rec.log_payload_bytes = 0
+        elif (
+            self.config.delta_spills
+            and obj.serializer.supports_delta
+            and nrt.frame_layer is not None
+        ):
+            # The stored copy equals the loaded state: refresh the token
+            # so the next dirty spill appends only post-load growth.
+            rec.stored_token = obj.serializer.delta_token(obj.get_state())
+        nrt.ready.note_resident(oid, True)
         obj.on_register(nrt.rank)
 
     def _obj_class(self, oid: int) -> type:
         return self._obj_classes[oid]
+
+    def _canonical_payload(self, nrt: _NodeRuntime, oid: int) -> bytes:
+        """Full packed payload of an object's stored copy.
+
+        A stored copy may be an append-log; checkpoints want one
+        canonical full blob, so multi-segment logs are reassembled
+        through the class serializer and re-packed.
+        """
+        segments = nrt.storage.load_segments(oid)
+        if len(segments) == 1:
+            return segments[0]
+        ser = self._obj_class(oid).serializer
+        return ser.pack(ser.unpack_segments(segments))
 
     # ============================================================ messaging
     def _post_message(self, msg: Message | MulticastMessage, from_node: int) -> None:
@@ -1067,7 +1299,7 @@ class MRTS:
         # ---- atomic swap ----
         obj = rec.obj
         obj.on_unregister(src)
-        data = self._pack_local(rec)
+        data = self._pack_local(rec, nrt.rank)
         queue = rec.queue
         del nrt.locals[oid]
         nrt.ooc.forget(oid)
@@ -1180,7 +1412,7 @@ class MRTS:
             and not getattr(fn, "_mrts_readonly", False)
         ):
             rec.obj.mark_dirty()
-            self._account_growth(nrt, oid)
+            self._account_growth(nrt, oid, ctx)
         # Dispatch messages the handler produced.
         self._dispatch_outbox(ctx.outbox, nrt.rank)
         # Soft-threshold advice: spill idle objects in the background.
@@ -1189,7 +1421,7 @@ class MRTS:
                 self._evict_now(nrt, victim)
 
     def _issue_prefetch(self, nrt: _NodeRuntime) -> None:
-        upcoming = [oid for oid in nrt.ready._fifo]
+        upcoming = nrt.ready.snapshot()
         for oid in nrt.ooc.prefetch_candidates(upcoming):
             rec = nrt.locals.get(oid)
             if rec is None or rec.obj is not None or oid in nrt.prefetching:
@@ -1205,8 +1437,14 @@ class MRTS:
         finally:
             nrt.prefetching.discard(oid)
 
-    def _account_growth(self, nrt: _NodeRuntime, oid: int) -> None:
+    def _account_growth(
+        self, nrt: _NodeRuntime, oid: int, ctx: Optional[HandlerContext] = None
+    ) -> None:
         """Re-account an object's size after a handler mutated it.
+
+        A handler-context growth report (``ctx.grew`` / ``ctx.report_size``)
+        is consumed first — pack-free accounting; otherwise the size is
+        probed through the estimator/pack path.
 
         Growth beyond what eviction can cover is tolerated as a temporary
         budget overrun (the bytes already exist; concurrent pinned handlers
@@ -1214,7 +1452,17 @@ class MRTS:
         the layer recovers on the next cycle.
         """
         rec = nrt.locals[oid]
-        new_size = self._obj_nbytes_local(rec)
+        new_size = None
+        if ctx is not None:
+            hint = ctx._take_size_hint()
+            if hint is not None:
+                kind, n = hint
+                if kind == "abs":
+                    new_size = max(n, 1)
+                else:
+                    new_size = max(nrt.ooc.table[oid].nbytes + n, 1)
+        if new_size is None:
+            new_size = self._obj_nbytes_local(rec, nrt.rank)
         try:
             victims = nrt.ooc.resize(oid, new_size)
         except OutOfMemory:
@@ -1264,7 +1512,7 @@ class MRTS:
         ctx.extra_charge += modeled if modeled is not None else measured
         if not getattr(fn, "_mrts_readonly", False):
             obj.mark_dirty()
-            self._account_growth(nrt, target.oid)
+            self._account_growth(nrt, target.oid, ctx)
         return True
 
     # ------------------------------------------------------------ inspection

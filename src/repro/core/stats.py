@@ -54,6 +54,17 @@ class NodeStats:
     bytes_stored: int = 0
     storage_retries: int = 0
     corrupt_loads: int = 0
+    # Data-plane counters (wall seconds; the pack path is real CPU work
+    # even in the simulated driver, so these expose serialization cost
+    # regressions directly).
+    pack_time: float = 0.0
+    unpack_time: float = 0.0
+    packs: int = 0
+    unpacks: int = 0
+    delta_spills: int = 0
+    full_spills: int = 0
+    payload_bytes_raw: int = 0
+    payload_bytes_stored: int = 0
 
     def add_comp(self, seconds: float) -> None:
         self.comp_time += seconds
@@ -82,6 +93,25 @@ class NodeStats:
         else:
             self.objects_loaded += 1
             self.bytes_loaded += nbytes
+
+    def add_pack(self, seconds: float, nbytes: int = 0) -> None:
+        self.pack_time += seconds
+        self.packs += 1
+
+    def add_unpack(self, seconds: float, nbytes: int = 0) -> None:
+        self.unpack_time += seconds
+        self.unpacks += 1
+
+    def add_spill(self, kind: str, raw: int, stored: int) -> None:
+        """Record one spill: ``kind`` is ``"delta"`` or ``"full"``;
+        ``raw`` is the pre-compression payload size, ``stored`` the bytes
+        that actually hit the medium."""
+        if kind == "delta":
+            self.delta_spills += 1
+        else:
+            self.full_spills += 1
+        self.payload_bytes_raw += raw
+        self.payload_bytes_stored += stored
 
 
 @dataclass
@@ -182,3 +212,41 @@ class RunStats:
     @property
     def corrupt_loads(self) -> int:
         return sum(n.corrupt_loads for n in self.nodes)
+
+    @property
+    def pack_time(self) -> float:
+        return sum(n.pack_time for n in self.nodes)
+
+    @property
+    def unpack_time(self) -> float:
+        return sum(n.unpack_time for n in self.nodes)
+
+    @property
+    def packs(self) -> int:
+        return sum(n.packs for n in self.nodes)
+
+    @property
+    def unpacks(self) -> int:
+        return sum(n.unpacks for n in self.nodes)
+
+    @property
+    def delta_spills(self) -> int:
+        return sum(n.delta_spills for n in self.nodes)
+
+    @property
+    def full_spills(self) -> int:
+        return sum(n.full_spills for n in self.nodes)
+
+    @property
+    def payload_bytes_raw(self) -> int:
+        return sum(n.payload_bytes_raw for n in self.nodes)
+
+    @property
+    def payload_bytes_stored(self) -> int:
+        return sum(n.payload_bytes_stored for n in self.nodes)
+
+    @property
+    def stored_ratio(self) -> float:
+        """Stored / raw payload bytes across the run (1.0 = no saving)."""
+        raw = self.payload_bytes_raw
+        return self.payload_bytes_stored / raw if raw > 0 else 1.0

@@ -26,7 +26,17 @@ Self-healing wrappers (composed by the runtime around any of the above):
 * :class:`RetryingBackend` — capped exponential backoff with seeded
   jitter and a per-operation backoff budget, absorbing intermittent
   faults (:class:`~repro.util.errors.TransientStorageError`, e.g. a
-  flaky NFS mount) transparently.
+  flaky NFS mount) transparently;
+* :class:`CompressingBackend` — a size-adaptive compression tier above
+  the frame layer: tiny payloads pass through untouched, larger ones are
+  deflated (zlib level by size class) and the frame's flags byte records
+  it, so checksums, repair and recovery operate on compressed frames
+  exactly as on raw ones.
+
+Delta spills extend the byte-level contract with :meth:`~StorageBackend.
+append` / :meth:`~StorageBackend.load_segments`: an object's stored copy
+may be an *append-log* of frames (one full base + delta segments), which
+the frame layer parses back into validated payload segments.
 """
 
 from __future__ import annotations
@@ -41,7 +51,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional
 
-from repro.util.errors import CorruptObject, ObjectNotFound, TransientStorageError
+from repro.util.errors import (
+    CorruptObject,
+    MRTSError,
+    ObjectNotFound,
+    TransientStorageError,
+)
 
 __all__ = [
     "StorageBackend",
@@ -49,11 +64,17 @@ __all__ = [
     "FileBackend",
     "CountingBackend",
     "ChecksummedBackend",
+    "CompressionPolicy",
+    "CompressingBackend",
     "RetryPolicy",
     "RetryingBackend",
     "FRAME_OVERHEAD",
+    "FLAG_COMPRESSED",
+    "FLAG_DELTA",
     "encode_frame",
     "decode_frame",
+    "decode_frame_ex",
+    "iter_frames",
 ]
 
 
@@ -65,6 +86,26 @@ class StorageBackend:
 
     def load(self, oid: int) -> bytes:
         raise NotImplementedError
+
+    def append(self, oid: int, data: bytes) -> None:
+        """Append raw bytes to the object's stored copy (delta spills).
+
+        Default is read-modify-write; byte-addressable backends override
+        with a true append.  An absent object starts empty.
+        """
+        try:
+            existing = self.load(oid)
+        except ObjectNotFound:
+            existing = b""
+        self.store(oid, existing + bytes(data))
+
+    def load_segments(self, oid: int) -> list[bytes]:
+        """The object's stored payload segments, oldest first.
+
+        Raw backends hold one blob; the frame layer overrides this to
+        parse an append-log back into validated per-frame payloads.
+        """
+        return [self.load(oid)]
 
     def delete(self, oid: int) -> None:
         raise NotImplementedError
@@ -100,6 +141,9 @@ class MemoryBackend(StorageBackend):
 
     def store(self, oid: int, data: bytes) -> None:
         self._data[oid] = bytes(data)
+
+    def append(self, oid: int, data: bytes) -> None:
+        self._data[oid] = self._data.get(oid, b"") + bytes(data)
 
     def load(self, oid: int) -> bytes:
         try:
@@ -148,6 +192,15 @@ class FileBackend(StorageBackend):
         self._path(oid).write_bytes(data)
         self._sizes[oid] = len(data)
 
+    def append(self, oid: int, data: bytes) -> None:
+        path = self._path(oid)
+        before = self._sizes.get(oid)
+        if before is None:
+            before = path.stat().st_size if path.exists() else 0
+        with open(path, "ab") as fh:
+            fh.write(data)
+        self._sizes[oid] = before + len(data)
+
     def load(self, oid: int) -> bytes:
         path = self._path(oid)
         if not path.exists():
@@ -193,17 +246,30 @@ class CountingBackend(StorageBackend):
         self.bytes_read = 0
         self.stores = 0
         self.loads = 0
+        self.appends = 0
 
     def store(self, oid: int, data: bytes) -> None:
         self.inner.store(oid, data)
         self.bytes_written += len(data)
         self.stores += 1
 
+    def append(self, oid: int, data: bytes) -> None:
+        self.inner.append(oid, data)
+        self.bytes_written += len(data)
+        self.stores += 1
+        self.appends += 1
+
     def load(self, oid: int) -> bytes:
         data = self.inner.load(oid)
         self.bytes_read += len(data)
         self.loads += 1
         return data
+
+    def load_segments(self, oid: int) -> list[bytes]:
+        segments = self.inner.load_segments(oid)
+        self.bytes_read += sum(len(s) for s in segments)
+        self.loads += 1
+        return segments
 
     def delete(self, oid: int) -> None:
         self.inner.delete(oid)
@@ -220,51 +286,129 @@ class CountingBackend(StorageBackend):
 
 # ======================================================= checksummed frames
 #
-# Frame layout (little-endian):
+# Frame layout (little-endian), format MRF2:
 #
-#   +--------+----------------+--------------+---------------------+
-#   | magic  | payload length | CRC32(payload)| payload bytes ...  |
-#   | 4 B    | 8 B  (<Q)      | 4 B  (<I)     | length B           |
-#   +--------+----------------+--------------+---------------------+
+#   +--------+-------+----------------+---------------+------------------+
+#   | magic  | flags | payload length | CRC32(payload)| payload bytes ...|
+#   | 4 B    | 1 B   | 8 B  (<Q)      | 4 B  (<I)     | length B         |
+#   +--------+-------+----------------+---------------+------------------+
+#
+# The flags byte records how the payload was transformed on the way in
+# (``FLAG_COMPRESSED``: deflated by the compression tier) and what role
+# the frame plays in the object's stored copy (``FLAG_DELTA``: an
+# append-log segment rather than a full base).  The CRC covers the flags
+# byte plus the payload *as stored* (post-compression): a flipped flags
+# bit would silently inflate/skip-inflate the wrong way, so it must fail
+# validation like any payload bit — and frame validation and repair
+# still never need to understand the payload.
 #
 # Every strict prefix of a frame fails validation: a prefix shorter than
 # the header is rejected outright, and any longer prefix carries a length
 # field larger than the bytes that follow.  A flipped payload bit fails
 # the CRC.  That is exactly the property torn-write recovery needs: a
 # partially persisted store can never be loaded as a valid object.
+#
+# Reads remain backward-compatible with the legacy MRF1 format (no flags
+# byte): frames written before the data-plane fast path still decode.
 
-_FRAME_MAGIC = b"MRF1"
-_FRAME_HEADER = struct.Struct("<4sQI")
+_FRAME_MAGIC = b"MRF2"
+_FRAME_HEADER = struct.Struct("<4sBQI")
 FRAME_OVERHEAD = _FRAME_HEADER.size
 
+_LEGACY_MAGIC = b"MRF1"
+_LEGACY_HEADER = struct.Struct("<4sQI")
+_LEGACY_OVERHEAD = _LEGACY_HEADER.size
 
-def encode_frame(payload: bytes) -> bytes:
-    """Wrap ``payload`` in a magic + length + CRC32 frame."""
+FLAG_COMPRESSED = 0x01  # payload is zlib-deflated
+FLAG_DELTA = 0x02       # frame is an append-log delta segment
+
+
+def _frame_crc(payload: bytes, flags: int) -> int:
+    return zlib.crc32(payload, zlib.crc32(bytes((flags,))))
+
+
+def encode_frame(payload: bytes, flags: int = 0) -> bytes:
+    """Wrap ``payload`` in a magic + flags + length + CRC32 frame."""
+    if not 0 <= flags <= 0xFF:
+        raise ValueError(f"frame flags must fit one byte, got {flags:#x}")
     return (
-        _FRAME_HEADER.pack(_FRAME_MAGIC, len(payload), zlib.crc32(payload))
+        _FRAME_HEADER.pack(
+            _FRAME_MAGIC, flags, len(payload), _frame_crc(payload, flags)
+        )
         + payload
     )
 
 
-def decode_frame(data: bytes, context: str = "object") -> bytes:
-    """Validate and strip a frame; raises :class:`CorruptObject` on damage."""
-    if len(data) < FRAME_OVERHEAD:
+def _decode_one(
+    data: bytes, offset: int, context: str
+) -> tuple[bytes, int, int]:
+    """Validate the frame starting at ``offset``; -> (payload, flags, end)."""
+    magic = bytes(data[offset:offset + 4])
+    if magic == _LEGACY_MAGIC:
+        header, overhead, flags = _LEGACY_HEADER, _LEGACY_OVERHEAD, 0
+    else:
+        header, overhead, flags = _FRAME_HEADER, FRAME_OVERHEAD, None
+    if len(data) - offset < overhead:
         raise CorruptObject(
-            f"{context}: {len(data)} B is shorter than the "
-            f"{FRAME_OVERHEAD} B frame header (torn write?)"
+            f"{context}: {len(data) - offset} B is shorter than the "
+            f"{overhead} B frame header (torn write?)"
         )
-    magic, length, crc = _FRAME_HEADER.unpack_from(data)
-    if magic != _FRAME_MAGIC:
-        raise CorruptObject(f"{context}: bad frame magic {magic!r}")
-    payload = data[FRAME_OVERHEAD:]
+    if flags is None:
+        magic, flags, length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        if magic != _FRAME_MAGIC:
+            raise CorruptObject(f"{context}: bad frame magic {magic!r}")
+    else:
+        magic, length, crc = _LEGACY_HEADER.unpack_from(data, offset)
+    end = offset + overhead + length
+    payload = bytes(data[offset + overhead:end])
     if len(payload) != length:
         raise CorruptObject(
             f"{context}: frame promises {length} B but carries "
             f"{len(payload)} B (torn write?)"
         )
-    if zlib.crc32(payload) != crc:
+    # Legacy MRF1 frames checksummed the payload alone; MRF2 covers the
+    # flags byte too.
+    expect = zlib.crc32(payload) if overhead == _LEGACY_OVERHEAD \
+        else _frame_crc(payload, flags)
+    if expect != crc:
         raise CorruptObject(f"{context}: payload CRC mismatch (bit rot?)")
-    return payload
+    return payload, flags, end
+
+
+def decode_frame_ex(data: bytes, context: str = "object") -> tuple[bytes, int]:
+    """Validate and strip a single frame; returns ``(payload, flags)``.
+
+    Raises :class:`CorruptObject` on any damage, including trailing bytes
+    past the frame (a single-frame blob must be exactly one frame).
+    """
+    payload, flags, end = _decode_one(data, 0, context)
+    if end != len(data):
+        raise CorruptObject(
+            f"{context}: {len(data) - end} B of trailing garbage after "
+            "the frame"
+        )
+    return payload, flags
+
+
+def decode_frame(data: bytes, context: str = "object") -> bytes:
+    """Validate and strip a frame; raises :class:`CorruptObject` on damage."""
+    return decode_frame_ex(data, context)[0]
+
+
+def iter_frames(
+    data: bytes, context: str = "object"
+) -> list[tuple[bytes, int]]:
+    """Parse a concatenation of frames (an append-log) into
+    ``[(payload, flags), ...]``; any damaged or partial frame raises
+    :class:`CorruptObject`."""
+    frames: list[tuple[bytes, int]] = []
+    offset = 0
+    while offset < len(data):
+        payload, flags, offset = _decode_one(data, offset, context)
+        frames.append((payload, flags))
+    if not frames:
+        raise CorruptObject(f"{context}: empty frame log")
+    return frames
 
 
 class ChecksummedBackend(StorageBackend):
@@ -274,21 +418,54 @@ class ChecksummedBackend(StorageBackend):
     the out-of-core layer treats that like a miss and falls back to the
     last checkpoint copy (see :mod:`repro.core.recovery`).  ``size``
     reports *payload* size so callers see the same bytes they stored.
+
+    This layer is also where append-logs become frames: ``append`` writes
+    one ``FLAG_DELTA`` frame per segment onto the inner blob, and
+    ``load_segments`` parses the concatenation back into validated
+    payloads.  ``last_payload_len`` exposes the framed payload size of
+    the most recent store/append, which is how the runtime charges true
+    post-compression bytes per spill.
     """
 
     def __init__(self, inner: StorageBackend) -> None:
         self.inner = inner
         self.corrupt_loads = 0
+        self.last_payload_len = 0
 
-    def store(self, oid: int, data: bytes) -> None:
-        self.inner.store(oid, encode_frame(data))
+    # -- frame-aware surface (used by CompressingBackend) ------------------
+    def store_frame(self, oid: int, data: bytes, flags: int = 0) -> None:
+        self.last_payload_len = len(data)
+        self.inner.store(oid, encode_frame(data, flags))
 
-    def load(self, oid: int) -> bytes:
+    def append_frame(self, oid: int, data: bytes, flags: int = 0) -> None:
+        self.last_payload_len = len(data)
+        self.inner.append(oid, encode_frame(data, flags | FLAG_DELTA))
+
+    def load_segments_ex(self, oid: int) -> list[tuple[bytes, int]]:
         try:
-            return decode_frame(self.inner.load(oid), context=f"object {oid}")
+            return iter_frames(self.inner.load(oid), context=f"object {oid}")
         except CorruptObject:
             self.corrupt_loads += 1
             raise
+
+    # -- StorageBackend interface ------------------------------------------
+    def store(self, oid: int, data: bytes) -> None:
+        self.store_frame(oid, data, 0)
+
+    def append(self, oid: int, data: bytes) -> None:
+        self.append_frame(oid, data, FLAG_DELTA)
+
+    def load(self, oid: int) -> bytes:
+        frames = self.load_segments_ex(oid)
+        if len(frames) != 1:
+            raise MRTSError(
+                f"object {oid} is a {len(frames)}-segment append-log; "
+                "use load_segments()"
+            )
+        return frames[0][0]
+
+    def load_segments(self, oid: int) -> list[bytes]:
+        return [payload for payload, _flags in self.load_segments_ex(oid)]
 
     def delete(self, oid: int) -> None:
         self.inner.delete(oid)
@@ -297,7 +474,129 @@ class ChecksummedBackend(StorageBackend):
         return self.inner.contains(oid)
 
     def size(self, oid: int) -> int:
+        # Payload bytes of a single-frame object; for append-logs this
+        # under-counts by the extra headers, which is fine for the
+        # hard-threshold heuristic it feeds.
         return max(self.inner.size(oid) - FRAME_OVERHEAD, 0)
+
+    def stored_ids(self) -> list[int]:
+        return self.inner.stored_ids()
+
+
+# ============================================================= compression
+@dataclass(frozen=True)
+class CompressionPolicy:
+    """Size-adaptive compression decisions for the storage boundary.
+
+    Payloads below ``min_bytes`` are stored raw (the header tax and CPU
+    cost outweigh any win); mid-sized payloads deflate at
+    ``level_small``; payloads at or above ``large_bytes`` use the faster
+    ``level_large`` so huge spills do not stall the node.  Incompressible
+    payloads (deflate produced no saving) are stored raw too.
+    """
+
+    min_bytes: int = 1024
+    level_small: int = 3
+    large_bytes: int = 256 * 1024
+    level_large: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_bytes < 0:
+            raise ValueError("min_bytes must be >= 0")
+        if self.large_bytes < self.min_bytes:
+            raise ValueError("large_bytes must be >= min_bytes")
+        for name in ("level_small", "level_large"):
+            if not 0 <= getattr(self, name) <= 9:
+                raise ValueError(f"{name} must be a zlib level in [0, 9]")
+
+    def transform(self, data: bytes) -> tuple[bytes, int]:
+        """-> (stored payload, frame flags) for one outgoing payload."""
+        if len(data) < self.min_bytes:
+            return data, 0
+        level = (
+            self.level_small
+            if len(data) < self.large_bytes
+            else self.level_large
+        )
+        out = zlib.compress(bytes(data), level)
+        if len(out) >= len(data):
+            return data, 0
+        return out, FLAG_COMPRESSED
+
+
+class CompressingBackend(StorageBackend):
+    """Compression tier above the frame layer.
+
+    Requires a frame-aware ``inner`` (:class:`ChecksummedBackend`): the
+    compressed payload is what gets framed, so the CRC validates the
+    bytes actually on the medium and torn-write repair works unchanged.
+    ``load_segments`` re-inflates per the frame flags, making the tier
+    invisible to everything above it.
+    """
+
+    def __init__(
+        self,
+        inner: ChecksummedBackend,
+        policy: Optional[CompressionPolicy] = None,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy or CompressionPolicy()
+        self.bytes_in = 0          # raw payload bytes offered
+        self.bytes_out = 0         # payload bytes actually framed
+        self.compressed_frames = 0
+        self.raw_frames = 0
+        self.last_stored_len = 0   # framed payload size of the last write
+
+    def _transform(self, data: bytes) -> tuple[bytes, int]:
+        out, flags = self.policy.transform(data)
+        self.bytes_in += len(data)
+        self.bytes_out += len(out)
+        if flags & FLAG_COMPRESSED:
+            self.compressed_frames += 1
+        else:
+            self.raw_frames += 1
+        self.last_stored_len = len(out)
+        return out, flags
+
+    def store(self, oid: int, data: bytes) -> None:
+        out, flags = self._transform(data)
+        self.inner.store_frame(oid, out, flags)
+
+    def append(self, oid: int, data: bytes) -> None:
+        out, flags = self._transform(data)
+        self.inner.append_frame(oid, out, flags | FLAG_DELTA)
+
+    def load_segments(self, oid: int) -> list[bytes]:
+        segments = []
+        for payload, flags in self.inner.load_segments_ex(oid):
+            if flags & FLAG_COMPRESSED:
+                try:
+                    payload = zlib.decompress(payload)
+                except zlib.error as exc:
+                    raise CorruptObject(
+                        f"object {oid}: compressed payload does not "
+                        f"inflate ({exc})"
+                    ) from exc
+            segments.append(payload)
+        return segments
+
+    def load(self, oid: int) -> bytes:
+        segments = self.load_segments(oid)
+        if len(segments) != 1:
+            raise MRTSError(
+                f"object {oid} is a {len(segments)}-segment append-log; "
+                "use load_segments()"
+            )
+        return segments[0]
+
+    def delete(self, oid: int) -> None:
+        self.inner.delete(oid)
+
+    def contains(self, oid: int) -> bool:
+        return self.inner.contains(oid)
+
+    def size(self, oid: int) -> int:
+        return self.inner.size(oid)
 
     def stored_ids(self) -> list[int]:
         return self.inner.stored_ids()
@@ -399,8 +698,16 @@ class RetryingBackend(StorageBackend):
     def store(self, oid: int, data: bytes) -> None:
         self._attempt("store", oid, lambda: self.inner.store(oid, data))
 
+    def append(self, oid: int, data: bytes) -> None:
+        self._attempt("append", oid, lambda: self.inner.append(oid, data))
+
     def load(self, oid: int) -> bytes:
         return self._attempt("load", oid, lambda: self.inner.load(oid))
+
+    def load_segments(self, oid: int) -> list[bytes]:
+        return self._attempt(
+            "load", oid, lambda: self.inner.load_segments(oid)
+        )
 
     def delete(self, oid: int) -> None:
         self._attempt("delete", oid, lambda: self.inner.delete(oid))

@@ -26,7 +26,8 @@ class TraceEvent:
 
     time: float
     node: int
-    kind: str       # "handler" | "disk" | "send" | "retry" | "corrupt"
+    kind: str  # "handler" | "disk" | "send" | "retry" | "corrupt"
+    #          # | "spill" | "pack"
     detail: str
     duration: float = 0.0
 
@@ -85,8 +86,11 @@ def attach_tracer(runtime: MRTS) -> Tracer:
     Wraps ``_execute_handler`` (one "handler" event per message),
     ``_disk_xfer`` (one "disk" event per transfer), ``_send_proc``
     (one "send" event per wire message), ``_note_retry`` (one "retry"
-    event per absorbed storage fault) and ``_note_corrupt`` (one
-    "corrupt" event per frame-validation failure at load).
+    event per absorbed storage fault), ``_note_corrupt`` (one
+    "corrupt" event per frame-validation failure at load),
+    ``_note_spill`` (one "spill" event per dirty delta/full spill with
+    raw vs stored byte counts) and ``_note_pack`` (one "pack" event per
+    serialization op with its wall time).
     """
     tracer = Tracer(runtime)
 
@@ -143,16 +147,36 @@ def attach_tracer(runtime: MRTS) -> Tracer:
         orig_corrupt(rank, oid)
         tracer.record(rank, "corrupt", f"load oid {oid} failed frame check")
 
+    orig_spill = runtime._note_spill
+
+    def traced_spill(rank, oid, kind, raw, stored):
+        orig_spill(rank, oid, kind, raw, stored)
+        tracer.record(
+            rank,
+            "spill",
+            f"{kind} oid {oid}, {raw} B raw -> {stored} B stored",
+        )
+
+    orig_pack = runtime._note_pack
+
+    def traced_pack(rank, op, seconds, nbytes):
+        orig_pack(rank, op, seconds, nbytes)
+        tracer.record(rank, "pack", f"{op} {nbytes} B", seconds)
+
     tracer._originals = {
         "_execute_handler": orig_exec,
         "_disk_xfer": orig_disk,
         "_send_proc": orig_send,
         "_note_retry": orig_retry,
         "_note_corrupt": orig_corrupt,
+        "_note_spill": orig_spill,
+        "_note_pack": orig_pack,
     }
     runtime._execute_handler = traced_exec
     runtime._disk_xfer = traced_disk
     runtime._send_proc = traced_send
     runtime._note_retry = traced_retry
     runtime._note_corrupt = traced_corrupt
+    runtime._note_spill = traced_spill
+    runtime._note_pack = traced_pack
     return tracer

@@ -31,6 +31,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.codec import get_codec
 from repro.core.config import MRTSConfig
 from repro.core.mobile import MobileObject
 from repro.core.runtime import MRTS, CostModel, handler
@@ -96,7 +97,16 @@ class _ModelCostModel(CostModel):
 
 
 class _ModelRegion(MobileObject):
-    """A subdomain/leaf/block carrying only its element count."""
+    """A subdomain/leaf/block carrying only its element count.
+
+    The *modeled* bulk (the element count the cost model prices) only ever
+    grows round over round, while the real Python state is a tiny control
+    block — exactly the shape :class:`~repro.core.codec.SnapshotDeltaCodec`
+    targets: re-spills after a refinement round charge only the modeled
+    growth to the virtual disk instead of the whole subdomain.
+    """
+
+    serializer = get_codec("snapshot-delta")
 
     def __init__(
         self, pointer, region_id: int, target_elements: float, rounds: int

@@ -14,6 +14,14 @@ measure:
   mutation-heavy out-of-core run where write-backs are genuinely needed
   and the win must come from cheap victim selection and pipelined
   write-behind rather than skipped stores.
+* **mesh_patch_stream** — a serialization-bound workload: append-mostly
+  mesh patches (the ``mesh-patch`` codec) growing round over round on a
+  starved cluster, so every round re-spills every actor.  This is where
+  the data plane earns its keep — compact coordinate arrays, delta
+  spills of just the appended points, pack-free size accounting via
+  ``ctx.grew`` — and its ``packs`` counter gates the pack-avoidance
+  machinery (pack counts are deterministic; pack *time* is reported but
+  never gated).
 
 ``run_perf_suite`` returns (and ``mrts-bench perf`` writes) a JSON report:
 wall-clock seconds, virtual makespan, bytes moved, eviction counts and the
@@ -31,6 +39,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.codec import get_codec
 from repro.core.config import MRTSConfig
 from repro.core.mobile import MobileObject
 from repro.core.runtime import MRTS, handler
@@ -40,8 +49,10 @@ from repro.sim.node import NodeSpec
 __all__ = [
     "BENCH_FILENAME",
     "ReadOnlyActor",
+    "PatchStreamActor",
     "run_clean_read_storm",
     "run_oupdr_model_bench",
+    "run_mesh_patch_stream",
     "run_perf_suite",
     "check_against_baseline",
 ]
@@ -51,7 +62,7 @@ BENCH_FILENAME = "BENCH_ooc.json"
 # Metrics that are pure functions of the seed (virtual time, byte counts)
 # and therefore eligible for exact regression gating.  Wall-clock is
 # reported but never gated — CI machines differ.
-_GATED_METRICS = ("bytes_stored", "virtual_makespan_s")
+_GATED_METRICS = ("bytes_stored", "virtual_makespan_s", "packs")
 _GATE_TOLERANCE = 0.10
 
 
@@ -94,6 +105,34 @@ class ReadOnlyActor(MobileObject):
         ctx.post(target, "read", steps - 1, chain, checksum)
 
 
+class PatchStreamActor(MobileObject):
+    """An append-mostly mesh patch for the serialization-bound workload.
+
+    Points accumulate through the ``mesh-patch`` codec (flat float64
+    coordinate arrays, delta spills of the appended suffix) and each
+    append reports its growth via ``ctx.grew`` so the residency layer
+    never has to pack just to re-measure the object.
+    """
+
+    serializer = get_codec("mesh-patch")
+
+    def __init__(self, ptr, seed: int, initial_points: int) -> None:
+        super().__init__(ptr)
+        self.seed = seed
+        rng = random.Random(f"{seed}:init")
+        self.points = [
+            (rng.random(), rng.random()) for _ in range(initial_points)
+        ]
+
+    @handler
+    def extend(self, ctx, n: int) -> None:
+        rng = random.Random(f"{self.seed}:{len(self.points)}")
+        self.points.extend(
+            (rng.random(), rng.random()) for _ in range(n)
+        )
+        ctx.grew(16 * n)  # two float64 coordinates per appended point
+
+
 @dataclass
 class _WorkloadResult:
     wall_s: float
@@ -118,6 +157,17 @@ class _WorkloadResult:
             "evictions": evictions,
             "clean_evictions": clean,
             "overlap_pct": round(stats.overlap_pct(), 2),
+            # Data-plane counters (PR 4).  packs/unpacks and the spill
+            # split are seed-deterministic; pack/unpack wall time is not.
+            "packs": stats.packs,
+            "unpacks": stats.unpacks,
+            "pack_time_s": round(stats.pack_time, 3),
+            "unpack_time_s": round(stats.unpack_time, 3),
+            "delta_spills": stats.delta_spills,
+            "full_spills": stats.full_spills,
+            "payload_bytes_raw": stats.payload_bytes_raw,
+            "payload_bytes_stored": stats.payload_bytes_stored,
+            "stored_ratio": round(stats.stored_ratio, 4),
         }
 
 
@@ -191,17 +241,60 @@ def run_oupdr_model_bench(
     return _WorkloadResult(wall_s=wall, runtime=result.runtime)
 
 
+def run_mesh_patch_stream(
+    seed: int = 0,
+    n_actors: int = 24,
+    initial_points: int = 512,
+    rounds: int = 6,
+    append_per_round: int = 256,
+    n_nodes: int = 2,
+    memory_bytes: int = 96 * 1024,
+    scale: float = 1.0,
+) -> _WorkloadResult:
+    """Serialization-bound storm: growing mesh patches on a starved cluster.
+
+    Every round appends points to every actor, so every round re-spills
+    (nearly) every actor — the pack path, delta spills and pack-free
+    growth accounting dominate the cost.
+    """
+    rounds = max(1, int(rounds * scale))
+    runtime = MRTS(
+        ClusterSpec(
+            n_nodes=n_nodes,
+            node=NodeSpec(cores=1, memory_bytes=memory_bytes),
+        ),
+        config=MRTSConfig(swap_scheme="lru"),
+        cost_model=_fixed_cost_model(1e-4),
+        io_depth=2,
+    )
+    actors = [
+        runtime.create_object(
+            PatchStreamActor, seed + i, initial_points, node=i % n_nodes
+        )
+        for i in range(n_actors)
+    ]
+    wall0 = time.perf_counter()
+    for _ in range(rounds):
+        for ptr in actors:
+            runtime.post(ptr, "extend", append_per_round)
+        runtime.run()
+    wall = time.perf_counter() - wall0
+    return _WorkloadResult(wall_s=wall, runtime=runtime)
+
+
 def run_perf_suite(seed: int = 0, scale: float = 1.0) -> dict:
-    """Run both workloads; returns the BENCH_ooc.json document."""
+    """Run all workloads; returns the BENCH_ooc.json document."""
     storm = run_clean_read_storm(seed=seed, scale=scale)
     oupdr = run_oupdr_model_bench(seed=seed, scale=scale)
+    patches = run_mesh_patch_stream(seed=seed, scale=scale)
     return {
-        "version": 1,
+        "version": 2,
         "seed": seed,
         "scale": scale,
         "workloads": {
             "clean_read_storm": storm.metrics(),
             "oupdr_model": oupdr.metrics(),
+            "mesh_patch_stream": patches.metrics(),
         },
     }
 
@@ -245,6 +338,16 @@ def render_report(report: dict) -> str:
             f"(clean={metrics['clean_evictions']}) "
             f"overlap={metrics['overlap_pct']}% wall={metrics['wall_s']:.2f}s"
         )
+        if "packs" in metrics:
+            lines.append(
+                f"  {'':<18} packs={metrics['packs']} "
+                f"({metrics['pack_time_s']:.3f}s) "
+                f"unpacks={metrics['unpacks']} "
+                f"({metrics['unpack_time_s']:.3f}s) "
+                f"spills delta/full={metrics['delta_spills']}"
+                f"/{metrics['full_spills']} "
+                f"stored/raw={metrics['stored_ratio']:.2f}"
+            )
     return "\n".join(lines)
 
 

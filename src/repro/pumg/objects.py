@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from repro.core.codec import get_codec
 from repro.core.mobile import MobileObject
 from repro.core.runtime import handler
 from repro.geometry.predicates import Point, dist_sq
@@ -88,7 +89,14 @@ class RegionObject(MobileObject):
     3. when the leaf's counter reaches zero it fetches the boundary
        subsegments for its patch and refines;
     4. the leaf reports ``update(region_id, dirty_ids)`` to the coordinator.
+
+    ``points`` is strictly append-only (refinement inserts, recreate
+    ships points in — nothing ever removes one), so the region uses the
+    mesh-patch codec: coordinates pack as a flat float64 array and
+    re-spills after refinement carry only the appended points.
     """
+
+    serializer = get_codec("mesh-patch")
 
     def __init__(
         self,

@@ -34,7 +34,7 @@ from repro.sim.node import NodeSpec
 from repro.testing.faults import FaultPlan, FaultyBackend
 from repro.testing.harness import FixedCostModel
 from repro.testing.invariants import check_runtime
-from repro.testing.workloads import StormActor
+from repro.testing.workloads import DeltaStormActor, StormActor
 
 __all__ = ["ChaosSpec", "ChaosReport", "CHAOS_MATRIX", "run_chaos_case",
            "run_chaos_matrix"]
@@ -69,6 +69,9 @@ class ChaosSpec:
     memory_bytes: int = 24 * 1024
     interval: int = 40             # checkpoint interval (retired items)
     seed: int = 0
+    # Actor class: StormActor spills whole pickles; DeltaStormActor routes
+    # spills through the delta/compression data plane.
+    actor: type = StormActor
 
 
 @dataclass
@@ -149,6 +152,17 @@ CHAOS_MATRIX: list[ChaosSpec] = [
         min_restarts=1,
         expect_degraded=True,
     ),
+    # The delta data plane under fire: payloads spill as compressed
+    # append-log frames (bytes-append codec + default compression knobs),
+    # and the flaky medium forces retried appends and re-baselines.  Torn
+    # writes are excluded by design: FaultyBackend never tears appends
+    # (see its docstring), and torn full-spill coverage lives in flaky-nfs.
+    ChaosSpec(
+        name="delta-compress-storm",
+        plan=FaultPlan(store_fail_rate=0.06, load_fail_rate=0.06, seed=8),
+        expect_retries=True,
+        actor=DeltaStormActor,
+    ),
 ]
 
 
@@ -201,7 +215,7 @@ def _make_supervisor(
     def build(runtime: MRTS):
         actors = [
             runtime.create_object(
-                StormActor, spec.payload_bytes, spec.seed, spec.grow_every,
+                spec.actor, spec.payload_bytes, spec.seed, spec.grow_every,
                 spec.grow_bytes, node=i % spec.n_nodes,
             )
             for i in range(spec.n_actors)

@@ -136,6 +136,27 @@ class FaultyBackend(StorageBackend):
             self._trip("store", oid)
         self.inner.store(oid, data)
 
+    def append(self, oid: int, data: bytes) -> None:
+        """Appends count as store attempts and fail like stores, except
+        that a failing append never persists a torn prefix: a retried
+        append after a partially persisted one would leave corruption in
+        the *middle* of the log, where frame validation flags it even
+        though the retry succeeded.  Torn tails are injected through
+        ``store`` (the full-spill path) instead."""
+        self._check_dead("store", oid)
+        self.stores += 1
+        if (self.plan.disk_full_at is not None
+                and self.stores >= self.plan.disk_full_at):
+            self.faults_injected += 1
+            raise StorageFull(
+                f"injected disk-full on append #{self.stores} "
+                f"(object {oid}, {len(data)} B)"
+            )
+        if self._should_fail(self.stores, self.plan.fail_store_at,
+                             self.plan.store_fail_rate):
+            self._trip("append", oid)
+        self.inner.append(oid, data)
+
     def load(self, oid: int) -> bytes:
         self._check_dead("load", oid)
         self.loads += 1
@@ -143,6 +164,14 @@ class FaultyBackend(StorageBackend):
                              self.plan.load_fail_rate):
             self._trip("load", oid)
         return self.inner.load(oid)
+
+    def load_segments(self, oid: int) -> list[bytes]:
+        self._check_dead("load", oid)
+        self.loads += 1
+        if self._should_fail(self.loads, self.plan.fail_load_at,
+                             self.plan.load_fail_rate):
+            self._trip("load", oid)
+        return self.inner.load_segments(oid)
 
     def delete(self, oid: int) -> None:
         self._check_dead("delete", oid)

@@ -54,6 +54,9 @@ class HarnessReport:
     evictions: int
     overruns: int
     violations: list[str] = field(default_factory=list)
+    pack_time: float = 0.0
+    unpack_time: float = 0.0
+    stored_ratio: float = 1.0
 
     @property
     def ok(self) -> bool:
@@ -64,7 +67,9 @@ class HarnessReport:
         line = (
             f"{self.label:<28} {status:<10} t={self.total_time:.4f}s "
             f"msgs={self.messages} evictions={self.evictions} "
-            f"overruns={self.overruns}"
+            f"overruns={self.overruns} "
+            f"pack={self.pack_time:.3f}s+{self.unpack_time:.3f}s "
+            f"stored/raw={self.stored_ratio:.2f}"
         )
         if self.violations:
             line += "".join(f"\n    - {v}" for v in self.violations)
@@ -147,6 +152,9 @@ class RuntimeHarness:
             evictions=sum(n.ooc.evictions for n in self.runtime.nodes),
             overruns=sum(n.ooc.overruns for n in self.runtime.nodes),
             violations=self.check(),
+            pack_time=stats.pack_time,
+            unpack_time=stats.unpack_time,
+            stored_ratio=stats.stored_ratio,
         )
 
 

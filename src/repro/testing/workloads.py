@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.core.codec import get_codec
 from repro.core.mobile import MobileObject
 from repro.core.runtime import handler
 
@@ -25,7 +26,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.mobile import MobilePointer
     from repro.core.runtime import MRTS
 
-__all__ = ["WorkloadSpec", "StormActor", "access_trace", "object_sizes", "run_storm"]
+__all__ = ["WorkloadSpec", "StormActor", "DeltaStormActor", "access_trace",
+           "object_sizes", "run_storm"]
 
 
 def object_sizes(
@@ -132,6 +134,20 @@ class StormActor(MobileObject):
             target = self.peers[rng.randrange(len(self.peers))]
             ctx.post(target, "pulse", hops - 1, fanout, f"{token}.{i}")
             self.forwarded += 1
+
+
+class DeltaStormActor(StormActor):
+    """A storm actor whose payload spills through the delta data plane.
+
+    Identical cascade semantics, but the grow-only ``payload`` is declared
+    append-mostly via the ``bytes-append`` codec, so re-spills after a
+    growth hit emit delta segments (and, with compression on, compressed
+    frames).  Chaos cases use it to drive the delta/compaction/repair
+    machinery under injected faults while still asserting bit-exact
+    convergence with a fault-free reference.
+    """
+
+    serializer = get_codec("bytes-append")
 
 
 def run_storm(runtime: "MRTS", spec: WorkloadSpec) -> list["MobilePointer"]:

@@ -1,0 +1,283 @@
+"""Property tests for the pluggable codec registry (PR 4).
+
+Every registered codec must satisfy the Serializer contract:
+
+* ``unpack(pack(state)) == state`` for arbitrary states of its shape;
+* for delta-capable codecs, an append-log of ``[full, delta, delta...]``
+  segments reassembles through ``unpack_segments`` to exactly the state a
+  single full pack would produce — including after compaction (a fresh
+  full pack of the evolved state);
+* ``size_estimate`` (when provided) is a positive int;
+* packs survive the compression tier and the CRC32 frame layer, and a
+  corrupted compressed frame is *rejected*, never silently inflated.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec import (
+    AppendStateCodec,
+    BytesAppendCodec,
+    MeshPatchCodec,
+    Pickle5Codec,
+    get_codec,
+    register_codec,
+    registered_codecs,
+)
+from repro.core.storage import (
+    ChecksummedBackend,
+    CompressingBackend,
+    CompressionPolicy,
+    FLAG_COMPRESSED,
+    MemoryBackend,
+)
+from repro.util.errors import CorruptObject, SerializationError
+
+FLOATS = st.floats(allow_nan=False, allow_infinity=False, width=32)
+POINTS = st.lists(st.tuples(FLOATS, FLOATS), max_size=40)
+RESIDUE = st.dictionaries(
+    st.sampled_from(["region_id", "round", "name", "flag"]),
+    st.one_of(st.integers(), st.text(max_size=8), st.booleans()),
+    max_size=4,
+)
+PLAIN_STATES = st.dictionaries(
+    st.text(min_size=1, max_size=6),
+    st.one_of(st.integers(), st.binary(max_size=64), st.text(max_size=16),
+              st.lists(st.integers(), max_size=8)),
+    max_size=5,
+)
+
+
+def mesh_state(points, residue):
+    state = dict(residue)
+    state["points"] = [(float(x), float(y)) for x, y in points]
+    return state
+
+
+def bytes_state(payload, residue):
+    state = dict(residue)
+    state["payload"] = payload
+    return state
+
+
+# ------------------------------------------------------------- round trips
+@given(state=PLAIN_STATES)
+def test_pickle_round_trip(state):
+    codec = get_codec("pickle")
+    assert codec.unpack(codec.pack(state)) == state
+
+
+@given(state=PLAIN_STATES, buf=st.binary(max_size=256))
+def test_pickle5_round_trip_with_out_of_band_buffers(state, buf):
+    codec = get_codec("pickle5")
+    state = dict(state)
+    state["big"] = bytearray(buf)  # bytearray travels out-of-band
+    got = codec.unpack(codec.pack(state))
+    assert got == state
+    assert isinstance(got["big"], bytearray)
+
+
+@given(points=POINTS, residue=RESIDUE)
+def test_mesh_patch_round_trip(points, residue):
+    codec = get_codec("mesh-patch")
+    state = mesh_state(points, residue)
+    assert codec.unpack(codec.pack(state)) == state
+
+
+@given(payload=st.binary(max_size=512), residue=RESIDUE)
+def test_bytes_append_round_trip(payload, residue):
+    codec = get_codec("bytes-append")
+    state = bytes_state(payload, residue)
+    assert codec.unpack(codec.pack(state)) == state
+
+
+@given(state=PLAIN_STATES)
+def test_snapshot_delta_round_trip(state):
+    codec = get_codec("snapshot-delta")
+    assert codec.unpack(codec.pack(state)) == state
+
+
+def test_every_registered_codec_round_trips():
+    """Each registry entry round-trips a state of its expected shape."""
+    shapes = {
+        "pickle": {"region_id": 7, "data": b"abc"},
+        "pickle5": {"region_id": 7, "data": bytearray(b"abc")},
+        "snapshot-delta": {"region_id": 7, "elements": 12.5},
+        "mesh-patch": mesh_state([(0.5, 1.5), (2.0, -3.0)], {"region_id": 7}),
+        "bytes-append": bytes_state(b"grow" * 4, {"hits": 2}),
+    }
+    registry = registered_codecs()
+    assert set(shapes) == set(registry)
+    for name, codec in registry.items():
+        state = shapes[name]
+        assert codec.unpack(codec.pack(state)) == state, name
+
+
+# ---------------------------------------------------------- delta contract
+@settings(max_examples=60)
+@given(
+    start=POINTS,
+    appends=st.lists(POINTS, min_size=1, max_size=4),
+    residue=RESIDUE,
+)
+def test_mesh_patch_delta_log_equals_full_pack(start, appends, residue):
+    codec = get_codec("mesh-patch")
+    state = mesh_state(start, residue)
+    segments = [codec.pack(state)]
+    for i, extra in enumerate(appends):
+        token = codec.delta_token(state)
+        state = dict(state, points=state["points"]
+                     + [(float(x), float(y)) for x, y in extra])
+        state["round"] = i  # residue churns between spills too
+        delta = codec.pack_delta(state, token)
+        assert delta is not None
+        segments.append(delta)
+    assert codec.unpack_segments(segments) == state
+    # Compaction equivalence: a fresh full pack of the evolved state
+    # must describe the identical state in one segment.
+    assert codec.unpack(codec.pack(state)) == state
+
+
+@settings(max_examples=60)
+@given(
+    start=st.binary(max_size=128),
+    appends=st.lists(st.binary(min_size=1, max_size=64),
+                     min_size=1, max_size=4),
+)
+def test_bytes_append_delta_log_equals_full_pack(start, appends):
+    codec = get_codec("bytes-append")
+    state = bytes_state(start, {"hits": 0})
+    segments = [codec.pack(state)]
+    for chunk in appends:
+        token = codec.delta_token(state)
+        state = bytes_state(state["payload"] + chunk,
+                            {"hits": state["hits"] + 1})
+        segments.append(codec.pack_delta(state, token))
+    assert codec.unpack_segments(segments) == state
+
+
+def test_snapshot_delta_last_writer_wins():
+    codec = get_codec("snapshot-delta")
+    segs = [codec.pack({"round": i}) for i in range(4)]
+    assert codec.unpack_segments(segs) == {"round": 3}
+
+
+def test_pack_delta_rejects_foreign_tokens_with_full_spill():
+    codec = get_codec("mesh-patch")
+    state = mesh_state([(1.0, 2.0)], {})
+    assert codec.pack_delta(state, 5) is None     # token beyond the items
+    assert codec.pack_delta(state, -1) is None
+    assert codec.pack_delta(state, "base") is None
+
+
+def test_size_estimates_are_positive_and_track_growth():
+    mesh = get_codec("mesh-patch")
+    small = mesh.size_estimate(mesh_state([(0.0, 0.0)], {}))
+    big = mesh.size_estimate(mesh_state([(0.0, 0.0)] * 100, {}))
+    assert 0 < small < big
+    assert big - small == 99 * 16  # 16 B per appended point
+    assert get_codec("pickle").size_estimate({"a": 1}) is None
+
+
+def test_mesh_patch_rejects_malformed_states():
+    codec = get_codec("mesh-patch")
+    with pytest.raises(SerializationError):
+        codec.pack({"no_points_field": 1})
+    with pytest.raises(SerializationError):
+        codec.pack(mesh_state([], {}) | {"points": [(1.0, 2.0, 3.0)]})
+    with pytest.raises(SerializationError):
+        codec.unpack_segments([])
+
+
+def test_registry_lookup_and_collision():
+    assert sorted(registered_codecs()) == [
+        "bytes-append", "mesh-patch", "pickle", "pickle5", "snapshot-delta",
+    ]
+    with pytest.raises(KeyError, match="no codec registered"):
+        get_codec("nope")
+    with pytest.raises(ValueError, match="already registered"):
+        register_codec("pickle", get_codec("pickle"))
+    register_codec("pickle", get_codec("pickle"), replace=True)  # allowed
+
+
+# ------------------------------------- codecs x compression x frame x CRC
+def _stack():
+    inner = MemoryBackend()
+    frames = ChecksummedBackend(inner)
+    comp = CompressingBackend(frames, CompressionPolicy(min_bytes=64))
+    return inner, frames, comp
+
+
+@settings(max_examples=40)
+@given(
+    start=st.binary(min_size=200, max_size=400),
+    appends=st.lists(st.binary(min_size=80, max_size=200),
+                     min_size=1, max_size=3),
+)
+def test_delta_log_through_compressed_checksummed_stack(start, appends):
+    """Full store + delta appends, stored compressed, reassemble exactly."""
+    codec = BytesAppendCodec()
+    # Compressible payloads: repeat each drawn chunk.
+    state = bytes_state(start * 8, {"hits": 0})
+    _, _, comp = _stack()
+    comp.store(1, codec.pack(state))
+    for chunk in appends:
+        token = codec.delta_token(state)
+        state = bytes_state(state["payload"] + chunk * 8,
+                            {"hits": state["hits"] + 1})
+        comp.append(1, codec.pack_delta(state, token))
+    assert codec.unpack_segments(comp.load_segments(1)) == state
+    assert comp.compressed_frames > 0
+    assert comp.bytes_out < comp.bytes_in  # the tier actually shrank bytes
+
+
+@settings(max_examples=40)
+@given(points=st.lists(st.tuples(FLOATS, FLOATS), min_size=30, max_size=80),
+       data=st.data())
+def test_corrupt_compressed_frame_is_rejected_not_inflated(points, data):
+    codec = MeshPatchCodec()
+    payload = codec.pack(mesh_state(points, {"region_id": 3}))
+    inner, frames, comp = _stack()
+    comp.store(1, payload)
+    raw = bytearray(inner.load(1))
+    pos = data.draw(st.integers(min_value=0, max_value=len(raw) - 1),
+                    label="corrupt_at")
+    raw[pos] ^= data.draw(st.integers(min_value=1, max_value=255),
+                          label="xor")
+    inner.store(1, bytes(raw))
+    with pytest.raises(CorruptObject):
+        comp.load_segments(1)
+    assert frames.corrupt_loads > 0
+
+
+def test_tiny_and_incompressible_payloads_stay_raw():
+    import random
+
+    _, _, comp = _stack()
+    comp.store(1, b"x" * 16)  # below min_bytes
+    noise = random.Random(0).randbytes(4096)
+    comp.store(2, noise)      # deflate cannot shrink it
+    assert comp.raw_frames == 2 and comp.compressed_frames == 0
+    assert comp.load(1) == b"x" * 16
+    assert comp.load(2) == noise
+
+
+def test_compressed_flag_is_set_on_the_frame():
+    inner, frames, comp = _stack()
+    comp.store(1, bytes(2048))
+    from repro.core.storage import decode_frame_ex
+
+    _, flags = decode_frame_ex(inner.load(1))
+    assert flags & FLAG_COMPRESSED
+
+
+def test_append_state_codec_base_defaults():
+    codec = AppendStateCodec()
+    state = {"items": [1, 2, 3], "tag": "x"}
+    assert codec.unpack(codec.pack(state)) == state
+    assert codec.size_estimate(state) is None  # no fixed per-item size
+    token = codec.delta_token(state)
+    grown = {"items": [1, 2, 3, 4], "tag": "y"}
+    assert codec.unpack_segments(
+        [codec.pack(state), codec.pack_delta(grown, token)]
+    ) == grown

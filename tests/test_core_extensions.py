@@ -1,6 +1,8 @@
 """Tests for the paper's extensions: remote-memory OOC medium, load
 balancing over mobile objects, and runtime message aggregation."""
 
+import random
+
 import pytest
 
 from repro.core import (
@@ -22,7 +24,9 @@ from repro.util.errors import ConfigError, StorageFull
 class Blob(MobileObject):
     def __init__(self, pointer, size=50_000):
         super().__init__(pointer)
-        self.data = bytes(size)
+        # Incompressible payload: capacity tests measure true byte
+        # accounting, which the compression tier would otherwise shrink.
+        self.data = random.Random(pointer.oid).randbytes(size)
         self.touches = 0
 
     @handler

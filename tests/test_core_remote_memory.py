@@ -7,6 +7,8 @@ exhaustion semantics (StorageFull is permanent: never retried, pool left
 consistent).
 """
 
+import random
+
 import pytest
 
 from repro.core import MRTS, MobileObject, attach_remote_memory, handler
@@ -21,7 +23,9 @@ from repro.util.errors import ConfigError, ObjectNotFound, StorageFull
 class Blob(MobileObject):
     def __init__(self, pointer, size=50_000):
         super().__init__(pointer)
-        self.data = bytes(size)
+        # Incompressible payload: capacity tests measure true byte
+        # accounting, which the compression tier would otherwise shrink.
+        self.data = random.Random(pointer.oid).randbytes(size)
         self.touches = 0
 
     @handler

@@ -1,8 +1,9 @@
 """Property tests for the checksummed storage frame codec.
 
 The self-healing storage layer wraps every stored object in a
-``MRF1 | length | CRC32`` frame (see :mod:`repro.core.storage`).  The
-codec's contract is binary-exact, so we state it as properties and let
+``MRF2 | flags | length | CRC32`` frame (see :mod:`repro.core.storage`;
+legacy ``MRF1 | length | CRC32`` frames still decode).  The codec's
+contract is binary-exact, so we state it as properties and let
 hypothesis hunt for counterexamples:
 
 * round-trip identity for arbitrary payloads (including empty and huge);
@@ -48,11 +49,41 @@ def test_round_trip_large_payload():
 def test_frame_layout_is_the_documented_one():
     payload = b"hello mesh"
     frame = encode_frame(payload)
-    magic, length, crc = _FRAME_HEADER.unpack(frame[:FRAME_OVERHEAD])
+    magic, flags, length, crc = _FRAME_HEADER.unpack(frame[:FRAME_OVERHEAD])
     assert magic == _FRAME_MAGIC
+    assert flags == 0
     assert length == len(payload)
-    assert crc == zlib.crc32(payload)
+    # The CRC covers the flags byte and the payload, so a flipped flags
+    # byte is caught like any other mutation.
+    assert crc == zlib.crc32(payload, zlib.crc32(b"\x00"))
     assert frame[FRAME_OVERHEAD:] == payload
+
+
+def test_flags_round_trip_and_range():
+    from repro.core.storage import FLAG_COMPRESSED, FLAG_DELTA, decode_frame_ex
+
+    for flags in (0, FLAG_COMPRESSED, FLAG_DELTA, FLAG_COMPRESSED | FLAG_DELTA):
+        payload, got = decode_frame_ex(encode_frame(b"abc", flags))
+        assert (payload, got) == (b"abc", flags)
+    with pytest.raises(ValueError):
+        encode_frame(b"abc", 0x100)
+    with pytest.raises(ValueError):
+        encode_frame(b"abc", -1)
+
+
+def test_legacy_mrf1_frames_still_decode():
+    import struct
+
+    payload = b"old format"
+    legacy = struct.Struct("<4sQI").pack(
+        b"MRF1", len(payload), zlib.crc32(payload)
+    ) + payload
+    assert decode_frame(legacy) == payload
+    # A corrupt legacy frame is still rejected.
+    bad = bytearray(legacy)
+    bad[-1] ^= 0xFF
+    with pytest.raises(CorruptObject):
+        decode_frame(bytes(bad))
 
 
 # ------------------------------------------------------------- torn writes

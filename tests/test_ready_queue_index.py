@@ -1,0 +1,198 @@
+"""The indexed ReadyQueue against the linear-scan oracle.
+
+PR 4 replaced the queue's O(n)-per-pop scan with a lazy min-heap of
+cached scheduling keys.  The scan it replaced survives *verbatim* below
+(:class:`OracleReadyQueue`, copied from the pre-index implementation) and
+hypothesis drives both through random op sequences — push, boost,
+residency flips, silent queue drains, pops — asserting the pop sequences
+are identical.
+
+The one contract the index relies on: between pops, a member's key can
+only *worsen* silently (its message queue drains); every improvement
+(new message, boost, residency change) arrives through a touching
+mutation (``push`` / ``boost`` / ``note_resident``).  That is how the
+runtime uses the queue, and the op generator below models exactly that.
+"""
+
+from collections import deque
+from typing import Callable, Optional
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.control import ReadyQueue
+
+
+class OracleReadyQueue:
+    """The seed's linear-scan ReadyQueue, kept verbatim as the oracle."""
+
+    def __init__(self, discipline: str = "fifo"):
+        if discipline not in ("fifo", "busiest"):
+            raise ValueError(f"unknown ready-queue discipline {discipline!r}")
+        self.discipline = discipline
+        self._fifo: deque[int] = deque()
+        self._member: set[int] = set()
+        self._boost: dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def __bool__(self) -> bool:
+        return bool(self._fifo)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._member
+
+    def push(self, oid: int) -> None:
+        if oid not in self._member:
+            self._member.add(oid)
+            self._fifo.append(oid)
+
+    def boost(self, oid: int, amount: float) -> None:
+        self._boost[oid] = self._boost.get(oid, 0.0) + amount
+
+    def pop(
+        self,
+        queue_len: Callable[[int], int],
+        resident: Optional[Callable[[int], bool]] = None,
+    ) -> int:
+        while self._fifo:
+            if self.discipline == "fifo" and not self._boost and resident is None:
+                oid = self._fifo.popleft()
+            else:
+                best_idx = 0
+                best_key = None
+                for idx, cand in enumerate(self._fifo):
+                    key = (
+                        self._boost.get(cand, 0.0),
+                        1 if (resident is not None and resident(cand)) else 0,
+                        queue_len(cand) if self.discipline == "busiest" else 0,
+                        -idx,
+                    )
+                    if best_key is None or key > best_key:
+                        best_key = key
+                        best_idx = idx
+                oid = self._fifo[best_idx]
+                del self._fifo[best_idx]
+            self._member.discard(oid)
+            self._boost.pop(oid, None)
+            if queue_len(oid) > 0:
+                return oid
+        raise IndexError("pop from empty ready queue")
+
+
+OIDS = st.integers(min_value=0, max_value=11)
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), OIDS),
+        st.tuples(st.just("boost"), OIDS,
+                  st.floats(min_value=0.5, max_value=4.0, allow_nan=False)),
+        st.tuples(st.just("resident"), OIDS, st.booleans()),
+        st.tuples(st.just("drain"), OIDS),
+        st.tuples(st.just("pop")),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _drive(discipline: str, use_resident: bool, ops) -> list:
+    """Run the same op sequence through both queues; return pop results."""
+    indexed = ReadyQueue(discipline)
+    oracle = OracleReadyQueue(discipline)
+    qlen: dict[int, int] = {}
+    resident: dict[int, bool] = {}
+    res_fn = (lambda oid: resident.get(oid, False)) if use_resident else None
+    results = []
+    for op in ops:
+        kind = op[0]
+        if kind == "push":
+            oid = op[1]
+            qlen[oid] = qlen.get(oid, 0) + 1
+            indexed.push(oid)
+            oracle.push(oid)
+        elif kind == "boost":
+            _, oid, amount = op
+            indexed.boost(oid, amount)
+            oracle.boost(oid, amount)
+        elif kind == "resident":
+            _, oid, flag = op
+            resident[oid] = flag
+            indexed.note_resident(oid, flag)
+            # The oracle reads residency live at pop; no call needed.
+        elif kind == "drain":
+            # A queue drains silently (its key worsens without a touch).
+            oid = op[1]
+            qlen[oid] = max(0, qlen.get(oid, 0) - 1)
+        elif kind == "pop":
+            assert bool(indexed) == bool(oracle)
+            if not oracle:
+                continue
+            _pop_both(indexed, oracle, qlen, res_fn, results)
+    # Drain both to exhaustion: the full service order must agree.
+    while oracle:
+        assert indexed
+        _pop_both(indexed, oracle, qlen, res_fn, results)
+    assert not indexed
+    return results
+
+
+def _pop_both(indexed, oracle, qlen, res_fn, results) -> None:
+    # Both may exhaust mid-pop (every remaining member's queue drained);
+    # the implementations must agree on that too.
+    try:
+        got = indexed.pop(lambda o: qlen.get(o, 0), res_fn)
+    except IndexError:
+        got = IndexError
+    try:
+        want = oracle.pop(lambda o: qlen.get(o, 0), res_fn)
+    except IndexError:
+        want = IndexError
+    results.append((got, want))
+    if got is not IndexError:
+        # Serving the object consumes its whole queue (the runtime drains
+        # messages for the popped object before re-pushing).
+        qlen[got] = 0
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=OPS, use_resident=st.booleans())
+def test_fifo_matches_oracle(ops, use_resident):
+    for got, want in _drive("fifo", use_resident, ops):
+        assert got == want
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=OPS, use_resident=st.booleans())
+def test_busiest_matches_oracle(ops, use_resident):
+    for got, want in _drive("busiest", use_resident, ops):
+        assert got == want
+
+
+def test_membership_and_len_track_entries():
+    q = ReadyQueue("fifo")
+    q.push(3)
+    q.push(3)  # idempotent
+    q.push(7)
+    assert len(q) == 2 and 3 in q and 7 in q and 5 not in q
+    got = q.pop(lambda o: 1)
+    assert got == 3
+    assert len(q) == 1 and 3 not in q
+
+
+def test_snapshot_is_fifo_arrival_order():
+    q = ReadyQueue("busiest")
+    for oid in (9, 2, 5):
+        q.push(oid)
+    q.boost(5, 10.0)  # scheduling hints must not reorder the snapshot
+    assert q.snapshot() == [9, 2, 5]
+    q.pop(lambda o: 1)  # serves 5 (boosted)
+    assert q.snapshot() == [9, 2]
+
+
+def test_snapshot_is_read_only_view():
+    q = ReadyQueue("fifo")
+    q.push(1)
+    snap = q.snapshot()
+    snap.append(99)
+    assert q.snapshot() == [1]
