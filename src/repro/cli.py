@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli --list               # available experiment ids
     python -m repro.cli selftest             # invariant-checked smoke run
     python -m repro.cli chaos                # recovery chaos matrix
+    python -m repro.cli trace storm --out trace.json   # Perfetto trace
+    python -m repro.cli report old.json new.json       # run-to-run diff
 
 ``selftest`` runs one seeded storm workload per swap-scheme/directory-
 policy combination on a deliberately tiny memory budget and verifies the
@@ -19,6 +21,15 @@ health check, not a benchmark.
 torn-write and disk-full plans) with automatic recovery enabled and
 verifies each run converges to the fault-free final state with invariants
 intact (see :mod:`repro.testing.chaos`).
+
+``trace <workload>`` runs one observed workload (``storm`` or any perf
+workload), writes a Chrome-trace/Perfetto JSON timeline (open it at
+https://ui.perfetto.dev), and cross-checks the paper's overlap metric
+recomputed from the event stream against the runtime's own accounting
+(see :mod:`repro.obs`).
+
+``report <old.json> <new.json>`` diffs two metric documents (e.g. two
+``BENCH_ooc.json`` files) and prints the metrics that moved.
 """
 
 from __future__ import annotations
@@ -38,7 +49,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments", nargs="*",
         help="experiment ids (see --list), 'all', 'selftest', 'perf', "
-        "or 'chaos'",
+        "'chaos', 'trace <workload>', or 'report <old.json> <new.json>'",
     )
     parser.add_argument(
         "--scale", type=float, default=1.0,
@@ -58,6 +69,10 @@ def main(argv: list[str] | None = None) -> int:
         "--output", default=None,
         help="perf: path of the benchmark report (default BENCH_ooc.json)",
     )
+    parser.add_argument(
+        "--out", default="trace.json",
+        help="trace: path of the Perfetto/Chrome-trace JSON output",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -67,12 +82,30 @@ def main(argv: list[str] | None = None) -> int:
         print("  selftest (invariant-checked runtime smoke test)")
         print("  perf (out-of-core fast-path benchmark -> BENCH_ooc.json)")
         print("  chaos (fault-injection + automatic-recovery matrix)")
+        print("  trace <workload> (Perfetto timeline; workloads: "
+              + ", ".join(_TRACE_WORKLOADS) + ")")
+        print("  report <old.json> <new.json> (metric diff)")
         return 0
 
     if args.experiments == ["selftest"]:
         return _selftest(args.seed)
     if args.experiments == ["chaos"]:
         return _chaos(args.seed)
+    if args.experiments and args.experiments[0] == "trace":
+        if len(args.experiments) != 2:
+            parser.error("usage: trace <workload> [--out trace.json]")
+        if args.experiments[1] not in _TRACE_WORKLOADS:
+            parser.error(
+                f"unknown trace workload {args.experiments[1]!r} "
+                f"(choose from: {', '.join(_TRACE_WORKLOADS)})"
+            )
+        if not 0.0 < args.scale <= 1.0:
+            parser.error("--scale must be in (0, 1]")
+        return _trace(args.experiments[1], args.seed, args.scale, args.out)
+    if args.experiments and args.experiments[0] == "report":
+        if len(args.experiments) != 3:
+            parser.error("usage: report <old.json> <new.json>")
+        return _report(args.experiments[1], args.experiments[2])
     if args.experiments == ["perf"]:
         if not 0.0 < args.scale <= 1.0:
             parser.error("--scale must be in (0, 1]")
@@ -95,6 +128,102 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.perf_counter() - start
         print(experiment.render())
         print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+# Workloads the trace verb can observe: the perf suite's three plus a
+# selftest-sized storm (quick, exercises every event kind).
+_TRACE_WORKLOADS = (
+    "storm", "clean_read_storm", "oupdr_model", "mesh_patch_stream",
+)
+
+
+def _trace(workload: str, seed: int, scale: float, out: str) -> int:
+    from repro.obs import (
+        MetricsCollector, collect_run_stats, overlap_report,
+        write_chrome_trace,
+    )
+
+    subs = []
+    metrics = MetricsCollector()
+
+    def observe(runtime) -> None:
+        subs.append(runtime.bus.subscribe())
+        metrics.attach(runtime.bus)
+
+    start = time.perf_counter()
+    if workload == "storm":
+        from repro.core.config import MRTSConfig
+        from repro.testing.harness import RuntimeHarness
+        from repro.testing.workloads import WorkloadSpec
+
+        harness = RuntimeHarness(
+            n_nodes=3, memory_bytes=20 * 1024,
+            config=MRTSConfig(swap_scheme="lru"),
+        )
+        observe(harness.runtime)
+        harness.run_storm(WorkloadSpec(
+            n_actors=10, payload_bytes=4096, initial_pulses=3,
+            hops=5, fanout=2, seed=seed,
+        ))
+        stats = harness.runtime.stats
+    else:
+        from repro import perf
+
+        runner = {
+            "clean_read_storm": perf.run_clean_read_storm,
+            "oupdr_model": perf.run_oupdr_model_bench,
+            "mesh_patch_stream": perf.run_mesh_patch_stream,
+        }[workload]
+        result = runner(seed=seed, scale=scale, on_runtime=observe)
+        stats = result.runtime.stats
+    elapsed = time.perf_counter() - start
+
+    events = list(subs[0].events)
+    write_chrome_trace(events, out)
+    collect_run_stats(stats, metrics.registry)
+
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    summary = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"trace[{workload}]: {len(events)} events ({summary})")
+
+    n_pes = max(len(stats.nodes), 1)
+    report = overlap_report(events, stats.total_time, n_pes=n_pes)
+    drift = max(
+        abs(report["comp_pct"] - stats.comp_pct(n_pes)),
+        abs(report["comm_pct"] - stats.comm_pct(n_pes)),
+        abs(report["disk_pct"] - stats.disk_pct(n_pes)),
+        abs(report["overlap_pct"] - stats.overlap_pct(n_pes)),
+    )
+    print(
+        f"overlap from events: comp={report['comp_pct']:.2f}% "
+        f"comm={report['comm_pct']:.2f}% disk={report['disk_pct']:.2f}% "
+        f"overlap={report['overlap_pct']:.2f}% "
+        f"(RunStats drift {drift:.2e})"
+    )
+    verdict = "PASS" if drift <= 1e-6 else "FAIL"
+    print(f"[trace {verdict}: {out} written in {elapsed:.1f}s — "
+          f"open at https://ui.perfetto.dev]")
+    return 0 if drift <= 1e-6 else 1
+
+
+def _report(old_path: str, new_path: str) -> int:
+    import json
+
+    from repro.obs import diff_reports, render_diff
+
+    docs = []
+    for path in (old_path, new_path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                docs.append(json.load(fh))
+        except (OSError, ValueError) as exc:
+            print(f"report: cannot read {path}: {exc}")
+            return 1
+    rows = diff_reports(docs[0], docs[1])
+    print(render_diff(rows))
     return 0
 
 

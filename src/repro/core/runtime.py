@@ -38,6 +38,21 @@ from repro.core.messages import Message, MessageQueue, MulticastMessage
 from repro.core.mobile import MobileObject, MobilePointer
 from repro.core.ooc import OOCLayer
 from repro.core.stats import RunStats
+from repro.obs.events import (
+    CorruptEvent,
+    DiskSpan,
+    EventBus,
+    EvictEvent,
+    HandlerSpan,
+    LoadEvent,
+    MigrateEvent,
+    PackEvent,
+    PrefetchEvent,
+    QueueDepthEvent,
+    RetryEvent,
+    SendSpan,
+    SpillEvent,
+)
 from repro.core.storage import (
     ChecksummedBackend,
     CompressingBackend,
@@ -306,6 +321,10 @@ class _NodeRuntime:
         self.tokens = Store(runtime.engine)
         self.workers: list = []
         self.prefetching: set[int] = set()
+        # Objects made resident by a background prefetch and not yet
+        # consumed by a worker — prefetch *hit* attribution for the
+        # observability bus (maintained only while the bus is active).
+        self.prefetched: set[int] = set()
         # Multicast collections pin several objects at once; serializing
         # them per gather node bounds the pinned working set (two
         # unthrottled collections can otherwise wedge a small node).
@@ -410,6 +429,12 @@ class MRTS:
     io_depth:
         Extra in-flight handler slots per node beyond the core count —
         these are what let disk/network waits overlap with computation.
+    bus:
+        The observability :class:`~repro.obs.events.EventBus` the runtime
+        publishes typed events on.  Defaults to a fresh private bus; pass
+        a shared one to trace across runtime incarnations (recovery
+        supervisors do).  With no subscriber attached every emit point
+        costs one attribute read — instrumentation is pay-for-use.
     """
 
     def __init__(
@@ -420,6 +445,7 @@ class MRTS:
         cost_model: Optional[CostModel] = None,
         io_depth: int = 2,
         ready_discipline: str = "fifo",
+        bus: Optional[EventBus] = None,
     ) -> None:
         if isinstance(cluster, int):
             cluster = ClusterSpec(n_nodes=cluster, node=NodeSpec(cores=1))
@@ -435,6 +461,7 @@ class MRTS:
             self.config.directory_policy, cluster.n_nodes
         )
         self.stats = RunStats()
+        self.bus = bus if bus is not None else EventBus()
         self._done_event = self.engine.event()
         self.termination = TerminationDetector(self._on_quiescent)
         # Installed by RecoveryPolicy: oid -> last checkpointed payload (or
@@ -536,8 +563,6 @@ class MRTS:
             )
 
             def on_retry(op: str, oid: int, attempt: int, delay: float) -> None:
-                # Late attribute lookup so attach_tracer's wrapping of
-                # _note_retry is seen by backends composed before it ran.
                 self._note_retry(rank, op, oid, attempt, delay)
 
             backend = RetryingBackend(backend, policy, on_retry=on_retry)
@@ -558,28 +583,39 @@ class MRTS:
     def _note_retry(
         self, rank: int, op: str, oid: int, attempt: int, delay: float
     ) -> None:
-        """A storage op on ``rank`` is about to be retried (tracer hook)."""
+        """A storage op on ``rank`` is about to be retried (obs hook)."""
         self.stats.node(rank).storage_retries += 1
+        if self.bus.active:
+            self.bus.publish(RetryEvent(
+                self.engine.now, rank, op, oid, attempt, delay))
 
     def _note_corrupt(self, rank: int, oid: int) -> None:
-        """A load on ``rank`` failed frame validation (tracer hook)."""
+        """A load on ``rank`` failed frame validation (obs hook)."""
         self.stats.node(rank).corrupt_loads += 1
+        if self.bus.active:
+            self.bus.publish(CorruptEvent(self.engine.now, rank, oid))
 
     def _note_pack(self, rank: int, op: str, seconds: float, nbytes: int) -> None:
-        """A serialization op ran on ``rank`` (tracer hook); ``op`` is
+        """A serialization op ran on ``rank`` (obs hook); ``op`` is
         ``"pack"`` or ``"unpack"``."""
         if op == "pack":
             self.stats.node(rank).add_pack(seconds, nbytes)
         else:
             self.stats.node(rank).add_unpack(seconds, nbytes)
+        if self.bus.active:
+            self.bus.publish(PackEvent(
+                self.engine.now, rank, op, seconds, nbytes))
 
     def _note_spill(
         self, rank: int, oid: int, kind: str, raw: int, stored: int
     ) -> None:
-        """A dirty spill persisted on ``rank`` (tracer hook); ``kind`` is
+        """A dirty spill persisted on ``rank`` (obs hook); ``kind`` is
         ``"delta"`` or ``"full"``, ``raw``/``stored`` are payload bytes
         before and after the compression tier."""
         self.stats.node(rank).add_spill(kind, raw, stored)
+        if self.bus.active:
+            self.bus.publish(SpillEvent(
+                self.engine.now, rank, oid, kind, raw, stored))
 
     @property
     def degraded(self) -> bool:
@@ -730,6 +766,10 @@ class MRTS:
         rec.pack_cache = None
         nrt.ooc.confirm_evict(oid)
         nrt.ready.note_resident(oid, False)
+        if self.bus.active:
+            self.bus.publish(EvictEvent(
+                self.engine.now, nrt.rank, oid, modeled, not dirty,
+                nrt.ooc.memory_used))
         if dirty:
             nrt.write_behind.submit(oid, charge)
 
@@ -842,6 +882,9 @@ class MRTS:
             service = node.disk.service_time(nbytes)
         span = (self.engine.now - start) if blocking else service
         self.stats.node(rank).add_disk(service, nbytes, is_store, span=span)
+        if self.bus.active:
+            self.bus.publish(DiskSpan(
+                start, rank, nbytes, is_store, blocking, service, span))
 
     def _load_blocking(self, nrt: _NodeRuntime, oid: int, background: bool = False):
         """Process body: bring ``oid`` in core, evicting victims first.
@@ -969,6 +1012,10 @@ class MRTS:
             rec.stored_token = obj.serializer.delta_token(obj.get_state())
         nrt.ready.note_resident(oid, True)
         obj.on_register(nrt.rank)
+        if self.bus.active:
+            self.bus.publish(LoadEvent(
+                self.engine.now, nrt.rank, oid, modeled, background,
+                nrt.ooc.memory_used))
 
     def _obj_class(self, oid: int) -> type:
         return self._obj_classes[oid]
@@ -1017,11 +1064,14 @@ class MRTS:
         yield from self.cluster.network.send(src, dst, nbytes, payload)
         # Comm cost = sender-side serialization overhead (service) and the
         # wait-inclusive span; same-node sends bypass the NIC entirely.
+        service = span = 0.0
         if src != dst:
-            self.stats.node(src).add_comm(
-                self.cluster.network.send_overhead(nbytes), nbytes,
-                span=self.engine.now - start,
-            )
+            service = self.cluster.network.send_overhead(nbytes)
+            span = self.engine.now - start
+            self.stats.node(src).add_comm(service, nbytes, span=span)
+        if self.bus.active:
+            self.bus.publish(SendSpan(
+                start, src, dst, nbytes, service, span, src != dst))
 
     def _make_sink(self, rank: int) -> Callable[[int, Any], None]:
         def sink(source: int, payload: Any) -> None:
@@ -1124,6 +1174,9 @@ class MRTS:
         msg.target.queued_messages = len(rec.queue)
         nrt.ready.push(oid)
         nrt.tokens.put(oid)
+        if self.bus.active:
+            self.bus.publish(QueueDepthEvent(
+                self.engine.now, nrt.rank, oid, len(rec.queue)))
 
     # ============================================================ multicast
     def _route_multicast(self, msg: MulticastMessage, from_node: int) -> None:
@@ -1231,11 +1284,15 @@ class MRTS:
             yield from self._load_blocking(nrt, oid)
         modeled = nrt.ooc.table[oid].nbytes
         # Charge the wire time for the object's bytes.
+        xfer_start = self.engine.now
         yield from self.cluster.network.send(src, dst, modeled + 64, ("svc",))
         if src != dst:
-            self.stats.node(src).add_comm(
-                self.cluster.network.send_overhead(modeled + 64), modeled
-            )
+            overhead = self.cluster.network.send_overhead(modeled + 64)
+            self.stats.node(src).add_comm(overhead, modeled)
+            if self.bus.active:
+                # span defaults to the service time in add_comm; mirror it.
+                self.bus.publish(SendSpan(
+                    xfer_start, src, dst, modeled, overhead, overhead, True))
         # Reach a state where the object is present, loaded, idle, and
         # unpinned — only then may it move.  Locked objects are guaranteed
         # in-core *here* (the §III contract), so a migration must wait for
@@ -1317,6 +1374,9 @@ class MRTS:
         svc = self.directory.migrated(oid, dst)
         self._emit_service_updates(src, [src], svc)
         clone.on_register(dst)
+        if self.bus.active:
+            self.bus.publish(MigrateEvent(
+                self.engine.now, src, oid, dst, current))
         if queue:
             dst_nrt.ooc.set_queue_length(oid, len(queue))
             dst_nrt.ready.push(oid)
@@ -1348,6 +1408,12 @@ class MRTS:
                 continue
             # Issue opportunistic prefetches for other ready objects.
             self._issue_prefetch(nrt)
+            if oid in nrt.prefetched:
+                nrt.prefetched.discard(oid)
+                if self.bus.active and rec.obj is not None:
+                    # The background load beat the worker here: a hit.
+                    self.bus.publish(PrefetchEvent(
+                        self.engine.now, nrt.rank, oid, "hit"))
             # Bring the target in core (charges disk time, holds no core).
             if rec.obj is None:
                 yield from self._load_blocking(nrt, oid)
@@ -1368,6 +1434,8 @@ class MRTS:
         """Run one message handler: compute via cores, then dispatch output."""
         engine = self.engine
         node = self.cluster[nrt.rank]
+        t0 = engine.now
+        charged = 0.0
         nrt.ooc.touch(oid)
         obj = rec.obj
         ctx = HandlerContext(self, nrt.rank)
@@ -1393,9 +1461,8 @@ class MRTS:
             if cost > 0:
                 start = engine.now
                 yield engine.timeout(cost)
-                self.stats.node(nrt.rank).add_comp(engine.now - start)
-            else:
-                self.stats.node(nrt.rank).add_comp(0.0)
+                charged = engine.now - start
+            self.stats.node(nrt.rank).add_comp(charged)
         finally:
             node.cores.release()
             rec.in_flight -= 1
@@ -1419,6 +1486,11 @@ class MRTS:
         if oid in nrt.ooc.table:
             for victim in nrt.ooc.advise_swap(protect={oid}):
                 self._evict_now(nrt, victim)
+        if self.bus.active:
+            depth = len(rec.queue) if nrt.locals.get(oid) is rec else 0
+            self.bus.publish(HandlerSpan(
+                t0, nrt.rank, oid, msg.handler, engine.now - t0, charged,
+                depth))
 
     def _issue_prefetch(self, nrt: _NodeRuntime) -> None:
         upcoming = nrt.ready.snapshot()
@@ -1427,6 +1499,9 @@ class MRTS:
             if rec is None or rec.obj is not None or oid in nrt.prefetching:
                 continue
             nrt.prefetching.add(oid)
+            if self.bus.active:
+                self.bus.publish(PrefetchEvent(
+                    self.engine.now, nrt.rank, oid, "issue"))
             self.engine.process(
                 self._prefetch_proc(nrt, oid), name=f"prefetch[{oid}]"
             )
@@ -1434,6 +1509,8 @@ class MRTS:
     def _prefetch_proc(self, nrt: _NodeRuntime, oid: int):
         try:
             yield from self._load_blocking(nrt, oid, background=True)
+            if self.bus.active:
+                nrt.prefetched.add(oid)
         finally:
             nrt.prefetching.discard(oid)
 

@@ -1,21 +1,40 @@
-"""Execution tracing: a timeline of runtime events for analysis/debugging.
+"""Legacy tracing facade: a thin shim over :mod:`repro.obs`.
 
-A production runtime needs observability; this module records a typed
-event stream (handler executions, disk transfers, message sends, swap
-decisions) with virtual timestamps, and renders it as a text timeline or
-per-node utilization summary — the tooling you would use to see the
-overlap of Tables IV–VI with your own eyes.
+Historically this module *monkey-patched* runtime internals
+(``_execute_handler``, ``_disk_xfer``, ...) to capture a timeline.  The
+runtime now carries first-class hook points publishing typed events on an
+:class:`~repro.obs.events.EventBus`; :func:`attach_tracer` simply
+subscribes to that bus and renders the events in the old flat
+:class:`TraceEvent` shape, so existing callers and tests keep working.
 
-Tracing is opt-in and zero-cost when off: :func:`attach_tracer` wraps the
-relevant runtime methods; :meth:`Tracer.detach` restores them.
+New code should subscribe to ``runtime.bus`` directly (typed events,
+filters, ring buffers) or use the exporters in :mod:`repro.obs.export` —
+see ``docs/observability.md``.
+
+Tracing remains opt-in and zero-cost when off; ``Tracer.events`` is now
+bounded (``capacity`` events, oldest shed first, loss counted in
+``Tracer.dropped``) so week-long storm runs cannot grow memory without
+bound, and :meth:`Tracer.detach` is exception-safe and idempotent —
+``with attach_tracer(rt) as tracer:`` detaches on any exit path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.runtime import MRTS
+from repro.obs.events import (
+    CorruptEvent,
+    DiskSpan,
+    HandlerSpan,
+    ObsEvent,
+    PackEvent,
+    RetryEvent,
+    SendSpan,
+    SpillEvent,
+)
 
 __all__ = ["TraceEvent", "Tracer", "attach_tracer"]
 
@@ -32,27 +51,86 @@ class TraceEvent:
     duration: float = 0.0
 
 
-@dataclass
 class Tracer:
-    """Collects events from an attached runtime."""
+    """Collects events from an attached runtime (compatibility surface).
 
-    runtime: MRTS
-    events: list[TraceEvent] = field(default_factory=list)
-    _originals: dict = field(default_factory=dict, repr=False)
+    ``events`` is a deque bounded by ``capacity`` (``None`` = unbounded);
+    overflow sheds the oldest event and increments ``dropped``.  Works as
+    a context manager: leaving the block detaches.
+    """
+
+    def __init__(self, runtime: MRTS, capacity: Optional[int] = None) -> None:
+        self.runtime = runtime
+        self.capacity = capacity
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._subscription = None
 
     # ------------------------------------------------------------- capture
     def record(
         self, node: int, kind: str, detail: str, duration: float = 0.0
     ) -> None:
+        if self.capacity is not None and len(self.events) == self.capacity:
+            self.dropped += 1  # deque(maxlen) sheds the oldest on append
         self.events.append(
             TraceEvent(self.runtime.engine.now, node, kind, detail, duration)
         )
 
+    def _on_event(self, event: ObsEvent) -> None:
+        """Translate a typed bus event into the legacy flat record."""
+        if isinstance(event, HandlerSpan):
+            self._append(event.time, event.node, "handler",
+                         f"{event.handler} -> oid {event.oid}",
+                         event.duration)
+        elif isinstance(event, DiskSpan):
+            self._append(
+                event.time, event.node, "disk",
+                f"{'store' if event.is_store else 'load'} {event.nbytes} B"
+                f"{'' if event.blocking else ' (background)'}",
+                event.span_s,
+            )
+        elif isinstance(event, SendSpan):
+            self._append(event.time, event.node, "send",
+                         f"-> node {event.dst}, {event.nbytes} B",
+                         event.span_s)
+        elif isinstance(event, RetryEvent):
+            self._append(
+                event.time, event.node, "retry",
+                f"{event.op} oid {event.oid}, attempt {event.attempt}, "
+                f"backoff {event.backoff_s * 1e3:.3f} ms",
+            )
+        elif isinstance(event, CorruptEvent):
+            self._append(event.time, event.node, "corrupt",
+                         f"load oid {event.oid} failed frame check")
+        elif isinstance(event, SpillEvent):
+            self._append(
+                event.time, event.node, "spill",
+                f"{event.mode} oid {event.oid}, {event.raw_bytes} B raw"
+                f" -> {event.stored_bytes} B stored",
+            )
+        elif isinstance(event, PackEvent):
+            self._append(event.time, event.node, "pack",
+                         f"{event.op} {event.nbytes} B", event.wall_s)
+        # Newer event kinds (evict/load/queue/prefetch/migrate) have no
+        # legacy equivalent; subscribe to runtime.bus for those.
+
+    def _append(self, time: float, node: int, kind: str, detail: str,
+                duration: float = 0.0) -> None:
+        if self.capacity is not None and len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(TraceEvent(time, node, kind, detail, duration))
+
     def detach(self) -> None:
-        """Restore the runtime's unwrapped methods."""
-        for name, fn in self._originals.items():
-            setattr(self.runtime, name, fn)
-        self._originals.clear()
+        """Stop recording; idempotent, never raises."""
+        sub, self._subscription = self._subscription, None
+        if sub is not None:
+            sub.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
 
     # ------------------------------------------------------------ analysis
     def by_kind(self, kind: str) -> list[TraceEvent]:
@@ -80,103 +158,14 @@ class Tracer:
         return out
 
 
-def attach_tracer(runtime: MRTS) -> Tracer:
+def attach_tracer(runtime: MRTS, capacity: Optional[int] = None) -> Tracer:
     """Instrument a runtime; returns the collecting :class:`Tracer`.
 
-    Wraps ``_execute_handler`` (one "handler" event per message),
-    ``_disk_xfer`` (one "disk" event per transfer), ``_send_proc``
-    (one "send" event per wire message), ``_note_retry`` (one "retry"
-    event per absorbed storage fault), ``_note_corrupt`` (one
-    "corrupt" event per frame-validation failure at load),
-    ``_note_spill`` (one "spill" event per dirty delta/full spill with
-    raw vs stored byte counts) and ``_note_pack`` (one "pack" event per
-    serialization op with its wall time).
+    Subscribes to the runtime's observability bus (no monkey-patching) and
+    records handler, disk, send, retry, corrupt, spill and pack events in
+    the legacy flat format.  ``capacity`` bounds the event buffer (oldest
+    shed first, counted in ``Tracer.dropped``); ``None`` keeps everything.
     """
-    tracer = Tracer(runtime)
-
-    orig_exec = runtime._execute_handler
-
-    def traced_exec(nrt, oid, rec, msg):
-        start = runtime.engine.now
-        yield from orig_exec(nrt, oid, rec, msg)
-        tracer.record(
-            nrt.rank,
-            "handler",
-            f"{msg.handler} -> oid {oid}",
-            runtime.engine.now - start,
-        )
-
-    orig_disk = runtime._disk_xfer
-
-    def traced_disk(rank, nbytes, is_store, blocking):
-        start = runtime.engine.now
-        yield from orig_disk(rank, nbytes, is_store, blocking)
-        tracer.record(
-            rank,
-            "disk",
-            f"{'store' if is_store else 'load'} {nbytes} B"
-            f"{'' if blocking else ' (background)'}",
-            runtime.engine.now - start,
-        )
-
-    orig_send = runtime._send_proc
-
-    def traced_send(src, dst, nbytes, payload):
-        start = runtime.engine.now
-        yield from orig_send(src, dst, nbytes, payload)
-        tracer.record(
-            src,
-            "send",
-            f"-> node {dst}, {nbytes} B",
-            runtime.engine.now - start,
-        )
-
-    orig_retry = runtime._note_retry
-
-    def traced_retry(rank, op, oid, attempt, delay):
-        orig_retry(rank, op, oid, attempt, delay)
-        tracer.record(
-            rank,
-            "retry",
-            f"{op} oid {oid}, attempt {attempt}, backoff {delay * 1e3:.3f} ms",
-        )
-
-    orig_corrupt = runtime._note_corrupt
-
-    def traced_corrupt(rank, oid):
-        orig_corrupt(rank, oid)
-        tracer.record(rank, "corrupt", f"load oid {oid} failed frame check")
-
-    orig_spill = runtime._note_spill
-
-    def traced_spill(rank, oid, kind, raw, stored):
-        orig_spill(rank, oid, kind, raw, stored)
-        tracer.record(
-            rank,
-            "spill",
-            f"{kind} oid {oid}, {raw} B raw -> {stored} B stored",
-        )
-
-    orig_pack = runtime._note_pack
-
-    def traced_pack(rank, op, seconds, nbytes):
-        orig_pack(rank, op, seconds, nbytes)
-        tracer.record(rank, "pack", f"{op} {nbytes} B", seconds)
-
-    tracer._originals = {
-        "_execute_handler": orig_exec,
-        "_disk_xfer": orig_disk,
-        "_send_proc": orig_send,
-        "_note_retry": orig_retry,
-        "_note_corrupt": orig_corrupt,
-        "_note_spill": orig_spill,
-        "_note_pack": orig_pack,
-    }
-    runtime._execute_handler = traced_exec
-    runtime._disk_xfer = traced_disk
-    runtime._send_proc = traced_send
-    runtime._note_retry = traced_retry
-    runtime._note_corrupt = traced_corrupt
-    runtime._note_spill = traced_spill
-    runtime._note_pack = traced_pack
+    tracer = Tracer(runtime, capacity=capacity)
+    tracer._subscription = runtime.bus.subscribe(callback=tracer._on_event)
     return tracer

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.codec import get_codec
 from repro.core.config import MRTSConfig
@@ -240,10 +240,17 @@ def run_updr_model(
     mrts: bool = True,
     overdecomposition: int = 4,
     config: Optional[MRTSConfig] = None,
+    on_runtime: Optional[Callable[[MRTS], None]] = None,
 ) -> ModelRunResult:
-    """Modeled UPDR/OUPDR run at paper scale."""
+    """Modeled UPDR/OUPDR run at paper scale.
+
+    ``on_runtime`` (if given) sees the runtime before any objects are
+    created — the place to subscribe observability consumers.
+    """
     model = method_model("updr")
     rt, n_pes = _make_runtime(cluster, model, mrts, config)
+    if on_runtime is not None:
+        on_runtime(rt)
     side = _grid_side(
         n_pes, overdecomposition,
         model.subdomain_bytes(total_elements), cluster.node.memory_bytes,

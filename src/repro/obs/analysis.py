@@ -1,0 +1,298 @@
+"""Event-stream analysis: overlap, utilization, critical path, run diffs.
+
+The paper's Tables IV–VI report Comp%/Comm%/Disk% and
+
+    Overlap = (Comp + Comm + Disk) / Total * 100% - 100%
+
+from runtime accounting.  :func:`overlap_report` recomputes the same
+percentages *from the event stream alone*: span events carry exactly the
+quantities the runtime feeds :class:`~repro.core.stats.RunStats`, and the
+per-node accumulation order matches the stats layer's, so the results
+agree to float equality (property-pinned in
+``tests/test_obs_analysis_property.py``).
+
+Beyond reproducing the paper's metric, the stream supports what plain
+accumulators cannot:
+
+* :func:`utilization_report` — per-node, per-activity *interval-union*
+  busy time.  Summed spans double-count overlapped activity (that is the
+  point of the Overlap metric); the union says how busy each lane really
+  was, and ``overlapped_s`` = sum - union quantifies the time the runtime
+  hid behind other work.
+* :func:`critical_path` — a sweep over the whole-cluster timeline that
+  classifies every instant of the makespan by the "most useful" activity
+  running anywhere (compute > disk > network > idle).  The idle share is
+  the true critical-path slack: time when *nothing* was in flight.
+* :func:`diff_reports` / :func:`render_diff` — run-to-run comparison of
+  ``BENCH_ooc.json``-style metric documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.obs.events import DiskSpan, HandlerSpan, ObsEvent, SendSpan
+
+__all__ = [
+    "NodeBusy",
+    "busy_times",
+    "overlap_report",
+    "utilization_report",
+    "critical_path",
+    "diff_reports",
+    "render_diff",
+]
+
+
+@dataclass
+class NodeBusy:
+    """Per-node busy-time totals mirroring :class:`NodeStats`' channels."""
+
+    comp_s: float = 0.0
+    comm_span_s: float = 0.0
+    disk_span_s: float = 0.0
+    comm_service_s: float = 0.0
+    disk_service_s: float = 0.0
+    handlers: int = 0
+    sends: int = 0
+    disk_ops: int = 0
+    # Raw (start, duration) interval lists per lane for union analysis.
+    intervals: dict = field(
+        default_factory=lambda: {"compute": [], "disk": [], "network": []}
+    )
+
+
+def busy_times(events: Iterable[ObsEvent]) -> dict[int, NodeBusy]:
+    """Fold span events into per-node accumulators.
+
+    Events are consumed in stream order, which is emission order, which
+    is the order the runtime updated :class:`RunStats` — so each node's
+    float sums are bit-identical to the stats layer's.
+    """
+    nodes: dict[int, NodeBusy] = {}
+
+    def acc(rank: int) -> NodeBusy:
+        busy = nodes.get(rank)
+        if busy is None:
+            busy = nodes[rank] = NodeBusy()
+        return busy
+
+    for e in events:
+        if isinstance(e, HandlerSpan):
+            busy = acc(e.node)
+            busy.comp_s += e.comp_s
+            busy.handlers += 1
+            busy.intervals["compute"].append((e.time, e.duration))
+        elif isinstance(e, SendSpan):
+            if not e.counted:
+                continue
+            busy = acc(e.node)
+            busy.comm_span_s += e.span_s
+            busy.comm_service_s += e.service_s
+            busy.sends += 1
+            busy.intervals["network"].append((e.time, e.span_s))
+        elif isinstance(e, DiskSpan):
+            busy = acc(e.node)
+            busy.disk_span_s += e.span_s
+            busy.disk_service_s += e.service_s
+            busy.disk_ops += 1
+            busy.intervals["disk"].append((e.time, e.span_s))
+    return nodes
+
+
+def overlap_report(
+    events: Iterable[ObsEvent],
+    total_time: float,
+    n_pes: Optional[int] = None,
+) -> dict:
+    """The paper's Comp%/Comm%/Disk%/Overlap% from the event stream.
+
+    ``total_time`` is the run's wall (virtual) makespan — pass
+    ``stats.total_time`` to cross-check, or the max event end time for a
+    standalone stream.  ``n_pes`` defaults to the highest node rank seen
+    plus one, matching :meth:`RunStats._denominator`'s node-count default.
+    """
+    nodes = events if isinstance(events, dict) else busy_times(events)
+    pes = n_pes if n_pes is not None else (max(nodes, default=0) + 1)
+    # Sum across ranks in rank order, exactly like RunStats' generator
+    # sums over its rank-ordered node list.
+    comp = comm = disk = 0.0
+    for rank in range(max(nodes, default=-1) + 1):
+        busy = nodes.get(rank)
+        if busy is None:
+            continue
+        comp += busy.comp_s
+        comm += busy.comm_span_s
+        disk += busy.disk_span_s
+    d = total_time * max(pes, 1)
+    if d <= 0:
+        pct = {"comp_pct": 0.0, "comm_pct": 0.0, "disk_pct": 0.0,
+               "overlap_pct": 0.0}
+    else:
+        pct = {
+            "comp_pct": 100.0 * comp / d,
+            "comm_pct": 100.0 * comm / d,
+            "disk_pct": 100.0 * disk / d,
+            "overlap_pct": max(100.0 * (comp + comm + disk) / d - 100.0, 0.0),
+        }
+    pct.update({
+        "comp_s": comp, "comm_span_s": comm, "disk_span_s": disk,
+        "total_time_s": total_time, "n_pes": pes,
+    })
+    return pct
+
+
+def _union_length(intervals: list[tuple[float, float]]) -> float:
+    """Total length covered by (start, duration) intervals."""
+    if not intervals:
+        return 0.0
+    spans = sorted((t, t + max(d, 0.0)) for t, d in intervals)
+    covered = 0.0
+    lo, hi = spans[0]
+    for start, end in spans[1:]:
+        if start > hi:
+            covered += hi - lo
+            lo, hi = start, end
+        elif end > hi:
+            hi = end
+    return covered + (hi - lo)
+
+
+def utilization_report(
+    events: Iterable[ObsEvent], total_time: float
+) -> dict[int, dict]:
+    """Per-node lane utilization from interval unions.
+
+    For each node: busy seconds and percent per lane (compute / disk /
+    network), the union across lanes (``any_busy_s``), and
+    ``overlapped_s`` — the activity time hidden behind other activity,
+    i.e. the concrete seconds the Overlap metric celebrates.
+    """
+    nodes = events if isinstance(events, dict) else busy_times(events)
+    out: dict[int, dict] = {}
+    for rank in sorted(nodes):
+        busy = nodes[rank]
+        lanes = {
+            lane: _union_length(iv) for lane, iv in busy.intervals.items()
+        }
+        every = [iv for ivs in busy.intervals.values() for iv in ivs]
+        any_busy = _union_length(every)
+        lane_sum = sum(lanes.values())
+        row = {
+            f"{lane}_busy_s": seconds for lane, seconds in lanes.items()
+        }
+        if total_time > 0:
+            row.update({
+                f"{lane}_busy_pct": 100.0 * seconds / total_time
+                for lane, seconds in lanes.items()
+            })
+        row["any_busy_s"] = any_busy
+        row["idle_s"] = max(total_time - any_busy, 0.0)
+        row["overlapped_s"] = max(lane_sum - any_busy, 0.0)
+        out[rank] = row
+    return out
+
+
+def critical_path(events: Iterable[ObsEvent], total_time: float) -> dict:
+    """Classify every instant of the makespan by the best activity running.
+
+    A sweep over all nodes' span intervals: at each instant the cluster is
+    "computing" if any PE anywhere computes, else "disk" if any transfer
+    is in flight, else "network", else idle.  The idle share is genuine
+    critical-path slack — wall-clock no activity class can explain — and
+    the compute share is the lower bound no I/O optimization can beat.
+    """
+    nodes = events if isinstance(events, dict) else busy_times(events)
+    PRIORITY = ("compute", "disk", "network")
+    marks: list[tuple[float, int, int]] = []  # (time, +1/-1, lane index)
+    for busy in nodes.values():
+        for idx, lane in enumerate(PRIORITY):
+            for start, dur in busy.intervals[lane]:
+                end = min(start + max(dur, 0.0), total_time)
+                if end <= start:
+                    continue
+                marks.append((start, +1, idx))
+                marks.append((end, -1, idx))
+    marks.sort(key=lambda m: (m[0], -m[1]))
+    shares = {lane: 0.0 for lane in PRIORITY}
+    active = [0, 0, 0]
+    cursor = 0.0
+    for t, delta, idx in marks:
+        t = min(max(t, 0.0), total_time)
+        if t > cursor:
+            for k, lane in enumerate(PRIORITY):
+                if active[k] > 0:
+                    shares[lane] += t - cursor
+                    break
+            cursor = t
+        active[idx] += delta
+    shares_out = {f"{lane}_s": s for lane, s in shares.items()}
+    shares_out["idle_s"] = max(total_time - sum(shares.values()), 0.0)
+    shares_out["total_time_s"] = total_time
+    if total_time > 0:
+        for lane in PRIORITY:
+            shares_out[f"{lane}_pct"] = 100.0 * shares[lane] / total_time
+        shares_out["idle_pct"] = 100.0 * shares_out["idle_s"] / total_time
+    return shares_out
+
+
+# --------------------------------------------------------------- run diffs
+def _numeric_leaves(doc: dict, prefix: str = "") -> dict[str, float]:
+    out: dict[str, float] = {}
+    for key, value in doc.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(_numeric_leaves(value, path))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            out[path] = float(value)
+    return out
+
+
+def diff_reports(old: dict, new: dict) -> list[dict]:
+    """Compare two metric documents (e.g. two ``BENCH_ooc.json`` files).
+
+    Returns one row per numeric leaf present in either document:
+    ``{"metric", "old", "new", "delta", "delta_pct"}``, sorted with the
+    largest relative movement first.  Missing sides are ``None``.
+    """
+    a, b = _numeric_leaves(old), _numeric_leaves(new)
+    rows: list[dict] = []
+    for metric in sorted(set(a) | set(b)):
+        va, vb = a.get(metric), b.get(metric)
+        row = {"metric": metric, "old": va, "new": vb,
+               "delta": None, "delta_pct": None}
+        if va is not None and vb is not None:
+            row["delta"] = vb - va
+            if va != 0:
+                row["delta_pct"] = 100.0 * (vb - va) / abs(va)
+            elif vb == 0:
+                row["delta_pct"] = 0.0
+        rows.append(row)
+    rows.sort(
+        key=lambda r: -abs(r["delta_pct"])
+        if r["delta_pct"] is not None else float("inf")
+    )
+    return rows
+
+
+def render_diff(rows: list[dict], threshold_pct: float = 0.0) -> str:
+    """Human-readable diff table; hides rows moving less than the threshold."""
+    lines = [f"{'metric':<52} {'old':>14} {'new':>14} {'delta':>10}"]
+    shown = 0
+    for row in rows:
+        pct = row["delta_pct"]
+        if pct is not None and abs(pct) < threshold_pct:
+            continue
+        old = "-" if row["old"] is None else f"{row['old']:g}"
+        new = "-" if row["new"] is None else f"{row['new']:g}"
+        delta = "" if pct is None else f"{pct:+9.1f}%"
+        if row["delta"] is not None and pct is None:
+            delta = f"{row['delta']:+g}"
+        lines.append(f"{row['metric']:<52} {old:>14} {new:>14} {delta:>10}")
+        shown += 1
+    if shown == 0:
+        lines.append("(no metrics differ)")
+    return "\n".join(lines)

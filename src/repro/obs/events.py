@@ -1,0 +1,302 @@
+"""Typed runtime events and the subscriber bus they fan out on.
+
+Design constraints, in order:
+
+1. **Zero cost when off.**  The runtime guards every emit point with
+   ``if bus.active:`` — a single attribute read — and only constructs the
+   event object when at least one subscriber is attached.  ``active`` is
+   maintained by subscribe/unsubscribe, never computed on the hot path.
+2. **Bounded memory.**  Buffering subscriptions use a ring buffer
+   (``capacity`` events) and count what they shed in ``dropped`` — a
+   week-long storm run cannot grow memory without bound, and the loss is
+   visible instead of silent.
+3. **Stable shapes.**  Each event is a frozen dataclass with a class-level
+   ``kind`` string; analysis code dispatches on ``kind`` (cheap) or
+   ``isinstance`` (typed) — both are supported forever.
+
+The span-carrying events (:class:`HandlerSpan`, :class:`SendSpan`,
+:class:`DiskSpan`) carry *exactly* the quantities the runtime feeds into
+:class:`~repro.core.stats.RunStats` (``comp_s``, ``service_s``,
+``span_s``), so the paper's overlap percentages can be recomputed from the
+stream bit-for-bit — ``tests/test_obs_analysis_property.py`` pins this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Iterable, Optional
+
+__all__ = [
+    "ObsEvent",
+    "HandlerSpan",
+    "SendSpan",
+    "DiskSpan",
+    "SpillEvent",
+    "EvictEvent",
+    "LoadEvent",
+    "PrefetchEvent",
+    "RetryEvent",
+    "CorruptEvent",
+    "PackEvent",
+    "MigrateEvent",
+    "QueueDepthEvent",
+    "EventBus",
+    "Subscription",
+]
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """Base record: when (virtual seconds) and where (node rank)."""
+
+    kind: ClassVar[str] = "event"
+    time: float
+    node: int
+
+
+@dataclass(frozen=True)
+class HandlerSpan(ObsEvent):
+    """One message handler executed (computing layer).
+
+    ``duration`` is the handler's full occupancy of its worker slot
+    (core wait + body + charged compute); ``comp_s`` is the compute time
+    actually charged to :meth:`NodeStats.add_comp` — the Tables IV–VI
+    ingredient.  ``queue_len`` is the object's remaining queue depth.
+    """
+
+    kind: ClassVar[str] = "handler"
+    oid: int
+    handler: str
+    duration: float
+    comp_s: float
+    queue_len: int
+
+
+@dataclass(frozen=True)
+class SendSpan(ObsEvent):
+    """One wire transfer left ``node`` for ``dst`` (control layer).
+
+    ``service_s`` is the sender-side overhead charged as comm time;
+    ``span_s`` the wait-inclusive span.  ``counted`` is False for
+    same-node sends, which :class:`RunStats` excludes.
+    """
+
+    kind: ClassVar[str] = "send"
+    dst: int
+    nbytes: int
+    service_s: float
+    span_s: float
+    counted: bool
+
+
+@dataclass(frozen=True)
+class DiskSpan(ObsEvent):
+    """One out-of-core transfer hit the medium (storage layer).
+
+    ``span_s`` is wait-inclusive for blocking transfers and service-only
+    for detached ones (write-behind, prefetch) — the exact value added to
+    ``NodeStats.disk_span``.
+    """
+
+    kind: ClassVar[str] = "disk"
+    nbytes: int
+    is_store: bool
+    blocking: bool
+    service_s: float
+    span_s: float
+
+
+@dataclass(frozen=True)
+class SpillEvent(ObsEvent):
+    """A dirty object's state was persisted (OOC/storage boundary).
+
+    ``raw_bytes`` vs ``stored_bytes`` is the compression ratio signal;
+    ``mode`` is ``"delta"`` (append-log frame) or ``"full"``.
+    """
+
+    kind: ClassVar[str] = "spill"
+    oid: int
+    mode: str
+    raw_bytes: int
+    stored_bytes: int
+
+
+@dataclass(frozen=True)
+class EvictEvent(ObsEvent):
+    """An object left core (OOC layer); ``clean`` means no write-back."""
+
+    kind: ClassVar[str] = "evict"
+    oid: int
+    nbytes: int
+    clean: bool
+    memory_used: int
+
+
+@dataclass(frozen=True)
+class LoadEvent(ObsEvent):
+    """An object was brought back in core (OOC layer)."""
+
+    kind: ClassVar[str] = "load"
+    oid: int
+    nbytes: int
+    background: bool
+    memory_used: int
+
+
+@dataclass(frozen=True)
+class PrefetchEvent(ObsEvent):
+    """Prefetch lifecycle: ``phase`` is ``"issue"`` or ``"hit"``.
+
+    A hit means a worker popped an object that a background prefetch had
+    already made resident — the load latency was fully hidden.
+    """
+
+    kind: ClassVar[str] = "prefetch"
+    oid: int
+    phase: str
+
+
+@dataclass(frozen=True)
+class RetryEvent(ObsEvent):
+    """The storage retry layer absorbed a transient fault."""
+
+    kind: ClassVar[str] = "retry"
+    op: str
+    oid: int
+    attempt: int
+    backoff_s: float
+
+
+@dataclass(frozen=True)
+class CorruptEvent(ObsEvent):
+    """A load failed frame validation (torn write / bit rot)."""
+
+    kind: ClassVar[str] = "corrupt"
+    oid: int
+
+
+@dataclass(frozen=True)
+class PackEvent(ObsEvent):
+    """One serialization op; ``wall_s`` is real CPU seconds, not virtual."""
+
+    kind: ClassVar[str] = "pack"
+    op: str  # "pack" | "unpack"
+    wall_s: float
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class MigrateEvent(ObsEvent):
+    """An object moved from ``node`` to ``dst`` (control layer)."""
+
+    kind: ClassVar[str] = "migrate"
+    oid: int
+    dst: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class QueueDepthEvent(ObsEvent):
+    """An object's message queue depth after an enqueue (control layer)."""
+
+    kind: ClassVar[str] = "queue"
+    oid: int
+    depth: int
+
+
+class Subscription:
+    """One attached consumer: a bounded ring buffer or a callback.
+
+    With ``callback=None`` events accumulate in :attr:`events` (a deque,
+    bounded by ``capacity``; ``None`` = unbounded) and overflow increments
+    :attr:`dropped`.  With a callback, delivery is synchronous and nothing
+    is buffered here.  ``kinds`` filters by event ``kind`` string.
+
+    Usable as a context manager: leaving the ``with`` block detaches.
+    """
+
+    __slots__ = ("_bus", "capacity", "kinds", "events", "dropped", "callback")
+
+    def __init__(
+        self,
+        bus: "EventBus",
+        capacity: Optional[int] = None,
+        kinds: Optional[Iterable[str]] = None,
+        callback: Optional[Callable[[ObsEvent], None]] = None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None)")
+        self._bus = bus
+        self.capacity = capacity
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.events: deque = deque(maxlen=capacity)
+        self.dropped = 0
+        self.callback = callback
+
+    def deliver(self, event: ObsEvent) -> None:
+        if self.kinds is not None and event.kind not in self.kinds:
+            return
+        if self.callback is not None:
+            self.callback(event)
+            return
+        if self.capacity is not None and len(self.events) == self.capacity:
+            self.dropped += 1  # deque(maxlen) sheds the oldest on append
+        self.events.append(event)
+
+    @property
+    def attached(self) -> bool:
+        return self._bus is not None and self in self._bus._subs
+
+    def close(self) -> None:
+        """Detach from the bus; idempotent and never raises."""
+        if self._bus is not None:
+            self._bus.unsubscribe(self)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class EventBus:
+    """Fan events out to zero or more subscriptions.
+
+    The runtime holds one bus per :class:`~repro.core.runtime.MRTS`
+    (shareable across incarnations — recovery supervisors pass one bus to
+    every restart so the stream is continuous).  Emit points check
+    :attr:`active` before building an event, so an idle bus costs one
+    attribute read per hook.
+    """
+
+    __slots__ = ("_subs", "active")
+
+    def __init__(self) -> None:
+        self._subs: list[Subscription] = []
+        self.active = False
+
+    def subscribe(
+        self,
+        *,
+        capacity: Optional[int] = None,
+        kinds: Optional[Iterable[str]] = None,
+        callback: Optional[Callable[[ObsEvent], None]] = None,
+    ) -> Subscription:
+        sub = Subscription(self, capacity=capacity, kinds=kinds,
+                           callback=callback)
+        self._subs.append(sub)
+        self.active = True
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Remove a subscription; idempotent."""
+        try:
+            self._subs.remove(sub)
+        except ValueError:
+            pass
+        self.active = bool(self._subs)
+
+    def publish(self, event: ObsEvent) -> None:
+        for sub in self._subs:
+            sub.deliver(event)

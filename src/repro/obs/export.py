@@ -1,0 +1,188 @@
+"""Chrome-trace / Perfetto JSON export of the runtime event stream.
+
+Produces the Trace Event Format (the JSON dialect Perfetto and
+``chrome://tracing`` both load): one *process* per node, one *thread
+lane* per activity class — handlers, disk, network, runtime — so the
+overlap the paper measures in Tables IV–VI is directly visible as
+parallel spans on one node's tracks.
+
+* Span events (``ph: "X"``) — handler executions, disk transfers, wire
+  sends, with durations taken from the same fields the stats layer uses.
+* Instant events (``ph: "i"``) — evictions, spills, loads, retries,
+  corruption, prefetches, migrations, packs (pack *wall* time is real CPU
+  seconds on a virtual timeline, so it is reported as an arg, not a
+  duration).
+* Counter events (``ph: "C"``) — per-node resident bytes, sampled at
+  every residency change.
+
+Timestamps are microseconds (the format's unit); the virtual clock's
+seconds are scaled by 1e6.  Open the output at https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.events import (
+    CorruptEvent,
+    DiskSpan,
+    EvictEvent,
+    HandlerSpan,
+    LoadEvent,
+    MigrateEvent,
+    ObsEvent,
+    PackEvent,
+    PrefetchEvent,
+    QueueDepthEvent,
+    RetryEvent,
+    SendSpan,
+    SpillEvent,
+)
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "LANES"]
+
+# Thread-lane ids within each node-process, in display order.
+LANES = {"handlers": 0, "disk": 1, "network": 2, "runtime": 3}
+
+_US = 1e6  # trace event timestamps are microseconds
+
+
+def _span(name, cat, node, tid, ts, dur, args) -> dict:
+    return {
+        "name": name, "cat": cat, "ph": "X", "pid": node, "tid": tid,
+        "ts": ts * _US, "dur": max(dur, 0.0) * _US, "args": args,
+    }
+
+
+def _instant(name, cat, node, tid, ts, args) -> dict:
+    return {
+        "name": name, "cat": cat, "ph": "i", "s": "t", "pid": node,
+        "tid": tid, "ts": ts * _US, "args": args,
+    }
+
+
+def to_chrome_trace(events: Iterable[ObsEvent]) -> dict:
+    """Render an event stream as a Trace Event Format document."""
+    trace: list[dict] = []
+    nodes: set[int] = set()
+    for e in events:
+        nodes.add(e.node)
+        if isinstance(e, HandlerSpan):
+            trace.append(_span(
+                e.handler, "handler", e.node, LANES["handlers"],
+                e.time, e.duration,
+                {"oid": e.oid, "comp_s": e.comp_s, "queue_len": e.queue_len},
+            ))
+        elif isinstance(e, DiskSpan):
+            name = "store" if e.is_store else "load"
+            if not e.blocking:
+                name += " (background)"
+            trace.append(_span(
+                name, "disk", e.node, LANES["disk"], e.time, e.span_s,
+                {"bytes": e.nbytes, "service_s": e.service_s,
+                 "blocking": e.blocking},
+            ))
+        elif isinstance(e, SendSpan):
+            trace.append(_span(
+                f"send -> node {e.dst}", "network", e.node,
+                LANES["network"], e.time, e.span_s,
+                {"bytes": e.nbytes, "service_s": e.service_s,
+                 "counted": e.counted},
+            ))
+        elif isinstance(e, EvictEvent):
+            trace.append(_instant(
+                f"evict oid {e.oid}" + (" (clean)" if e.clean else ""),
+                "ooc", e.node, LANES["runtime"], e.time,
+                {"oid": e.oid, "bytes": e.nbytes, "clean": e.clean},
+            ))
+            trace.append(_counter(e.node, e.time, e.memory_used))
+        elif isinstance(e, LoadEvent):
+            trace.append(_instant(
+                f"load oid {e.oid}", "ooc", e.node, LANES["runtime"],
+                e.time,
+                {"oid": e.oid, "bytes": e.nbytes,
+                 "background": e.background},
+            ))
+            trace.append(_counter(e.node, e.time, e.memory_used))
+        elif isinstance(e, SpillEvent):
+            trace.append(_instant(
+                f"spill oid {e.oid} ({e.mode})", "ooc", e.node,
+                LANES["runtime"], e.time,
+                {"oid": e.oid, "raw_bytes": e.raw_bytes,
+                 "stored_bytes": e.stored_bytes, "mode": e.mode},
+            ))
+        elif isinstance(e, RetryEvent):
+            trace.append(_instant(
+                f"retry {e.op} oid {e.oid}", "storage", e.node,
+                LANES["runtime"], e.time,
+                {"attempt": e.attempt, "backoff_s": e.backoff_s},
+            ))
+        elif isinstance(e, CorruptEvent):
+            trace.append(_instant(
+                f"corrupt oid {e.oid}", "storage", e.node,
+                LANES["runtime"], e.time, {"oid": e.oid},
+            ))
+        elif isinstance(e, PrefetchEvent):
+            trace.append(_instant(
+                f"prefetch {e.phase} oid {e.oid}", "ooc", e.node,
+                LANES["runtime"], e.time, {"oid": e.oid, "phase": e.phase},
+            ))
+        elif isinstance(e, MigrateEvent):
+            trace.append(_instant(
+                f"migrate oid {e.oid} -> node {e.dst}", "control",
+                e.node, LANES["runtime"], e.time,
+                {"oid": e.oid, "dst": e.dst, "bytes": e.nbytes},
+            ))
+        elif isinstance(e, PackEvent):
+            trace.append(_instant(
+                e.op, "data-plane", e.node, LANES["runtime"], e.time,
+                {"bytes": e.nbytes, "wall_s": e.wall_s},
+            ))
+        elif isinstance(e, QueueDepthEvent):
+            trace.append(_instant(
+                f"enqueue oid {e.oid}", "control", e.node,
+                LANES["runtime"], e.time,
+                {"oid": e.oid, "depth": e.depth},
+            ))
+    meta: list[dict] = []
+    for node in sorted(nodes):
+        meta.append({
+            "name": "process_name", "ph": "M", "pid": node,
+            "args": {"name": f"node {node}"},
+        })
+        meta.append({
+            "name": "process_sort_index", "ph": "M", "pid": node,
+            "args": {"sort_index": node},
+        })
+        for lane, tid in LANES.items():
+            meta.append({
+                "name": "thread_name", "ph": "M", "pid": node, "tid": tid,
+                "args": {"name": lane},
+            })
+            meta.append({
+                "name": "thread_sort_index", "ph": "M", "pid": node,
+                "tid": tid, "args": {"sort_index": tid},
+            })
+    return {
+        "traceEvents": meta + trace,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "clock": "virtual"},
+    }
+
+
+def _counter(node: int, ts: float, memory_used: int) -> dict:
+    return {
+        "name": "resident bytes", "cat": "ooc", "ph": "C", "pid": node,
+        "tid": LANES["runtime"], "ts": ts * _US,
+        "args": {"bytes": memory_used},
+    }
+
+
+def write_chrome_trace(events: Iterable[ObsEvent], path: str) -> dict:
+    """Export ``events`` to ``path``; returns the written document."""
+    doc = to_chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return doc

@@ -37,7 +37,7 @@ import json
 import random
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.codec import get_codec
 from repro.core.config import MRTSConfig
@@ -186,9 +186,14 @@ def run_clean_read_storm(
     n_nodes: int = 2,
     memory_bytes: int = 256 * 1024,
     scale: float = 1.0,
+    on_runtime: Optional[Callable[[MRTS], None]] = None,
 ) -> _WorkloadResult:
     """Read-mostly storm: clean objects cycle through core far oftener
-    than they change."""
+    than they change.
+
+    ``on_runtime`` (if given) is called with the freshly built runtime
+    before any objects exist — the place to subscribe observers.
+    """
     chain_len = max(1, int(chain_len * scale))
     runtime = MRTS(
         ClusterSpec(
@@ -199,6 +204,8 @@ def run_clean_read_storm(
         cost_model=_fixed_cost_model(1e-4),
         io_depth=2,
     )
+    if on_runtime is not None:
+        on_runtime(runtime)
     actors = [
         runtime.create_object(
             ReadOnlyActor, payload_bytes, seed, 0.2, 0.8, node=i % n_nodes
@@ -226,6 +233,7 @@ def run_oupdr_model_bench(
     cores: int = 2,
     memory_bytes: int = 8 * 1024 * 1024,
     scale: float = 1.0,
+    on_runtime: Optional[Callable[[MRTS], None]] = None,
 ) -> _WorkloadResult:
     """OUPDR-style modeled run on a memory-starved cluster (write-heavy)."""
     from repro.evalsim.apps import run_updr_model
@@ -236,7 +244,9 @@ def run_oupdr_model_bench(
         node=NodeSpec(cores=cores, memory_bytes=memory_bytes),
     )
     wall0 = time.perf_counter()
-    result = run_updr_model(total_elements, cluster, mrts=True)
+    result = run_updr_model(
+        total_elements, cluster, mrts=True, on_runtime=on_runtime
+    )
     wall = time.perf_counter() - wall0
     return _WorkloadResult(wall_s=wall, runtime=result.runtime)
 
@@ -250,6 +260,7 @@ def run_mesh_patch_stream(
     n_nodes: int = 2,
     memory_bytes: int = 96 * 1024,
     scale: float = 1.0,
+    on_runtime: Optional[Callable[[MRTS], None]] = None,
 ) -> _WorkloadResult:
     """Serialization-bound storm: growing mesh patches on a starved cluster.
 
@@ -267,6 +278,8 @@ def run_mesh_patch_stream(
         cost_model=_fixed_cost_model(1e-4),
         io_depth=2,
     )
+    if on_runtime is not None:
+        on_runtime(runtime)
     actors = [
         runtime.create_object(
             PatchStreamActor, seed + i, initial_points, node=i % n_nodes

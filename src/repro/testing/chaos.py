@@ -29,6 +29,7 @@ from repro.core.config import MRTSConfig
 from repro.core.recovery import RecoveryPolicy
 from repro.core.runtime import MRTS
 from repro.core.storage import MemoryBackend
+from repro.obs.events import EventBus
 from repro.sim.cluster import ClusterSpec
 from repro.sim.node import NodeSpec
 from repro.testing.faults import FaultPlan, FaultyBackend
@@ -176,9 +177,15 @@ def _final_state(supervisor_like, pointers) -> dict[int, tuple]:
 
 
 def _make_supervisor(
-    spec: ChaosSpec, plan: Optional[FaultPlan]
+    spec: ChaosSpec, plan: Optional[FaultPlan],
+    bus: Optional[EventBus] = None,
 ) -> RecoveryPolicy:
-    """A supervised storm runtime; ``plan=None`` builds the reference."""
+    """A supervised storm runtime; ``plan=None`` builds the reference.
+
+    ``bus`` (if given) is shared by every incarnation the supervisor
+    builds, so one subscription observes the whole supervised lifetime —
+    faults, the crash, and the rebuilt world's replay.
+    """
     incarnation = [0]
 
     def factory(config=None) -> MRTS:
@@ -210,6 +217,7 @@ def _make_supervisor(
             config=config or MRTSConfig(),
             storage_factory=make_backend,
             cost_model=FixedCostModel(1e-4),
+            bus=bus,
         )
 
     def build(runtime: MRTS):
@@ -255,15 +263,21 @@ def _drive(spec: ChaosSpec, supervisor: RecoveryPolicy) -> list[str]:
     return violations
 
 
-def run_chaos_case(spec: ChaosSpec) -> ChaosReport:
-    """Execute one matrix cell: reference run, chaos run, verdict."""
+def run_chaos_case(
+    spec: ChaosSpec, bus: Optional[EventBus] = None
+) -> ChaosReport:
+    """Execute one matrix cell: reference run, chaos run, verdict.
+
+    ``bus`` (if given) observes the *chaos* run across all its
+    incarnations; the fault-free reference run is never published to it.
+    """
     reference = _make_supervisor(spec, plan=None)
     ref_violations = _drive(spec, reference)
     want = _final_state(
         reference, sorted(reference.pointers.values(), key=lambda p: p.oid)
     )
 
-    chaos = _make_supervisor(spec, plan=spec.plan)
+    chaos = _make_supervisor(spec, plan=spec.plan, bus=bus)
     violations = _drive(spec, chaos)
     got = _final_state(
         chaos, sorted(chaos.pointers.values(), key=lambda p: p.oid)

@@ -121,6 +121,20 @@ class RuntimeHarness:
         self.fault_backends[rank] = backend
         return backend
 
+    # ------------------------------------------------------------ observing
+    @property
+    def bus(self):
+        """The runtime's observability event bus (:class:`EventBus`)."""
+        return self.runtime.bus
+
+    def subscribe(self, **kwargs):
+        """Subscribe to the runtime's event bus; see :meth:`EventBus.subscribe`.
+
+        Convenience so tests can write ``sub = harness.subscribe(kinds=...)``
+        before driving a workload.
+        """
+        return self.runtime.bus.subscribe(**kwargs)
+
     # ------------------------------------------------------------- execution
     def check(self) -> list[str]:
         """Current invariant violations (empty = healthy)."""

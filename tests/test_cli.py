@@ -57,6 +57,66 @@ def test_selftest_passes(capsys):
     assert out.count("storm[") == 15
 
 
+def test_trace_and_report_listed(capsys):
+    main(["--list"])
+    out = capsys.readouterr().out
+    assert "trace <workload>" in out
+    assert "report <old.json> <new.json>" in out
+
+
+def test_trace_storm_writes_perfetto_json(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", "storm", "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "trace PASS" in out
+    assert "overlap from events" in out
+    doc = json.loads(out_path.read_text())
+    rows = doc["traceEvents"]
+    assert any(r["ph"] == "X" for r in rows)
+    assert any(
+        r["ph"] == "M" and r["name"] == "process_name" for r in rows
+    )
+
+
+def test_trace_unknown_workload_errors():
+    with pytest.raises(SystemExit):
+        main(["trace", "nope"])
+
+
+def test_trace_missing_workload_errors():
+    with pytest.raises(SystemExit):
+        main(["trace"])
+
+
+def test_report_diffs_two_documents(capsys, tmp_path):
+    import json
+
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(json.dumps({"w": {"bytes": 100}}))
+    new.write_text(json.dumps({"w": {"bytes": 150}}))
+    assert main(["report", str(old), str(new)]) == 0
+    out = capsys.readouterr().out
+    assert "w.bytes" in out
+    assert "+50.0%" in out
+
+
+def test_report_missing_file_fails(capsys, tmp_path):
+    import json
+
+    ok = tmp_path / "ok.json"
+    ok.write_text(json.dumps({}))
+    assert main(["report", str(ok), str(tmp_path / "absent.json")]) == 1
+    assert "cannot read" in capsys.readouterr().out
+
+
+def test_report_wrong_arity_errors():
+    with pytest.raises(SystemExit):
+        main(["report", "only-one.json"])
+
+
 def test_selftest_reports_failures(capsys, monkeypatch):
     """A selftest that finds violations must exit non-zero and say why."""
     import repro.cli as cli_mod

@@ -90,3 +90,72 @@ def test_detach_stops_recording():
     rt.post(a, "hit")
     rt.run()
     assert len(tracer.events) == before
+
+
+def test_detach_is_idempotent():
+    rt = build()
+    tracer = attach_tracer(rt)
+    tracer.detach()
+    tracer.detach()  # second call must be a no-op, not an error
+    assert rt.bus.active is False
+
+
+def test_context_manager_detaches_even_on_exception():
+    rt = build()
+    try:
+        with attach_tracer(rt) as tracer:
+            a = rt.create_object(Blob, node=0)
+            rt.post(a, "hit")
+            rt.run()
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert rt.bus.active is False
+    before = len(tracer.events)
+    rt.post(a, "hit")
+    rt.run()
+    assert len(tracer.events) == before
+
+
+def test_ring_buffer_bounds_events_and_counts_drops():
+    rt = build(memory=100_000, n_nodes=1)
+    tracer = attach_tracer(rt, capacity=10)
+    ptrs = [rt.create_object(Blob, 40_000) for _ in range(4)]
+    for p in ptrs:
+        rt.post(p, "hit")
+    rt.run()
+    assert len(tracer.events) == 10
+    assert tracer.dropped > 0
+    # An unbounded tracer on the same run sees strictly more.
+    rt2 = build(memory=100_000, n_nodes=1)
+    full = attach_tracer(rt2)
+    ptrs2 = [rt2.create_object(Blob, 40_000) for _ in range(4)]
+    for p in ptrs2:
+        rt2.post(p, "hit")
+    rt2.run()
+    assert len(full.events) == len(tracer.events) + tracer.dropped
+
+
+def test_unbounded_by_default():
+    rt = build()
+    tracer = attach_tracer(rt)
+    a = rt.create_object(Blob, node=0)
+    b = rt.create_object(Blob, node=1)
+    for _ in range(3):
+        rt.post(a, "hit", peer=b)
+    rt.run()
+    assert tracer.dropped == 0
+    assert len(tracer.events) > 0
+
+
+def test_tracer_rides_bus_without_monkey_patching():
+    """The shim must not mutate runtime internals to observe them."""
+    rt = build()
+    tracer = attach_tracer(rt)
+    # The old implementation wrapped methods by stuffing the instance
+    # __dict__; the shim leaves the runtime untouched and subscribes.
+    assert "_execute_handler" not in rt.__dict__
+    assert "_disk_xfer" not in rt.__dict__
+    assert rt.bus.active is True
+    tracer.detach()
+    assert rt.bus.active is False

@@ -1,0 +1,51 @@
+"""Tests for the Experiment row/table container."""
+
+import pytest
+
+from repro.evalsim.report import Experiment
+
+
+def _sample():
+    exp = Experiment(
+        exp_id="table4",
+        title="Overlap on 8 PEs",
+        headers=("size", "overlap_pct"),
+        paper_claim="overlap reaches 62%",
+    )
+    exp.add(10_000, 40.0)
+    exp.add(100_000, 62.0)
+    return exp
+
+
+def test_add_appends_rows_in_order():
+    exp = _sample()
+    assert len(exp.rows) == 2
+    assert exp.rows[0] == (10_000, 40.0)
+    assert exp.rows[1] == (100_000, 62.0)
+
+
+def test_column_extracts_by_header_name():
+    exp = _sample()
+    assert exp.column("size") == [10_000, 100_000]
+    assert exp.column("overlap_pct") == [40.0, 62.0]
+
+
+def test_column_unknown_header_raises():
+    with pytest.raises(ValueError):
+        _sample().column("nope")
+
+
+def test_render_includes_id_title_claim_and_data():
+    text = _sample().render()
+    assert "table4" in text
+    assert "Overlap on 8 PEs" in text
+    assert "overlap reaches 62%" in text
+    assert "100000" in text
+    for header in ("size", "overlap_pct"):
+        assert header in text
+
+
+def test_render_without_claim_omits_paper_line():
+    exp = Experiment("fig1", "speed", headers=("x",))
+    exp.add(1)
+    assert "paper:" not in exp.render()

@@ -1,0 +1,145 @@
+"""Property tests: the event-stream analyzer reproduces RunStats.
+
+The paper's Comp%/Comm%/Disk%/Overlap% are accumulated by the runtime in
+:class:`RunStats`.  ``repro.obs.analysis.overlap_report`` recomputes them
+from the observability event stream alone; these tests pin the two within
+1e-6 of each other on seeded workloads spanning swap schemes, fault-free
+and perf-shaped runs.
+"""
+
+import pytest
+
+from repro.core.config import MRTSConfig
+from repro.obs import (
+    busy_times,
+    critical_path,
+    diff_reports,
+    overlap_report,
+    render_diff,
+    utilization_report,
+)
+from repro.testing.harness import RuntimeHarness
+from repro.testing.workloads import WorkloadSpec
+
+
+def _storm_events(seed, scheme="lru"):
+    harness = RuntimeHarness(
+        n_nodes=3, memory_bytes=20 * 1024,
+        config=MRTSConfig(swap_scheme=scheme),
+    )
+    sub = harness.subscribe()
+    harness.run_storm(WorkloadSpec(
+        n_actors=10, payload_bytes=4096, initial_pulses=3,
+        hops=5, fanout=2, seed=seed,
+    ))
+    return list(sub.events), harness.runtime.stats
+
+
+def _assert_matches(events, stats):
+    n_pes = max(len(stats.nodes), 1)
+    report = overlap_report(events, stats.total_time, n_pes=n_pes)
+    assert report["comp_pct"] == pytest.approx(
+        stats.comp_pct(n_pes), abs=1e-6)
+    assert report["comm_pct"] == pytest.approx(
+        stats.comm_pct(n_pes), abs=1e-6)
+    assert report["disk_pct"] == pytest.approx(
+        stats.disk_pct(n_pes), abs=1e-6)
+    assert report["overlap_pct"] == pytest.approx(
+        stats.overlap_pct(n_pes), abs=1e-6)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_storm_overlap_matches_run_stats(seed):
+    events, stats = _storm_events(seed)
+    _assert_matches(events, stats)
+
+
+@pytest.mark.parametrize("scheme", ["lru", "lfu", "mru"])
+def test_overlap_matches_across_swap_schemes(scheme):
+    events, stats = _storm_events(3, scheme=scheme)
+    _assert_matches(events, stats)
+
+
+def test_per_node_sums_match_node_stats_exactly():
+    events, stats = _storm_events(2)
+    nodes = busy_times(events)
+    for rank, node in enumerate(stats.nodes):
+        busy = nodes.get(rank)
+        if busy is None:
+            assert node.comp_time == 0.0
+            continue
+        # Same floats, accumulated in the same order: exact equality.
+        assert busy.comp_s == node.comp_time
+        assert busy.comm_span_s == node.comm_span
+        assert busy.disk_span_s == node.disk_span
+        assert busy.handlers == node.handlers_run
+
+
+def test_perf_workload_overlap_matches_run_stats():
+    from repro.perf import run_clean_read_storm, run_mesh_patch_stream
+
+    for runner in (run_clean_read_storm, run_mesh_patch_stream):
+        subs = []
+        result = runner(
+            seed=0, scale=0.2,
+            on_runtime=lambda rt: subs.append(rt.bus.subscribe()),
+        )
+        _assert_matches(list(subs[0].events), result.runtime.stats)
+
+
+def test_oupdr_model_overlap_matches_run_stats():
+    from repro.perf import run_oupdr_model_bench
+
+    subs = []
+    result = run_oupdr_model_bench(
+        seed=0, scale=0.15,
+        on_runtime=lambda rt: subs.append(rt.bus.subscribe()),
+    )
+    _assert_matches(list(subs[0].events), result.runtime.stats)
+
+
+def test_utilization_is_bounded_by_wall_clock():
+    events, stats = _storm_events(4)
+    total = stats.total_time
+    util = utilization_report(events, total)
+    assert util
+    for row in util.values():
+        for lane in ("compute", "disk", "network"):
+            assert 0.0 <= row[f"{lane}_busy_s"] <= total + 1e-9
+        assert row["any_busy_s"] <= total + 1e-9
+        assert row["idle_s"] >= 0.0
+        assert row["overlapped_s"] >= 0.0
+        # Union across lanes can't exceed the per-lane sum.
+        lane_sum = sum(row[f"{l}_busy_s"]
+                       for l in ("compute", "disk", "network"))
+        assert row["any_busy_s"] <= lane_sum + 1e-9
+
+
+def test_critical_path_partitions_the_makespan():
+    events, stats = _storm_events(5)
+    total = stats.total_time
+    shares = critical_path(events, total)
+    covered = (shares["compute_s"] + shares["disk_s"]
+               + shares["network_s"] + shares["idle_s"])
+    assert covered == pytest.approx(total, rel=1e-9)
+    assert shares["compute_s"] >= 0
+    # Storms on a starved cluster genuinely wait on the disk sometimes.
+    assert shares["disk_s"] > 0
+
+
+def test_diff_reports_and_render():
+    old = {"workloads": {"storm": {"bytes": 100, "makespan": 2.0}}}
+    new = {"workloads": {"storm": {"bytes": 150, "makespan": 2.0},
+                         "extra": {"n": 1}}}
+    rows = diff_reports(old, new)
+    by_metric = {r["metric"]: r for r in rows}
+    assert by_metric["workloads.storm.bytes"]["delta_pct"] == 50.0
+    assert by_metric["workloads.storm.makespan"]["delta_pct"] == 0.0
+    assert by_metric["workloads.extra.n"]["old"] is None
+    # Largest movement sorts first.
+    assert rows[0]["metric"] == "workloads.storm.bytes"
+    text = render_diff(rows)
+    assert "workloads.storm.bytes" in text
+    assert "+50.0%" in text
+    filtered = render_diff(rows, threshold_pct=60.0)
+    assert "workloads.storm.bytes" not in filtered

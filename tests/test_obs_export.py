@@ -1,0 +1,90 @@
+"""Tests for the Chrome-trace / Perfetto exporter."""
+
+import json
+
+from repro.obs import LANES, to_chrome_trace, write_chrome_trace
+from repro.testing.harness import RuntimeHarness
+from repro.testing.workloads import WorkloadSpec
+
+
+def _observed_events(seed=0, n_nodes=3):
+    harness = RuntimeHarness(n_nodes=n_nodes, memory_bytes=20 * 1024)
+    sub = harness.subscribe()
+    harness.run_storm(WorkloadSpec(
+        n_actors=10, payload_bytes=4096, initial_pulses=3,
+        hops=5, fanout=2, seed=seed,
+    ))
+    return list(sub.events)
+
+
+def test_trace_has_per_node_tracks_for_spans():
+    events = _observed_events()
+    doc = to_chrome_trace(events)
+    rows = doc["traceEvents"]
+    pids = {r["pid"] for r in rows if r["ph"] != "M"}
+    assert pids == {0, 1, 2}
+    # Every node that ran handlers has named process/thread tracks...
+    names = {
+        (r["pid"], r["args"]["name"])
+        for r in rows if r["ph"] == "M" and r["name"] == "process_name"
+    }
+    assert names == {(0, "node 0"), (1, "node 1"), (2, "node 2")}
+    lanes = {
+        (r["pid"], r["tid"], r["args"]["name"])
+        for r in rows if r["ph"] == "M" and r["name"] == "thread_name"
+    }
+    for pid in pids:
+        for lane, tid in LANES.items():
+            assert (pid, tid, lane) in lanes
+    # ... and handler/disk/send spans land on their own lanes per node.
+    spans = [r for r in rows if r["ph"] == "X"]
+    for pid in pids:
+        assert any(
+            s["pid"] == pid and s["tid"] == LANES["handlers"]
+            and s["cat"] == "handler" for s in spans
+        )
+        assert any(
+            s["pid"] == pid and s["tid"] == LANES["disk"]
+            and s["cat"] == "disk" for s in spans
+        )
+    assert any(s["tid"] == LANES["network"] for s in spans)
+
+
+def test_span_timestamps_are_microseconds():
+    events = _observed_events()
+    doc = to_chrome_trace(events)
+    spans = [r for r in doc["traceEvents"] if r["ph"] == "X"]
+    handler_spans = [s for s in spans if s["cat"] == "handler"]
+    source = [e for e in events if e.kind == "handler"]
+    assert handler_spans[0]["ts"] == source[0].time * 1e6
+    assert handler_spans[0]["dur"] == source[0].duration * 1e6
+    assert all(s["dur"] >= 0 for s in spans)
+
+
+def test_instants_and_residency_counters():
+    events = _observed_events()
+    doc = to_chrome_trace(events)
+    rows = doc["traceEvents"]
+    instants = [r for r in rows if r["ph"] == "i"]
+    assert any(r["name"].startswith("evict oid") for r in instants)
+    assert any(r["name"].startswith("enqueue oid") for r in instants)
+    counters = [r for r in rows if r["ph"] == "C"]
+    assert counters
+    assert all(r["name"] == "resident bytes" for r in counters)
+    assert all(r["args"]["bytes"] >= 0 for r in counters)
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    events = _observed_events()
+    path = tmp_path / "trace.json"
+    doc = write_chrome_trace(events, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded == doc
+    assert loaded["displayTimeUnit"] == "ms"
+    assert loaded["otherData"]["clock"] == "virtual"
+
+
+def test_empty_stream_exports_cleanly():
+    doc = to_chrome_trace([])
+    assert doc["traceEvents"] == []
+    json.dumps(doc)
