@@ -22,6 +22,12 @@ torn-write and disk-full plans) with automatic recovery enabled and
 verifies each run converges to the fault-free final state with invariants
 intact (see :mod:`repro.testing.chaos`).
 
+``--backend dist`` switches ``perf`` and ``chaos`` onto the distributed
+execution backend (:mod:`repro.dist`): real multiprocessing shard workers
+behind the same API, verified state-equal against the single-process
+reference; ``perf --backend dist --trace-out t.json`` also writes the
+merged cross-process Perfetto trace (see docs/distributed.md).
+
 ``trace <workload>`` runs one observed workload (``storm`` or any perf
 workload), writes a Chrome-trace/Perfetto JSON timeline (open it at
 https://ui.perfetto.dev), and cross-checks the paper's overlap metric
@@ -70,6 +76,20 @@ def main(argv: list[str] | None = None) -> int:
         help="perf: path of the benchmark report (default BENCH_ooc.json)",
     )
     parser.add_argument(
+        "--backend", choices=("sim", "dist"), default="sim",
+        help="perf/chaos: 'sim' is the single-process simulator, 'dist' "
+        "runs real multiprocessing shard workers (repro.dist)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="dist backend: number of shard worker processes (>= 1)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None,
+        help="perf --backend dist: write the merged cross-process "
+        "Perfetto trace to this path",
+    )
+    parser.add_argument(
         "--out", default="trace.json",
         help="trace: path of the Perfetto/Chrome-trace JSON output",
     )
@@ -80,8 +100,10 @@ def main(argv: list[str] | None = None) -> int:
         for name in ALL_EXPERIMENTS:
             print(f"  {name}")
         print("  selftest (invariant-checked runtime smoke test)")
-        print("  perf (out-of-core fast-path benchmark -> BENCH_ooc.json)")
-        print("  chaos (fault-injection + automatic-recovery matrix)")
+        print("  perf (out-of-core fast-path benchmark -> BENCH_ooc.json; "
+              "--backend dist runs real shard workers)")
+        print("  chaos (fault-injection + automatic-recovery matrix; "
+              "--backend dist kills workers / corrupts the wire)")
         print("  trace <workload> (Perfetto timeline; workloads: "
               + ", ".join(_TRACE_WORKLOADS) + ")")
         print("  report <old.json> <new.json> (metric diff)")
@@ -90,6 +112,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiments == ["selftest"]:
         return _selftest(args.seed)
     if args.experiments == ["chaos"]:
+        if args.backend == "dist":
+            return _chaos_dist(args.seed)
         return _chaos(args.seed)
     if args.experiments and args.experiments[0] == "trace":
         if len(args.experiments) != 2:
@@ -109,6 +133,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiments == ["perf"]:
         if not 0.0 < args.scale <= 1.0:
             parser.error("--scale must be in (0, 1]")
+        if args.backend == "dist":
+            if args.workers < 1:
+                parser.error("--workers must be >= 1")
+            return _perf_dist(
+                args.seed, args.scale, args.workers, args.output,
+                args.trace_out,
+            )
         return _perf(args.seed, args.scale, args.check, args.output)
     if not 0.0 < args.scale <= 1.0:
         parser.error("--scale must be in (0, 1]")
@@ -249,6 +280,62 @@ def _perf(seed: int, scale: float, check: bool, output: str | None) -> int:
     perf.write_report(report, path)
     print(f"[perf report written to {path} in {elapsed:.1f}s]")
     return 0
+
+
+def _perf_dist(
+    seed: int, scale: float, workers: int, output: str | None,
+    trace_out: str | None,
+) -> int:
+    """Benchmark the distributed backend; merge dist_storm into BENCH.
+
+    The dist_storm entry is merged into (not overwriting) the committed
+    report so the simulator baselines stay regression-gated; the hard
+    verdict here is ``state_equal`` — the distributed run must land on
+    exactly the single-process reference state.
+    """
+    from repro import perf
+
+    path = output or perf.BENCH_FILENAME
+    start = time.perf_counter()
+    metrics = perf.run_dist_storm(
+        seed=seed, workers=workers, scale=scale, trace_out=trace_out
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        f"  dist_storm         workers={metrics['workers']} "
+        f"delivered={metrics['delivered']} "
+        f"posts={metrics['posts_routed']} "
+        f"retransmits={metrics['retransmits']} "
+        f"rehomes={metrics['rehomes']} "
+        f"evictions={metrics['l0_evictions']} "
+        f"peer_hits={metrics['peer_hits']} "
+        f"wall={metrics['wall_s']:.2f}s"
+    )
+    report = perf.load_baseline(path) or {"version": 2, "workloads": {}}
+    report.setdefault("workloads", {})["dist_storm"] = metrics
+    perf.write_report(report, path)
+    if trace_out:
+        print(f"  merged cross-process trace written to {trace_out}")
+    verdict = "PASS" if metrics["state_equal"] else "FAIL (state diverged)"
+    print(f"[perf --backend dist {verdict}; {path} updated in {elapsed:.1f}s]")
+    return 0 if metrics["state_equal"] else 1
+
+
+def _chaos_dist(seed: int) -> int:
+    from dataclasses import replace as _replace
+
+    from repro.testing.chaos import DIST_CHAOS_MATRIX, run_dist_chaos_matrix
+
+    specs = [_replace(s, seed=s.seed + seed) for s in DIST_CHAOS_MATRIX]
+    start = time.perf_counter()
+    reports = run_dist_chaos_matrix(specs)
+    elapsed = time.perf_counter() - start
+    for report in reports:
+        print(report.render())
+    failed = sum(1 for r in reports if not r.ok)
+    verdict = "PASS" if failed == 0 else f"FAIL ({failed}/{len(reports)})"
+    print(f"[chaos --backend dist {verdict} in {elapsed:.1f}s]")
+    return 0 if failed == 0 else 1
 
 
 def _chaos(seed: int) -> int:

@@ -37,6 +37,7 @@ from repro.core.computing import (
     SerialExecutor,
     Task,
     TaskScheduler,
+    ProcessPoolExecutorBackend,
     ThreadPoolExecutorBackend,
     WorkStealingExecutor,
     make_executor,
@@ -108,6 +109,7 @@ __all__ = [
     "SerialExecutor",
     "WorkStealingExecutor",
     "CentralQueueExecutor",
+    "ProcessPoolExecutorBackend",
     "ThreadPoolExecutorBackend",
     "make_executor",
     "NodeStats",

@@ -18,6 +18,11 @@ policies plus a real-thread executor:
 * :class:`ThreadPoolExecutorBackend` — actual ``concurrent.futures``
   threads for the threaded driver (real parallelism for I/O-bound work;
   CPython's GIL limits compute overlap, see DESIGN.md).
+* :class:`ProcessPoolExecutorBackend` — actual ``concurrent.futures``
+  processes: the third sibling, where tasks burn real cores with no GIL
+  in the way.  This is the computing-layer face of the distributed
+  backend (:mod:`repro.dist` scales the same idea up to a sharded object
+  store with its own control plane).
 
 The deterministic policies expose :meth:`schedule_trace`: given a DAG of
 task durations they compute per-worker timelines, which is how the
@@ -40,6 +45,7 @@ __all__ = [
     "CentralQueueExecutor",
     "SerialExecutor",
     "ThreadPoolExecutorBackend",
+    "ProcessPoolExecutorBackend",
     "make_executor",
 ]
 
@@ -237,6 +243,49 @@ class ThreadPoolExecutorBackend:
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)
+
+
+class ProcessPoolExecutorBackend:
+    """Real processes: compute-parallel execution without the GIL.
+
+    Same surface as :class:`ThreadPoolExecutorBackend`, but tasks must be
+    picklable top-level callables (the ``multiprocessing`` contract).
+    Workers are forked lazily on first submit, so constructing the
+    backend is cheap and a never-used pool costs nothing.
+    """
+
+    name = "processes"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    def _ensure(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing
+
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        return self._pool
+
+    def submit(self, fn: Callable, *args, **kwargs) -> concurrent.futures.Future:
+        return self._ensure().submit(fn, *args, **kwargs)
+
+    def map_tasks(self, thunks: Sequence[Callable[[], object]]) -> list:
+        if not thunks:
+            return []
+        pool = self._ensure()
+        futures = [pool.submit(t) for t in thunks]
+        return [f.result() for f in futures]
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
 
 def make_executor(

@@ -19,6 +19,7 @@ with remote-memory backends, before creating any objects.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional
 
 from repro.core.runtime import MRTS
@@ -29,18 +30,150 @@ __all__ = ["RemoteMemoryBackend", "MemoryPool", "attach_remote_memory"]
 
 
 class MemoryPool:
-    """Shared capacity accounting for one memory server."""
+    """Capacity + eviction accounting for one memory server.
 
-    def __init__(self, capacity_bytes: int) -> None:
+    The pool is the accounting heart of a *peer tier*: a bounded slab of a
+    neighbor's RAM that several clients spill into.  Beyond raw byte
+    accounting it tracks recency (:meth:`touch`) so that, when a put would
+    overflow the capacity, the pool can *evict under pressure*: demote its
+    least-recently-used entries into an ``overflow`` backend (the host's
+    disk, typically) instead of refusing the store.  Without an overflow
+    backend the pool keeps the original hard-capacity behavior and raises
+    :class:`~repro.util.errors.StorageFull`.
+
+    Counters exposed for observability and tests: ``evictions`` /
+    ``demoted_bytes`` (pressure evictions and the bytes they pushed down),
+    ``peak_used`` (high watermark), ``overflow_loads`` (reads served from
+    the demoted tier).
+    """
+
+    def __init__(
+        self, capacity_bytes: int, overflow: Optional[StorageBackend] = None
+    ) -> None:
         if capacity_bytes <= 0:
             raise ConfigError("memory pool capacity must be positive")
         self.capacity = capacity_bytes
         self.used = 0
         self.store = MemoryBackend()
+        self.overflow = overflow
+        self._lru: OrderedDict[int, None] = OrderedDict()
+        self.evictions = 0
+        self.demoted_bytes = 0
+        self.peak_used = 0
+        self.overflow_loads = 0
 
     @property
     def free(self) -> int:
         return self.capacity - self.used
+
+    # ------------------------------------------------------------ accounting
+    def touch(self, oid: int) -> None:
+        """Mark ``oid`` most-recently-used (a load or a refreshing store)."""
+        if oid in self._lru:
+            self._lru.move_to_end(oid)
+
+    def _charge(self, delta: int) -> None:
+        self.used += delta
+        if self.used > self.peak_used:
+            self.peak_used = self.used
+
+    def evict_candidates(self, need_bytes: int) -> list[int]:
+        """Least-recently-used entries whose sizes cover ``need_bytes``."""
+        victims: list[int] = []
+        covered = 0
+        for oid in self._lru:
+            if covered >= need_bytes:
+                break
+            victims.append(oid)
+            covered += self.store.size(oid)
+        return victims
+
+    def make_room(self, need_bytes: int) -> list[int]:
+        """Evict LRU entries until ``need_bytes`` fit; returns demoted oids.
+
+        The eviction-on-peer-pressure path: each victim's bytes move to the
+        ``overflow`` backend and leave the RAM slab.  Raises
+        :class:`StorageFull` when there is no overflow backend to demote
+        into, or when ``need_bytes`` exceeds the whole capacity.
+        """
+        if need_bytes <= self.free:
+            return []
+        if self.overflow is None or need_bytes > self.capacity:
+            raise StorageFull(
+                f"memory pool exhausted ({self.used} B used, "
+                f"{need_bytes} B needed, {self.capacity} B capacity)"
+            )
+        demoted: list[int] = []
+        while self.free < need_bytes and self._lru:
+            victim, _ = self._lru.popitem(last=False)
+            data = self.store.load(victim)
+            self.overflow.store(victim, data)
+            self.store.delete(victim)
+            self._charge(-len(data))
+            self.evictions += 1
+            self.demoted_bytes += len(data)
+            demoted.append(victim)
+        if self.free < need_bytes:
+            raise StorageFull(
+                f"memory pool cannot make room for {need_bytes} B "
+                f"(capacity {self.capacity} B, {self.used} B pinned)"
+            )
+        return demoted
+
+    # ------------------------------------------------------------- data plane
+    def put(self, oid: int, data: bytes) -> list[int]:
+        """Store (or replace) an entry, evicting under pressure if needed.
+
+        Returns the oids demoted to overflow to make room (empty when the
+        store fit).  A replaced entry's old bytes are released first, and
+        an overflow copy left by an earlier demotion is superseded.
+        """
+        old = self.store.size(oid) if self.store.contains(oid) else 0
+        demoted = self.make_room(len(data) - old)
+        self.store.store(oid, data)
+        self._charge(len(data) - old)
+        self._lru[oid] = None
+        self._lru.move_to_end(oid)
+        if self.overflow is not None and oid not in demoted \
+                and self.overflow.contains(oid):
+            self.overflow.delete(oid)  # RAM copy is now the truth
+        return demoted
+
+    def append(self, oid: int, data: bytes) -> list[int]:
+        """Append to an entry's log, evicting under pressure if needed."""
+        demoted = self.make_room(len(data))
+        self.store.append(oid, data)
+        self._charge(len(data))
+        if oid in self._lru:
+            self._lru.move_to_end(oid)
+        else:
+            self._lru[oid] = None
+        return demoted
+
+    def get(self, oid: int) -> bytes:
+        """Read an entry from RAM, falling back to the overflow tier."""
+        if self.store.contains(oid):
+            self.touch(oid)
+            return self.store.load(oid)
+        if self.overflow is not None and self.overflow.contains(oid):
+            self.overflow_loads += 1
+            return self.overflow.load(oid)
+        raise ObjectNotFound(f"object {oid} not in memory pool")
+
+    def holds(self, oid: int) -> bool:
+        """Is the entry present (in RAM or demoted to overflow)?"""
+        return self.store.contains(oid) or (
+            self.overflow is not None and self.overflow.contains(oid)
+        )
+
+    def drop(self, oid: int) -> None:
+        """Delete an entry from whichever tier holds it (idempotent)."""
+        if self.store.contains(oid):
+            self._charge(-self.store.size(oid))
+            self.store.delete(oid)
+            self._lru.pop(oid, None)
+        if self.overflow is not None and self.overflow.contains(oid):
+            self.overflow.delete(oid)
 
 
 class RemoteMemoryBackend(StorageBackend):
@@ -74,42 +207,36 @@ class RemoteMemoryBackend(StorageBackend):
     # -- StorageBackend interface ----------------------------------------------
     # Timing note: the runtime charges transfer time itself (its
     # _disk_xfer routes through the interconnect when a node has a spill
-    # server attached), so this backend only manages bytes and capacity.
+    # server attached), so this backend only manages bytes and capacity —
+    # all through the pool's accounting, so LRU order, pressure evictions
+    # and watermarks are maintained for every client of the server.
     def store(self, oid: int, data: bytes) -> None:
-        old = self.pool.store.size(oid) if self.pool.store.contains(oid) else 0
-        if self.pool.used - old + len(data) > self.pool.capacity:
-            raise StorageFull(
-                f"remote memory pool exhausted ({self.pool.used} B used, "
-                f"{len(data)} B incoming, {self.pool.capacity} B capacity)"
-            )
-        self.pool.store.store(oid, data)
-        self.pool.used += len(data) - old
+        self.pool.put(oid, data)
 
     def append(self, oid: int, data: bytes) -> None:
-        if self.pool.used + len(data) > self.pool.capacity:
-            raise StorageFull(
-                f"remote memory pool exhausted ({self.pool.used} B used, "
-                f"{len(data)} B appending, {self.pool.capacity} B capacity)"
-            )
-        self.pool.store.append(oid, data)
-        self.pool.used += len(data)
+        self.pool.append(oid, data)
 
     def load(self, oid: int) -> bytes:
-        return self.pool.store.load(oid)
+        return self.pool.get(oid)
 
     def delete(self, oid: int) -> None:
-        if self.pool.store.contains(oid):
-            self.pool.used -= self.pool.store.size(oid)
-            self.pool.store.delete(oid)
+        self.pool.drop(oid)
 
     def contains(self, oid: int) -> bool:
-        return self.pool.store.contains(oid)
+        return self.pool.holds(oid)
 
     def size(self, oid: int) -> int:
-        return self.pool.store.size(oid)
+        if self.pool.store.contains(oid):
+            return self.pool.store.size(oid)
+        if self.pool.overflow is not None and self.pool.overflow.contains(oid):
+            return self.pool.overflow.size(oid)
+        return self.pool.store.size(oid)  # raises ObjectNotFound
 
     def stored_ids(self) -> list[int]:
-        return self.pool.store.stored_ids()
+        ids = set(self.pool.store.stored_ids())
+        if self.pool.overflow is not None:
+            ids.update(self.pool.overflow.stored_ids())
+        return sorted(ids)
 
 
 def attach_remote_memory(

@@ -56,12 +56,10 @@ from repro.obs.events import (
 from repro.core.storage import (
     ChecksummedBackend,
     CompressingBackend,
-    CompressionPolicy,
     CountingBackend,
     MemoryBackend,
-    RetryPolicy,
-    RetryingBackend,
     StorageBackend,
+    build_storage_stack,
 )
 from repro.sim.cluster import ClusterSpec, SimCluster
 from repro.sim.engine import Engine
@@ -543,42 +541,17 @@ class MRTS:
     def _compose_storage(self, rank: int, backend: StorageBackend) -> CountingBackend:
         """Wrap a factory backend in the self-healing storage stack.
 
-        Counting(Compressing(Checksummed(Retrying(backend)))): retries
-        innermost so transient faults are absorbed before the frame layer
-        ever sees them; frames outside retry so a :class:`CorruptObject`
-        (permanent by definition) is never retried; the compression tier
-        rides on the frame layer (the flags byte records what was
-        deflated) and is only composed when both ``compress_spills`` and
-        ``checksum_frames`` are on; counting outermost so byte accounting
-        sees raw unframed payload sizes, unchanged from before.
+        Delegates to :func:`~repro.core.storage.build_storage_stack` (also
+        used by the ``repro.dist`` workers) with this node's rank as the
+        retry-jitter seed and the runtime's retry hook for stats/events.
         """
-        cfg = self.config
-        if cfg.storage_retries > 0:
-            policy = RetryPolicy(
-                max_attempts=cfg.storage_retries + 1,
-                base_delay_s=cfg.retry_base_delay_s,
-                max_delay_s=cfg.retry_max_delay_s,
-                op_timeout_s=cfg.retry_op_timeout_s,
-                seed=rank,
-            )
 
-            def on_retry(op: str, oid: int, attempt: int, delay: float) -> None:
-                self._note_retry(rank, op, oid, attempt, delay)
+        def on_retry(op: str, oid: int, attempt: int, delay: float) -> None:
+            self._note_retry(rank, op, oid, attempt, delay)
 
-            backend = RetryingBackend(backend, policy, on_retry=on_retry)
-        if cfg.checksum_frames:
-            backend = ChecksummedBackend(backend)
-            if cfg.compress_spills:
-                backend = CompressingBackend(
-                    backend,
-                    CompressionPolicy(
-                        min_bytes=cfg.compress_min_bytes,
-                        level_small=cfg.compress_level_small,
-                        large_bytes=cfg.compress_large_bytes,
-                        level_large=cfg.compress_level_large,
-                    ),
-                )
-        return CountingBackend(backend)
+        return build_storage_stack(
+            self.config, backend, seed=rank, on_retry=on_retry
+        )
 
     def _note_retry(
         self, rank: int, op: str, oid: int, attempt: int, delay: float

@@ -68,6 +68,7 @@ __all__ = [
     "CompressingBackend",
     "RetryPolicy",
     "RetryingBackend",
+    "build_storage_stack",
     "FRAME_OVERHEAD",
     "FLAG_COMPRESSED",
     "FLAG_DELTA",
@@ -600,6 +601,56 @@ class CompressingBackend(StorageBackend):
 
     def stored_ids(self) -> list[int]:
         return self.inner.stored_ids()
+
+
+# ========================================================== stack composition
+def build_storage_stack(
+    config,
+    backend: StorageBackend,
+    seed: int = 0,
+    on_retry: Optional[Callable[[str, int, int, float], None]] = None,
+    sleep: Optional[Callable[[float], None]] = None,
+) -> "CountingBackend":
+    """Compose the self-healing storage stack around a raw backend.
+
+    ``Counting(Compressing(Checksummed(Retrying(backend))))``: retries
+    innermost so transient faults are absorbed before the frame layer ever
+    sees them; frames outside retry so a :class:`CorruptObject` (permanent
+    by definition) is never retried; the compression tier rides on the
+    frame layer (the flags byte records what was deflated) and is only
+    composed when both ``compress_spills`` and ``checksum_frames`` are on;
+    counting outermost so byte accounting sees raw unframed payload sizes.
+
+    ``config`` is an :class:`~repro.core.config.MRTSConfig` (duck-typed:
+    only the storage knobs are read).  ``seed`` keys the retry jitter PRNG
+    (callers pass a node rank so nodes never back off in lockstep) and
+    ``sleep`` is how a retry waits — ``None`` for virtual-time runtimes
+    that charge the delay themselves, ``time.sleep`` for real processes.
+    Shared by the single-process MRTS and the ``repro.dist`` workers, so
+    both worlds spill through literally the same code.
+    """
+    if config.storage_retries > 0:
+        policy = RetryPolicy(
+            max_attempts=config.storage_retries + 1,
+            base_delay_s=config.retry_base_delay_s,
+            max_delay_s=config.retry_max_delay_s,
+            op_timeout_s=config.retry_op_timeout_s,
+            seed=seed,
+        )
+        backend = RetryingBackend(backend, policy, on_retry=on_retry, sleep=sleep)
+    if config.checksum_frames:
+        backend = ChecksummedBackend(backend)
+        if config.compress_spills:
+            backend = CompressingBackend(
+                backend,
+                CompressionPolicy(
+                    min_bytes=config.compress_min_bytes,
+                    level_small=config.compress_level_small,
+                    large_bytes=config.compress_large_bytes,
+                    level_large=config.compress_level_large,
+                ),
+            )
+    return CountingBackend(backend)
 
 
 # ================================================================= retrying

@@ -1,0 +1,75 @@
+"""Shard re-homing: worker crashes cost a shard move, not a world rewind.
+
+The single-process :class:`~repro.core.recovery.RecoveryPolicy` recovers
+by rebuilding the whole runtime from a checkpoint — correct, but global.
+The distributed store can do strictly better because the coordinator's
+directory is *replicated state*: every acked non-readonly handler shipped
+the object's packed post-state, so the replica of each object reflects
+exactly the acked prefix of its history.  When a worker dies:
+
+1. its rank leaves the hash ring — consistent hashing guarantees only its
+   own keys move (the Hypothesis property test pins this);
+2. every object it owned is re-created on its new owner *from the
+   replica* (a ``Create`` jumps the per-object delivery queue);
+3. the in-flight messages the dead worker never acked are re-queued
+   behind the ``Create`` — their effects died with the worker, so
+   redelivery against the replica is exactly-once, not a duplicate.
+
+Surviving workers are never touched: no rollback, no replay, no rewind.
+The worker-kill chaos cell asserts the distributed run still converges
+to the fault-free reference state, which is the end-to-end proof that
+the replica + redelivery accounting is airtight.
+
+Budget exhaustion raises the same :class:`~repro.core.recovery.RecoveryFailed`
+the single-process supervisor uses.
+"""
+
+from __future__ import annotations
+
+from repro.core.recovery import RecoveryFailed
+
+__all__ = ["ShardRecoveryPolicy", "RecoveryFailed"]
+
+
+class ShardRecoveryPolicy:
+    """Decide and record how worker deaths are absorbed.
+
+    ``max_rehomes`` bounds how many crashes one run may absorb (each
+    re-home costs a full shard's worth of Create traffic); the policy
+    keeps the same human-readable ``events`` log style as the core
+    supervisor so chaos reports render uniformly.
+    """
+
+    def __init__(self, max_rehomes: int = 4) -> None:
+        if max_rehomes < 0:
+            raise ValueError("max_rehomes must be >= 0")
+        self.max_rehomes = max_rehomes
+        self.rehomes = 0
+        self.moved_objects = 0
+        self.requeued_messages = 0
+        self.events: list[str] = []
+
+    def on_worker_death(self, rank: int, survivors: int) -> None:
+        """Admission check: may this crash be absorbed?
+
+        Raises :class:`RecoveryFailed` when the budget is spent or no
+        worker is left to inherit the shard.
+        """
+        self.rehomes += 1
+        if self.rehomes > self.max_rehomes:
+            raise RecoveryFailed(
+                f"worker {rank} died but the re-home budget "
+                f"({self.max_rehomes}) is exhausted"
+            )
+        if survivors < 1:
+            raise RecoveryFailed(
+                f"worker {rank} died and no survivors remain to re-home to"
+            )
+
+    def record(self, rank: int, moved: int, requeued: int) -> None:
+        self.moved_objects += moved
+        self.requeued_messages += requeued
+        self.events.append(
+            f"rehome #{self.rehomes}: worker {rank} died, moved {moved} "
+            f"object(s), requeued {requeued} in-flight message(s)"
+        )

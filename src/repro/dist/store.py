@@ -1,0 +1,323 @@
+"""Tiered residency for shard workers: core -> peer memory -> disk.
+
+Each worker holds its shard's objects live in a bounded in-core tier
+(L0).  Under pressure it packs the least-recently-used object and demotes
+the bytes down the hierarchy:
+
+* **L1 — peer memory**: a bounded :class:`~repro.core.remote_memory.MemoryPool`
+  slab hosted by the ring neighbor's :class:`PeerMemoryServer` thread and
+  reached over a dedicated pipe.  Writes are **write-through**: every
+  demotion also lands on the local disk stack, so losing a peer (the
+  worker-kill chaos cell murders peers constantly) costs speed, never
+  bytes.  The pool itself evicts under pressure into the *host's* overflow
+  backend — the eviction-on-peer-pressure path of
+  :class:`~repro.core.remote_memory.MemoryPool`.
+* **L2 — local disk**: the same self-healing stack the single-process
+  runtime composes (retry + checksummed frames + counting), built by
+  :func:`~repro.core.storage.build_storage_stack` with a real
+  ``time.sleep`` for backoff.
+
+Loads probe L1 first and fall back to L2; a dead or cold peer is recorded
+in the counters (``peer_fallbacks``) but is never an error.  The
+coordinator's replicated directory entry is the tier of last resort and
+is only consulted at shard re-home — a worker that is alive can always
+satisfy its own loads from L1/L2.
+
+Everything here is transport-agnostic: the peer client/server speak any
+object with ``send``/``recv``/``poll`` (a ``multiprocessing`` connection
+in production, the same class across an in-process pipe in unit tests —
+which is how the forked worker internals stay inside coverage).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from repro.core.mobile import MobileObject, MobilePointer
+from repro.core.remote_memory import MemoryPool
+from repro.core.storage import StorageBackend
+from repro.dist.wire import PeerOp, PeerReply
+from repro.util.errors import ObjectNotFound, StorageFull
+
+__all__ = ["PeerMemoryServer", "PeerClient", "TieredStore", "resolve_class"]
+
+
+def resolve_class(cls_path: str) -> type:
+    """Import ``module:qualname`` (the Create message's class reference)."""
+    import importlib
+
+    module_name, _, qualname = cls_path.partition(":")
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not isinstance(obj, type) or not issubclass(obj, MobileObject):
+        raise TypeError(f"{cls_path} is not a MobileObject subclass")
+    return obj
+
+
+def class_path(cls: type) -> str:
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+class PeerMemoryServer:
+    """Serve a neighbor's spills out of a bounded local RAM slab.
+
+    Runs as a daemon thread beside the worker's control loop; the thread
+    owns the pool exclusively, so no locking is needed.  Requests are
+    :class:`PeerOp` rows; a ``put`` that overflows the slab demotes LRU
+    entries into the pool's overflow backend (or answers ``ok=False``
+    when the pool has no overflow and must refuse).
+    """
+
+    def __init__(self, conn, pool: MemoryPool) -> None:
+        self.conn = conn
+        self.pool = pool
+        self.requests = 0
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "PeerMemoryServer":
+        self._thread = threading.Thread(target=self.serve, daemon=True)
+        self._thread.start()
+        return self
+
+    def serve(self) -> None:
+        while True:
+            try:
+                op = self.conn.recv()
+            except (EOFError, OSError):
+                return
+            if op is None:  # orderly shutdown
+                return
+            self.requests += 1
+            self.conn.send(self.handle(op))
+
+    def handle(self, op: PeerOp) -> PeerReply:
+        try:
+            if op.op == "put":
+                self.pool.put(op.oid, op.data)
+                return PeerReply(ok=True)
+            if op.op == "get":
+                if not self.pool.holds(op.oid):
+                    return PeerReply(ok=False, error="miss")
+                return PeerReply(ok=True, data=self.pool.get(op.oid))
+            if op.op == "has":
+                return PeerReply(ok=self.pool.holds(op.oid))
+            if op.op == "del":
+                self.pool.drop(op.oid)
+                return PeerReply(ok=True)
+            return PeerReply(ok=False, error=f"bad op {op.op!r}")
+        except StorageFull as exc:
+            return PeerReply(ok=False, error=f"full: {exc}")
+        except Exception as exc:  # defensive: a server must answer
+            return PeerReply(ok=False, error=f"{type(exc).__name__}: {exc}")
+
+
+class PeerClient:
+    """The worker-side handle on its neighbor's memory server.
+
+    Any transport failure (broken pipe, reply timeout, refused put) marks
+    the peer dead and makes every later call a cheap no-op miss — the
+    tiered store then leans on its disk copy.  ``timeout_s`` bounds how
+    long a live-looking but wedged peer can stall a load.
+    """
+
+    def __init__(self, conn, timeout_s: float = 2.0) -> None:
+        self.conn = conn
+        self.timeout_s = timeout_s
+        self.dead = False
+        self.puts = 0
+        self.gets = 0
+        self.failures = 0
+
+    def _call(self, op: PeerOp) -> Optional[PeerReply]:
+        if self.dead or self.conn is None:
+            return None
+        try:
+            self.conn.send(op)
+            if not self.conn.poll(self.timeout_s):
+                raise TimeoutError("peer reply timeout")
+            return self.conn.recv()
+        except (EOFError, OSError, TimeoutError, BrokenPipeError):
+            self.dead = True
+            self.failures += 1
+            return None
+
+    def put(self, oid: int, data: bytes) -> bool:
+        reply = self._call(PeerOp("put", oid, data))
+        if reply is not None and reply.ok:
+            self.puts += 1
+            return True
+        return False
+
+    def get(self, oid: int) -> Optional[bytes]:
+        reply = self._call(PeerOp("get", oid))
+        if reply is not None and reply.ok:
+            self.gets += 1
+            return reply.data
+        return None
+
+    def close(self) -> None:
+        if self.conn is not None and not self.dead:
+            try:
+                self.conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+
+
+class TieredStore:
+    """A worker's residency hierarchy: live objects over packed tiers.
+
+    L0 is an LRU of live :class:`MobileObject` instances bounded by
+    ``budget_bytes`` (of ``obj.nbytes()``).  Demotion packs the victim and
+    writes through to disk, opportunistically caching the bytes in peer
+    memory; promotion unpacks from the fastest tier holding the bytes.
+    ``on_event`` (if given) receives obs events (EvictEvent / LoadEvent)
+    for the cross-process relay.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        disk: StorageBackend,
+        peer: Optional[PeerClient] = None,
+        on_event: Optional[Callable] = None,
+        node: int = 0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive")
+        self.budget = budget_bytes
+        self.disk = disk
+        self.peer = peer
+        self.on_event = on_event
+        self.node = node
+        self.clock = clock or (lambda: 0.0)
+        self._live: OrderedDict[int, MobileObject] = OrderedDict()
+        self.classes: dict[int, type] = {}
+        self._charged: dict[int, int] = {}  # oid -> bytes booked against L0
+        self.used = 0
+        self.evictions = 0
+        self.loads = 0
+        self.peer_hits = 0
+        self.peer_fallbacks = 0
+
+    # --------------------------------------------------------------- helpers
+    def _emit(self, event) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def owned(self) -> set[int]:
+        """Every oid this store is responsible for (live or packed)."""
+        return set(self.classes)
+
+    def _revive(self, oid: int, data: bytes) -> MobileObject:
+        cls = self.classes[oid]
+        obj = object.__new__(cls)
+        MobileObject.__init__(obj, MobilePointer(oid, self.node))
+        obj.unpack(data)
+        return obj
+
+    # ----------------------------------------------------------------- admit
+    def admit(self, oid: int, cls: type, state: bytes) -> None:
+        """Install (or overwrite) an object from packed state.
+
+        Used for Create and for re-homed shards; an overwrite supersedes
+        any stale packed copy a previous life left in the lower tiers.
+        """
+        self.classes[oid] = cls
+        if oid in self._live:
+            del self._live[oid]
+            self.used -= self._charged.pop(oid)
+        obj = self._revive(oid, state)
+        self._install(oid, obj)
+
+    def _install(self, oid: int, obj: MobileObject) -> None:
+        nbytes = obj.nbytes()
+        self._make_room(nbytes)
+        self._live[oid] = obj
+        self._live.move_to_end(oid)
+        self._charged[oid] = nbytes
+        self.used += nbytes
+
+    def _make_room(self, need: int) -> None:
+        # Evict LRU objects until the newcomer fits; a single object
+        # larger than the whole budget is admitted anyway (and will be
+        # the next victim), matching the OOC layer's overrun tolerance.
+        while self.used + need > self.budget and self._live:
+            victim_oid, obj = next(iter(self._live.items()))
+            self._evict(victim_oid, obj)
+
+    def _evict(self, oid: int, obj: MobileObject) -> None:
+        del self._live[oid]
+        self.used -= self._charged.pop(oid)
+        data = obj.pack()
+        # Write-through: disk always gets a copy (peer RAM is volatile —
+        # its owner may be the next chaos victim); peer memory is the
+        # fast read path when it is alive and has room.
+        self.disk.store(oid, data)
+        if self.peer is not None:
+            self.peer.put(oid, data)
+        self.evictions += 1
+        self._emit_evict(oid, len(data))
+
+    def _emit_evict(self, oid: int, nbytes: int) -> None:
+        from repro.obs.events import EvictEvent
+
+        self._emit(EvictEvent(
+            time=self.clock(), node=self.node, oid=oid, nbytes=nbytes,
+            clean=False, memory_used=self.used,
+        ))
+
+    # ------------------------------------------------------------------- get
+    def get(self, oid: int) -> MobileObject:
+        """The live object, promoting it through the tiers if needed."""
+        obj = self._live.get(oid)
+        if obj is not None:
+            self._live.move_to_end(oid)
+            return obj
+        if oid not in self.classes:
+            raise ObjectNotFound(f"object {oid} is not homed on this shard")
+        data = None
+        if self.peer is not None:
+            data = self.peer.get(oid)
+            if data is not None:
+                self.peer_hits += 1
+            else:
+                self.peer_fallbacks += 1
+        if data is None:
+            data = self.disk.load(oid)
+        obj = self._revive(oid, data)
+        self._install(oid, obj)
+        self.loads += 1
+        from repro.obs.events import LoadEvent
+
+        self._emit(LoadEvent(
+            time=self.clock(), node=self.node, oid=oid, nbytes=len(data),
+            background=False, memory_used=self.used,
+        ))
+        return obj
+
+    def touch_size(self, oid: int) -> None:
+        """Re-measure a live object after a mutating handler ran."""
+        obj = self._live.get(oid)
+        if obj is None:
+            return
+        obj.mark_dirty()  # drop the stale nbytes() cache
+        new = obj.nbytes()
+        self.used += new - self._charged[oid]
+        self._charged[oid] = new
+        self._live.move_to_end(oid)  # just ran: most recently used
+        self._make_room(0)
+
+    def counters(self) -> dict:
+        return {
+            "evictions": self.evictions,
+            "loads": self.loads,
+            "peer_hits": self.peer_hits,
+            "peer_fallbacks": self.peer_fallbacks,
+            "peer_puts": self.peer.puts if self.peer else 0,
+            "live": len(self._live),
+            "owned": len(self.classes),
+        }

@@ -1,0 +1,197 @@
+"""Wire protocol between the coordinator and its shard workers.
+
+Messages ride on :mod:`multiprocessing` connections (pipes), which frame
+and pickle for us; this module defines the *vocabulary* and the delivery
+discipline.  Three rules give exactly-once semantics over an unreliable
+link (and the wire-chaos cell proves them):
+
+1. **Coordinator-assigned ids.**  Every downlink message carries a
+   ``msg_id`` unique for the run.  The coordinator retransmits anything
+   unacknowledged past its timeout, so delivery is at-least-once.
+2. **Worker-side dedupe with cached ACKs.**  A worker remembers the ACK
+   it produced for every ``msg_id``; a duplicate delivery re-sends the
+   cached ACK without re-executing the handler.  At-least-once plus
+   dedupe is exactly-once *execution*.
+3. **Coordinator-side ACK dedupe.**  An ACK for an id no longer in
+   flight (already acked, or re-homed after a crash) is dropped.
+
+Effects travel *with* the ACK: a non-readonly handler's ACK carries the
+object's newly packed state (which becomes the coordinator's replicated
+directory entry) and every message the handler posted (which the
+coordinator routes through the shard map).  A crash therefore loses only
+unacknowledged work — exactly the set the coordinator still has queued
+for redelivery.
+
+:class:`WireChaos` is the deterministic fault model for the link: seeded
+per-``msg_id`` drop/duplicate decisions, with a cap on consecutive drops
+of the same message so chaos runs always make progress.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.util.errors import MRTSError
+
+__all__ = [
+    "Create",
+    "Post",
+    "Shutdown",
+    "Ack",
+    "PeerOp",
+    "PeerReply",
+    "WireChaos",
+    "DistError",
+]
+
+
+class DistError(MRTSError):
+    """A shard worker reported a failure the coordinator cannot absorb."""
+
+
+# --------------------------------------------------------------------------
+# Downlink: coordinator -> worker.  All carry msg_id for exactly-once.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Create:
+    """Install a mobile object from packed state.
+
+    Sent both at first creation (the coordinator constructs the object,
+    runs ``on_init``, and ships the packed result so its replica is
+    correct from birth) and at shard re-home (the state is then the last
+    acked replica of a crashed worker's object).
+    """
+
+    msg_id: int
+    oid: int
+    cls_path: str  # "module:qualname", resolved by the worker
+    state: bytes
+
+
+@dataclass(frozen=True)
+class Post:
+    """Deliver one application message to an object the worker owns."""
+
+    msg_id: int
+    oid: int
+    method: str
+    args: tuple
+    kwargs: dict
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Drain and exit; the final ACK carries buffered events and stats."""
+
+    msg_id: int
+
+
+# --------------------------------------------------------------------------
+# Uplink: worker -> coordinator.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Receipt plus every effect of executing ``msg_id``.
+
+    ``state`` is the object's packed post-handler state (``None`` for
+    readonly handlers and shutdown);  ``posts`` are the handler's outgoing
+    messages as ``(target_oid, method, args, kwargs)`` rows for the
+    coordinator to route; ``events`` are wire-encoded obs events (see
+    :mod:`repro.dist.events`); ``now`` is the worker's monotonic clock at
+    send time — the merger's watermark advances on it even when ``events``
+    is empty.  ``error`` carries a traceback string when the handler
+    raised; the coordinator surfaces it as :class:`DistError`.
+    """
+
+    msg_id: int
+    oid: int
+    state: Optional[bytes] = None
+    posts: tuple = ()
+    events: tuple = ()
+    now: float = 0.0
+    stats: Optional[dict] = None
+    error: Optional[str] = None
+
+
+# --------------------------------------------------------------------------
+# Peer-memory side channel: worker <-> neighbor's memory server thread.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PeerOp:
+    """One remote-memory request: ``op`` in {"put", "get", "has", "del"}."""
+
+    op: str
+    oid: int
+    data: Optional[bytes] = None
+
+
+@dataclass(frozen=True)
+class PeerReply:
+    ok: bool
+    data: Optional[bytes] = None
+    error: Optional[str] = None
+
+
+# --------------------------------------------------------------------------
+# Deterministic link-fault model.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class WireChaos:
+    """Seeded drop/duplicate decisions for the coordinator's link.
+
+    Decisions are keyed on ``(seed, msg_id, attempt)``, never on wall
+    time, so a chaos cell replays bit-for-bit.  ``max_drops_per_msg``
+    bounds how often the same message (or its ACK) can be dropped —
+    beyond the cap the link behaves; combined with retransmission this
+    guarantees convergence.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    max_drops_per_msg: int = 3
+    dropped_sends: int = 0
+    duplicated_sends: int = 0
+    dropped_acks: int = 0
+    _send_drops: dict = field(default_factory=dict)
+    _ack_drops: dict = field(default_factory=dict)
+    _send_attempt: dict = field(default_factory=dict)
+    _ack_attempt: dict = field(default_factory=dict)
+
+    def _decide(self, kind: str, msg_id: int, attempts: dict) -> random.Random:
+        attempt = attempts.get(msg_id, 0)
+        attempts[msg_id] = attempt + 1
+        return random.Random(f"{self.seed}:{kind}:{msg_id}:{attempt}")
+
+    def send_copies(self, msg_id: int) -> int:
+        """How many copies of this send actually hit the wire (0/1/2)."""
+        rng = self._decide("send", msg_id, self._send_attempt)
+        drops = self._send_drops.get(msg_id, 0)
+        if drops < self.max_drops_per_msg and rng.random() < self.drop_rate:
+            self._send_drops[msg_id] = drops + 1
+            self.dropped_sends += 1
+            return 0
+        if rng.random() < self.dup_rate:
+            self.duplicated_sends += 1
+            return 2
+        return 1
+
+    def drop_ack(self, msg_id: int) -> bool:
+        """Should the coordinator pretend it never saw this ACK?"""
+        rng = self._decide("ack", msg_id, self._ack_attempt)
+        drops = self._ack_drops.get(msg_id, 0)
+        if drops < self.max_drops_per_msg and rng.random() < self.drop_rate:
+            self._ack_drops[msg_id] = drops + 1
+            self.dropped_acks += 1
+            return True
+        return False

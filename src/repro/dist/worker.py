@@ -1,0 +1,222 @@
+"""The shard worker: one real process hosting one shard of the store.
+
+A worker is deliberately dumb: it owns no routing truth (the coordinator
+computes every assignment from the hash ring) and it executes exactly
+what it is told, exactly once.  The control loop is single-threaded —
+``recv``, execute, ``ack`` — so handlers on one shard are serial (the
+same guarantee one MRTS node gives its objects) and parallelism comes
+from running many workers.  The peer memory server rides on a side
+thread, serving the ring neighbor's spills concurrently with handler
+execution — real compute/communication overlap across processes, which
+is the whole point of leaving the DES.
+
+Every effect of a handler travels in its ACK: the packed post-state (the
+coordinator's replica), the handler's outgoing posts, and the worker's
+buffered obs events plus a clock watermark.  The dedupe cache
+(``msg_id -> Ack``) makes redelivery free: a duplicate is answered with
+the cached ACK, never re-executed.
+
+``ShardWorker`` is transport-agnostic (anything with ``send``/``recv``)
+so unit tests drive it in-process over ``multiprocessing.Pipe`` ends and
+the logic stays inside coverage; :func:`worker_main` is the process
+entry point that wires the real tiers together.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Optional
+
+from repro.core.mobile import MobilePointer
+from repro.core.remote_memory import MemoryPool
+from repro.core.storage import MemoryBackend, build_storage_stack
+from repro.dist.events import encode_event
+from repro.dist.store import (
+    PeerClient,
+    PeerMemoryServer,
+    TieredStore,
+    resolve_class,
+)
+from repro.dist.wire import Ack, Create, Post, Shutdown
+
+__all__ = ["ShardWorker", "DistHandlerContext", "worker_main"]
+
+
+class DistHandlerContext:
+    """The handler's window into the runtime, distributed edition.
+
+    Mirrors the paper's messaging surface: ``post`` buffers outgoing
+    messages, which ride the ACK back to the coordinator for routing
+    through the shard map (one-sided sends, like the ARMCI layer).  The
+    locality-dependent extras (``lock``, ``call_direct``, task trees) are
+    meaningless across a process boundary and are intentionally absent —
+    an application using them must run the simulated backends.
+    """
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self.outbox: list[tuple[int, str, tuple, dict]] = []
+
+    def post(self, target, method: str, *args, **kwargs) -> None:
+        oid = target.oid if isinstance(target, MobilePointer) else int(target)
+        self.outbox.append((oid, method, args, kwargs))
+
+    def grew(self, nbytes: int) -> None:
+        """Size-hint no-op: the store re-measures after every mutation."""
+
+
+class ShardWorker:
+    """Serve one shard over a control connection until Shutdown."""
+
+    def __init__(
+        self,
+        rank: int,
+        conn,
+        store: TieredStore,
+        t0: float = 0.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.rank = rank
+        self.conn = conn
+        self.store = store
+        self.t0 = t0
+        self._clock = clock
+        self._acked: dict[int, Ack] = {}
+        self._events: list = []
+        self.delivered = 0
+        self.duplicates = 0
+        # The store emits through the same buffer as handler spans.
+        store.on_event = self._events.append
+        store.clock = self.now
+
+    def now(self) -> float:
+        return self._clock() - self.t0
+
+    # ------------------------------------------------------------------ loop
+    def serve_forever(self) -> None:
+        while True:
+            try:
+                msg = self.conn.recv()
+            except (EOFError, OSError):
+                return  # coordinator went away; nothing left to serve
+            if not self.handle(msg):
+                return
+
+    def handle(self, msg) -> bool:
+        """Process one control message; returns False on Shutdown."""
+        cached = self._acked.get(msg.msg_id)
+        if cached is not None:
+            # Exactly-once: a redelivery (retransmit or wire duplicate)
+            # re-sends the receipt without re-executing anything.
+            self.duplicates += 1
+            self._send(cached)
+            return True
+        if isinstance(msg, Shutdown):
+            self._send(self._ack_shutdown(msg))
+            return False
+        if isinstance(msg, Create):
+            ack = self._do_create(msg)
+        elif isinstance(msg, Post):
+            ack = self._do_post(msg)
+        else:
+            ack = Ack(msg.msg_id, -1, error=f"unknown message {type(msg)}")
+        self._acked[msg.msg_id] = ack
+        self._send(ack)
+        return True
+
+    def _send(self, ack: Ack) -> None:
+        try:
+            self.conn.send(ack)
+        except (OSError, BrokenPipeError):  # pragma: no cover - dying link
+            pass
+
+    def _drain_events(self) -> tuple:
+        rows = tuple(encode_event(e) for e in self._events)
+        self._events.clear()
+        return rows
+
+    # -------------------------------------------------------------- messages
+    def _do_create(self, msg: Create) -> Ack:
+        try:
+            cls = resolve_class(msg.cls_path)
+            self.store.admit(msg.oid, cls, msg.state)
+        except Exception:
+            return Ack(msg.msg_id, msg.oid, error=traceback.format_exc())
+        return Ack(
+            msg.msg_id, msg.oid, state=None,
+            events=self._drain_events(), now=self.now(),
+        )
+
+    def _do_post(self, msg: Post) -> Ack:
+        from repro.obs.events import HandlerSpan
+
+        try:
+            obj = self.store.get(msg.oid)
+            fn = getattr(obj, msg.method, None)
+            if fn is None or not getattr(fn, "_mrts_handler", False):
+                raise AttributeError(
+                    f"{type(obj).__name__}.{msg.method} is not a handler"
+                )
+            readonly = getattr(fn, "_mrts_readonly", False)
+            ctx = DistHandlerContext(self.rank)
+            start = self.now()
+            fn(ctx, *msg.args, **msg.kwargs)
+            duration = self.now() - start
+            state = None
+            if not readonly:
+                self.store.touch_size(msg.oid)
+                state = obj.pack()
+            self.delivered += 1
+            self._events.append(HandlerSpan(
+                time=start, node=self.rank, oid=msg.oid, handler=msg.method,
+                duration=duration, comp_s=duration, queue_len=0,
+            ))
+        except Exception:
+            return Ack(msg.msg_id, msg.oid, error=traceback.format_exc())
+        return Ack(
+            msg.msg_id, msg.oid, state=state, posts=tuple(ctx.outbox),
+            events=self._drain_events(), now=self.now(),
+        )
+
+    def _ack_shutdown(self, msg: Shutdown) -> Ack:
+        stats = dict(self.store.counters())
+        stats.update(delivered=self.delivered, duplicates=self.duplicates)
+        if self.store.peer is not None:
+            self.store.peer.close()
+        return Ack(
+            msg.msg_id, -1, events=self._drain_events(), now=self.now(),
+            stats=stats,
+        )
+
+
+def worker_main(
+    rank: int,
+    conn,
+    peer_server_conn,
+    peer_client_conn,
+    config,
+    l0_bytes: int,
+    peer_pool_bytes: int,
+    t0: float,
+) -> None:
+    """Process entry point: compose the tiers and serve the shard.
+
+    The disk tier is the same self-healing stack the single-process
+    runtime uses (retry with *real* sleeps + checksummed frames +
+    counting) over a private in-process backend.  The peer server hosts
+    ``peer_pool_bytes`` of slab for the ring neighbor, overflowing under
+    pressure into its own demotion backend — the live deployment of the
+    MemoryPool eviction path.
+    """
+    disk = build_storage_stack(
+        config, MemoryBackend(), seed=rank, sleep=time.sleep
+    )
+    if peer_server_conn is not None:
+        PeerMemoryServer(
+            peer_server_conn,
+            MemoryPool(peer_pool_bytes, overflow=MemoryBackend()),
+        ).start()
+    peer = PeerClient(peer_client_conn) if peer_client_conn is not None else None
+    store = TieredStore(l0_bytes, disk, peer=peer, node=rank)
+    ShardWorker(rank, conn, store, t0=t0).serve_forever()

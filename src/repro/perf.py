@@ -53,6 +53,7 @@ __all__ = [
     "run_clean_read_storm",
     "run_oupdr_model_bench",
     "run_mesh_patch_stream",
+    "run_dist_storm",
     "run_perf_suite",
     "check_against_baseline",
 ]
@@ -293,6 +294,88 @@ def run_mesh_patch_stream(
         runtime.run()
     wall = time.perf_counter() - wall0
     return _WorkloadResult(wall_s=wall, runtime=runtime)
+
+
+def run_dist_storm(
+    seed: int = 0,
+    workers: int = 2,
+    n_actors: int = 16,
+    payload_bytes: int = 4096,
+    pulses: int = 4,
+    hops: int = 5,
+    fanout: int = 2,
+    grow_every: int = 3,
+    grow_bytes: int = 512,
+    l0_bytes: int = 16 * 1024,
+    scale: float = 1.0,
+    trace_out: Optional[str] = None,
+) -> dict:
+    """The distributed backend's benchmark workload (``--backend dist``).
+
+    Runs the seeded storm twice: once on the single-process simulator
+    (the reference) and once on a :class:`~repro.dist.DistRuntime` with
+    real worker processes.  The report's ``state_equal`` flag is the
+    correctness verdict — the distributed final state must match the
+    reference exactly — and the CLI turns a mismatch into a non-zero
+    exit.  ``trace_out`` (if given) writes the merged cross-process
+    Perfetto trace.
+
+    Wall-clock and wire counters are reported but never regression-gated
+    (real processes, real scheduling); ``state_equal`` is the only hard
+    gate, which is why :func:`check_against_baseline` skips this
+    workload's metrics (none of ``_GATED_METRICS`` appear in it).
+    """
+    from repro.dist import DistRuntime
+    from repro.testing.harness import RuntimeHarness
+    from repro.testing.workloads import WorkloadSpec, run_storm
+
+    pulses = max(1, int(pulses * scale))
+    spec = WorkloadSpec(
+        n_actors=n_actors, payload_bytes=payload_bytes,
+        initial_pulses=pulses, hops=hops, fanout=fanout,
+        grow_every=grow_every, grow_bytes=grow_bytes, seed=seed,
+    )
+
+    harness = RuntimeHarness(n_nodes=workers, memory_bytes=1 << 20)
+    ref_ptrs = harness.run_storm(spec)
+    reference = {
+        p.oid: (o.hits, o.forwarded, len(o.payload))
+        for p in ref_ptrs
+        for o in [harness.runtime.get_object(p)]
+    }
+
+    wall0 = time.perf_counter()
+    with DistRuntime(workers, l0_bytes=l0_bytes) as runtime:
+        sub = runtime.bus.subscribe() if trace_out else None
+        ptrs = run_storm(runtime, spec)
+        final = {
+            p.oid: (o.hits, o.forwarded, len(o.payload))
+            for p in ptrs
+            for o in [runtime.get_object(p)]
+        }
+        stats = runtime.close()
+        if trace_out and sub is not None:
+            from repro.obs import write_chrome_trace
+
+            write_chrome_trace(list(sub.events), trace_out)
+    wall = time.perf_counter() - wall0
+
+    return {
+        "wall_s": round(wall, 3),
+        "workers": workers,
+        "state_equal": final == reference,
+        "delivered": stats.delivered,
+        "posts_routed": stats.posts_routed,
+        "retransmits": stats.retransmits,
+        "rehomes": stats.rehomes,
+        "bytes_replicated": stats.bytes_replicated,
+        "events_merged": stats.events_merged,
+        "l0_evictions": stats.aggregate("evictions"),
+        "tier_loads": stats.aggregate("loads"),
+        "peer_hits": stats.aggregate("peer_hits"),
+        "peer_fallbacks": stats.aggregate("peer_fallbacks"),
+        "peer_puts": stats.aggregate("peer_puts"),
+    }
 
 
 def run_perf_suite(seed: int = 0, scale: float = 1.0) -> dict:

@@ -38,7 +38,8 @@ from repro.testing.invariants import check_runtime
 from repro.testing.workloads import DeltaStormActor, StormActor
 
 __all__ = ["ChaosSpec", "ChaosReport", "CHAOS_MATRIX", "run_chaos_case",
-           "run_chaos_matrix"]
+           "run_chaos_matrix", "DistChaosSpec", "DIST_CHAOS_MATRIX",
+           "run_dist_chaos_case", "run_dist_chaos_matrix"]
 
 # Sentinel: the recovered incarnations keep the same fault plan as the
 # first (the medium stays flaky); ``None`` means the rebuilt incarnation
@@ -326,3 +327,184 @@ def run_chaos_matrix(
 ) -> list[ChaosReport]:
     """Run every matrix cell; used by ``mrts-bench chaos``."""
     return [run_chaos_case(spec) for spec in (specs or CHAOS_MATRIX)]
+
+
+# ==========================================================================
+# The distributed chaos matrix: real worker processes under fire.
+# ==========================================================================
+#
+# Same verification discipline as the simulated matrix — seeded storm,
+# fault-free reference, state equality, invariants at phase boundaries —
+# but the reference is the *single-process simulator* and the chaos run is
+# a :class:`~repro.dist.DistRuntime`, so every cell simultaneously pins
+# cross-backend equivalence and fault convergence.  The worker-kill cell
+# is the proof that a crash is absorbed by shard re-homing (the recovery
+# event log shows the move and the runtime is never rebuilt); the wire
+# cell proves exactly-once delivery under a lossy, duplicating link.
+
+
+@dataclass(frozen=True)
+class DistChaosSpec:
+    """One cell of the distributed chaos matrix."""
+
+    name: str
+    workers: int = 3
+    # Crash injection: SIGKILL `kill_rank` once `kill_after_acks` ACKs
+    # have been processed (count-based, hence reproducible in shape).
+    kill_rank: Optional[int] = None
+    kill_after_acks: int = 0
+    # Link-fault injection (deterministic per seed, see WireChaos).
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    chaos_seed: int = 0
+    expect_rehome: bool = False
+    # Workload shape (small: the matrix spawns real processes in CI).
+    n_actors: int = 10
+    payload_bytes: int = 2048
+    pulses: int = 3
+    hops: int = 4
+    fanout: int = 2
+    grow_every: int = 3
+    grow_bytes: int = 512
+    l0_bytes: int = 8 * 1024
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if not (0.0 <= self.drop_rate < 1.0 and 0.0 <= self.dup_rate < 1.0):
+            raise ValueError("drop/dup rates must be in [0, 1)")
+        if self.kill_rank is not None and not (
+            0 <= self.kill_rank < self.workers
+        ):
+            raise ValueError("kill_rank out of range")
+
+
+DIST_CHAOS_MATRIX: list[DistChaosSpec] = [
+    # Kill a worker mid-epoch: its shard must re-home from the replicated
+    # directory entries and unacked work must be redelivered — no rewind.
+    DistChaosSpec(
+        name="dist-worker-kill",
+        workers=3,
+        kill_rank=1,
+        kill_after_acks=30,
+        expect_rehome=True,
+    ),
+    # Drop and duplicate wire messages both ways: retransmission plus
+    # two-sided dedupe must still deliver exactly once.
+    DistChaosSpec(
+        name="dist-wire-chaos",
+        workers=2,
+        drop_rate=0.15,
+        dup_rate=0.15,
+        chaos_seed=11,
+    ),
+]
+
+
+def _dist_reference(spec: DistChaosSpec) -> dict[int, tuple]:
+    """Fault-free single-process reference state for a dist cell."""
+    from repro.testing.harness import RuntimeHarness
+
+    harness = RuntimeHarness(n_nodes=spec.workers, memory_bytes=1 << 20)
+    actors = [
+        harness.runtime.create_object(
+            StormActor, spec.payload_bytes, spec.seed, spec.grow_every,
+            spec.grow_bytes, node=i % spec.workers,
+        )
+        for i in range(spec.n_actors)
+    ]
+    for ptr in actors:
+        harness.runtime.post(ptr, "meet", actors)
+    harness.runtime.run()
+    rng = random.Random(spec.seed)
+    for k in range(spec.pulses):
+        harness.runtime.post(
+            actors[rng.randrange(len(actors))], "pulse",
+            spec.hops, spec.fanout, f"p{k}",
+        )
+        harness.runtime.run()
+    return _final_state(harness.runtime, actors)
+
+
+def run_dist_chaos_case(spec: DistChaosSpec) -> ChaosReport:
+    """Execute one distributed cell: reference, chaos run, verdict."""
+    from repro.dist import DistRuntime, WireChaos
+    from repro.testing.invariants import check_dist
+
+    want = _dist_reference(spec)
+
+    chaos = (
+        WireChaos(seed=spec.chaos_seed, drop_rate=spec.drop_rate,
+                  dup_rate=spec.dup_rate)
+        if (spec.drop_rate or spec.dup_rate)
+        else None
+    )
+    violations: list[str] = []
+    with DistRuntime(
+        spec.workers, l0_bytes=spec.l0_bytes, chaos=chaos,
+        rto_s=0.1 if chaos else 0.25,
+    ) as runtime:
+        if spec.kill_rank is not None:
+            runtime.schedule_kill(spec.kill_rank, spec.kill_after_acks)
+
+        def check(label: str) -> None:
+            for v in check_dist(runtime):
+                violations.append(f"{label}: {v}")
+
+        actors = [
+            runtime.create_object(
+                StormActor, spec.payload_bytes, spec.seed, spec.grow_every,
+                spec.grow_bytes,
+            )
+            for _ in range(spec.n_actors)
+        ]
+        for ptr in actors:
+            runtime.post(ptr, "meet", actors)
+        runtime.run()
+        check("after meets")
+        rng = random.Random(spec.seed)
+        for k in range(spec.pulses):
+            target = actors[rng.randrange(len(actors))]
+            runtime.post(target, "pulse", spec.hops, spec.fanout, f"p{k}")
+            runtime.run()
+            check(f"after pulse {k}")
+        got = _final_state(runtime, actors)
+        stats = runtime.stats
+        recovery = runtime.recovery
+
+    report = ChaosReport(
+        name=spec.name,
+        state_matches=(got == want),
+        violations=violations,
+        restarts=stats.rehomes,  # re-homes play the restart column's role
+        retries=stats.retransmits,
+        events=list(recovery.events),
+    )
+    if not report.state_matches:
+        diff = {
+            oid: (got.get(oid), want.get(oid))
+            for oid in set(got) | set(want)
+            if got.get(oid) != want.get(oid)
+        }
+        report.problems.append(f"final state diverged: {diff}")
+    report.problems.extend(violations)
+    if spec.expect_rehome:
+        if stats.rehomes < 1:
+            report.problems.append(
+                "expected the crash to be absorbed by a shard re-home"
+            )
+        if stats.moved_objects < 1:
+            report.problems.append("re-home moved no objects")
+    if chaos is not None and not (
+        chaos.dropped_sends or chaos.dropped_acks or chaos.duplicated_sends
+    ):
+        report.problems.append("wire chaos never fired (dead cell)")
+    return report
+
+
+def run_dist_chaos_matrix(
+    specs: Optional[list[DistChaosSpec]] = None,
+) -> list[ChaosReport]:
+    """Run the distributed matrix; used by ``mrts-bench chaos --backend dist``."""
+    return [run_dist_chaos_case(spec) for spec in (specs or DIST_CHAOS_MATRIX)]

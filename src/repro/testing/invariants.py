@@ -26,7 +26,9 @@ Invariants checked (``check_runtime``):
   in flight, and the termination detector agrees.
 
 ``check_ooc_layer`` applies the memory/lock subset to a bare
-:class:`~repro.core.ooc.OOCLayer` (unit tests).  ``check_mesh`` validates
+:class:`~repro.core.ooc.OOCLayer` (unit tests).  ``check_dist`` applies
+the same discipline to the distributed coordinator (shard map, replicated
+directory, delivery ledger).  ``check_mesh`` validates
 a :class:`~repro.mesh.Triangulation`: constrained-Delaunay conformity plus
 positive areas and an optional minimum-angle floor.
 """
@@ -48,6 +50,7 @@ __all__ = [
     "InvariantViolation",
     "check_ooc_layer",
     "check_runtime",
+    "check_dist",
     "check_mesh",
     "assert_invariants",
 ]
@@ -187,6 +190,77 @@ def check_runtime(runtime: "MRTS") -> list[str]:
             f"termination detector quiescent with "
             f"{runtime.termination.outstanding} outstanding items"
         )
+    return problems
+
+
+def check_dist(runtime) -> list[str]:
+    """Cross-process invariants of a :class:`~repro.dist.DistRuntime`.
+
+    Checked at phase boundaries of the dist chaos cells: the shard map,
+    the replicated directory and the delivery machinery must agree, and a
+    quiescent coordinator must owe nothing to anyone.
+
+    * **shard truth** — every directory entry's home is a live ring
+      member, and the per-worker in-flight ledger sums to the in-flight
+      table;
+    * **replica presence** — every entry has packed state and a class
+      reference the coordinator can resolve (it must be able to re-home
+      the object at any moment);
+    * **delivery sanity** — every outstanding message id is in flight,
+      aimed at its object's current home;
+    * **quiescence** — when the runtime reports quiescent, no message is
+      pending or in flight.
+    """
+    problems: list[str] = []
+    members = runtime.ring.members
+    for oid, entry in runtime.directory.items():
+        if entry.home not in members:
+            problems.append(
+                f"object {oid} homed on rank {entry.home}, not in the ring"
+            )
+        elif not runtime.workers[entry.home].alive:
+            problems.append(
+                f"object {oid} homed on dead worker {entry.home}"
+            )
+        if not entry.state:
+            problems.append(f"object {oid} has an empty directory replica")
+        try:
+            from repro.dist.store import resolve_class
+
+            resolve_class(entry.cls_path)
+        except Exception as exc:
+            problems.append(
+                f"object {oid} class {entry.cls_path!r} unresolvable: {exc}"
+            )
+    ledger = sum(runtime._per_worker_inflight.values())
+    if ledger != len(runtime._inflight):
+        problems.append(
+            f"per-worker in-flight ledger says {ledger}, "
+            f"in-flight table has {len(runtime._inflight)}"
+        )
+    for oid, msg_id in runtime._outstanding.items():
+        if msg_id is None:
+            continue
+        rec = runtime._inflight.get(msg_id)
+        if rec is None:
+            problems.append(
+                f"object {oid} outstanding msg {msg_id} is not in flight"
+            )
+        elif rec.worker != runtime.directory[oid].home:
+            problems.append(
+                f"object {oid} msg {msg_id} aimed at rank {rec.worker} "
+                f"but homed on {runtime.directory[oid].home}"
+            )
+    if runtime._quiescent():
+        stuck = [
+            oid for oid, msg_id in runtime._outstanding.items()
+            if msg_id is not None
+        ]
+        if stuck:
+            problems.append(
+                f"quiescent but objects {stuck} still show an "
+                "outstanding message"
+            )
     return problems
 
 

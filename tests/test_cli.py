@@ -136,3 +136,45 @@ def test_selftest_reports_failures(capsys, monkeypatch):
     out = capsys.readouterr().out
     assert "FAIL (1/2)" in out
     assert "memory_used off by 7" in out
+
+
+def test_dist_backend_listed(capsys):
+    main(["--list"])
+    out = capsys.readouterr().out
+    assert "--backend dist" in out
+
+
+def test_perf_dist_backend_end_to_end(capsys, tmp_path):
+    """The acceptance gate: dist_storm on >= 2 real workers, state-equal
+    to the reference, merged trace written, report merged."""
+    import json
+
+    report = tmp_path / "bench.json"
+    trace = tmp_path / "trace.json"
+    assert main([
+        "perf", "--backend", "dist", "--workers", "2", "--scale", "0.5",
+        "--output", str(report), "--trace-out", str(trace),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "dist_storm" in out
+    assert "PASS" in out
+    doc = json.loads(report.read_text())
+    metrics = doc["workloads"]["dist_storm"]
+    assert metrics["workers"] == 2
+    assert metrics["state_equal"] is True
+    events = json.loads(trace.read_text())["traceEvents"]
+    assert events, "empty cross-process trace"
+    assert {e["pid"] for e in events if "pid" in e}
+
+
+def test_perf_dist_rejects_bad_worker_count():
+    with pytest.raises(SystemExit):
+        main(["perf", "--backend", "dist", "--workers", "0"])
+
+
+def test_chaos_dist_backend_runs_the_matrix(capsys):
+    assert main(["chaos", "--backend", "dist", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "dist-worker-kill" in out
+    assert "dist-wire-chaos" in out
+    assert "PASS" in out

@@ -5,6 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import (
     CentralQueueExecutor,
+    ProcessPoolExecutorBackend,
     SerialExecutor,
     Task,
     ThreadPoolExecutorBackend,
@@ -129,3 +130,25 @@ def test_more_workers_never_hurt_without_overheads(workers):
     one = WorkStealingExecutor(1, overhead=0.0, steal_cost=0.0).schedule(tasks)
     many = WorkStealingExecutor(workers, overhead=0.0, steal_cost=0.0).schedule(tasks)
     assert many.makespan <= one.makespan + 1e-9
+
+
+def test_process_pool_backend_runs_real_processes():
+    import os
+
+    pool = ProcessPoolExecutorBackend(workers=2)
+    try:
+        assert pool._pool is None  # lazy: nothing forked yet
+        results = pool.map_tasks([])
+        assert results == []
+        assert pool._pool is None  # an empty map still forks nothing
+        future = pool.submit(os.getpid)
+        assert future.result() != os.getpid()  # truly another process
+        assert pool.submit(sum, [1, 2, 3]).result() == 6
+    finally:
+        pool.shutdown()
+        pool.shutdown()  # idempotent
+
+
+def test_process_pool_worker_validation():
+    with pytest.raises(ValueError):
+        ProcessPoolExecutorBackend(workers=0)

@@ -13,7 +13,12 @@ import pytest
 
 from repro.core import MRTS, MobileObject, attach_remote_memory, handler
 from repro.core.remote_memory import MemoryPool, RemoteMemoryBackend
-from repro.core.storage import FRAME_OVERHEAD, CountingBackend, decode_frame
+from repro.core.storage import (
+    FRAME_OVERHEAD,
+    CountingBackend,
+    MemoryBackend,
+    decode_frame,
+)
 from repro.sim.cluster import ClusterSpec
 from repro.sim.node import NodeSpec
 from repro.testing.faults import FaultPlan, StorageFault
@@ -173,3 +178,145 @@ def test_pool_exhaustion_is_permanent_not_retried():
     # StorageFull is permanent: the retry layer must not have burned
     # attempts on it.
     assert rt.stats.storage_retries == 0
+
+
+# ------------------------------------------- eviction on peer pressure
+def make_pressured_pool(capacity=1000):
+    return MemoryPool(capacity, overflow=MemoryBackend())
+
+
+def test_pressure_demotes_lru_entries_into_overflow():
+    pool = make_pressured_pool()
+    pool.put(1, b"a" * 400)
+    pool.put(2, b"b" * 400)
+    demoted = pool.put(3, b"c" * 400)  # needs 200 more: 1 is the LRU victim
+    assert demoted == [1]
+    assert pool.used == 800
+    assert not pool.store.contains(1)
+    assert pool.overflow.contains(1)
+    assert pool.get(1) == b"a" * 400  # still readable, from the lower tier
+    assert pool.evictions == 1
+    assert pool.demoted_bytes == 400
+
+
+def test_touch_protects_recently_used_entries():
+    pool = make_pressured_pool()
+    pool.put(1, b"a" * 400)
+    pool.put(2, b"b" * 400)
+    pool.touch(1)  # now 2 is the least recently used
+    assert pool.put(3, b"c" * 400) == [2]
+    assert pool.store.contains(1)
+    assert pool.overflow.contains(2)
+
+
+def test_get_refreshes_recency_like_touch():
+    pool = make_pressured_pool()
+    pool.put(1, b"a" * 400)
+    pool.put(2, b"b" * 400)
+    assert pool.get(1) == b"a" * 400  # a read is a touch
+    assert pool.put(3, b"c" * 400) == [2]
+
+
+def test_pressure_can_evict_several_victims():
+    pool = make_pressured_pool()
+    for oid in range(1, 5):
+        pool.put(oid, b"x" * 250)  # full: 4 x 250
+    demoted = pool.put(9, b"y" * 600)
+    assert demoted == [1, 2, 3]  # strict LRU order
+    assert pool.used == 250 + 600
+    assert pool.evictions == 3
+    assert pool.demoted_bytes == 750
+
+
+def test_no_overflow_backend_keeps_hard_capacity():
+    pool = MemoryPool(1000)  # no overflow: original behavior
+    pool.put(1, b"a" * 900)
+    with pytest.raises(StorageFull, match="exhausted"):
+        pool.put(2, b"b" * 200)
+    assert pool.used == 900
+    assert pool.evictions == 0
+
+
+def test_oversized_put_rejected_even_with_overflow():
+    pool = make_pressured_pool(capacity=1000)
+    pool.put(1, b"a" * 500)
+    with pytest.raises(StorageFull):
+        pool.put(2, b"b" * 1500)  # larger than the whole slab
+    assert pool.used == 500  # nothing was demoted for a doomed store
+    assert pool.evictions == 0
+
+
+def test_replacement_supersedes_stale_overflow_copy():
+    pool = make_pressured_pool()
+    pool.put(1, b"old" * 100)
+    pool.put(2, b"b" * 800)  # demotes 1 under pressure
+    assert pool.overflow.contains(1)
+    pool.put(1, b"new" * 50)  # fresh RAM copy is now the truth
+    assert not pool.overflow.contains(1)
+    assert pool.get(1) == b"new" * 50
+    assert pool.overflow_loads == 0
+
+
+def test_overflow_reads_are_counted():
+    pool = make_pressured_pool()
+    pool.put(1, b"a" * 600)
+    pool.put(2, b"b" * 600)  # demotes 1
+    assert pool.get(1) == b"a" * 600
+    assert pool.get(1) == b"a" * 600
+    assert pool.overflow_loads == 2
+
+
+def test_drop_clears_both_tiers():
+    pool = make_pressured_pool()
+    pool.put(1, b"a" * 600)
+    pool.put(2, b"b" * 600)  # 1 demoted, 2 in RAM
+    pool.drop(1)
+    pool.drop(2)
+    pool.drop(3)  # idempotent on a miss
+    assert pool.used == 0
+    assert not pool.holds(1) and not pool.holds(2)
+    with pytest.raises(ObjectNotFound):
+        pool.get(1)
+
+
+def test_append_evicts_under_pressure_too():
+    pool = make_pressured_pool()
+    pool.put(1, b"a" * 500)
+    pool.put(2, b"b" * 400)
+    assert pool.append(2, b"+" * 200) == [1]
+    assert pool.get(2) == b"b" * 400 + b"+" * 200
+    assert pool.used == 600
+
+
+def test_peak_used_is_a_high_watermark():
+    pool = make_pressured_pool()
+    pool.put(1, b"a" * 900)
+    pool.drop(1)
+    pool.put(2, b"b" * 100)
+    assert pool.used == 100
+    assert pool.peak_used == 900
+
+
+def test_evict_candidates_previews_without_moving():
+    pool = make_pressured_pool()
+    pool.put(1, b"a" * 300)
+    pool.put(2, b"b" * 300)
+    pool.put(3, b"c" * 300)
+    assert pool.evict_candidates(400) == [1, 2]
+    assert pool.used == 900  # a preview, not an eviction
+    assert pool.evictions == 0
+
+
+def test_backend_surface_spans_both_tiers():
+    """RemoteMemoryBackend semantics hold when entries live in overflow."""
+    rt = MRTS(cluster())
+    pool = make_pressured_pool()
+    backend = RemoteMemoryBackend(rt, 0, pool)
+    backend.store(1, b"a" * 600)
+    backend.store(2, b"b" * 600)  # 1 demoted under pressure
+    assert backend.contains(1) and backend.contains(2)
+    assert backend.size(1) == 600  # served from the overflow tier
+    assert backend.load(1) == b"a" * 600
+    assert backend.stored_ids() == [1, 2]
+    backend.delete(1)
+    assert not backend.contains(1)

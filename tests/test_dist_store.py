@@ -1,0 +1,439 @@
+"""In-process unit tests for the distributed store machinery.
+
+Everything under :mod:`repro.dist` below the coordinator is
+transport-agnostic (any object with ``send``/``recv``/``poll`` works), so
+these tests drive the *same* classes the forked workers run — tiered
+residency, peer memory server/client, the shard worker's exactly-once
+control loop, the event codec and the watermark merger — entirely
+in-process, where coverage can see them.
+"""
+
+import multiprocessing as mp
+import threading
+
+import pytest
+
+from repro.core import MobileObject, handler
+from repro.core.mobile import MobilePointer
+from repro.core.remote_memory import MemoryPool
+from repro.core.storage import MemoryBackend
+from repro.dist import (
+    PeerClient,
+    PeerMemoryServer,
+    ShardWorker,
+    TieredStore,
+    WireChaos,
+    decode_event,
+    encode_event,
+)
+from repro.dist.events import EVENT_TYPES, EventMerger
+from repro.dist.store import class_path, resolve_class
+from repro.dist.wire import Ack, Create, PeerOp, Post, Shutdown
+from repro.obs.events import EvictEvent, EventBus, HandlerSpan, LoadEvent
+from repro.util.errors import ObjectNotFound
+
+
+class Probe(MobileObject):
+    """A small object with a payload and handlers for every ACK shape."""
+
+    def __init__(self, ptr, size=2000):
+        super().__init__(ptr)
+        self.data = bytes(size)
+        self.count = 0
+
+    @handler
+    def bump(self, ctx, k=1):
+        self.count += k
+
+    @handler
+    def grow(self, ctx, nbytes):
+        self.data += bytes(nbytes)
+
+    @handler(readonly=True)
+    def peek(self, ctx):
+        pass
+
+    @handler
+    def spray(self, ctx, target_oid):
+        ctx.post(MobilePointer(target_oid, 0), "bump", 2)
+
+    @handler
+    def boom(self, ctx):
+        raise RuntimeError("boom")
+
+    def plain(self, ctx):  # not a handler: posting it must fail
+        pass
+
+
+def probe(oid, size=2000):
+    return Probe(MobilePointer(oid, 0), size=size)
+
+
+def tiered(budget=6000, peer=None):
+    return TieredStore(budget, MemoryBackend(), peer=peer)
+
+
+# ------------------------------------------------------------- class paths
+def test_class_path_round_trip():
+    path = class_path(Probe)
+    assert resolve_class(path) is Probe
+
+
+def test_resolve_class_rejects_non_mobile_types():
+    with pytest.raises(TypeError):
+        resolve_class("builtins:dict")
+
+
+# ------------------------------------------------------------ tiered store
+def test_store_admits_and_serves_live_objects():
+    store = tiered()
+    store.admit(1, Probe, probe(1).pack())
+    obj = store.get(1)
+    assert isinstance(obj, Probe)
+    assert store.get(1) is obj  # L0 hit: same instance
+    assert store.owned() == {1}
+    assert store.counters()["loads"] == 0
+
+
+def test_store_evicts_lru_and_promotes_from_disk():
+    store = tiered(budget=6000)
+    for oid in (1, 2, 3):  # ~2KB each: the third admit evicts oid 1
+        store.admit(oid, Probe, probe(oid).pack())
+    assert store.evictions >= 1
+    assert store.disk.contains(1)  # write-through landed on disk
+    obj = store.get(1)  # promotion: revived from packed bytes
+    assert obj.count == 0
+    assert store.loads == 1
+    assert store.counters()["live"] <= 3
+
+
+def test_store_eviction_prefers_least_recently_used():
+    store = tiered(budget=6000)
+    store.admit(1, Probe, probe(1).pack())
+    store.admit(2, Probe, probe(2).pack())
+    store.get(1)  # refresh 1: now 2 is the LRU victim
+    store.admit(3, Probe, probe(3).pack())
+    assert 1 in store._live
+    assert 2 not in store._live
+
+
+def test_touch_size_recharges_after_mutation():
+    store = tiered(budget=50_000)
+    store.admit(1, Probe, probe(1).pack())
+    before = store.used
+    store.get(1).data += bytes(4000)
+    store.touch_size(1)
+    assert store.used > before
+    assert store._charged[1] == store.get(1).nbytes()
+
+
+def test_unknown_oid_raises_object_not_found():
+    with pytest.raises(ObjectNotFound):
+        tiered().get(42)
+
+
+def test_admit_overwrites_a_previous_life():
+    """Re-homing re-admits an oid the store may already track."""
+    store = tiered()
+    store.admit(1, Probe, probe(1).pack())
+    store.get(1).count = 99
+    fresh = probe(1)
+    fresh.count = 7
+    store.admit(1, Probe, fresh.pack())
+    assert store.get(1).count == 7
+    assert store.used == store._charged[1]
+
+
+def test_store_emits_evict_and_load_events():
+    store = tiered(budget=6000)
+    seen = []
+    store.on_event = seen.append
+    for oid in (1, 2, 3):
+        store.admit(oid, Probe, probe(oid).pack())
+    store.get(1)
+    kinds = {type(e) for e in seen}
+    assert EvictEvent in kinds and LoadEvent in kinds
+
+
+# ------------------------------------------------------- peer memory tiers
+def served_pool(capacity=100_000, overflow=True):
+    """A live PeerMemoryServer thread and a client across a real pipe."""
+    client_end, server_end = mp.Pipe()
+    pool = MemoryPool(capacity, overflow=MemoryBackend() if overflow else None)
+    server = PeerMemoryServer(server_end, pool).start()
+    return PeerClient(client_end, timeout_s=5.0), server, pool
+
+
+def test_peer_put_get_round_trip():
+    client, server, pool = served_pool()
+    assert client.put(1, b"x" * 500)
+    assert client.get(1) == b"x" * 500
+    assert client.get(2) is None  # a miss, not an error
+    assert not client.dead
+    assert pool.used == 500
+    client.close()
+
+
+def test_peer_server_evicts_under_pressure_into_overflow():
+    client, server, pool = served_pool(capacity=1000)
+    assert client.put(1, b"a" * 600)
+    assert client.put(2, b"b" * 600)  # slab full: 1 demotes to overflow
+    assert pool.evictions == 1
+    assert pool.overflow.contains(1)
+    assert client.get(1) == b"a" * 600  # served from the demoted tier
+    assert pool.overflow_loads == 1
+    client.close()
+
+
+def test_peer_server_refuses_when_no_overflow():
+    client, server, pool = served_pool(capacity=1000, overflow=False)
+    assert client.put(1, b"a" * 900)
+    assert not client.put(2, b"b" * 500)  # refused, reply received
+    assert not client.dead  # a refusal is an answer, not a dead link
+    assert pool.used == 900
+    client.close()
+
+
+def test_peer_server_handles_has_del_and_bad_ops():
+    pool = MemoryPool(1000)
+    server = PeerMemoryServer(conn=None, pool=pool)
+    assert server.handle(PeerOp("put", 1, b"x" * 10)).ok
+    assert server.handle(PeerOp("has", 1)).ok
+    assert server.handle(PeerOp("del", 1)).ok
+    assert not server.handle(PeerOp("has", 1)).ok
+    bad = server.handle(PeerOp("zap", 1))
+    assert not bad.ok and "bad op" in bad.error
+
+
+def test_peer_client_timeout_marks_peer_dead_permanently():
+    client_end, _server_end = mp.Pipe()  # nobody is serving
+    client = PeerClient(client_end, timeout_s=0.05)
+    assert client.get(1) is None
+    assert client.dead
+    assert client.failures == 1
+    assert not client.put(1, b"x")  # later calls are cheap no-ops
+    assert client.failures == 1
+
+
+def test_tiered_store_survives_peer_death_via_write_through():
+    """The worker-kill guarantee: peer RAM is a cache, disk is the truth."""
+    client_end, _server_end = mp.Pipe()
+    dead_peer = PeerClient(client_end, timeout_s=0.05)
+    store = tiered(budget=6000, peer=dead_peer)
+    for oid in (1, 2, 3):
+        store.admit(oid, Probe, probe(oid).pack())
+    assert store.evictions >= 1
+    obj = store.get(1)  # peer miss -> disk fallback
+    assert isinstance(obj, Probe)
+    assert store.peer_fallbacks >= 1
+    assert store.peer_hits == 0
+
+
+def test_tiered_store_reads_prefer_the_peer():
+    client, server, pool = served_pool()
+    store = tiered(budget=6000, peer=client)
+    for oid in (1, 2, 3):
+        store.admit(oid, Probe, probe(oid).pack())
+    store.get(1)
+    assert store.peer_hits >= 1
+    assert store.counters()["peer_puts"] >= 1
+    client.close()
+
+
+# ------------------------------------------------------------ shard worker
+class Sink:
+    """A capture-only connection end for driving ShardWorker.handle."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, msg):
+        self.sent.append(msg)
+
+
+def worker_with_sink(budget=50_000):
+    sink = Sink()
+    worker = ShardWorker(0, sink, tiered(budget))
+    return worker, sink
+
+
+def test_worker_create_then_post_updates_replica():
+    worker, sink = worker_with_sink()
+    assert worker.handle(Create(1, 10, class_path(Probe), probe(10).pack()))
+    assert worker.handle(Post(2, 10, "bump", (5,), {}))
+    create_ack, post_ack = sink.sent
+    assert create_ack.error is None and post_ack.error is None
+    assert post_ack.state is not None  # mutating handler ships new state
+    revived = probe(10)
+    revived.unpack(post_ack.state)
+    assert revived.count == 5
+    assert any(row[0] == "handler" for row in post_ack.events)
+
+
+def test_worker_dedupes_via_cached_ack():
+    worker, sink = worker_with_sink()
+    worker.handle(Create(1, 10, class_path(Probe), probe(10).pack()))
+    worker.handle(Post(2, 10, "bump", (), {}))
+    worker.handle(Post(2, 10, "bump", (), {}))  # exact redelivery
+    assert worker.duplicates == 1
+    assert worker.store.get(10).count == 1  # executed once
+    assert sink.sent[1] is sink.sent[2]  # the very same cached ACK
+
+
+def test_worker_readonly_handler_ships_no_state():
+    worker, sink = worker_with_sink()
+    worker.handle(Create(1, 10, class_path(Probe), probe(10).pack()))
+    worker.handle(Post(2, 10, "peek", (), {}))
+    assert sink.sent[-1].state is None
+    assert sink.sent[-1].error is None
+
+
+def test_worker_posts_ride_the_ack():
+    worker, sink = worker_with_sink()
+    worker.handle(Create(1, 10, class_path(Probe), probe(10).pack()))
+    worker.handle(Post(2, 10, "spray", (77,), {}))
+    assert sink.sent[-1].posts == ((77, "bump", (2,), {}),)
+
+
+def test_worker_handler_errors_become_error_acks():
+    worker, sink = worker_with_sink()
+    worker.handle(Create(1, 10, class_path(Probe), probe(10).pack()))
+    worker.handle(Post(2, 10, "boom", (), {}))
+    assert "RuntimeError" in sink.sent[-1].error
+    worker.handle(Post(3, 10, "plain", (), {}))  # undecorated method
+    assert "not a handler" in sink.sent[-1].error
+    worker.handle(Post(4, 99, "bump", (), {}))  # unknown object
+    assert sink.sent[-1].error is not None
+
+
+def test_worker_shutdown_ack_carries_stats():
+    worker, sink = worker_with_sink()
+    worker.handle(Create(1, 10, class_path(Probe), probe(10).pack()))
+    worker.handle(Post(2, 10, "bump", (), {}))
+    assert not worker.handle(Shutdown(3))  # False: the loop must exit
+    stats = sink.sent[-1].stats
+    assert stats["delivered"] == 1
+    assert stats["owned"] == 1
+
+
+def test_worker_serve_forever_over_a_real_pipe():
+    ours, theirs = mp.Pipe()
+    worker = ShardWorker(0, theirs, tiered())
+    thread = threading.Thread(target=worker.serve_forever, daemon=True)
+    thread.start()
+    ours.send(Create(1, 10, class_path(Probe), probe(10).pack()))
+    ours.send(Post(2, 10, "bump", (3,), {}))
+    ours.send(Shutdown(3))
+    acks = [ours.recv() for _ in range(3)]
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+    assert [a.msg_id for a in acks] == [1, 2, 3]
+    assert acks[2].stats["delivered"] == 1
+
+
+# ------------------------------------------------------------- event relay
+def test_event_codec_round_trips_every_registered_kind():
+    samples = {
+        "handler": HandlerSpan(time=1.0, node=0, oid=1, handler="h",
+                               duration=0.1, comp_s=0.1, queue_len=0),
+        "evict": EvictEvent(time=2.0, node=1, oid=2, nbytes=10, clean=False,
+                            memory_used=5),
+        "load": LoadEvent(time=3.0, node=0, oid=3, nbytes=7,
+                          background=False, memory_used=2),
+    }
+    for kind, event in samples.items():
+        assert kind in EVENT_TYPES
+        row = encode_event(event)
+        assert row[0] == kind
+        assert decode_event(row) == event
+
+
+def test_event_codec_rejects_unknown_kinds():
+    with pytest.raises(ValueError):
+        decode_event(("warp", 1.0, 0))
+
+
+def ev(t, node=0):
+    return LoadEvent(time=t, node=node, oid=1, nbytes=1, background=False,
+                     memory_used=0)
+
+
+def drain(sub):
+    out = [e.time for e in sub.events]
+    sub.events.clear()
+    return out
+
+
+def test_merger_holds_events_until_all_watermarks_pass():
+    bus = EventBus()
+    sub = bus.subscribe()
+    merger = EventMerger(bus)
+    merger.add_source(0)
+    merger.add_source(1)
+    merger.feed(0, [ev(1.0), ev(3.0)], watermark=3.0)
+    # Source 1 is silent at clock 0: nothing may release yet.
+    assert merger.merged == 0
+    merger.feed(1, [ev(2.0, node=1)], watermark=2.0)
+    # Horizon is now 2.0: events at 1.0 and 2.0 release, 3.0 stays held.
+    assert drain(sub) == [1.0, 2.0]
+    merger.feed(1, [], watermark=10.0)
+    assert drain(sub) == [3.0]
+    assert merger.merged == 3
+
+
+def test_merger_orders_across_sources():
+    bus = EventBus()
+    sub = bus.subscribe()
+    merger = EventMerger(bus)
+    merger.add_source(0)
+    merger.add_source(1)
+    merger.feed(0, [ev(5.0)], watermark=5.0)
+    merger.feed(1, [ev(1.0, node=1), ev(4.0, node=1)], watermark=9.0)
+    assert drain(sub) == [1.0, 4.0, 5.0]
+    assert merger.reordered >= 1
+
+
+def test_merger_close_retires_a_dead_sources_clock():
+    bus = EventBus()
+    sub = bus.subscribe()
+    merger = EventMerger(bus)
+    merger.add_source(0)
+    merger.add_source(1)
+    merger.feed(0, [ev(2.0)], watermark=2.0)
+    assert merger.merged == 0  # gated on silent source 1
+    merger.close(1)  # crash: source 1 stops holding the line back
+    assert drain(sub) == [2.0]
+
+
+def test_merger_flush_drains_everything():
+    bus = EventBus()
+    sub = bus.subscribe()
+    merger = EventMerger(bus)
+    merger.feed(0, [ev(1.0), ev(9.0)], watermark=1.0)
+    merger.feed(1, [ev(5.0, node=1)], watermark=0.5)
+    merger.flush()
+    assert drain(sub) == [1.0, 5.0, 9.0]
+
+
+# -------------------------------------------------------------- wire chaos
+def test_wire_chaos_is_deterministic_per_seed():
+    a = WireChaos(seed=7, drop_rate=0.3, dup_rate=0.3)
+    b = WireChaos(seed=7, drop_rate=0.3, dup_rate=0.3)
+    rows_a = [(a.send_copies(m), a.drop_ack(m)) for m in range(200)]
+    rows_b = [(b.send_copies(m), b.drop_ack(m)) for m in range(200)]
+    assert rows_a == rows_b
+    assert a.dropped_sends > 0 and a.duplicated_sends > 0 and a.dropped_acks > 0
+
+
+def test_wire_chaos_caps_consecutive_drops():
+    chaos = WireChaos(seed=1, drop_rate=1.0, max_drops_per_msg=3)
+    copies = [chaos.send_copies(5) for _ in range(10)]
+    assert copies[:3] == [0, 0, 0]
+    assert all(c >= 1 for c in copies[3:])  # the cap forces delivery
+    assert [chaos.drop_ack(5) for _ in range(10)][3:] == [False] * 7
+
+
+def test_wire_chaos_off_by_default():
+    chaos = WireChaos(seed=0)
+    assert all(chaos.send_copies(m) == 1 for m in range(50))
+    assert not any(chaos.drop_ack(m) for m in range(50))
