@@ -162,10 +162,11 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-# Workloads the trace verb can observe: the perf suite's three plus a
+# Workloads the trace verb can observe: the perf suite's four plus a
 # selftest-sized storm (quick, exercises every event kind).
 _TRACE_WORKLOADS = (
     "storm", "clean_read_storm", "oupdr_model", "mesh_patch_stream",
+    "mesh_neighborhood_sweep",
 )
 
 
@@ -205,6 +206,7 @@ def _trace(workload: str, seed: int, scale: float, out: str) -> int:
             "clean_read_storm": perf.run_clean_read_storm,
             "oupdr_model": perf.run_oupdr_model_bench,
             "mesh_patch_stream": perf.run_mesh_patch_stream,
+            "mesh_neighborhood_sweep": perf.run_mesh_neighborhood_sweep,
         }[workload]
         result = runner(seed=seed, scale=scale, on_runtime=observe)
         stats = result.runtime.stats

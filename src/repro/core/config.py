@@ -60,6 +60,24 @@ class MRTSConfig:
     * ``delta_compact_factor`` — compact when the log's payload bytes
       exceed this multiple of the base segment (real-payload objects
       only; modeled stand-ins compact on frame count alone).
+
+    Load-side knobs (PR 7):
+
+    * ``packfile_spills`` — lay the default raw store out as
+      locality-ordered pack segments (:class:`~repro.core.packfile.
+      PackFileBackend`); only applies when the caller did not supply its
+      own ``storage_factory``.  ``packfile_segment_bytes`` is the target
+      segment size and ``packfile_compact_ratio`` the dead-byte fraction
+      that triggers background compaction.
+    * ``learned_prefetch`` — mine the demand-load event stream into a
+      per-node Markov successor table and prefetch predicted successors
+      ahead of the ready queue; ``prefetch_confidence`` is the minimum
+      empirical probability a prediction needs before bytes are moved.
+    * ``neighborhood_warm`` — on each prefetch, additionally warm up to
+      this many pack-file curve neighbors of the hinted objects (0
+      disables neighborhood expansion).  Deliberately conservative by
+      default: on memory-starved runs every speculative warm displaces a
+      resident, so wide warms cost more reload churn than they hide.
     """
 
     memory_budget: int = 256 * 1024 * 1024
@@ -85,6 +103,12 @@ class MRTSConfig:
     delta_spills: bool = True
     delta_log_frames_max: int = 8
     delta_compact_factor: float = 2.0
+    packfile_spills: bool = True
+    packfile_segment_bytes: int = 1 << 20
+    packfile_compact_ratio: float = 0.5
+    learned_prefetch: bool = True
+    prefetch_confidence: float = 0.25
+    neighborhood_warm: int = 1
 
     VALID_SCHEMES = ("lru", "lfu", "mru", "mu", "lu")
     VALID_DIRECTORY = ("lazy", "eager", "home")
@@ -141,3 +165,11 @@ class MRTSConfig:
             raise ConfigError("delta_log_frames_max must be >= 1")
         if self.delta_compact_factor < 1.0:
             raise ConfigError("delta_compact_factor must be >= 1")
+        if self.packfile_segment_bytes < 1:
+            raise ConfigError("packfile_segment_bytes must be >= 1")
+        if not 0.0 < self.packfile_compact_ratio < 1.0:
+            raise ConfigError("packfile_compact_ratio must be in (0, 1)")
+        if not 0.0 <= self.prefetch_confidence <= 1.0:
+            raise ConfigError("prefetch_confidence must be in [0, 1]")
+        if self.neighborhood_warm < 0:
+            raise ConfigError("neighborhood_warm must be >= 0")

@@ -165,6 +165,19 @@ class MobileObject:
     def on_unregister(self, node: int) -> None:
         """Called before the object leaves a node (migration or spill)."""
 
+    # -- layout ---------------------------------------------------------------
+    def locality_key(self) -> Optional[int]:
+        """Position on the decomposition's space-filling curve, or ``None``.
+
+        Objects that know where they sit in the mesh (patches, model
+        regions) return a Morton/Hilbert index of their grid cell; the
+        runtime pushes it to the locality-aware pack-file layout so
+        curve-adjacent objects land in the same spill segment and one
+        sequential read warms a whole neighborhood.  ``None`` (the
+        default) keeps the backend's creation-order placement.
+        """
+        return None
+
     # -- serialization ----------------------------------------------------------
     def get_state(self) -> Any:
         """Application state to serialize.  Default: instance ``__dict__``

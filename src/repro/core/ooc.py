@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional
+from typing import Container, Iterable, Iterator, Optional
 
 from repro.core.config import MRTSConfig
 from repro.core.swapping import SwapScheme, make_scheme
@@ -527,17 +527,33 @@ class OOCLayer:
         self.degraded = True
         self._hard_threshold = self._largest_stored
 
-    def prefetch_candidates(self, upcoming: Iterable[int]) -> list[int]:
+    def prefetch_candidates(
+        self,
+        upcoming: Iterable[int],
+        skip: Container[int] = (),
+        limit: Optional[int] = None,
+    ) -> list[int]:
         """Of the hinted upcoming objects, which to prefetch now.
 
-        Limited by config.prefetch_depth and available memory (prefetching
-        must not trigger evictions — it is purely opportunistic).
+        Limited by ``limit`` (default ``config.prefetch_depth``) and
+        available memory (prefetching must not trigger evictions — it is
+        purely opportunistic).  ``skip`` names objects that must not be
+        picked because their bytes are already in flight: spills still
+        draining through the write-behind pipeline (loading before the
+        spill commits would double-move the object) and loads already
+        issued by another prefetch or demand path.
         """
         picks: list[int] = []
+        seen: set[int] = set()
+        if limit is None:
+            limit = self.config.prefetch_depth
         budget = self.memory_free - self._hard_threshold
         for oid in upcoming:
-            if len(picks) >= self.config.prefetch_depth:
+            if len(picks) >= limit:
                 break
+            if oid in seen or oid in skip:
+                continue
+            seen.add(oid)
             rec = self.table.get(oid)
             if rec is None or rec.resident:
                 continue

@@ -1,0 +1,384 @@
+"""Locality-aware pack-file storage: sequential segments ordered by a
+space-filling curve.
+
+Bender et al.'s *Optimal Cache-Oblivious Mesh Layouts* (PAPERS.md) frames
+out-of-core mesh access cost as a **layout** problem: the dominant cost of
+a load is not the bytes but the seek, and neighboring patches that are
+touched together should be physically adjacent on disk.  The per-object
+backends in :mod:`repro.core.storage` scatter every spill to an
+independent location, so a refinement wave that touches a ring of patches
+pays one random read per patch.
+
+:class:`PackFileBackend` replaces that layout with large append-only
+*segments*.  Every object carries a **locality key** — a position on a
+space-filling curve (Morton/Z-order over the decomposition grid, see
+:func:`morton2`), pushed down by the runtime from
+:meth:`MobileObject.locality_key`.  Spills append into the open segment of
+the key's *bucket* (a contiguous curve range), so curve-adjacent patches
+cohabit a segment and a single sequential segment read covers a whole
+neighborhood.  Rewrites and deletes leave dead bytes behind; a background
+**compactor** rewrites all live extents in curve order once the dead
+fraction crosses a threshold, re-clustering ring-adjacent patches that
+were first stored far apart.
+
+Compaction is *abort-safe*: the new segment set is built completely on the
+side and installed with a single atomic swap, so a compactor killed
+mid-rewrite (chaos cell ``packfile-compact-kill``) leaves the old layout
+fully intact.
+
+The segment buffers live in memory — the virtual disk model in the
+runtime charges time for the *modeled* bytes it transfers, exactly as it
+does over :class:`MemoryBackend`; what this class changes is the layout
+metadata (who is adjacent to whom) that the prefetcher exploits via
+:meth:`neighborhood` and :meth:`load_many`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterable, Optional
+
+from repro.util.errors import ObjectNotFound
+
+from repro.core.storage import StorageBackend
+
+__all__ = ["PackFileBackend", "morton2"]
+
+
+def morton2(i: int, j: int, bits: int = 16) -> int:
+    """Interleave the bits of grid coordinates ``(i, j)`` (Z-order curve).
+
+    Two patches close on the decomposition grid get numerically close
+    Morton codes, so sorting by the code clusters spatial neighborhoods.
+    """
+    code = 0
+    for b in range(bits):
+        code |= ((i >> b) & 1) << (2 * b)
+        code |= ((j >> b) & 1) << (2 * b + 1)
+    return code
+
+
+class _Extent:
+    """Where an object's current stored copy lives."""
+
+    __slots__ = ("seg", "off", "length")
+
+    def __init__(self, seg: int, off: int, length: int) -> None:
+        self.seg = seg
+        self.off = off
+        self.length = length
+
+
+class PackFileBackend(StorageBackend):
+    """Raw object store laid out as locality-ordered pack segments.
+
+    Parameters
+    ----------
+    segment_bytes:
+        Target size of one pack segment; the open segment of a bucket is
+        sealed once it grows past this.
+    compact_ratio:
+        Dead-byte fraction (dead / (live + dead)) above which a store or
+        delete triggers compaction.
+    bucket_shift:
+        Locality keys are grouped into buckets of ``2**bucket_shift``
+        curve positions; each bucket appends into its own open segment.
+    fail_compaction_at:
+        Test/chaos hook — the N-th compaction *attempt* (1-based) raises
+        ``RuntimeError`` mid-rewrite, *after* partial new segments exist
+        but *before* the atomic swap.  Exercises abort safety; the next
+        attempt runs clean.
+    """
+
+    def __init__(
+        self,
+        segment_bytes: int = 1 << 20,
+        compact_ratio: float = 0.5,
+        bucket_shift: int = 4,
+        fail_compaction_at: Optional[int] = None,
+    ) -> None:
+        self.segment_bytes = int(segment_bytes)
+        self.compact_ratio = float(compact_ratio)
+        self.bucket_shift = int(bucket_shift)
+        self.fail_compaction_at = fail_compaction_at
+        self._segments: dict[int, bytearray] = {}
+        self._extents: dict[int, _Extent] = {}
+        self._keys: dict[int, int] = {}
+        self._open: dict[int, int] = {}  # bucket -> open segment id
+        self._next_seg = 0
+        self._curve: list[tuple[int, int]] = []  # sorted (key, oid), live
+        self._curve_dirty = False
+        # counters (read by stats surfacing and tests)
+        self.dead_bytes = 0
+        self.live_bytes = 0
+        self.segments_created = 0
+        self.compactions = 0
+        self.compaction_attempts = 0
+        self.compaction_aborts = 0
+        self.batch_loads = 0
+        self.segments_touched = 0
+
+    # ------------------------------------------------------------------
+    # locality metadata
+
+    def locality_key(self, oid: int) -> int:
+        """Curve position of ``oid`` (defaults to the oid itself)."""
+        return self._keys.get(oid, oid)
+
+    def note_locality(self, oid: int, key: Optional[int]) -> None:
+        """Record the curve position for ``oid`` (runtime hook).
+
+        ``None`` keys are ignored — the object keeps the creation-order
+        default, which still clusters ids allocated together.
+        """
+        if key is None:
+            return
+        key = int(key)
+        if self._keys.get(oid, oid) == key:
+            return
+        if oid in self._extents:
+            self._discard_curve(oid)
+            self._keys[oid] = key
+            self._insert_curve(oid)
+        else:
+            self._keys[oid] = key
+
+    def neighborhood(self, oid: int, limit: int) -> list[int]:
+        """Up to ``limit`` stored objects nearest ``oid`` on the curve.
+
+        Walks outward from the object's curve position, alternating the
+        nearer side first, so the result is the ring of patches a
+        sequential segment read would warm.  ``oid`` itself is excluded;
+        an unstored oid anchors at its key but yields only stored peers.
+        """
+        if limit <= 0:
+            return []
+        curve = self._sorted_curve()
+        if not curve:
+            return []
+        entry = (self._keys.get(oid, oid), oid)
+        pos = bisect_left(curve, entry)
+        lo, hi = pos - 1, pos
+        if hi < len(curve) and curve[hi][1] == oid:
+            hi += 1
+        key0 = entry[0]
+        out: list[int] = []
+        while len(out) < limit and (lo >= 0 or hi < len(curve)):
+            dlo = key0 - curve[lo][0] if lo >= 0 else None
+            dhi = curve[hi][0] - key0 if hi < len(curve) else None
+            if dhi is None or (dlo is not None and dlo <= dhi):
+                out.append(curve[lo][1])
+                lo -= 1
+            else:
+                out.append(curve[hi][1])
+                hi += 1
+        return out
+
+    def _sorted_curve(self) -> list[tuple[int, int]]:
+        if self._curve_dirty:
+            self._curve = sorted(
+                (self._keys.get(oid, oid), oid) for oid in self._extents
+            )
+            self._curve_dirty = False
+        return self._curve
+
+    def _insert_curve(self, oid: int) -> None:
+        if not self._curve_dirty:
+            insort(self._curve, (self._keys.get(oid, oid), oid))
+
+    def _discard_curve(self, oid: int) -> None:
+        if self._curve_dirty:
+            return
+        entry = (self._keys.get(oid, oid), oid)
+        pos = bisect_left(self._curve, entry)
+        if pos < len(self._curve) and self._curve[pos] == entry:
+            del self._curve[pos]
+        else:  # key drifted out from under us; fall back to a rebuild
+            self._curve_dirty = True
+
+    # ------------------------------------------------------------------
+    # StorageBackend interface
+
+    def store(self, oid: int, data: bytes) -> None:
+        data = bytes(data)
+        self._kill_extent(oid)
+        self._append_extent(oid, data)
+        self._maybe_compact()
+
+    def append(self, oid: int, data: bytes) -> None:
+        """Append via rewrite-at-tail: the object's log stays one extent.
+
+        A pack segment interleaves many objects, so a per-object byte
+        append would scatter the log; instead the whole log moves to the
+        bucket tail (old extent becomes dead bytes, reclaimed by the
+        compactor).  Upper layers see exact append semantics.
+        """
+        ext = self._extents.get(oid)
+        if ext is None:
+            existing = b""
+        else:
+            seg = self._segments[ext.seg]
+            existing = bytes(seg[ext.off : ext.off + ext.length])
+        self._kill_extent(oid)
+        self._append_extent(oid, existing + bytes(data))
+        self._maybe_compact()
+
+    def load(self, oid: int) -> bytes:
+        ext = self._extents.get(oid)
+        if ext is None:
+            raise ObjectNotFound(f"object {oid} not in pack store")
+        seg = self._segments[ext.seg]
+        return bytes(seg[ext.off : ext.off + ext.length])
+
+    def load_many(self, oids: Iterable[int]) -> dict[int, list[bytes]]:
+        """Batched read grouped by segment (one sequential pass each).
+
+        Missing oids are silently absent from the result — batch reads
+        back best-effort neighborhood warms, not demand loads.
+        """
+        by_seg: dict[int, list[tuple[int, int]]] = {}
+        for oid in oids:
+            ext = self._extents.get(oid)
+            if ext is not None:
+                by_seg.setdefault(ext.seg, []).append((ext.off, oid))
+        out: dict[int, list[bytes]] = {}
+        for seg_id, entries in by_seg.items():
+            seg = self._segments[seg_id]
+            self.segments_touched += 1
+            for off, oid in sorted(entries):
+                ext = self._extents[oid]
+                out[oid] = [bytes(seg[off : off + ext.length])]
+        if by_seg:
+            self.batch_loads += 1
+        return out
+
+    def delete(self, oid: int) -> None:
+        # Tolerant of absent oids, matching MemoryBackend (the runtime
+        # deletes unconditionally on migration and destroy).
+        self._kill_extent(oid)
+        self._keys.pop(oid, None)
+        self._maybe_compact()
+
+    def contains(self, oid: int) -> bool:
+        return oid in self._extents
+
+    def size(self, oid: int) -> int:
+        ext = self._extents.get(oid)
+        if ext is None:
+            raise ObjectNotFound(f"object {oid} not in pack store")
+        return ext.length
+
+    def stored_ids(self) -> list[int]:
+        return list(self._extents)
+
+    def total_bytes(self) -> int:
+        return self.live_bytes
+
+    def largest_object(self) -> int:
+        return max((e.length for e in self._extents.values()), default=0)
+
+    # ------------------------------------------------------------------
+    # layout internals
+
+    def _bucket(self, oid: int) -> int:
+        return self._keys.get(oid, oid) >> self.bucket_shift
+
+    def _append_extent(self, oid: int, data: bytes) -> None:
+        bucket = self._bucket(oid)
+        seg_id = self._open.get(bucket)
+        if seg_id is None:
+            seg_id = self._next_seg
+            self._next_seg += 1
+            self._segments[seg_id] = bytearray()
+            self._open[bucket] = seg_id
+            self.segments_created += 1
+        seg = self._segments[seg_id]
+        ext = _Extent(seg_id, len(seg), len(data))
+        seg.extend(data)
+        self._extents[oid] = ext
+        self.live_bytes += ext.length
+        self._insert_curve(oid)
+        if len(seg) >= self.segment_bytes:
+            del self._open[bucket]  # sealed; next store opens a fresh one
+
+    def _kill_extent(self, oid: int) -> None:
+        ext = self._extents.pop(oid, None)
+        if ext is None:
+            return
+        self.dead_bytes += ext.length
+        self.live_bytes -= ext.length
+        self._discard_curve(oid)
+
+    def _maybe_compact(self) -> None:
+        physical = self.live_bytes + self.dead_bytes
+        if physical <= self.segment_bytes:
+            return
+        if self.dead_bytes <= self.compact_ratio * physical:
+            return
+        try:
+            self.compact()
+        except RuntimeError:
+            self.compaction_aborts += 1  # abort-safe: old layout intact
+
+    def compact(self) -> None:
+        """Rewrite all live extents in curve order into fresh segments.
+
+        The new segment set is built completely on the side and installed
+        with one atomic swap; any exception before the swap (including
+        the injected ``fail_compaction_at`` kill) leaves the store
+        untouched.
+        """
+        self.compaction_attempts += 1
+        ordinal = self.compaction_attempts
+        new_segments: dict[int, bytearray] = {}
+        new_extents: dict[int, _Extent] = {}
+        new_open: dict[int, int] = {}
+        next_seg = self._next_seg
+        cur: Optional[bytearray] = None
+        cur_id = -1
+        count = 0
+        total = len(self._extents)
+        for key, oid in self._sorted_curve():
+            old = self._extents[oid]
+            blob = self._segments[old.seg][old.off : old.off + old.length]
+            if cur is None or len(cur) >= self.segment_bytes:
+                cur_id = next_seg
+                next_seg += 1
+                cur = bytearray()
+                new_segments[cur_id] = cur
+            new_extents[oid] = _Extent(cur_id, len(cur), len(blob))
+            cur.extend(blob)
+            count += 1
+            if (
+                self.fail_compaction_at is not None
+                and ordinal == self.fail_compaction_at
+                and count >= max(1, total // 2)
+            ):
+                raise RuntimeError(
+                    f"injected compaction kill (ordinal {ordinal})"
+                )
+        # ---- atomic swap: nothing above mutated self ----
+        self._segments = new_segments
+        self._extents = new_extents
+        self._open = new_open
+        self._next_seg = next_seg
+        self.segments_created += len(new_segments)
+        self.dead_bytes = 0
+        self._curve_dirty = True
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Layout counters for surfacing in reports and tests."""
+        return {
+            "segments": len(self._segments),
+            "segments_created": self.segments_created,
+            "live_bytes": self.live_bytes,
+            "dead_bytes": self.dead_bytes,
+            "compactions": self.compactions,
+            "compaction_attempts": self.compaction_attempts,
+            "compaction_aborts": self.compaction_aborts,
+            "batch_loads": self.batch_loads,
+            "segments_touched": self.segments_touched,
+        }

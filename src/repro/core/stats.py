@@ -65,6 +65,12 @@ class NodeStats:
     full_spills: int = 0
     payload_bytes_raw: int = 0
     payload_bytes_stored: int = 0
+    # Prefetch accuracy (PR 7): issued = background warms started; hit =
+    # a worker consumed an object a prefetch had in core (or in flight);
+    # wasted = a prefetched object was evicted before anyone touched it.
+    prefetch_issued: int = 0
+    prefetch_hits: int = 0
+    prefetch_wasted: int = 0
 
     def add_comp(self, seconds: float) -> None:
         self.comp_time += seconds
@@ -250,3 +256,21 @@ class RunStats:
         """Stored / raw payload bytes across the run (1.0 = no saving)."""
         raw = self.payload_bytes_raw
         return self.payload_bytes_stored / raw if raw > 0 else 1.0
+
+    @property
+    def prefetch_issued(self) -> int:
+        return sum(n.prefetch_issued for n in self.nodes)
+
+    @property
+    def prefetch_hits(self) -> int:
+        return sum(n.prefetch_hits for n in self.nodes)
+
+    @property
+    def prefetch_wasted(self) -> int:
+        return sum(n.prefetch_wasted for n in self.nodes)
+
+    @property
+    def prefetch_hit_rate(self) -> float:
+        """Hits / issued across the run (1.0 when nothing was issued)."""
+        issued = self.prefetch_issued
+        return self.prefetch_hits / issued if issued > 0 else 1.0

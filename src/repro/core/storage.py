@@ -108,6 +108,25 @@ class StorageBackend:
         """
         return [self.load(oid)]
 
+    def load_many(self, oids: "list[int]") -> dict[int, list[bytes]]:
+        """Batched best-effort read: ``{oid: payload segments}``.
+
+        One backend call covers a whole neighborhood warm.  Missing or
+        corrupt objects are simply absent from the result — batch reads
+        back advisory prefetches, not demand loads, so the caller's
+        demand path keeps the repair/escalation responsibility.
+        Backends with a physical layout (:class:`~repro.core.packfile.
+        PackFileBackend`) override this with a segment-grouped
+        sequential read.
+        """
+        out: dict[int, list[bytes]] = {}
+        for oid in oids:
+            try:
+                out[oid] = self.load_segments(oid)
+            except (ObjectNotFound, CorruptObject):
+                continue
+        return out
+
     def delete(self, oid: int) -> None:
         raise NotImplementedError
 
@@ -271,6 +290,14 @@ class CountingBackend(StorageBackend):
         self.bytes_read += sum(len(s) for s in segments)
         self.loads += 1
         return segments
+
+    def load_many(self, oids: list[int]) -> dict[int, list[bytes]]:
+        found = self.inner.load_many(oids)
+        self.bytes_read += sum(
+            len(s) for segments in found.values() for s in segments
+        )
+        self.loads += len(found)
+        return found
 
     def delete(self, oid: int) -> None:
         self.inner.delete(oid)
@@ -449,6 +476,18 @@ class ChecksummedBackend(StorageBackend):
             self.corrupt_loads += 1
             raise
 
+    def load_many_ex(self, oids: list[int]) -> dict[int, list[tuple[bytes, int]]]:
+        """Batched frame parse; corrupt objects are counted and skipped."""
+        out: dict[int, list[tuple[bytes, int]]] = {}
+        for oid, segments in self.inner.load_many(oids).items():
+            try:
+                out[oid] = iter_frames(
+                    b"".join(segments), context=f"object {oid}"
+                )
+            except CorruptObject:
+                self.corrupt_loads += 1
+        return out
+
     # -- StorageBackend interface ------------------------------------------
     def store(self, oid: int, data: bytes) -> None:
         self.store_frame(oid, data, 0)
@@ -467,6 +506,12 @@ class ChecksummedBackend(StorageBackend):
 
     def load_segments(self, oid: int) -> list[bytes]:
         return [payload for payload, _flags in self.load_segments_ex(oid)]
+
+    def load_many(self, oids: list[int]) -> dict[int, list[bytes]]:
+        return {
+            oid: [payload for payload, _flags in frames]
+            for oid, frames in self.load_many_ex(oids).items()
+        }
 
     def delete(self, oid: int) -> None:
         self.inner.delete(oid)
@@ -580,6 +625,23 @@ class CompressingBackend(StorageBackend):
                     ) from exc
             segments.append(payload)
         return segments
+
+    def load_many(self, oids: list[int]) -> dict[int, list[bytes]]:
+        out: dict[int, list[bytes]] = {}
+        for oid, frames in self.inner.load_many_ex(oids).items():
+            try:
+                segments = []
+                for payload, flags in frames:
+                    if flags & FLAG_COMPRESSED:
+                        payload = zlib.decompress(payload)
+                    segments.append(payload)
+            except zlib.error:
+                # best-effort batch: count like a corrupt frame and skip;
+                # the demand path re-detects and repairs properly
+                self.inner.corrupt_loads += 1
+                continue
+            out[oid] = segments
+        return out
 
     def load(self, oid: int) -> bytes:
         segments = self.load_segments(oid)
@@ -758,6 +820,14 @@ class RetryingBackend(StorageBackend):
     def load_segments(self, oid: int) -> list[bytes]:
         return self._attempt(
             "load", oid, lambda: self.inner.load_segments(oid)
+        )
+
+    def load_many(self, oids: list[int]) -> dict[int, list[bytes]]:
+        # One retry loop covers the whole batch; oid -1 marks per-batch
+        # (not per-object) RetryEvent attribution.
+        batch = list(oids)
+        return self._attempt(
+            "load_many", -1, lambda: self.inner.load_many(batch)
         )
 
     def delete(self, oid: int) -> None:

@@ -34,6 +34,7 @@ from typing import Callable, Optional
 from repro.core.codec import get_codec
 from repro.core.config import MRTSConfig
 from repro.core.mobile import MobileObject
+from repro.core.packfile import morton2
 from repro.core.runtime import MRTS, CostModel, handler
 from repro.core.stats import RunStats
 from repro.evalsim.costmodel import MethodModel, method_model
@@ -109,18 +110,28 @@ class _ModelRegion(MobileObject):
     serializer = get_codec("snapshot-delta")
 
     def __init__(
-        self, pointer, region_id: int, target_elements: float, rounds: int
+        self, pointer, region_id: int, target_elements: float, rounds: int,
+        grid_side: int = 0,
     ) -> None:
         super().__init__(pointer)
         self.region_id = region_id
         self.target = target_elements
         self.rounds = rounds
+        self.grid_side = grid_side
         # Start with the coarse share of the final density.
         self.elements = target_elements / (2.0 ** rounds)
         self.round = 0
         self.pending_cost = 0.0
         self.coordinator = None
         self.neighbor_ptrs = {}
+
+    def locality_key(self):
+        """Morton index of the region's grid cell, so spills of adjacent
+        subdomains land in the same pack segments (PR 7)."""
+        if self.grid_side <= 0:
+            return None
+        i, j = self.region_id % self.grid_side, self.region_id // self.grid_side
+        return morton2(i, j)
 
     def _grow(self, model: MethodModel, mrts: bool, n_pes: int) -> float:
         """Advance one refinement round; returns elements created."""
@@ -272,7 +283,7 @@ def run_updr_model(
     for b in range(n_blocks):
         ptrs[b] = rt.create_object(
             _UPDRModelRegion, b, per_block, model.rounds,
-            node=node_of[b],
+            grid_side=side, node=node_of[b],
         )
     coordinator = rt.create_object(
         _UPDRModelCoordinator, ptrs, colors, model.rounds, model.name,
@@ -445,7 +456,7 @@ def run_nupdr_model(
         target = total_elements * weights[leaf] / total_weight
         ptrs[leaf] = rt.create_object(
             _NUPDRModelRegion, leaf, target, model.rounds,
-            node=leaf % cluster.n_nodes,
+            grid_side=side, node=leaf % cluster.n_nodes,
         )
         nbrs = []
         for dj in (-1, 0, 1):
@@ -514,7 +525,7 @@ def run_pcdm_model(
     for p in range(n_parts):
         ptrs[p] = rt.create_object(
             _PCDMModelRegion, p, per_part, model.rounds,
-            node=p % cluster.n_nodes,
+            grid_side=side, node=p % cluster.n_nodes,
         )
     for p in range(n_parts):
         i, j = p % side, p // side

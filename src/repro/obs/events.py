@@ -146,10 +146,16 @@ class LoadEvent(ObsEvent):
 
 @dataclass(frozen=True)
 class PrefetchEvent(ObsEvent):
-    """Prefetch lifecycle: ``phase`` is ``"issue"`` or ``"hit"``.
+    """Prefetch lifecycle: ``phase`` is ``"issue"``, ``"hit"`` or
+    ``"wasted"``.
 
-    A hit means a worker popped an object that a background prefetch had
-    already made resident — the load latency was fully hidden.
+    An *issue* is a background warm whose bytes were actually charged.
+    A *hit* means a worker popped an object that a prefetch had already
+    made resident (latency fully hidden) or still had in flight (the
+    demand path waits on the in-flight load instead of paying its own
+    transfer — latency partially hidden, bytes never double-charged).
+    *Wasted* means the prefetched bytes left core (eviction, migration,
+    unreadable payload) before any worker touched them.
     """
 
     kind: ClassVar[str] = "prefetch"

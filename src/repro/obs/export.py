@@ -43,7 +43,7 @@ from repro.obs.events import (
 __all__ = ["to_chrome_trace", "write_chrome_trace", "LANES"]
 
 # Thread-lane ids within each node-process, in display order.
-LANES = {"handlers": 0, "disk": 1, "network": 2, "runtime": 3}
+LANES = {"handlers": 0, "disk": 1, "network": 2, "runtime": 3, "prefetch": 4}
 
 _US = 1e6  # trace event timestamps are microseconds
 
@@ -126,7 +126,7 @@ def to_chrome_trace(events: Iterable[ObsEvent]) -> dict:
         elif isinstance(e, PrefetchEvent):
             trace.append(_instant(
                 f"prefetch {e.phase} oid {e.oid}", "ooc", e.node,
-                LANES["runtime"], e.time, {"oid": e.oid, "phase": e.phase},
+                LANES["prefetch"], e.time, {"oid": e.oid, "phase": e.phase},
             ))
         elif isinstance(e, MigrateEvent):
             trace.append(_instant(

@@ -22,6 +22,12 @@ measure:
   ``ctx.grew`` — and its ``packs`` counter gates the pack-avoidance
   machinery (pack counts are deterministic; pack *time* is reported but
   never gated).
+* **mesh_neighborhood_sweep** — the load-side workload (PR 7): serpentine
+  refinement sweeps over a clean patch grid that overflows core, driven
+  as a message chain so only the learned Markov predictor and the
+  pack-file curve neighborhood can see the future.  Its
+  ``prefetch_hit_rate`` column is the prefetch-accuracy trajectory;
+  ``bytes_loaded`` is gated everywhere.
 
 ``run_perf_suite`` returns (and ``mrts-bench perf`` writes) a JSON report:
 wall-clock seconds, virtual makespan, bytes moved, eviction counts and the
@@ -53,6 +59,8 @@ __all__ = [
     "run_clean_read_storm",
     "run_oupdr_model_bench",
     "run_mesh_patch_stream",
+    "run_mesh_neighborhood_sweep",
+    "NeighborhoodPatchActor",
     "run_dist_storm",
     "run_perf_suite",
     "check_against_baseline",
@@ -63,7 +71,7 @@ BENCH_FILENAME = "BENCH_ooc.json"
 # Metrics that are pure functions of the seed (virtual time, byte counts)
 # and therefore eligible for exact regression gating.  Wall-clock is
 # reported but never gated — CI machines differ.
-_GATED_METRICS = ("bytes_stored", "virtual_makespan_s", "packs")
+_GATED_METRICS = ("bytes_stored", "bytes_loaded", "virtual_makespan_s", "packs")
 _GATE_TOLERANCE = 0.10
 
 
@@ -169,6 +177,21 @@ class _WorkloadResult:
             "payload_bytes_raw": stats.payload_bytes_raw,
             "payload_bytes_stored": stats.payload_bytes_stored,
             "stored_ratio": round(stats.stored_ratio, 4),
+            # Load-side counters (PR 7).  Issued/hit/wasted are
+            # seed-deterministic; the hit rate is reported, and bytes_loaded
+            # joins the regression gate.
+            "prefetch_issued": stats.prefetch_issued,
+            "prefetch_hits": stats.prefetch_hits,
+            "prefetch_wasted": stats.prefetch_wasted,
+            "prefetch_hit_rate": round(stats.prefetch_hit_rate, 4),
+            "pack_segments": sum(
+                n.packfile.stats()["segments"]
+                for n in rt.nodes if n.packfile is not None
+            ),
+            "pack_compactions": sum(
+                n.packfile.stats()["compactions"]
+                for n in rt.nodes if n.packfile is not None
+            ),
         }
 
 
@@ -296,6 +319,94 @@ def run_mesh_patch_stream(
     return _WorkloadResult(wall_s=wall, runtime=runtime)
 
 
+class NeighborhoodPatchActor(MobileObject):
+    """A grid patch for the load-side (prefetch) workload.
+
+    Carries an inert payload and its grid cell; ``probe`` is readonly (the
+    object stays clean after its first spill, so the workload is purely
+    load-bound) and forwards the sweep chain to the next patch, which is
+    exactly the access shape the Markov predictor learns.
+    """
+
+    def __init__(self, ptr, grid_i: int, grid_j: int,
+                 payload_bytes: int) -> None:
+        super().__init__(ptr)
+        self.grid_i = grid_i
+        self.grid_j = grid_j
+        self.payload = bytes(payload_bytes)
+
+    def locality_key(self):
+        from repro.core.packfile import morton2
+
+        return morton2(self.grid_i, self.grid_j)
+
+    @handler(readonly=True)
+    def probe(self, ctx, route, pos: int) -> None:
+        _ = self.payload[:64].count(0)  # a real read
+        if pos + 1 < len(route):
+            ctx.post(route[pos + 1], "probe", route, pos + 1)
+
+
+def run_mesh_neighborhood_sweep(
+    seed: int = 0,
+    side: int = 6,
+    payload_bytes: int = 16 * 1024,
+    laps: int = 6,
+    memory_bytes: int = 128 * 1024,
+    scale: float = 1.0,
+    on_runtime: Optional[Callable[[MRTS], None]] = None,
+) -> _WorkloadResult:
+    """Serpentine refinement sweeps over a patch grid (load-bound).
+
+    A single node holds a ``side x side`` grid of clean patches that
+    overflow core ~4x; each lap walks the grid in serpentine order as a
+    message chain (the ready queue never sees the future — only the
+    learned predictor and the pack-file neighborhood can).  Lap one trains
+    the Markov table; later laps should ride prefetched loads, which is
+    what the ``prefetch_hit_rate`` column measures.  A final shuffled
+    probe flood exercises the curve-neighborhood warm without a learnable
+    sequence.
+    """
+    laps = max(2, int(laps * scale))
+    runtime = MRTS(
+        ClusterSpec(
+            n_nodes=1,
+            node=NodeSpec(cores=1, memory_bytes=memory_bytes),
+        ),
+        # Modest warm depth: the chain consumes one patch at a time, so a
+        # wide warm on an 8-patch core just evicts its own prefetches.
+        config=MRTSConfig(
+            swap_scheme="lru", prefetch_depth=2, neighborhood_warm=1
+        ),
+        cost_model=_fixed_cost_model(3e-3),
+        io_depth=4,
+    )
+    if on_runtime is not None:
+        on_runtime(runtime)
+    ptrs = {}
+    for j in range(side):
+        for i in range(side):
+            ptrs[(i, j)] = runtime.create_object(
+                NeighborhoodPatchActor, i, j, payload_bytes, node=0
+            )
+    runtime.run()  # flush creation; initial spills happen under pressure
+    route = []
+    for j in range(side):
+        cols = range(side) if j % 2 == 0 else range(side - 1, -1, -1)
+        route.extend(ptrs[(i, j)] for i in cols)
+    wall0 = time.perf_counter()
+    for _ in range(laps):
+        runtime.post(route[0], "probe", route, 0)
+        runtime.run()
+    shuffled = list(route)
+    random.Random(seed).shuffle(shuffled)
+    for ptr in shuffled:
+        runtime.post(ptr, "probe", [ptr], 0)
+    runtime.run()
+    wall = time.perf_counter() - wall0
+    return _WorkloadResult(wall_s=wall, runtime=runtime)
+
+
 def run_dist_storm(
     seed: int = 0,
     workers: int = 2,
@@ -383,14 +494,16 @@ def run_perf_suite(seed: int = 0, scale: float = 1.0) -> dict:
     storm = run_clean_read_storm(seed=seed, scale=scale)
     oupdr = run_oupdr_model_bench(seed=seed, scale=scale)
     patches = run_mesh_patch_stream(seed=seed, scale=scale)
+    sweep = run_mesh_neighborhood_sweep(seed=seed, scale=scale)
     return {
-        "version": 2,
+        "version": 3,
         "seed": seed,
         "scale": scale,
         "workloads": {
             "clean_read_storm": storm.metrics(),
             "oupdr_model": oupdr.metrics(),
             "mesh_patch_stream": patches.metrics(),
+            "mesh_neighborhood_sweep": sweep.metrics(),
         },
     }
 
@@ -427,6 +540,8 @@ def check_against_baseline(
 def render_report(report: dict) -> str:
     lines = ["perf suite (out-of-core fast path):"]
     for name, metrics in report["workloads"].items():
+        if "virtual_makespan_s" not in metrics:
+            continue  # e.g. a merged dist_storm entry (wall-clock only)
         lines.append(
             f"  {name:<18} makespan={metrics['virtual_makespan_s']:.3f}s "
             f"stored={metrics['bytes_stored']}B in {metrics['objects_stored']} ops "
@@ -443,6 +558,18 @@ def render_report(report: dict) -> str:
                 f"spills delta/full={metrics['delta_spills']}"
                 f"/{metrics['full_spills']} "
                 f"stored/raw={metrics['stored_ratio']:.2f}"
+            )
+        if "prefetch_issued" in metrics:
+            lines.append(
+                f"  {'':<18} loaded={metrics['bytes_loaded']}B "
+                f"in {metrics['objects_loaded']} ops "
+                f"prefetch issued/hit/wasted="
+                f"{metrics['prefetch_issued']}"
+                f"/{metrics['prefetch_hits']}"
+                f"/{metrics['prefetch_wasted']} "
+                f"hit_rate={metrics['prefetch_hit_rate']:.2f} "
+                f"pack segs={metrics['pack_segments']} "
+                f"compactions={metrics['pack_compactions']}"
             )
     return "\n".join(lines)
 

@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.core.codec import get_codec
 from repro.core.mobile import MobileObject
+from repro.core.packfile import morton2
 from repro.core.runtime import handler
 from repro.geometry.predicates import Point, dist_sq
 from repro.geometry.pslg import PSLG, BoundingBox
@@ -129,6 +130,19 @@ class RegionObject(MobileObject):
         self._pending = 0
         self._buffer_pts: list[Point] = []
         self.refinements = 0
+
+    def locality_key(self) -> Optional[int]:
+        """Morton index of the patch's grid cell (PR 7).
+
+        The decomposition is a uniform box grid, so the cell coordinates
+        recover from the box origin divided by the box extent; spills of
+        geometrically adjacent patches then share pack segments.
+        """
+        x0, y0, x1, y1 = self.box
+        w, h = x1 - x0, y1 - y0
+        if w <= 0 or h <= 0:
+            return None
+        return morton2(max(0, int(round(x0 / w))), max(0, int(round(y0 / h))))
 
     # ----------------------------------------------------------------- wiring
     @handler

@@ -27,6 +27,7 @@ from typing import Optional
 
 from repro.core.config import MRTSConfig
 from repro.core.recovery import RecoveryPolicy
+from repro.core.packfile import PackFileBackend
 from repro.core.runtime import MRTS
 from repro.core.storage import MemoryBackend
 from repro.obs.events import EventBus
@@ -74,6 +75,12 @@ class ChaosSpec:
     # Actor class: StormActor spills whole pickles; DeltaStormActor routes
     # spills through the delta/compression data plane.
     actor: type = StormActor
+    # Raw store: "memory" or "packfile" (locality-ordered pack segments).
+    backend: str = "memory"
+    # Packfile chaos hook: kill the N-th compaction attempt mid-rewrite
+    # (chaos run only; the reference always compacts cleanly).
+    fail_compaction_at: Optional[int] = None
+    expect_compaction_abort: bool = False
 
 
 @dataclass
@@ -88,6 +95,7 @@ class ChaosReport:
     degraded: bool = False
     retries: int = 0
     corrupt_loads: int = 0
+    compaction_aborts: int = 0
     events: list[str] = field(default_factory=list)
 
     @property
@@ -101,6 +109,8 @@ class ChaosReport:
             f"retries={self.retries} corrupt={self.corrupt_loads}"
             f"{' degraded' if self.degraded else ''}"
         )
+        if self.compaction_aborts:
+            line += f" compaction_aborts={self.compaction_aborts}"
         for event in self.events:
             line += f"\n    . {event}"
         for problem in self.problems:
@@ -165,6 +175,18 @@ CHAOS_MATRIX: list[ChaosSpec] = [
         expect_retries=True,
         actor=DeltaStormActor,
     ),
+    # Kill the pack-file compactor mid-rewrite (PR 7): growing payloads
+    # re-spill over tiny segments, dead bytes pile up fast, and the first
+    # compaction attempt dies after half the live set is rewritten.  The
+    # swap is atomic, so the old layout must survive byte-for-byte and
+    # the retried attempt must reconverge on the reference state.
+    ChaosSpec(
+        name="packfile-compact-kill",
+        plan=FaultPlan(seed=9),  # no medium faults: the kill is the chaos
+        backend="packfile",
+        fail_compaction_at=1,
+        expect_compaction_abort=True,
+    ),
 ]
 
 
@@ -200,7 +222,19 @@ def _make_supervisor(
             active = spec.recovery_plan
 
         def make_backend(rank: int):
-            inner = MemoryBackend()
+            if spec.backend == "packfile":
+                # Tiny segments + a low dead-byte threshold so the storm's
+                # re-spills actually trigger compaction; the injected kill
+                # only arms on the chaos run (``active`` set).
+                inner = PackFileBackend(
+                    segment_bytes=4 * 1024,
+                    compact_ratio=0.25,
+                    fail_compaction_at=(
+                        spec.fail_compaction_at if active is not None else None
+                    ),
+                )
+            else:
+                inner = MemoryBackend()
             if active is None:
                 return inner
             # Reseed per node and per incarnation: nodes must not fail in
@@ -285,6 +319,10 @@ def run_chaos_case(
     )
 
     stats = chaos.runtime.stats
+    aborts = sum(
+        n.packfile.compaction_aborts
+        for n in chaos.runtime.nodes if n.packfile is not None
+    )
     report = ChaosReport(
         name=spec.name,
         state_matches=(got == want),
@@ -293,6 +331,7 @@ def run_chaos_case(
         degraded=chaos._degraded,
         retries=stats.storage_retries,
         corrupt_loads=stats.corrupt_loads,
+        compaction_aborts=aborts,
         events=list(chaos.events),
     )
     if ref_violations:
@@ -319,6 +358,10 @@ def run_chaos_case(
     if spec.expect_degraded:
         if not all(n.ooc.degraded for n in chaos.runtime.nodes):
             report.problems.append("degraded flag not set on every node")
+    if spec.expect_compaction_abort and report.compaction_aborts == 0:
+        report.problems.append(
+            "expected the compaction kill to fire (dead cell)"
+        )
     return report
 
 

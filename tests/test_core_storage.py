@@ -7,10 +7,14 @@ from repro.core import CountingBackend, FileBackend, MemoryBackend
 from repro.util.errors import ObjectNotFound
 
 
-@pytest.fixture(params=["memory", "file"])
+@pytest.fixture(params=["memory", "file", "packfile"])
 def backend(request, tmp_path):
     if request.param == "memory":
         yield MemoryBackend()
+    elif request.param == "packfile":
+        from repro.core.packfile import PackFileBackend
+
+        yield PackFileBackend()
     else:
         b = FileBackend(tmp_path / "spill")
         yield b
@@ -108,3 +112,49 @@ def test_memory_backend_roundtrip_property(blobs):
     for oid, data in blobs.items():
         assert backend.load(oid) == data
     assert backend.total_bytes() == sum(len(d) for d in blobs.values())
+
+
+# -------------------------------------------------------- batched loads (PR 7)
+def test_load_many_is_best_effort(backend):
+    backend.store(1, b"aa")
+    backend.store(2, b"bbb")
+    out = backend.load_many([1, 2, 99])
+    assert out == {1: [b"aa"], 2: [b"bbb"]}  # missing oids simply absent
+
+
+def test_load_many_counting_accounts_found_only():
+    counting = CountingBackend(MemoryBackend())
+    counting.store(1, b"abcd")
+    counting.store(2, b"xy")
+    out = counting.load_many([1, 2, 42])
+    assert set(out) == {1, 2}
+    assert counting.loads == 2  # the missing oid is not charged
+    assert counting.bytes_read == 6
+
+
+def test_load_many_through_full_stack():
+    from repro.core.config import MRTSConfig
+    from repro.core.storage import build_storage_stack
+
+    stack = build_storage_stack(MRTSConfig(), MemoryBackend())
+    blobs = {oid: bytes([oid]) * 200 for oid in range(5)}
+    for oid, blob in blobs.items():
+        stack.store(oid, blob)
+    stack.append(2, b"tail")  # a delta frame rides along
+    out = stack.load_many([0, 2, 4, 77])
+    assert b"".join(out[0]) == blobs[0]
+    assert b"".join(out[2]) == blobs[2] + b"tail"
+    assert b"".join(out[4]) == blobs[4]
+    assert 77 not in out
+
+
+def test_load_many_skips_corrupt_members():
+    from repro.core.storage import ChecksummedBackend, encode_frame
+
+    inner = MemoryBackend()
+    stack = ChecksummedBackend(inner)
+    stack.store(1, b"good payload")
+    inner.store(2, encode_frame(b"torn")[:-3])  # torn write residue
+    out = stack.load_many([1, 2])
+    assert set(out) == {1}
+    assert stack.corrupt_loads == 1

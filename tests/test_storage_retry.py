@@ -241,3 +241,22 @@ def test_passthrough_ops_do_not_touch_retry_machinery():
     assert backend.size(1) == 3
     assert backend.stored_ids() == [1]
     assert isinstance(TransientStorageError("x"), Exception)
+
+
+# ----------------------------------------------------- batched loads (PR 7)
+def test_load_many_retried_as_one_batch():
+    """A transient fault mid-batch retries the whole batch under oid=-1."""
+    seen = []
+    inner = FlakyBackend(fail_first=0)
+    inner.store(1, b"aa")
+    inner.store(2, b"bb")
+    inner.fail_first = 1  # the next load (inside the batch) dies once
+    backend = RetryingBackend(
+        inner, RetryPolicy(max_attempts=4),
+        on_retry=lambda op, oid, attempt, delay: seen.append(
+            (op, oid, attempt)
+        ),
+    )
+    out = backend.load_many([1, 2])
+    assert out == {1: [b"aa"], 2: [b"bb"]}
+    assert seen == [("load_many", -1, 1)]
