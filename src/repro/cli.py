@@ -36,6 +36,16 @@ recomputed from the event stream against the runtime's own accounting
 
 ``report <old.json> <new.json>`` diffs two metric documents (e.g. two
 ``BENCH_ooc.json`` files) and prints the metrics that moved.
+
+``serve`` starts the long-lived multi-tenant mesh-generation service
+(:mod:`repro.serve`): a line-delimited JSON socket protocol accepting
+concurrent UPDR/NUPDR/PCDM jobs, with residency-pressure admission
+control, per-tenant storage quotas, checkpoint/resume of preempted jobs
+and a Prometheus ``metrics`` op.  ``serve --storm`` runs the
+``service_storm`` load generator instead (merging its metrics into
+``BENCH_ooc.json``, or gating with ``--check``); ``serve --soak`` runs
+the N-tenants concurrent soak with exact per-job state oracles (see
+docs/service_mode.md).
 """
 
 from __future__ import annotations
@@ -93,6 +103,24 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default="trace.json",
         help="trace: path of the Perfetto/Chrome-trace JSON output",
     )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="serve: bind address")
+    parser.add_argument(
+        "--port", type=int, default=7077,
+        help="serve: TCP port (0 = ephemeral)")
+    parser.add_argument(
+        "--serve-workers", type=int, default=4,
+        help="serve: job-manager worker threads")
+    parser.add_argument(
+        "--storm", action="store_true",
+        help="serve: run the service_storm load generator instead of "
+        "listening (honors --check / --trace-out / --seed / --scale)",
+    )
+    parser.add_argument(
+        "--soak", action="store_true",
+        help="serve: run the concurrent soak (N tenants x M jobs with "
+        "exact state oracles) instead of listening",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -107,10 +135,23 @@ def main(argv: list[str] | None = None) -> int:
         print("  trace <workload> (Perfetto timeline; workloads: "
               + ", ".join(_TRACE_WORKLOADS) + ")")
         print("  report <old.json> <new.json> (metric diff)")
+        print("  serve (multi-tenant mesh-generation service; --storm "
+              "runs the load generator, --soak the concurrent soak)")
         return 0
 
     if args.experiments == ["selftest"]:
         return _selftest(args.seed)
+    if args.experiments == ["serve"]:
+        if not 0.0 < args.scale <= 1.0:
+            parser.error("--scale must be in (0, 1]")
+        if args.storm:
+            return _serve_storm(
+                args.seed, args.scale, args.check, args.output,
+                args.trace_out, args.serve_workers,
+            )
+        if args.soak:
+            return _serve_soak(args.seed, args.serve_workers)
+        return _serve(args.host, args.port, args.serve_workers)
     if args.experiments == ["chaos"]:
         if args.backend == "dist":
             return _chaos_dist(args.seed)
@@ -343,11 +384,16 @@ def _chaos_dist(seed: int) -> int:
 def _chaos(seed: int) -> int:
     from dataclasses import replace as _replace
 
-    from repro.testing.chaos import CHAOS_MATRIX, run_chaos_matrix
+    from repro.testing.chaos import (
+        CHAOS_MATRIX, run_chaos_matrix, run_serve_chaos_matrix,
+    )
 
     specs = [_replace(s, seed=s.seed + seed) for s in CHAOS_MATRIX]
     start = time.perf_counter()
     reports = run_chaos_matrix(specs)
+    # The service cell (kill a mesh job mid-phase, resume from its last
+    # boundary checkpoint) rides the same matrix and the same verdict.
+    reports.extend(run_serve_chaos_matrix())
     elapsed = time.perf_counter() - start
     for report in reports:
         print(report.render())
@@ -355,6 +401,93 @@ def _chaos(seed: int) -> int:
     verdict = "PASS" if failed == 0 else f"FAIL ({failed}/{len(reports)})"
     print(f"[chaos {verdict} in {elapsed:.1f}s]")
     return 0 if failed == 0 else 1
+
+
+def _serve(host: str, port: int, workers: int) -> int:
+    """Run the mesh-generation service in the foreground."""
+    from repro.serve import MeshServer
+
+    server = MeshServer(host=host, port=port, workers=workers).start()
+    bound_host, bound_port = server.address
+    print(f"mrts-serve listening on {bound_host}:{bound_port} "
+          f"({workers} job workers); ops: ping, submit, status, result, "
+          f"list, metrics, cancel, shutdown")
+    try:
+        server.wait_stopped()
+    except KeyboardInterrupt:
+        print("\nmrts-serve: interrupt — draining")
+        server.stop()
+    return 0
+
+
+def _serve_storm(
+    seed: int, scale: float, check: bool, output: str | None,
+    trace_out: str | None, workers: int,
+) -> int:
+    """Run the service_storm load generator; merge or gate like dist.
+
+    Without ``--check`` the metrics are merged into the committed report
+    (the simulator baselines are untouched); with ``--check`` they are
+    gated against the baseline's ``service_storm`` entry — deterministic
+    per-job virtual metrics at 10 %, wall jobs/sec and p99 behind loose
+    floor/ceiling smoke gates.  ``all_finished`` and a zero invariant
+    count are hard verdicts either way.
+    """
+    from repro import perf
+
+    path = output or perf.BENCH_FILENAME
+    start = time.perf_counter()
+    metrics = perf.run_service_storm(
+        seed=seed, scale=scale, workers=workers, trace_out=trace_out,
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        f"  service_storm      jobs={metrics['jobs_completed']}"
+        f"/{metrics['jobs_submitted']} "
+        f"{metrics['jobs_per_sec']:.1f} jobs/s "
+        f"p99={metrics['p99_latency_s'] * 1000:.0f}ms "
+        f"(virtual p99={metrics['p99_latency_virtual_s']:.3f}s) "
+        f"stored={metrics['bytes_stored']}B wall={metrics['wall_s']:.2f}s"
+    )
+    for failure in metrics["failures"]:
+        print(f"  JOB FAILURE: {failure}")
+    if trace_out:
+        print(f"  per-job-lane trace written to {trace_out}")
+    hard_ok = metrics["all_finished"] and not metrics["invariant_violations"]
+    if check:
+        baseline = perf.load_baseline(path)
+        if baseline is None:
+            print(f"[serve --storm FAIL: no baseline at {path}]")
+            return 1
+        failures = perf.check_against_baseline(
+            {"workloads": {"service_storm": metrics}}, baseline
+        )
+        for failure in failures:
+            print(f"  REGRESSION: {failure}")
+        ok = hard_ok and not failures
+        verdict = "PASS" if ok else "FAIL"
+        print(f"[serve --storm --check {verdict} vs {path} "
+              f"in {elapsed:.1f}s]")
+        return 0 if ok else 1
+    report = perf.load_baseline(path) or {"version": 4, "workloads": {}}
+    report.setdefault("workloads", {})["service_storm"] = metrics
+    perf.write_report(report, path)
+    verdict = "PASS" if hard_ok else "FAIL (jobs failed)"
+    print(f"[serve --storm {verdict}; {path} updated in {elapsed:.1f}s]")
+    return 0 if hard_ok else 1
+
+
+def _serve_soak(seed: int, workers: int) -> int:
+    """Run the concurrent soak with exact per-job state oracles."""
+    from repro.testing.service import run_soak
+
+    start = time.perf_counter()
+    report = run_soak(n_tenants=4, n_jobs=16, seed=seed, workers=workers)
+    elapsed = time.perf_counter() - start
+    print(report.render())
+    verdict = "PASS" if report.ok else "FAIL"
+    print(f"[serve --soak {verdict} in {elapsed:.1f}s]")
+    return 0 if report.ok else 1
 
 
 def _selftest(seed: int) -> int:

@@ -46,6 +46,7 @@ from repro.obs.events import (
     EvictEvent,
     EventBus,
     HandlerSpan,
+    JobEvent,
     LoadEvent,
     MigrateEvent,
     ObsEvent,
@@ -65,6 +66,7 @@ from repro.obs.metrics import (
     MetricsCollector,
     MetricsRegistry,
     collect_run_stats,
+    render_prometheus,
 )
 
 __all__ = [
@@ -76,6 +78,7 @@ __all__ = [
     "Gauge",
     "HandlerSpan",
     "Histogram",
+    "JobEvent",
     "LANES",
     "LoadEvent",
     "MetricsCollector",
@@ -95,6 +98,7 @@ __all__ = [
     "diff_reports",
     "overlap_report",
     "render_diff",
+    "render_prometheus",
     "to_chrome_trace",
     "utilization_report",
     "write_chrome_trace",

@@ -41,6 +41,7 @@ __all__ = [
     "PackEvent",
     "MigrateEvent",
     "QueueDepthEvent",
+    "JobEvent",
     "EventBus",
     "Subscription",
 ]
@@ -209,6 +210,31 @@ class QueueDepthEvent(ObsEvent):
     kind: ClassVar[str] = "queue"
     oid: int
     depth: int
+
+
+@dataclass(frozen=True)
+class JobEvent(ObsEvent):
+    """A service job crossed a lifecycle edge (service layer).
+
+    Emitted by :class:`repro.serve.jobs.JobManager`, not the runtime:
+    ``time`` is wall-clock seconds since the service epoch (each job
+    owns a whole MRTS with its own virtual clock, so there is no shared
+    virtual time to stamp) and ``node`` is ``-1`` — the trace exporter
+    gives job events their own process track with one lane per job
+    instead of a node lane.  ``phase`` is the lifecycle edge
+    (``submitted``/``queued``/``admitted``/``started``/``boundary``/
+    ``killed``/``resumed``/``finished``/``failed``/``rejected``/
+    ``cancelled``);
+    ``boundary`` is the count of completed phase boundaries and
+    ``residency_bytes`` the job's core footprint sampled there.
+    """
+
+    kind: ClassVar[str] = "job"
+    job_id: str
+    tenant: str
+    phase: str
+    boundary: int = 0
+    residency_bytes: int = 0
 
 
 class Subscription:

@@ -29,6 +29,7 @@ from repro.obs.events import (
     DiskSpan,
     EvictEvent,
     HandlerSpan,
+    JobEvent,
     LoadEvent,
     MigrateEvent,
     ObsEvent,
@@ -40,10 +41,15 @@ from repro.obs.events import (
     SpillEvent,
 )
 
-__all__ = ["to_chrome_trace", "write_chrome_trace", "LANES"]
+__all__ = ["to_chrome_trace", "write_chrome_trace", "LANES", "SERVICE_PID"]
 
 # Thread-lane ids within each node-process, in display order.
 LANES = {"handlers": 0, "disk": 1, "network": 2, "runtime": 3, "prefetch": 4}
+
+# Service-mode job events render under their own process track (one
+# thread lane per job) instead of a node track — a job's runtime has its
+# own virtual clock, so job lifecycle edges live on the wall clock.
+SERVICE_PID = 10_000
 
 _US = 1e6  # trace event timestamps are microseconds
 
@@ -66,7 +72,31 @@ def to_chrome_trace(events: Iterable[ObsEvent]) -> dict:
     """Render an event stream as a Trace Event Format document."""
     trace: list[dict] = []
     nodes: set[int] = set()
+    job_lanes: dict[str, int] = {}   # job_id -> tid, in encounter order
+    job_open: dict[str, tuple] = {}  # job_id -> (start_ts, phase)
     for e in events:
+        if isinstance(e, JobEvent):
+            tid = job_lanes.setdefault(e.job_id, len(job_lanes))
+            trace.append(_instant(
+                f"{e.phase} [{e.tenant}]", "service", SERVICE_PID, tid,
+                e.time,
+                {"job_id": e.job_id, "tenant": e.tenant,
+                 "boundary": e.boundary,
+                 "residency_bytes": e.residency_bytes},
+            ))
+            if e.phase in ("started", "resumed"):
+                job_open[e.job_id] = (e.time, e.phase)
+            elif e.phase in ("finished", "failed", "cancelled"):
+                opened = job_open.pop(e.job_id, None)
+                if opened is not None:
+                    trace.append(_span(
+                        f"job {e.job_id} ({opened[1]} -> {e.phase})",
+                        "service", SERVICE_PID, tid, opened[0],
+                        e.time - opened[0],
+                        {"job_id": e.job_id, "tenant": e.tenant,
+                         "boundaries": e.boundary},
+                    ))
+            continue
         nodes.add(e.node)
         if isinstance(e, HandlerSpan):
             trace.append(_span(
@@ -162,6 +192,24 @@ def to_chrome_trace(events: Iterable[ObsEvent]) -> dict:
             })
             meta.append({
                 "name": "thread_sort_index", "ph": "M", "pid": node,
+                "tid": tid, "args": {"sort_index": tid},
+            })
+    if job_lanes:
+        meta.append({
+            "name": "process_name", "ph": "M", "pid": SERVICE_PID,
+            "args": {"name": "service jobs"},
+        })
+        meta.append({
+            "name": "process_sort_index", "ph": "M", "pid": SERVICE_PID,
+            "args": {"sort_index": SERVICE_PID},
+        })
+        for job_id, tid in job_lanes.items():
+            meta.append({
+                "name": "thread_name", "ph": "M", "pid": SERVICE_PID,
+                "tid": tid, "args": {"name": f"job {job_id}"},
+            })
+            meta.append({
+                "name": "thread_sort_index", "ph": "M", "pid": SERVICE_PID,
                 "tid": tid, "args": {"sort_index": tid},
             })
     return {

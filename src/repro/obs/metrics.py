@@ -27,6 +27,7 @@ from repro.obs.events import (
     EvictEvent,
     EventBus,
     HandlerSpan,
+    JobEvent,
     LoadEvent,
     MigrateEvent,
     ObsEvent,
@@ -49,6 +50,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsCollector",
     "collect_run_stats",
+    "render_prometheus",
 ]
 
 _DEFAULT_BUCKETS = (
@@ -252,6 +254,11 @@ class MetricsCollector:
             "mrts_queue_depth", "object message-queue depth at last enqueue")
         self.memory_used = r.gauge(
             "mrts_memory_used_bytes", "node residency bytes at last change")
+        self.jobs = r.counter(
+            "mrts_jobs_total", "service job lifecycle edges")
+        self.job_residency = r.gauge(
+            "mrts_job_residency_bytes",
+            "per-job residency at the last phase boundary")
         self.events_seen = r.counter("mrts_obs_events_total", "events consumed")
 
     def attach(self, bus: EventBus) -> Subscription:
@@ -298,6 +305,12 @@ class MetricsCollector:
             self.migrations.inc(node=node)
         elif isinstance(event, QueueDepthEvent):
             self.queue_depth.set(event.depth, node=node, oid=event.oid)
+        elif isinstance(event, JobEvent):
+            self.jobs.inc(phase=event.phase, tenant=event.tenant)
+            if event.phase in ("boundary", "finished"):
+                self.job_residency.set(
+                    event.residency_bytes,
+                    job=event.job_id, tenant=event.tenant)
 
 
 def collect_run_stats(
@@ -337,3 +350,62 @@ def collect_run_stats(
         for rank, node in enumerate(stats.nodes):
             gauge.set(getattr(node, attr), node=rank)
     return r
+
+
+def _prom_escape(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _prom_labels(key: tuple, extra: Optional[tuple] = None) -> str:
+    pairs = list(key) + (list(extra) if extra else [])
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_prom_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    This is what the service's ``metrics`` op (and ``GET``-over-NDJSON
+    scrapes built on it) returns: ``# HELP``/``# TYPE`` headers, one
+    sample per label set, histograms expanded to cumulative
+    ``_bucket{le=...}`` series plus ``_sum``/``_count`` — parseable by a
+    stock Prometheus scraper pointed at a file.
+    """
+    lines: list[str] = []
+    for name in registry.names():
+        metric = registry[name]
+        if metric.help:
+            lines.append(f"# HELP {name} {_prom_escape(metric.help)}")
+        lines.append(f"# TYPE {name} {metric.metric_type}")
+        if isinstance(metric, Histogram):
+            for key, (counts, total, count) in sorted(metric._values.items()):
+                cumulative = 0
+                for bound, bucket_count in zip(metric.buckets, counts):
+                    cumulative += bucket_count
+                    le = ("le", _prom_value(bound))
+                    lines.append(
+                        f"{name}_bucket{_prom_labels(key, (le,))} "
+                        f"{cumulative}"
+                    )
+                lines.append(f"{name}_sum{_prom_labels(key)} "
+                             f"{_prom_value(total)}")
+                lines.append(f"{name}_count{_prom_labels(key)} {count}")
+        else:
+            for key, value in sorted(metric._values.items()):
+                lines.append(
+                    f"{name}{_prom_labels(key)} {_prom_value(value)}"
+                )
+    return "\n".join(lines) + "\n"

@@ -28,6 +28,12 @@ measure:
   pack-file curve neighborhood can see the future.  Its
   ``prefetch_hit_rate`` column is the prefetch-accuracy trajectory;
   ``bytes_loaded`` is gated everywhere.
+* **service_storm** — the throughput-under-concurrency axis (PR 8): a
+  storm of small UPDR/NUPDR/PCDM jobs plus a few memory-starved
+  elephants submitted by concurrent tenants through the real
+  ``repro.serve`` socket server.  Per-job virtual makespans and spill
+  bytes are deterministic and regression-gated; wall jobs/sec and p99
+  latency carry loose floor/ceiling smoke gates (real threads jitter).
 
 ``run_perf_suite`` returns (and ``mrts-bench perf`` writes) a JSON report:
 wall-clock seconds, virtual makespan, bytes moved, eviction counts and the
@@ -62,6 +68,7 @@ __all__ = [
     "run_mesh_neighborhood_sweep",
     "NeighborhoodPatchActor",
     "run_dist_storm",
+    "run_service_storm",
     "run_perf_suite",
     "check_against_baseline",
 ]
@@ -70,9 +77,21 @@ BENCH_FILENAME = "BENCH_ooc.json"
 
 # Metrics that are pure functions of the seed (virtual time, byte counts)
 # and therefore eligible for exact regression gating.  Wall-clock is
-# reported but never gated — CI machines differ.
-_GATED_METRICS = ("bytes_stored", "bytes_loaded", "virtual_makespan_s", "packs")
+# reported but never gated — CI machines differ.  service_storm's
+# p99_latency_virtual_s (the p99 of per-job virtual makespans) is
+# deterministic for the same reason per-job makespans are: each job runs
+# its own virtual schedule, untouched by thread interleaving.
+_GATED_METRICS = ("bytes_stored", "bytes_loaded", "virtual_makespan_s",
+                  "packs", "p99_latency_virtual_s")
 _GATE_TOLERANCE = 0.10
+
+# Wall-clock throughput/latency smoke gates for service_storm.  Real
+# threads and sockets jitter, so these are deliberately loose — they only
+# catch order-of-magnitude collapses (a serialized worker pool, a stuck
+# admission queue), not percent-level drift: throughput may not fall
+# below 25 % of baseline, wall p99 may not exceed 4x baseline.
+_FLOOR_GATES = {"jobs_per_sec": 0.25}
+_CEILING_GATES = {"p99_latency_s": 4.0}
 
 
 class ReadOnlyActor(MobileObject):
@@ -489,14 +508,165 @@ def run_dist_storm(
     }
 
 
+def run_service_storm(
+    seed: int = 0,
+    n_tenants: int = 4,
+    small_jobs: int = 12,
+    elephants: int = 2,
+    workers: int = 4,
+    scale: float = 1.0,
+    trace_out: Optional[str] = None,
+) -> dict:
+    """Service-mode throughput workload: a storm of small jobs + elephants.
+
+    Submits a seeded mix of quick UPDR/NUPDR/PCDM jobs plus a few
+    memory-starved "elephant" UPDR runs (48 KiB/node on a fine sizing, so
+    they genuinely spill) across ``n_tenants`` tenants through the real
+    socket server, one client thread per tenant.  This is the perf
+    trajectory's first throughput-under-concurrency axis:
+
+    * **deterministic** (gated at 10 %): per-job virtual makespans and
+      spill bytes, summed (``virtual_makespan_s``, ``bytes_stored``,
+      ``bytes_loaded``) and the p99 of per-job virtual makespans
+      (``p99_latency_virtual_s``) — thread scheduling cannot move these;
+    * **wall-clock** (smoke-gated): ``jobs_per_sec`` (floor gate) and
+      ``p99_latency_s`` (ceiling gate) — see ``_FLOOR_GATES`` /
+      ``_CEILING_GATES``;
+    * **hard**: ``all_finished`` and ``invariant_violations == 0`` — the
+      CLI turns either into a non-zero exit, like dist_storm's
+      ``state_equal``.
+
+    ``trace_out`` writes the Perfetto trace of the job-lifecycle stream
+    (the per-job lanes).
+    """
+    from repro.obs.events import EventBus
+    from repro.serve.admission import AdmissionPolicy
+    from repro.testing.service import ServiceFixture
+
+    import threading
+
+    small_jobs = max(1, int(small_jobs * scale))
+    templates = (
+        dict(method="updr", geometry="unit_square", h=0.18, nx=2, ny=2,
+             memory_bytes=256 * 1024),
+        dict(method="updr", geometry="circle", h=0.25, nx=2, ny=2,
+             memory_bytes=64 * 1024),
+        dict(method="nupdr", geometry="unit_square", h=0.22,
+             granularity=4.0, memory_bytes=256 * 1024),
+        dict(method="pcdm", geometry="unit_square", h=0.18, n_parts=2,
+             memory_bytes=256 * 1024),
+        dict(method="pcdm", geometry="circle", h=0.3, n_parts=2,
+             memory_bytes=256 * 1024),
+    )
+    elephant = dict(method="updr", geometry="unit_square", h=0.06,
+                    nx=3, ny=3, n_nodes=2, memory_bytes=48 * 1024)
+    rng = random.Random(seed)
+    script: list[dict] = []
+    for i in range(small_jobs):
+        body = dict(rng.choice(templates))
+        body["tenant"] = f"tenant-{i % n_tenants}"
+        body["seed"] = seed
+        script.append(body)
+    for i in range(elephants):
+        body = dict(elephant)
+        body["tenant"] = f"tenant-{i % n_tenants}"
+        body["seed"] = seed
+        script.append(body)
+
+    policy = AdmissionPolicy(
+        soft_residency_bytes=4 * (1 << 20),
+        hard_residency_bytes=8 * (1 << 20),
+        tenant_quota_bytes=512 * (1 << 20),
+    )
+    bus = EventBus()
+    sub = bus.subscribe() if trace_out else None
+    results: list[dict] = []
+    failures: list[str] = []
+    lock = threading.Lock()
+
+    wall0 = time.perf_counter()
+    with ServiceFixture(policy=policy, workers=workers, bus=bus) as svc:
+        def tenant_thread(tenant_idx: int) -> None:
+            mine = [b for b in script
+                    if b["tenant"] == f"tenant-{tenant_idx}"]
+            try:
+                with svc.client(timeout=300.0) as client:
+                    submitted = [
+                        (client.submit(body)["job_id"], body)
+                        for body in mine
+                    ]
+                    for job_id, body in submitted:
+                        status = client.wait(job_id, timeout=300.0)
+                        if status["state"] != "finished":
+                            with lock:
+                                failures.append(
+                                    f"{job_id} ended {status['state']!r}")
+                            continue
+                        result = client.result(job_id)
+                        result["latency_s"] = status["latency_s"]
+                        with lock:
+                            results.append(result)
+            except Exception as exc:  # noqa: BLE001 - surface, don't hang
+                with lock:
+                    failures.append(
+                        f"tenant {tenant_idx}: {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=tenant_thread, args=(i,),
+                             name=f"storm-tenant-{i}")
+            for i in range(n_tenants)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300.0)
+    wall = time.perf_counter() - wall0
+
+    if trace_out and sub is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(list(sub.events), trace_out)
+
+    def pct(values: list, q: float) -> float:
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    virtual = sorted(r["virtual_makespan_s"] for r in results)
+    latencies = sorted(r["latency_s"] for r in results)
+    return {
+        "wall_s": round(wall, 3),
+        "n_tenants": n_tenants,
+        "workers": workers,
+        "jobs_submitted": len(script),
+        "jobs_completed": len(results),
+        "all_finished": (not failures and len(results) == len(script)),
+        "failures": failures,
+        "invariant_violations": sum(
+            r["invariant_violations"] for r in results),
+        # Wall-clock axis (smoke-gated).
+        "jobs_per_sec": round(len(results) / max(wall, 1e-9), 3),
+        "p50_latency_s": round(pct(latencies, 0.50), 6),
+        "p99_latency_s": round(pct(latencies, 0.99), 6),
+        # Deterministic axis (regression-gated at 10 %).
+        "virtual_makespan_s": round(sum(virtual), 6),
+        "p99_latency_virtual_s": round(pct(virtual, 0.99), 6),
+        "bytes_stored": sum(r["bytes_stored"] for r in results),
+        "bytes_loaded": sum(r["bytes_loaded"] for r in results),
+    }
+
+
 def run_perf_suite(seed: int = 0, scale: float = 1.0) -> dict:
     """Run all workloads; returns the BENCH_ooc.json document."""
     storm = run_clean_read_storm(seed=seed, scale=scale)
     oupdr = run_oupdr_model_bench(seed=seed, scale=scale)
     patches = run_mesh_patch_stream(seed=seed, scale=scale)
     sweep = run_mesh_neighborhood_sweep(seed=seed, scale=scale)
+    service = run_service_storm(seed=seed, scale=scale)
     return {
-        "version": 3,
+        "version": 4,
         "seed": seed,
         "scale": scale,
         "workloads": {
@@ -504,6 +674,7 @@ def run_perf_suite(seed: int = 0, scale: float = 1.0) -> dict:
             "oupdr_model": oupdr.metrics(),
             "mesh_patch_stream": patches.metrics(),
             "mesh_neighborhood_sweep": sweep.metrics(),
+            "service_storm": service,
         },
     }
 
@@ -534,12 +705,45 @@ def check_against_baseline(
                     f"(+{100.0 * (new / old - 1.0):.1f}%, "
                     f"allowed +{100.0 * tolerance:.0f}%)"
                 )
+        for key, floor in _FLOOR_GATES.items():
+            if key not in base or key not in metrics:
+                continue
+            old, new = float(base[key]), float(metrics[key])
+            if old <= 0:
+                continue
+            if new < old * floor:
+                failures.append(
+                    f"{name}.{key} collapsed: {new:g} vs baseline {old:g} "
+                    f"(floor {100.0 * floor:.0f}% of baseline)"
+                )
+        for key, ceiling in _CEILING_GATES.items():
+            if key not in base or key not in metrics:
+                continue
+            old, new = float(base[key]), float(metrics[key])
+            if old <= 0:
+                continue
+            if new > old * ceiling:
+                failures.append(
+                    f"{name}.{key} blew up: {new:g} vs baseline {old:g} "
+                    f"(ceiling {ceiling:g}x baseline)"
+                )
     return failures
 
 
 def render_report(report: dict) -> str:
     lines = ["perf suite (out-of-core fast path):"]
     for name, metrics in report["workloads"].items():
+        if "jobs_per_sec" in metrics:
+            lines.append(
+                f"  {name:<18} jobs={metrics['jobs_completed']}"
+                f"/{metrics['jobs_submitted']} "
+                f"{metrics['jobs_per_sec']:.1f} jobs/s "
+                f"p99={metrics['p99_latency_s'] * 1000:.0f}ms "
+                f"(virtual p99={metrics['p99_latency_virtual_s']:.3f}s) "
+                f"stored={metrics['bytes_stored']}B "
+                f"wall={metrics['wall_s']:.2f}s"
+            )
+            continue
         if "virtual_makespan_s" not in metrics:
             continue  # e.g. a merged dist_storm entry (wall-clock only)
         lines.append(

@@ -1,0 +1,82 @@
+"""repro.serve — long-lived multi-tenant mesh-generation service.
+
+The paper evaluates the MRTS one workload at a time; this package turns
+the same runtime into shared infrastructure: a persistent server behind
+``mrts-bench serve`` that accepts concurrent UPDR/NUPDR/PCDM jobs
+(geometry + sizing parameters) over a line-delimited JSON socket
+protocol and multiplexes them onto MRTS instances through an
+asynchronous job manager.  The out-of-core layer's accounting becomes a
+multi-tenant scheduler:
+
+* :mod:`repro.serve.protocol` — NDJSON framing, request validation and
+  the error-reply vocabulary (malformed frames and oversized payloads
+  get clean replies, never a dropped connection mid-reply);
+* :mod:`repro.serve.meshjob` — :class:`JobSpec` (the wire-visible job
+  description) and :class:`MeshJobRunner`, the phase-sliced execution of
+  the three PUMG methods with a checkpoint at every phase boundary
+  (via :mod:`repro.core.checkpoint`) so a preempted or crashed job
+  resumes from its last boundary instead of restarting;
+* :mod:`repro.serve.admission` — admission control keyed to residency
+  pressure (jobs queue once the service's aggregate residency passes the
+  soft limit, and are never admitted past the hard limit) plus
+  per-tenant storage quotas enforced through the eviction accounting
+  (spilled bytes are charged to the owning tenant);
+* :mod:`repro.serve.jobs` — the asynchronous :class:`JobManager`: a
+  worker pool draining admitted jobs, per-job ``JobEvent`` lifecycle on
+  the obs bus, checkpoint/resume on kill, metrics registry;
+* :mod:`repro.serve.server` / :mod:`repro.serve.client` — the TCP
+  server (``mrts-bench serve``) and the blocking client used by tests,
+  the soak harness and the ``service_storm`` load generator.
+
+Everything is stdlib-only (``socket``/``threading``/``json``) so the
+service deploys exactly like the CLI does.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from repro.serve.client import ServiceClient, ServiceError
+from repro.serve.jobs import Job, JobManager, JobKilled
+from repro.serve.meshjob import (
+    GEOMETRIES,
+    JobCheckpoint,
+    JobSpec,
+    JobSpecError,
+    MeshJobRunner,
+    run_job_solo,
+)
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_reply,
+    validate_request,
+)
+from repro.serve.server import MeshServer
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "GEOMETRIES",
+    "Job",
+    "JobCheckpoint",
+    "JobKilled",
+    "JobManager",
+    "JobSpec",
+    "JobSpecError",
+    "MAX_FRAME_BYTES",
+    "MeshJobRunner",
+    "MeshServer",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "decode_frame",
+    "encode_frame",
+    "error_reply",
+    "run_job_solo",
+    "validate_request",
+]

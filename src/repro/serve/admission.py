@@ -1,0 +1,245 @@
+"""Admission control keyed to out-of-core residency pressure.
+
+The service runs many MRTS instances side by side, so the scarce
+resource is aggregate core residency: every admitted job may pin up to
+its envelope (``n_nodes * memory_bytes``) in RAM.  The controller turns
+the OOC layer's soft/hard threshold idiom (cf. ``OOCConfig``) into a
+multi-tenant scheduler:
+
+* below the **soft** limit, jobs are admitted and their envelope is
+  reserved;
+* past the soft limit, new jobs **queue** — they stay submitted and run
+  once running jobs release their reservations;
+* the **hard** limit is inviolable: the controller never lets the sum
+  of reservations exceed it, so actual residency (which is bounded by
+  the envelopes) cannot either.  A job whose envelope alone exceeds the
+  hard limit is rejected outright, as is a job from a tenant whose
+  spilled-byte ledger is at quota.
+
+Per-tenant storage quotas ride on the eviction accounting: every byte a
+job's runtime spills to the medium (``RunStats.bytes_to_disk``) is
+charged to the owning tenant through :meth:`charge_stored`; a tenant at
+quota gets no further admissions until jobs complete and the operator
+resets the ledger.
+
+All methods are thread-safe; the job manager's workers and the server's
+connection threads share one controller.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["AdmissionPolicy", "AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Residency thresholds and tenant quota for one service instance."""
+
+    soft_residency_bytes: int = 8 * (1 << 20)
+    hard_residency_bytes: int = 16 * (1 << 20)
+    tenant_quota_bytes: int = 64 * (1 << 20)   # spilled-byte quota
+    max_queued: int = 256
+
+    def __post_init__(self) -> None:
+        if self.soft_residency_bytes <= 0:
+            raise ValueError("soft_residency_bytes must be positive")
+        if self.hard_residency_bytes < self.soft_residency_bytes:
+            raise ValueError("hard threshold must be >= soft threshold")
+        if self.tenant_quota_bytes <= 0:
+            raise ValueError("tenant_quota_bytes must be positive")
+        if self.max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The verdict for one submission attempt."""
+
+    verdict: str                 # "admit" | "queue" | "reject"
+    reason: str
+    reserved_bytes: int = 0
+
+    @property
+    def admitted(self) -> bool:
+        return self.verdict == "admit"
+
+
+@dataclass
+class _TenantLedger:
+    stored_bytes: int = 0        # spilled bytes charged so far
+    jobs_admitted: int = 0
+    jobs_rejected: int = 0
+
+
+class AdmissionController:
+    """Reservation ledger enforcing the policy's two invariants.
+
+    1. ``sum(reservations) <= hard_residency_bytes`` at all times — a
+       decision and its reservation are one atomic step under the lock,
+       so concurrent submitters cannot race past the hard limit.
+    2. A tenant whose stored-byte ledger is at or over quota is never
+       admitted (and never queued — quota exhaustion is not transient
+       from the controller's point of view).
+
+    The Hypothesis property test drives random decide/charge/release
+    sequences against exactly these two statements.
+    """
+
+    def __init__(self, policy: AdmissionPolicy | None = None) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self._lock = threading.Lock()
+        self._reservations: dict[str, int] = {}      # job_id -> envelope
+        self._observed: dict[str, int] = {}          # job_id -> last sample
+        self._tenants: dict[str, _TenantLedger] = {}
+        self._queued = 0
+
+    # ----------------------------------------------------------- verdicts
+    def decide(self, job_id: str, tenant: str,
+               estimated_bytes: int) -> AdmissionDecision:
+        """Admit (and reserve), queue, or reject one job atomically."""
+        if estimated_bytes < 0:
+            raise ValueError("estimated_bytes must be >= 0")
+        pol = self.policy
+        with self._lock:
+            ledger = self._tenants.setdefault(tenant, _TenantLedger())
+            if estimated_bytes > pol.hard_residency_bytes:
+                ledger.jobs_rejected += 1
+                return AdmissionDecision(
+                    "reject",
+                    f"envelope {estimated_bytes} B exceeds the hard "
+                    f"residency limit {pol.hard_residency_bytes} B",
+                )
+            if ledger.stored_bytes >= pol.tenant_quota_bytes:
+                ledger.jobs_rejected += 1
+                return AdmissionDecision(
+                    "reject",
+                    f"tenant {tenant!r} is at its storage quota "
+                    f"({ledger.stored_bytes} of "
+                    f"{pol.tenant_quota_bytes} B spilled)",
+                )
+            reserved = sum(self._reservations.values())
+            if (reserved + estimated_bytes <= pol.soft_residency_bytes
+                    or (not self._reservations
+                        and reserved + estimated_bytes
+                        <= pol.hard_residency_bytes)):
+                # Below the soft limit — or the service is idle and a
+                # single job fits under hard: admit so an elephant that
+                # fits can always run alone.
+                self._reservations[job_id] = estimated_bytes
+                ledger.jobs_admitted += 1
+                return AdmissionDecision(
+                    "admit", "within the soft residency limit",
+                    reserved_bytes=estimated_bytes,
+                )
+            if self._queued >= pol.max_queued:
+                ledger.jobs_rejected += 1
+                return AdmissionDecision(
+                    "reject",
+                    f"admission queue is full ({pol.max_queued} jobs)",
+                )
+            self._queued += 1
+            return AdmissionDecision(
+                "queue",
+                f"residency pressure: {reserved} B reserved, soft limit "
+                f"{pol.soft_residency_bytes} B",
+            )
+
+    def try_promote(self, job_id: str, tenant: str,
+                    estimated_bytes: int) -> bool:
+        """Move a queued job to admitted once pressure allows it."""
+        pol = self.policy
+        with self._lock:
+            ledger = self._tenants.setdefault(tenant, _TenantLedger())
+            if ledger.stored_bytes >= pol.tenant_quota_bytes:
+                return False
+            reserved = sum(self._reservations.values())
+            fits_soft = (reserved + estimated_bytes
+                         <= pol.soft_residency_bytes)
+            fits_alone = (not self._reservations
+                          and reserved + estimated_bytes
+                          <= pol.hard_residency_bytes)
+            if not (fits_soft or fits_alone):
+                return False
+            self._reservations[job_id] = estimated_bytes
+            self._queued = max(0, self._queued - 1)
+            ledger.jobs_admitted += 1
+            return True
+
+    def drop_queued(self, n: int = 1) -> None:
+        """A queued job was cancelled before promotion."""
+        with self._lock:
+            self._queued = max(0, self._queued - n)
+
+    # -------------------------------------------------------- accounting
+    def observe(self, job_id: str, residency_bytes: int) -> None:
+        """Record a job's actual residency sample (metrics only — the
+        reservation stays at the envelope, since residency can grow back
+        up to it before the next boundary)."""
+        with self._lock:
+            if job_id in self._reservations:
+                self._observed[job_id] = residency_bytes
+
+    def release(self, job_id: str) -> int:
+        """Drop a finished/failed job's reservation; returns it."""
+        with self._lock:
+            self._observed.pop(job_id, None)
+            return self._reservations.pop(job_id, 0)
+
+    def charge_stored(self, tenant: str, delta_bytes: int) -> bool:
+        """Charge newly spilled bytes to the tenant's quota ledger.
+
+        Returns False once the tenant is over quota — the caller (the
+        job manager) lets running jobs finish their phase but admits
+        nothing further for the tenant.
+        """
+        if delta_bytes < 0:
+            raise ValueError("delta_bytes must be >= 0")
+        with self._lock:
+            ledger = self._tenants.setdefault(tenant, _TenantLedger())
+            ledger.stored_bytes += delta_bytes
+            return ledger.stored_bytes < self.policy.tenant_quota_bytes
+
+    # ----------------------------------------------------------- inspect
+    @property
+    def reserved_bytes(self) -> int:
+        with self._lock:
+            return sum(self._reservations.values())
+
+    @property
+    def observed_bytes(self) -> int:
+        with self._lock:
+            return sum(self._observed.values())
+
+    @property
+    def queued(self) -> int:
+        with self._lock:
+            return self._queued
+
+    def tenant_stored_bytes(self, tenant: str) -> int:
+        with self._lock:
+            ledger = self._tenants.get(tenant)
+            return ledger.stored_bytes if ledger else 0
+
+    def pressure(self) -> dict:
+        """Snapshot for the ``status``/``metrics`` ops and the tests."""
+        with self._lock:
+            return {
+                "reserved_bytes": sum(self._reservations.values()),
+                "observed_bytes": sum(self._observed.values()),
+                "soft_residency_bytes": self.policy.soft_residency_bytes,
+                "hard_residency_bytes": self.policy.hard_residency_bytes,
+                "tenant_quota_bytes": self.policy.tenant_quota_bytes,
+                "active_jobs": len(self._reservations),
+                "queued_jobs": self._queued,
+                "tenants": {
+                    name: {
+                        "stored_bytes": led.stored_bytes,
+                        "jobs_admitted": led.jobs_admitted,
+                        "jobs_rejected": led.jobs_rejected,
+                    }
+                    for name, led in sorted(self._tenants.items())
+                },
+            }

@@ -1,0 +1,113 @@
+"""Blocking NDJSON client for the mesh-generation service.
+
+One socket, one request/reply at a time — the shape every consumer in
+this repo needs (tests, the soak harness, the ``service_storm`` load
+generator drive many clients from many threads, each with its own
+:class:`ServiceClient`).  Replies are returned as plain dicts;
+``ok: false`` replies raise :class:`ServiceError` carrying the
+protocol's stable error code, so callers branch on ``exc.code`` instead
+of string-matching messages.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Optional
+
+from repro.serve.protocol import MAX_FRAME_BYTES, decode_frame, encode_frame
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """An ``ok: false`` reply from the service."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """A connected client session; usable as a context manager."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- wire
+    def request(self, payload: dict) -> dict:
+        """One round trip; raises :class:`ServiceError` on error replies."""
+        self._sock.sendall(encode_frame(payload))
+        line = self._rfile.readline(MAX_FRAME_BYTES + 1)
+        if not line:
+            raise ServiceError("disconnected", "server closed the connection")
+        reply = decode_frame(line.rstrip(b"\n"))
+        if not reply.get("ok"):
+            error = reply.get("error") or {}
+            raise ServiceError(error.get("code", "unknown"),
+                               error.get("message", "unspecified error"))
+        return reply
+
+    def send_raw(self, data: bytes) -> None:
+        """Ship arbitrary bytes (the fuzz tests' malformed frames)."""
+        self._sock.sendall(data)
+
+    def read_reply(self) -> Optional[dict]:
+        """Read one reply without raising on ``ok: false`` (fuzz tests)."""
+        line = self._rfile.readline(MAX_FRAME_BYTES + 1)
+        if not line:
+            return None
+        return decode_frame(line.rstrip(b"\n"))
+
+    # -------------------------------------------------------------- ops
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def submit(self, job: dict) -> dict:
+        return self.request({"op": "submit", "job": job})
+
+    def status(self, job_id: str) -> dict:
+        return self.request({"op": "status", "job_id": job_id})["job"]
+
+    def result(self, job_id: str) -> dict:
+        return self.request({"op": "result", "job_id": job_id})["result"]
+
+    def list_jobs(self) -> dict:
+        return self.request({"op": "list"})
+
+    def metrics(self) -> dict:
+        return self.request({"op": "metrics"})
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request({"op": "cancel", "job_id": job_id})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll_s: float = 0.02) -> dict:
+        """Poll ``status`` until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        terminal = ("finished", "failed", "rejected", "cancelled")
+        while True:
+            job = self.status(job_id)
+            if job["state"] in terminal:
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']!r} after {timeout}s")
+            time.sleep(poll_s)

@@ -1,0 +1,643 @@
+"""Phase-sliced mesh jobs: the unit of work the service schedules.
+
+A job is one PUMG run (UPDR / NUPDR / PCDM) described by a wire-safe
+:class:`JobSpec`.  The stock drivers in :mod:`repro.pumg.driver` run
+each method as one monolithic call; the service needs the same runs cut
+into *phases* with real boundaries between them, because a boundary is
+where everything multi-tenant happens:
+
+* the job manager takes a :func:`repro.core.checkpoint.checkpoint` (a
+  quiescent cut — no pending messages, no in-flight handlers), so a
+  preempted or crashed job resumes from its last boundary;
+* cross-layer invariants are checked (:func:`check_runtime`) and
+  recorded, which is what the soak test asserts per phase;
+* residency and spilled-byte accounting is sampled and fed to the
+  admission controller / tenant quota ledger.
+
+The phase structure mirrors the drivers exactly: a build+wire phase,
+then convergence sweeps (UPDR/NUPDR) or the single meshing phase
+(PCDM).  Because phases start from quiescent cuts, a resumed run
+re-executes only whole phases — and the final state equals the
+uninterrupted run's, which the ``serve-kill-midjob`` chaos cell pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from repro.core.checkpoint import Checkpoint, checkpoint, restore
+from repro.core.config import MRTSConfig
+from repro.core.runtime import MRTS
+from repro.geometry import shapes
+from repro.pumg.decomposition import (
+    block_decomposition,
+    partition_coarse_mesh,
+    quadtree_decomposition,
+)
+from repro.pumg.driver import _coarse_shards
+from repro.pumg.nupdr import ONUPDROptions, RefinementQueueObject
+from repro.pumg.objects import BoundaryRegistry, RegionObject
+from repro.pumg.pcdm import SubdomainObject
+from repro.pumg.updr import UPDRCoordinatorObject
+from repro.serve.protocol import ProtocolError
+from repro.sim.cluster import ClusterSpec
+from repro.sim.node import NodeSpec
+from repro.testing.invariants import check_runtime
+
+__all__ = [
+    "GEOMETRIES",
+    "METHODS",
+    "JobSpec",
+    "JobSpecError",
+    "JobKilled",
+    "JobCheckpoint",
+    "MeshJobRunner",
+    "run_job_solo",
+]
+
+# Canned domains a request may name.  Factories take no arguments so a
+# geometry name alone pins the domain bit-for-bit.
+GEOMETRIES: dict[str, Callable] = {
+    "unit_square": shapes.unit_square,
+    "circle": lambda: shapes.circle_domain(24),
+    "pipe": shapes.pipe_cross_section,
+    "plate_with_holes": shapes.plate_with_holes,
+    "key": shapes.key_domain,
+    "gear": shapes.gear_domain,
+}
+
+METHODS = ("updr", "nupdr", "pcdm")
+
+
+class JobSpecError(ProtocolError):
+    """An inadmissible job description (subclass of the wire error)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("bad_job", message)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A wire-safe, fully deterministic description of one mesh job.
+
+    Everything that affects the produced mesh is here, so *spec equality
+    implies state equality*: running the same spec twice — solo, under
+    the service, or resumed from a checkpoint — lands on the same final
+    point sets.  ``memory_bytes`` is the per-node budget of the job's
+    own MRTS; ``n_nodes * memory_bytes`` is the residency envelope the
+    admission controller reserves for it.
+    """
+
+    method: str = "updr"
+    geometry: str = "unit_square"
+    h: float = 0.15                 # target edge length (uniform sizing)
+    nx: int = 2                     # UPDR block grid
+    ny: int = 2
+    granularity: float = 4.0        # NUPDR quadtree granularity
+    n_parts: int = 2                # PCDM partition count
+    tenant: str = "default"
+    seed: int = 0
+    n_nodes: int = 2
+    cores: int = 2
+    memory_bytes: int = 1 << 20
+    max_sweeps: int = 8
+    coarse_factor: float = 2.0
+    checkpoint_every: int = 1       # boundaries between snapshots; 0 = off
+    validate: bool = False          # compute final mesh quality on finish
+
+    # Admission-relevant bounds: a request outside these is rejected at
+    # the protocol layer, before any memory is reserved.
+    _BOUNDS = {
+        "h": (0.02, 1.0),
+        "nx": (1, 8),
+        "ny": (1, 8),
+        "granularity": (1.0, 64.0),
+        "n_parts": (1, 8),
+        "n_nodes": (1, 8),
+        "cores": (1, 8),
+        "memory_bytes": (16 * 1024, 1 << 30),
+        "max_sweeps": (1, 16),
+        "coarse_factor": (1.0, 8.0),
+        "checkpoint_every": (0, 64),
+    }
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise JobSpecError(
+                f"unknown method {self.method!r} (choose from {METHODS})"
+            )
+        if self.geometry not in GEOMETRIES:
+            raise JobSpecError(
+                f"unknown geometry {self.geometry!r} "
+                f"(choose from {tuple(GEOMETRIES)})"
+            )
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise JobSpecError("tenant must be a non-empty string")
+        for name, (lo, hi) in self._BOUNDS.items():
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise JobSpecError(f"{name} must be a number")
+            if not lo <= value <= hi:
+                raise JobSpecError(
+                    f"{name}={value!r} outside the admissible [{lo}, {hi}]"
+                )
+
+    @property
+    def estimated_bytes(self) -> int:
+        """Residency envelope: the most core this job's runtime can pin."""
+        return int(self.n_nodes) * int(self.memory_bytes)
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method, "geometry": self.geometry, "h": self.h,
+            "nx": self.nx, "ny": self.ny, "granularity": self.granularity,
+            "n_parts": self.n_parts, "tenant": self.tenant,
+            "seed": self.seed, "n_nodes": self.n_nodes, "cores": self.cores,
+            "memory_bytes": self.memory_bytes, "max_sweeps": self.max_sweeps,
+            "coarse_factor": self.coarse_factor,
+            "checkpoint_every": self.checkpoint_every,
+            "validate": self.validate,
+        }
+
+    @classmethod
+    def from_request(cls, payload: dict) -> "JobSpec":
+        """Build a spec from an untrusted request body (whitelist keys)."""
+        if not isinstance(payload, dict):
+            raise JobSpecError("job must be a JSON object")
+        known = {
+            "method", "geometry", "h", "nx", "ny", "granularity", "n_parts",
+            "tenant", "seed", "n_nodes", "cores", "memory_bytes",
+            "max_sweeps", "coarse_factor", "checkpoint_every", "validate",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise JobSpecError(f"unknown job fields: {sorted(unknown)}")
+        for key in ("method", "geometry", "tenant"):
+            if key in payload and not isinstance(payload[key], str):
+                raise JobSpecError(f"{key} must be a string")
+        for key in ("nx", "ny", "n_parts", "seed", "n_nodes", "cores",
+                    "memory_bytes", "max_sweeps", "checkpoint_every"):
+            if key in payload and (not isinstance(payload[key], int)
+                                   or isinstance(payload[key], bool)):
+                raise JobSpecError(f"{key} must be an integer")
+        if "validate" in payload and not isinstance(payload["validate"], bool):
+            raise JobSpecError("validate must be a boolean")
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise JobSpecError(str(exc)) from exc
+
+
+class JobKilled(Exception):
+    """The runtime died mid-phase (injected by chaos or a preemption)."""
+
+
+@dataclass
+class JobCheckpoint:
+    """Everything needed to resume a job from its last phase boundary.
+
+    The heavy part is the framed :class:`~repro.core.checkpoint.
+    Checkpoint` bytes; the light part is the runner's loop state (which
+    boundary we reached, the convergence counter) and the role manifest
+    mapping decomposition ids back to object ids, since pointers do not
+    survive a process death but oids do.
+    """
+
+    spec: dict
+    phase: int
+    last_count: int
+    converged: bool
+    manifest: dict  # role -> oid; roles: "master", "registry", "region:<id>"
+    snapshot: bytes = field(repr=False)
+
+    def to_bytes(self) -> bytes:
+        import pickle
+
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "JobCheckpoint":
+        import pickle
+
+        obj = pickle.loads(data)
+        if not isinstance(obj, cls):
+            raise JobSpecError("data is not a JobCheckpoint")
+        return obj
+
+
+class MeshJobRunner:
+    """One job's phase-sliced execution on its own MRTS instance.
+
+    Lifecycle: :meth:`start` (build + wire, first boundary), then
+    :meth:`step` until it returns True (converged), then
+    :meth:`result_summary` / :meth:`final_state`.  ``snapshot()`` is
+    legal at any boundary; :meth:`resume` rebuilds a runner from one.
+
+    The runner records cross-layer invariant violations at every
+    boundary in :attr:`violations` — application-held locks (the
+    coordinator and boundary registry are pinned for the whole run, as
+    in the paper's §III) are exempted from the quiescence lock check.
+    """
+
+    def __init__(self, spec: JobSpec, bus=None,
+                 cost: float = 1e-4) -> None:
+        self.spec = spec
+        self.bus = bus
+        self.cost = cost
+        self.runtime: Optional[MRTS] = None
+        self.phase = 0            # completed phase boundaries
+        self.converged = False
+        self.violations: list[str] = []
+        self._last_count = -1
+        self._in_phase = False
+        self._master = None       # coordinator / queue / None (pcdm)
+        self._registry = None
+        self._regions: dict[int, object] = {}   # region/part id -> pointer
+        self._all_ids: list[int] = []
+        self._app_locked: set[int] = set()
+
+    # ------------------------------------------------------------- build
+    def _build_runtime(self) -> MRTS:
+        from repro.testing.harness import FixedCostModel
+
+        spec = self.spec
+        return MRTS(
+            ClusterSpec(
+                n_nodes=spec.n_nodes,
+                node=NodeSpec(cores=spec.cores,
+                              memory_bytes=spec.memory_bytes),
+            ),
+            config=MRTSConfig(),
+            cost_model=FixedCostModel(self.cost),
+            bus=self.bus,
+        )
+
+    def start(self) -> None:
+        """Build the decomposition and wire the objects (boundary 0->1)."""
+        if self.runtime is not None:
+            raise JobSpecError("job already started")
+        self.runtime = self._build_runtime()
+        builder = getattr(self, f"_build_{self.spec.method}")
+        builder()
+        self.runtime.run()  # quiesce wiring before the first sweep
+        self._check_boundary()
+        self.phase = 1
+
+    def _build_updr(self) -> None:
+        rt, spec = self.runtime, self.spec
+        pslg = GEOMETRIES[spec.geometry]()
+        sizing_spec = ("uniform", spec.h)
+        bbox = pslg.bounding_box()
+        blocks = block_decomposition(bbox, spec.nx, spec.ny)
+        points, boundary = _coarse_shards(pslg, sizing_spec,
+                                          spec.coarse_factor)
+
+        def owner_block(p) -> int:
+            i = min(int((p[0] - bbox.xmin) / bbox.width * spec.nx),
+                    spec.nx - 1)
+            j = min(int((p[1] - bbox.ymin) / bbox.height * spec.ny),
+                    spec.ny - 1)
+            return j * spec.nx + i
+
+        shards: dict[int, list] = {b.block_id: [] for b in blocks}
+        for p in points:
+            shards[owner_block(p)].append(p)
+        registry = rt.create_object(BoundaryRegistry, boundary, node=0)
+        rt.nodes[0].ooc.lock(registry.oid)
+        for b in blocks:
+            self._regions[b.block_id] = rt.create_object(
+                RegionObject, b.block_id,
+                (b.box.xmin, b.box.ymin, b.box.xmax, b.box.ymax),
+                shards[b.block_id], b.neighbors, sizing_spec,
+                node=b.block_id % spec.n_nodes,
+            )
+        master = rt.create_object(
+            UPDRCoordinatorObject,
+            {b.block_id: (self._regions[b.block_id], b.neighbors, b.color)
+             for b in blocks},
+            node=0,
+        )
+        rt.nodes[0].ooc.lock(master.oid)
+        for b in blocks:
+            neighbors = {
+                n: (self._regions[n],
+                    (blocks[n].box.xmin, blocks[n].box.ymin,
+                     blocks[n].box.xmax, blocks[n].box.ymax))
+                for n in b.neighbors
+            }
+            rt.post(self._regions[b.block_id], "wire", master, registry,
+                    neighbors, pslg)
+        self._master, self._registry = master, registry
+        self._all_ids = [b.block_id for b in blocks]
+        self._app_locked = {registry.oid, master.oid}
+
+    def _build_nupdr(self) -> None:
+        rt, spec = self.runtime, self.spec
+        pslg = GEOMETRIES[spec.geometry]()
+        sizing_spec = ("uniform", spec.h)
+        from repro.mesh.sizing import sizing_from_spec
+
+        options = ONUPDROptions()
+        tree = quadtree_decomposition(
+            pslg.bounding_box(), sizing_from_spec(sizing_spec),
+            granularity=spec.granularity,
+        )
+        points, boundary = _coarse_shards(pslg, sizing_spec,
+                                          spec.coarse_factor)
+        leaves = list(tree.leaves())
+        shards: dict[int, list] = {leaf.leaf_id: [] for leaf in leaves}
+        for p in points:
+            try:
+                shards[tree.leaf_at(p).leaf_id].append(p)
+            except KeyError:
+                continue
+        registry = rt.create_object(BoundaryRegistry, boundary, node=0)
+        rt.nodes[0].ooc.lock(registry.oid)
+        neighbor_ids = {
+            leaf.leaf_id: [n.leaf_id for n in tree.neighbors(leaf.leaf_id)]
+            for leaf in leaves
+        }
+        for idx, leaf in enumerate(leaves):
+            self._regions[leaf.leaf_id] = rt.create_object(
+                RegionObject, leaf.leaf_id,
+                (leaf.box.xmin, leaf.box.ymin, leaf.box.xmax, leaf.box.ymax),
+                shards[leaf.leaf_id], neighbor_ids[leaf.leaf_id],
+                sizing_spec, node=idx % spec.n_nodes,
+            )
+        master = rt.create_object(
+            RefinementQueueObject,
+            {leaf.leaf_id: (
+                self._regions[leaf.leaf_id], neighbor_ids[leaf.leaf_id],
+                (leaf.box.xmin, leaf.box.ymin, leaf.box.xmax, leaf.box.ymax))
+             for leaf in leaves},
+            options, node=0,
+        )
+        self._app_locked = {registry.oid}
+        if options.lock_queue:
+            rt.nodes[0].ooc.lock(master.oid)
+            self._app_locked.add(master.oid)
+        for leaf in leaves:
+            neighbors = {
+                n.leaf_id: (self._regions[n.leaf_id],
+                            (n.box.xmin, n.box.ymin, n.box.xmax, n.box.ymax))
+                for n in tree.neighbors(leaf.leaf_id)
+            }
+            rt.post(self._regions[leaf.leaf_id], "wire", master, registry,
+                    neighbors, pslg, options.multicast, True)
+        self._master, self._registry = master, registry
+        self._all_ids = [leaf.leaf_id for leaf in leaves]
+
+    def _build_pcdm(self) -> None:
+        rt, spec = self.runtime, self.spec
+        pslg = GEOMETRIES[spec.geometry]()
+        sizing_spec = ("uniform", spec.h)
+        partition = partition_coarse_mesh(pslg, spec.n_parts)
+        for p in range(partition.n_parts):
+            self._regions[p] = rt.create_object(
+                SubdomainObject, p, partition.sub_pslgs[p],
+                partition.part_seeds[p], sizing_spec,
+                node=p % spec.n_nodes,
+            )
+        per_part_edges: dict[int, list] = {
+            p: [] for p in range(partition.n_parts)
+        }
+        per_part_neighbors: dict[int, dict] = {
+            p: {} for p in range(partition.n_parts)
+        }
+        for key, (a, b) in partition.interfaces.items():
+            per_part_edges[a].append((key, b))
+            per_part_edges[b].append((key, a))
+            per_part_neighbors[a][b] = self._regions[b]
+            per_part_neighbors[b][a] = self._regions[a]
+        for p in range(partition.n_parts):
+            rt.post(self._regions[p], "wire", per_part_neighbors[p],
+                    per_part_edges[p])
+        self._all_ids = list(range(partition.n_parts))
+
+    # ------------------------------------------------------------ phases
+    @property
+    def max_phases(self) -> int:
+        """Boundaries after which the job is declared done regardless."""
+        if self.spec.method == "pcdm":
+            return 2  # wire, then the single meshing phase
+        return 1 + self.spec.max_sweeps
+
+    def begin_phase(self) -> None:
+        """Post the next phase's work without draining it (kill window)."""
+        if self.runtime is None:
+            raise JobSpecError("job not started")
+        if self._in_phase:
+            raise JobSpecError("phase already in progress")
+        if self.converged:
+            raise JobSpecError("job already converged")
+        rt = self.runtime
+        if self.spec.method == "pcdm":
+            for p in self._all_ids:
+                rt.post(self._regions[p], "mesh_initial")
+        else:
+            rt.post(self._master, "start", list(self._all_ids))
+        self._in_phase = True
+
+    def finish_phase(self) -> bool:
+        """Drain the phase to quiescence; returns True once converged."""
+        if not self._in_phase:
+            raise JobSpecError("no phase in progress")
+        self.runtime.run()
+        self._in_phase = False
+        after = self._count_points()
+        if self.spec.method == "pcdm":
+            self.converged = True
+        else:
+            self.converged = (after == self._last_count)
+        self._last_count = after
+        self.phase += 1
+        if not self.converged and self.phase >= self.max_phases:
+            self.converged = True  # sweep cap: declare done, record count
+        self._check_boundary()
+        return self.converged
+
+    def step(self) -> bool:
+        """One whole phase: post, drain, account.  True once converged."""
+        self.begin_phase()
+        return self.finish_phase()
+
+    def run_to_completion(
+        self, kill_phase: Optional[int] = None, kill_dt: float = 0.01
+    ) -> "MeshJobRunner":
+        """Drive start + sweeps to convergence.
+
+        ``kill_phase`` injects a mid-phase crash: when the boundary count
+        reaches it, the next phase is *started* but abandoned ``kill_dt``
+        virtual seconds in, and :class:`JobKilled` is raised — the
+        runtime is torn down exactly as a preemption would leave it,
+        with the last boundary's checkpoint as the only survivor.
+        """
+        if self.runtime is None:
+            self.start()
+        while not self.converged:
+            if kill_phase is not None and self.phase >= kill_phase:
+                self.begin_phase()
+                self.runtime.run(until=self.runtime.engine.now + kill_dt)
+                raise JobKilled(
+                    f"killed mid-phase after boundary {self.phase}"
+                )
+            self.step()
+        return self
+
+    def _count_points(self) -> int:
+        rt = self.runtime
+        if self.spec.method == "pcdm":
+            return sum(
+                rt.get_object(self._regions[p]).tri.n_vertices
+                for p in self._all_ids
+            )
+        return sum(
+            len(rt.get_object(self._regions[i]).points)
+            for i in self._all_ids
+        )
+
+    def _check_boundary(self) -> None:
+        problems = check_runtime(self.runtime)
+        for problem in problems:
+            if any(f"object {oid} still locked at quiescence" in problem
+                   for oid in self._app_locked):
+                continue  # the paper pins coordinator/registry for the run
+            self.violations.append(f"phase {self.phase}: {problem}")
+
+    # ------------------------------------------------- checkpoint/resume
+    def snapshot(self) -> JobCheckpoint:
+        """Snapshot at the current boundary (illegal mid-phase)."""
+        if self.runtime is None or self._in_phase:
+            raise JobSpecError("snapshot is only legal at a phase boundary")
+        manifest: dict[str, int] = {
+            f"region:{rid}": ptr.oid for rid, ptr in self._regions.items()
+        }
+        if self._master is not None:
+            manifest["master"] = self._master.oid
+        if self._registry is not None:
+            manifest["registry"] = self._registry.oid
+        return JobCheckpoint(
+            spec=self.spec.to_dict(),
+            phase=self.phase,
+            last_count=self._last_count,
+            converged=self.converged,
+            manifest=manifest,
+            snapshot=checkpoint(self.runtime).to_bytes(),
+        )
+
+    @classmethod
+    def resume(cls, ckpt: JobCheckpoint, bus=None,
+               cost: float = 1e-4) -> "MeshJobRunner":
+        """Rebuild a runner on a fresh runtime from a boundary snapshot."""
+        spec = JobSpec(**ckpt.spec)
+        runner = cls(spec, bus=bus, cost=cost)
+        runner.runtime = runner._build_runtime()
+        pointers = restore(
+            Checkpoint.from_bytes(ckpt.snapshot), runner.runtime
+        )
+        for role, oid in ckpt.manifest.items():
+            if oid not in pointers:
+                raise JobSpecError(
+                    f"checkpoint manifest names oid {oid} ({role}) "
+                    "missing from the snapshot"
+                )
+            if role == "master":
+                runner._master = pointers[oid]
+                runner._app_locked.add(oid)
+            elif role == "registry":
+                runner._registry = pointers[oid]
+                runner._app_locked.add(oid)
+            else:
+                runner._regions[int(role.split(":", 1)[1])] = pointers[oid]
+        if spec.method == "pcdm":
+            runner._app_locked.clear()
+        runner._all_ids = sorted(runner._regions)
+        runner.phase = ckpt.phase
+        runner._last_count = ckpt.last_count
+        runner.converged = ckpt.converged
+        return runner
+
+    # ------------------------------------------------------------ output
+    def final_state(self) -> tuple:
+        """Canonical witness of the produced mesh (exact equality oracle).
+
+        Per region, sorted: the region id, its point count and the
+        sorted point tuple — independent of message delivery order
+        within phases and of which incarnation produced it.
+        """
+        rt = self.runtime
+        out = []
+        for rid in sorted(self._regions):
+            obj = rt.get_object(self._regions[rid])
+            if self.spec.method == "pcdm":
+                tri = obj.tri
+                pts = tuple(sorted(
+                    tuple(tri.vertex(v))
+                    for v in range(3, len(tri.points))
+                ))
+                out.append((rid, tri.n_vertices, obj.n_triangles(), pts))
+            else:
+                pts = tuple(sorted(tuple(p) for p in obj.points))
+                out.append((rid, len(pts), pts))
+        return tuple(out)
+
+    def state_digest(self) -> str:
+        """Stable hex digest of :meth:`final_state` for wire replies."""
+        return hashlib.sha256(
+            repr(self.final_state()).encode("utf-8")
+        ).hexdigest()
+
+    def residency_bytes(self) -> int:
+        if self.runtime is None:
+            return 0
+        return sum(n.ooc.memory_used for n in self.runtime.nodes)
+
+    def stored_bytes(self) -> int:
+        """Bytes this job has spilled to the medium (eviction accounting)."""
+        if self.runtime is None:
+            return 0
+        return self.runtime.stats.bytes_to_disk
+
+    def result_summary(self) -> dict:
+        stats = self.runtime.stats
+        summary = {
+            "method": self.spec.method,
+            "geometry": self.spec.geometry,
+            "n_points": self._last_count,
+            "phases": self.phase,
+            "converged": self.converged,
+            "virtual_makespan_s": round(stats.total_time, 6),
+            "bytes_stored": stats.bytes_to_disk,
+            "bytes_loaded": sum(n.bytes_loaded for n in stats.nodes),
+            "state_digest": self.state_digest(),
+            "invariant_violations": len(self.violations),
+        }
+        if self.spec.validate and self.spec.method != "pcdm":
+            from repro.pumg.driver import _validate_final
+
+            pslg = GEOMETRIES[self.spec.geometry]()
+            all_points: list = []
+            for rid in sorted(self._regions):
+                all_points.extend(
+                    self.runtime.get_object(self._regions[rid]).points
+                )
+            boundary = [
+                (p, q) for p, q in
+                self.runtime.get_object(self._registry).segments
+            ]
+            mesh, quality, fixup = _validate_final(
+                pslg, all_points, boundary, ("uniform", self.spec.h)
+            )
+            summary["n_triangles"] = mesh.n_triangles
+            summary["min_angle_deg"] = round(quality.min_angle_deg, 3)
+            summary["fixup_points"] = fixup
+        return summary
+
+
+def run_job_solo(spec: JobSpec, bus=None) -> MeshJobRunner:
+    """The solo-run reference: same runner, no service in the loop."""
+    runner = MeshJobRunner(spec, bus=bus)
+    runner.run_to_completion()
+    return runner

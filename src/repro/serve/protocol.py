@@ -1,0 +1,151 @@
+"""Line-delimited JSON protocol of the mesh-generation service.
+
+One request per line, one reply per line; both are single JSON objects.
+The framing is deliberately primitive — ``\\n`` delimits, UTF-8 encodes,
+and a hard byte cap bounds what a client can make the server buffer —
+because the failure modes are where a service protocol earns its keep:
+
+* a frame that is not valid JSON, not an object, or has no ``op`` gets a
+  clean ``{"ok": false, "error": {...}}`` reply, never a dropped
+  connection or a traceback;
+* a frame longer than :data:`MAX_FRAME_BYTES` is rejected *without
+  buffering it* (the reader stops at the cap) and the connection is
+  closed after the error reply, since the stream position is lost;
+* a client that disconnects mid-request simply ends the session —
+  submitted jobs keep running (they are owned by the job manager, not
+  the connection), and nothing is reserved on behalf of half-received
+  bytes.
+
+Request vocabulary (``op`` field):
+
+==========  ==========================================================
+``ping``    liveness probe; replies ``{"ok": true, "pong": true}``
+``submit``  enqueue a mesh job (:class:`~repro.serve.meshjob.JobSpec`
+            fields); replies with ``job_id`` and the admission verdict
+``status``  one job's state machine snapshot
+``result``  one job's final summary (error if not finished)
+``list``    all jobs, newest first
+``metrics`` Prometheus text-format scrape of the service registry
+``cancel``  cancel a queued job (running jobs finish their phase)
+``shutdown``stop accepting work and exit the serve loop
+==========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "KNOWN_OPS",
+    "ProtocolError",
+    "encode_frame",
+    "decode_frame",
+    "error_reply",
+    "read_frame",
+    "validate_request",
+]
+
+# Hard cap on a single request/reply line.  A mesh job description is a
+# few hundred bytes; 256 KiB leaves room for fat replies (job listings,
+# metrics scrapes) while bounding hostile input.
+MAX_FRAME_BYTES = 256 * 1024
+
+KNOWN_OPS = (
+    "ping", "submit", "status", "result", "list", "metrics", "cancel",
+    "shutdown",
+)
+
+
+class ProtocolError(Exception):
+    """A malformed or inadmissible frame; carries a stable error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One JSON object, compact separators, newline-terminated."""
+    line = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame_too_large",
+            f"encoded frame is {len(data)} B (cap {MAX_FRAME_BYTES} B)",
+        )
+    return data
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one received line into a request/reply object."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame_too_large",
+            f"frame is {len(line)} B (cap {MAX_FRAME_BYTES} B)",
+        )
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("bad_json", f"frame is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "bad_frame", f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def read_frame(rfile) -> Optional[dict]:
+    """Read one frame from a binary file object.
+
+    Returns ``None`` on EOF (client went away).  Raises
+    :class:`ProtocolError` with code ``frame_too_large`` when no newline
+    arrives within :data:`MAX_FRAME_BYTES` — the reader never buffers
+    past the cap, so an attacker cannot balloon server memory.
+    """
+    line = rfile.readline(MAX_FRAME_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_FRAME_BYTES or not line.endswith(b"\n"):
+        if not line.endswith(b"\n") and len(line) <= MAX_FRAME_BYTES:
+            # Short read without a newline: mid-request disconnect.
+            return None
+        raise ProtocolError(
+            "frame_too_large",
+            f"line exceeds the {MAX_FRAME_BYTES} B frame cap",
+        )
+    return decode_frame(line.rstrip(b"\n"))
+
+
+def error_reply(exc: Exception, op: Optional[str] = None) -> dict:
+    """Render any failure as the protocol's uniform error object."""
+    if isinstance(exc, ProtocolError):
+        code, message = exc.code, exc.message
+    else:
+        code, message = "internal", f"{type(exc).__name__}: {exc}"
+    reply: dict[str, Any] = {"ok": False, "error": {"code": code, "message": message}}
+    if op:
+        reply["op"] = op
+    return reply
+
+
+def validate_request(payload: dict) -> str:
+    """Check the request envelope; returns the ``op``.
+
+    Field-level validation of ``submit`` bodies happens in
+    :meth:`repro.serve.meshjob.JobSpec.from_request` — this guard only
+    enforces the envelope every op shares.
+    """
+    op = payload.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("missing_op", "request has no string 'op' field")
+    if op not in KNOWN_OPS:
+        raise ProtocolError(
+            "unknown_op", f"unknown op {op!r} (choose from {', '.join(KNOWN_OPS)})"
+        )
+    for key in ("job_id", "tenant"):
+        if key in payload and not isinstance(payload[key], str):
+            raise ProtocolError("bad_field", f"{key!r} must be a string")
+    return op

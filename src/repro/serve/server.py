@@ -1,0 +1,220 @@
+"""The persistent TCP front of the mesh-generation service.
+
+A :class:`MeshServer` owns one :class:`~repro.serve.jobs.JobManager`
+and speaks the NDJSON protocol of :mod:`repro.serve.protocol` on a
+listening socket.  Connection handling is deliberately boring —
+``socketserver.ThreadingTCPServer`` with one thread per connection,
+each looping ``read_frame -> dispatch -> write reply`` — because the
+interesting concurrency (admission, worker pool, checkpointing) all
+lives behind the job manager, which is shared by every connection.
+
+Failure posture, matching the protocol module's contract:
+
+* any malformed frame or bad request gets a clean error reply on the
+  same connection; only an over-cap frame closes it (stream position is
+  unrecoverable);
+* a client disconnecting mid-request or mid-session abandons nothing —
+  submitted jobs belong to the manager, not to the connection, and no
+  residency is ever reserved for half-parsed bytes;
+* ``shutdown`` acknowledges first, then stops the accept loop and
+  drains the manager.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Optional
+
+from repro.obs.metrics import render_prometheus
+from repro.serve.jobs import JobManager
+from repro.serve.meshjob import JobSpec
+from repro.serve.protocol import (
+    ProtocolError,
+    encode_frame,
+    error_reply,
+    read_frame,
+    validate_request,
+)
+
+__all__ = ["MeshServer"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client session: a loop of frames until EOF or a fatal frame."""
+
+    server: "_TCPServer"
+
+    def handle(self) -> None:  # noqa: D102 - socketserver API
+        while True:
+            try:
+                request = read_frame(self.rfile)
+            except ProtocolError as exc:
+                if not self._reply(error_reply(exc)):
+                    return
+                if exc.code == "frame_too_large":
+                    # The stream position within the oversized frame is
+                    # unknowable — close; other parse errors consumed a
+                    # whole line, so the session continues.
+                    return
+                continue
+            if request is None:
+                return  # EOF or mid-request disconnect
+            op = None
+            try:
+                op = validate_request(request)
+                reply = self.server.mesh.dispatch(op, request)
+            except ProtocolError as exc:
+                reply = error_reply(exc, op)
+            except Exception as exc:  # noqa: BLE001 - keep the session up
+                reply = error_reply(exc, op)
+            if not self._reply(reply):
+                return
+            if op == "shutdown" and reply.get("ok"):
+                self.server.mesh._begin_shutdown()
+                return
+
+    def _reply(self, payload: dict) -> bool:
+        try:
+            data = encode_frame(payload)
+        except ProtocolError as exc:
+            data = encode_frame(error_reply(exc, payload.get("op")))
+        try:
+            self.wfile.write(data)
+            self.wfile.flush()
+            return True
+        except OSError:
+            return False  # client went away mid-reply
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    mesh: "MeshServer"
+
+
+class MeshServer:
+    """The service: a listening socket over one shared job manager.
+
+    ``port=0`` binds an ephemeral port (the test fixtures use this);
+    :attr:`address` reports the bound ``(host, port)``.  ``start()``
+    runs the accept loop on a daemon thread and returns; ``stop()``
+    (or a client ``shutdown`` op) halts the loop and drains the
+    manager.  Constructor keyword arguments are forwarded to
+    :class:`~repro.serve.jobs.JobManager`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 manager: Optional[JobManager] = None, **manager_kwargs):
+        self.manager = manager or JobManager(**manager_kwargs)
+        self._tcp = _TCPServer((host, port), _Handler,
+                               bind_and_activate=True)
+        self._tcp.mesh = self
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+
+    # ---------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> tuple:
+        return self._tcp.server_address
+
+    def start(self) -> "MeshServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="mrts-serve-accept", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def _begin_shutdown(self) -> None:
+        threading.Thread(target=self.stop, name="mrts-serve-stop",
+                         daemon=True).start()
+
+    def stop(self, drain: bool = True,
+             timeout: Optional[float] = None) -> None:
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        self.manager.shutdown(drain=drain, timeout=timeout)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def wait_stopped(self, timeout: Optional[float] = None) -> bool:
+        return self._stopped.wait(timeout=timeout)
+
+    def __enter__(self) -> "MeshServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ----------------------------------------------------------- dispatch
+    def dispatch(self, op: str, request: dict) -> dict:
+        """Execute one validated request; pure function of manager state."""
+        handler = getattr(self, f"_op_{op}")
+        return handler(request)
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"ok": True, "op": "ping", "pong": True,
+                "uptime_s": round(self.manager.now(), 6)}
+
+    def _op_submit(self, request: dict) -> dict:
+        body = request.get("job")
+        if body is None:
+            raise ProtocolError("bad_field", "submit needs a 'job' object")
+        spec = JobSpec.from_request(body)
+        job = self.manager.submit(spec)
+        return {
+            "ok": True, "op": "submit", "job_id": job.job_id,
+            "state": job.state, "reason": job.reason,
+            "tenant": spec.tenant,
+        }
+
+    def _job_for(self, request: dict):
+        job_id = request.get("job_id")
+        if not isinstance(job_id, str):
+            raise ProtocolError("bad_field", "a string 'job_id' is required")
+        job = self.manager.get(job_id)
+        if job is None:
+            raise ProtocolError("not_found", f"no job {job_id!r}")
+        return job
+
+    def _op_status(self, request: dict) -> dict:
+        job = self._job_for(request)
+        return {"ok": True, "op": "status", "job": job.to_dict()}
+
+    def _op_result(self, request: dict) -> dict:
+        job = self._job_for(request)
+        if job.state != "finished":
+            raise ProtocolError(
+                "not_finished",
+                f"job {job.job_id} is {job.state!r}"
+                + (f": {job.error}" if job.error else ""),
+            )
+        return {"ok": True, "op": "result", "job_id": job.job_id,
+                "result": job.result}
+
+    def _op_list(self, request: dict) -> dict:
+        return {"ok": True, "op": "list", "jobs": self.manager.list_jobs(),
+                "stats": self.manager.stats()}
+
+    def _op_metrics(self, request: dict) -> dict:
+        return {
+            "ok": True, "op": "metrics",
+            "prometheus": render_prometheus(self.manager.registry),
+            "pressure": self.manager.admission.pressure(),
+        }
+
+    def _op_cancel(self, request: dict) -> dict:
+        job = self._job_for(request)
+        accepted = self.manager.cancel(job.job_id)
+        return {"ok": True, "op": "cancel", "job_id": job.job_id,
+                "cancelled": accepted, "state": job.state}
+
+    def _op_shutdown(self, request: dict) -> dict:
+        return {"ok": True, "op": "shutdown"}

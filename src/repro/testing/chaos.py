@@ -40,7 +40,9 @@ from repro.testing.workloads import DeltaStormActor, StormActor
 
 __all__ = ["ChaosSpec", "ChaosReport", "CHAOS_MATRIX", "run_chaos_case",
            "run_chaos_matrix", "DistChaosSpec", "DIST_CHAOS_MATRIX",
-           "run_dist_chaos_case", "run_dist_chaos_matrix"]
+           "run_dist_chaos_case", "run_dist_chaos_matrix",
+           "ServeChaosSpec", "SERVE_CHAOS_MATRIX",
+           "run_serve_chaos_case", "run_serve_chaos_matrix"]
 
 # Sentinel: the recovered incarnations keep the same fault plan as the
 # first (the medium stays flaky); ``None`` means the rebuilt incarnation
@@ -551,3 +553,118 @@ def run_dist_chaos_matrix(
 ) -> list[ChaosReport]:
     """Run the distributed matrix; used by ``mrts-bench chaos --backend dist``."""
     return [run_dist_chaos_case(spec) for spec in (specs or DIST_CHAOS_MATRIX)]
+
+
+# ==========================================================================
+# The service chaos matrix: kill a mesh job mid-phase, resume, compare.
+# ==========================================================================
+#
+# Same discipline once more, one level up the stack: the reference is the
+# solo run of a :class:`~repro.serve.meshjob.JobSpec`, the chaos run goes
+# through the real :class:`~repro.serve.jobs.JobManager` with a kill hook
+# that crashes attempt 1 *mid-phase* (the runtime is abandoned with work
+# in flight, exactly like a preemption).  Attempt 2 must resume from the
+# last boundary checkpoint — not restart — and land on a final mesh equal
+# to the uninterrupted reference, with the runner's cross-layer invariant
+# checks clean at every boundary of every incarnation.
+
+
+@dataclass(frozen=True)
+class ServeChaosSpec:
+    """One cell of the service chaos matrix."""
+
+    name: str
+    # JobSpec keyword arguments; memory is sized so the job genuinely
+    # spills (the checkpoint must round-trip evicted state, not just core).
+    job: dict = field(default_factory=dict)
+    kill_phase: int = 2        # crash once this many boundaries completed
+    max_attempts: int = 3
+    expect_resume: bool = True
+
+
+SERVE_CHAOS_MATRIX: list[ServeChaosSpec] = [
+    ServeChaosSpec(
+        name="serve-kill-midjob",
+        job=dict(
+            method="updr", geometry="unit_square", h=0.06, nx=3, ny=3,
+            n_nodes=2, memory_bytes=48 * 1024, tenant="chaos",
+            checkpoint_every=1,
+        ),
+        kill_phase=2,
+    ),
+]
+
+
+def run_serve_chaos_case(
+    spec: ServeChaosSpec, bus: Optional[EventBus] = None
+) -> ChaosReport:
+    """Execute one service cell: solo reference, killed+resumed run, verdict.
+
+    ``bus`` (if given) observes the chaos run's :class:`JobEvent` stream
+    — submitted/started/boundary/killed/resumed/finished — which is what
+    the Perfetto per-job lanes render.
+    """
+    from repro.serve.jobs import JobManager
+    from repro.serve.meshjob import JobSpec, run_job_solo
+
+    job_spec = JobSpec(**spec.job)
+    reference = run_job_solo(job_spec)
+    want = reference.final_state()
+
+    kills: list[str] = []
+
+    def kill_hook(job, attempt: int) -> Optional[int]:
+        if attempt == 1:
+            kills.append(job.job_id)
+            return spec.kill_phase
+        return None
+
+    manager = JobManager(
+        workers=1, keep_runtimes=True, kill_hook=kill_hook,
+        max_attempts=spec.max_attempts, bus=bus,
+    )
+    try:
+        job = manager.submit(job_spec)
+        if not manager.drain(timeout=300):
+            job.violations.append("manager failed to drain within 300s")
+    finally:
+        manager.shutdown(drain=False)
+
+    got = job.runner.final_state() if job.runner is not None else None
+    report = ChaosReport(
+        name=spec.name,
+        state_matches=(got == want),
+        violations=list(job.violations),
+        restarts=max(0, job.attempts - 1),
+        events=[
+            f"job {job.job_id}: state={job.state} attempts={job.attempts} "
+            f"boundaries={job.boundaries} error={job.error}"
+        ],
+    )
+    if reference.violations:
+        report.problems.append(
+            f"reference run violated invariants: {reference.violations}"
+        )
+    if not kills:
+        report.problems.append("kill hook never fired (dead cell)")
+    if job.state != "finished":
+        report.problems.append(
+            f"job ended {job.state!r} (error: {job.error})"
+        )
+    if spec.expect_resume and job.attempts < 2:
+        report.problems.append(
+            f"expected a resumed second attempt, saw {job.attempts}"
+        )
+    if not report.state_matches:
+        report.problems.append(
+            "resumed final state diverged from the uninterrupted reference"
+        )
+    report.problems.extend(report.violations)
+    return report
+
+
+def run_serve_chaos_matrix(
+    specs: Optional[list[ServeChaosSpec]] = None,
+) -> list[ChaosReport]:
+    """Run the service matrix; used by ``mrts-bench chaos``."""
+    return [run_serve_chaos_case(spec) for spec in (specs or SERVE_CHAOS_MATRIX)]

@@ -1,0 +1,115 @@
+"""Property test for admission control (Hypothesis).
+
+Random decide/promote/charge/release sequences against the two
+invariants the controller's docstring promises:
+
+1. the sum of reservations never exceeds the hard residency limit —
+   admitted envelopes are the server's worst-case RAM exposure, so this
+   bound is what keeps N tenants from OOMing the box;
+2. a tenant whose spilled-byte ledger is at or over quota is never
+   admitted (nor promoted) until the ledger is below quota again.
+
+The sequences deliberately include releases and quota charges between
+decisions, so the invariants are checked across pressure falling as
+well as rising, and with the queue cycling jobs in FIFO order.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.admission import AdmissionController, AdmissionPolicy
+
+KIB = 1024
+
+_policy = st.builds(
+    AdmissionPolicy,
+    soft_residency_bytes=st.integers(1 * KIB, 64 * KIB),
+    hard_residency_bytes=st.integers(64 * KIB, 256 * KIB),
+    tenant_quota_bytes=st.integers(1 * KIB, 128 * KIB),
+    max_queued=st.integers(0, 8),
+)
+
+_op = st.one_of(
+    st.tuples(st.just("decide"), st.integers(0, 3),
+              st.integers(0, 300 * KIB)),
+    st.tuples(st.just("promote"), st.integers(0, 3),
+              st.integers(0, 300 * KIB)),
+    st.tuples(st.just("charge"), st.integers(0, 3),
+              st.integers(0, 64 * KIB)),
+    st.tuples(st.just("release"), st.integers(0, 40)),
+)
+
+
+@given(policy=_policy, ops=st.lists(_op, max_size=60))
+@settings(max_examples=120, deadline=None)
+def test_admission_invariants_hold_under_random_sequences(policy, ops):
+    ctrl = AdmissionController(policy)
+    hard = policy.hard_residency_bytes
+    quota = policy.tenant_quota_bytes
+    live: list[str] = []      # job ids holding a reservation
+    next_id = 0
+
+    def check(context: str) -> None:
+        assert ctrl.reserved_bytes <= hard, (
+            f"{context}: reservations {ctrl.reserved_bytes} B exceed the "
+            f"hard limit {hard} B")
+
+    for op in ops:
+        if op[0] == "decide":
+            _, tenant_idx, est = op
+            tenant = f"t{tenant_idx}"
+            stored_before = ctrl.tenant_stored_bytes(tenant)
+            next_id += 1
+            decision = ctrl.decide(f"j{next_id}", tenant, est)
+            if decision.admitted:
+                assert stored_before < quota, (
+                    "tenant at quota was admitted")
+                live.append(f"j{next_id}")
+            elif decision.verdict == "queue":
+                # Queueing is only for pressure, never for quota breach.
+                assert stored_before < quota
+                ctrl.drop_queued()  # keep the queue from pinning state
+        elif op[0] == "promote":
+            _, tenant_idx, est = op
+            tenant = f"t{tenant_idx}"
+            stored_before = ctrl.tenant_stored_bytes(tenant)
+            next_id += 1
+            if ctrl.try_promote(f"j{next_id}", tenant, est):
+                assert stored_before < quota, (
+                    "tenant at quota was promoted")
+                live.append(f"j{next_id}")
+        elif op[0] == "charge":
+            _, tenant_idx, delta = op
+            within = ctrl.charge_stored(f"t{tenant_idx}", delta)
+            assert within == (
+                ctrl.tenant_stored_bytes(f"t{tenant_idx}") < quota)
+        else:  # release
+            if live:
+                job_id = live.pop(op[1] % len(live))
+                ctrl.release(job_id)
+        check(f"after {op!r}")
+
+    # Releasing everything empties the ledger completely.
+    for job_id in live:
+        ctrl.release(job_id)
+    assert ctrl.reserved_bytes == 0
+    assert ctrl.observed_bytes == 0
+
+
+@given(est=st.integers(0, 512 * KIB), others=st.lists(
+    st.integers(1, 64 * KIB), max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_single_job_envelope_respects_hard_limit(est, others):
+    """Even the elephant-alone admission path stays under hard."""
+    policy = AdmissionPolicy(
+        soft_residency_bytes=32 * KIB,
+        hard_residency_bytes=128 * KIB,
+        tenant_quota_bytes=1 << 20,
+    )
+    ctrl = AdmissionController(policy)
+    for i, size in enumerate(others):
+        ctrl.decide(f"pre{i}", "crowd", size)
+        assert ctrl.reserved_bytes <= policy.hard_residency_bytes
+    decision = ctrl.decide("big", "elephant", est)
+    assert ctrl.reserved_bytes <= policy.hard_residency_bytes
+    if est > policy.hard_residency_bytes:
+        assert decision.verdict == "reject"

@@ -178,3 +178,61 @@ def test_chaos_dist_backend_runs_the_matrix(capsys):
     assert "dist-worker-kill" in out
     assert "dist-wire-chaos" in out
     assert "PASS" in out
+
+
+def test_serve_listed(capsys):
+    main(["--list"])
+    out = capsys.readouterr().out
+    assert "serve" in out
+
+
+@pytest.mark.slow
+def test_serve_storm_end_to_end(capsys, tmp_path):
+    """The service throughput gate: storm through real sockets, metrics
+    merged into a report, per-job-lane Perfetto trace written."""
+    import json
+
+    report = tmp_path / "bench.json"
+    trace = tmp_path / "trace.json"
+    assert main([
+        "serve", "--storm", "--seed", "0",
+        "--output", str(report), "--trace-out", str(trace),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "service_storm" in out
+    assert "PASS" in out
+    doc = json.loads(report.read_text())
+    metrics = doc["workloads"]["service_storm"]
+    assert metrics["all_finished"] is True
+    assert metrics["invariant_violations"] == 0
+    assert metrics["jobs_per_sec"] > 0
+    events = json.loads(trace.read_text())["traceEvents"]
+    lanes = {e["args"]["name"] for e in events
+             if e.get("name") == "thread_name" and e["pid"] == 10_000}
+    assert any(name.startswith("job j") for name in lanes)
+
+
+@pytest.mark.slow
+def test_serve_storm_check_gates_against_baseline(capsys, tmp_path):
+    """--check against a just-written baseline passes (determinism)."""
+    report = tmp_path / "bench.json"
+    assert main(["serve", "--storm", "--output", str(report)]) == 0
+    assert main(["serve", "--storm", "--check",
+                 "--output", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "serve --storm --check PASS" in out
+
+
+def test_serve_storm_check_without_baseline_fails(capsys, tmp_path):
+    missing = tmp_path / "nope.json"
+    assert main(["serve", "--storm", "--check", "--scale", "0.5",
+                 "--output", str(missing)]) == 1
+    assert "no baseline" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_serve_chaos_cell_in_cli_matrix(capsys):
+    assert main(["chaos", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "serve-kill-midjob" in out
+    assert "PASS" in out

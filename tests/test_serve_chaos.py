@@ -1,0 +1,81 @@
+"""The service chaos cell: kill a job mid-phase, resume it, same mesh.
+
+``serve-kill-midjob`` drives the job manager with a kill hook that
+crashes attempt 1 mid-phase (after the configured boundary), then lets
+attempt 2 resume from the boundary checkpoint.  The oracle is the same
+exact-equality one as the soak's: the resumed job's final-state digest
+must equal an uninterrupted solo run of the identical spec — a resume
+that silently restarted, skipped work, or corrupted spilled state
+cannot pass.
+"""
+
+import pytest
+
+from repro.serve.jobs import JobManager
+from repro.serve.meshjob import JobSpec, run_job_solo
+from repro.testing.chaos import (
+    SERVE_CHAOS_MATRIX,
+    run_serve_chaos_case,
+    run_serve_chaos_matrix,
+)
+
+
+@pytest.mark.parametrize("spec", SERVE_CHAOS_MATRIX, ids=lambda s: s.name)
+def test_serve_chaos_cell(spec):
+    report = run_serve_chaos_case(spec)
+    assert report.ok, report.problems
+    assert report.state_matches
+    assert report.restarts == 1      # killed exactly once, resumed once
+    assert not report.violations
+
+
+def test_serve_chaos_matrix_is_wired():
+    reports = run_serve_chaos_matrix()
+    assert [r.name for r in reports] == [s.name for s in SERVE_CHAOS_MATRIX]
+    assert all(r.ok for r in reports)
+
+
+def test_kill_without_checkpoints_restarts_from_scratch():
+    """checkpoint_every=0 disables snapshots: the retry still converges
+    (fresh start) and still matches solo — resume is an optimisation,
+    never a correctness requirement."""
+    body = dict(SERVE_CHAOS_MATRIX[0].job, checkpoint_every=0)
+    spec = JobSpec.from_request(body)
+    reference = run_job_solo(spec)
+
+    kills = []
+
+    def kill_hook(job, attempt):
+        if attempt == 1:
+            kills.append(job.job_id)
+            return 2
+        return None
+
+    mgr = JobManager(workers=1, keep_runtimes=True, kill_hook=kill_hook)
+    try:
+        job = mgr.submit(spec)
+        assert mgr.drain(timeout=120.0)
+        assert kills, "kill hook never fired"
+        assert job.state == "finished"
+        assert job.attempts == 2
+        assert job.checkpoint is None  # nothing was ever snapshotted
+        assert job.runner.state_digest() == reference.state_digest()
+    finally:
+        mgr.shutdown(drain=False)
+
+
+def test_repeated_kills_exhaust_attempts():
+    """A job killed on every attempt fails terminally (and releases its
+    reservation) instead of looping forever."""
+    spec = JobSpec.from_request(SERVE_CHAOS_MATRIX[0].job)
+    mgr = JobManager(workers=1, max_attempts=2,
+                     kill_hook=lambda job, attempt: 2)
+    try:
+        job = mgr.submit(spec)
+        assert mgr.drain(timeout=120.0)
+        assert job.state == "failed"
+        assert job.attempts == 2
+        assert "out of attempts" in job.error
+        assert mgr.admission.reserved_bytes == 0
+    finally:
+        mgr.shutdown(drain=False)

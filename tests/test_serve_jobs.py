@@ -1,0 +1,226 @@
+"""Job specs, the mesh-job runner, and the async job manager.
+
+The load-bearing facts proven here:
+
+* a :class:`~repro.serve.meshjob.JobSpec` is the *entire* input — two
+  runs of the same spec produce identical state digests, which is what
+  entitles the soak and chaos tests to exact equality oracles;
+* checkpoint/resume round-trips through bytes and lands on the same
+  final state as an uninterrupted run, under genuine spill pressure;
+* the manager's admission path (reject / queue / FIFO-promote), the
+  tenant storage-quota ledger, the lifecycle event stream and the
+  Prometheus rendering all behave as the server ops assume.
+"""
+
+import pytest
+
+from repro.obs.events import EventBus, JobEvent
+from repro.obs.metrics import render_prometheus
+from repro.serve.admission import AdmissionPolicy
+from repro.serve.jobs import JobManager
+from repro.serve.meshjob import (
+    JobCheckpoint,
+    JobSpec,
+    JobSpecError,
+    MeshJobRunner,
+    run_job_solo,
+)
+
+SMALL = dict(method="updr", geometry="unit_square", h=0.2,
+             memory_bytes=256 * 1024)
+# Tight enough that the runtime genuinely spills between phases.
+SPILLY = dict(method="updr", geometry="unit_square", h=0.09, nx=3, ny=3,
+              memory_bytes=48 * 1024)
+
+
+# -------------------------------------------------------------- JobSpec
+def test_jobspec_from_request_round_trips():
+    spec = JobSpec.from_request(dict(SMALL, tenant="acme", seed=3))
+    assert spec.method == "updr"
+    assert spec.tenant == "acme"
+    assert JobSpec.from_request(spec.to_dict()) == spec
+
+
+def test_jobspec_estimated_bytes_is_the_envelope():
+    spec = JobSpec(method="pcdm", n_nodes=3, memory_bytes=1 << 20)
+    assert spec.estimated_bytes == 3 * (1 << 20)
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        dict(SMALL, method="voodoo"),              # unknown method
+        dict(SMALL, geometry="klein_bottle"),      # unknown geometry
+        dict(SMALL, h=50.0),                       # out of bounds
+        dict(SMALL, nx="three"),                   # wrong type
+        dict(SMALL, warp_factor=9),                # unknown field
+        dict(SMALL, memory_bytes=1),               # below the floor
+    ],
+)
+def test_jobspec_rejects_bad_requests(body):
+    with pytest.raises(JobSpecError) as exc:
+        JobSpec.from_request(body)
+    assert exc.value.code == "bad_job"
+
+
+# --------------------------------------------------------------- runner
+@pytest.mark.parametrize("method", ["updr", "nupdr", "pcdm"])
+def test_runner_is_deterministic_per_spec(method):
+    spec = JobSpec.from_request(dict(SMALL, method=method))
+    a, b = run_job_solo(spec), run_job_solo(spec)
+    assert a.violations == [] and b.violations == []
+    assert a.state_digest() == b.state_digest()
+    assert a.result_summary()["n_points"] > 0
+
+
+def test_checkpoint_resume_matches_uninterrupted_run():
+    spec = JobSpec.from_request(SPILLY)
+    reference = run_job_solo(spec)
+    assert reference.stored_bytes() > 0, "spec must actually spill"
+
+    runner = MeshJobRunner(spec)
+    runner.start()
+    runner.step()
+    assert not runner.converged
+    ckpt = JobCheckpoint.from_bytes(runner.snapshot().to_bytes())
+    resumed = MeshJobRunner.resume(ckpt)
+    resumed.run_to_completion()
+    assert resumed.violations == []
+    assert resumed.state_digest() == reference.state_digest()
+
+
+def test_snapshot_is_illegal_mid_phase():
+    runner = MeshJobRunner(JobSpec.from_request(SMALL))
+    runner.start()
+    runner.begin_phase()
+    with pytest.raises(JobSpecError):
+        runner.snapshot()
+
+
+def test_result_summary_shape():
+    summary = run_job_solo(JobSpec.from_request(SMALL)).result_summary()
+    for key in ("n_points", "phases", "converged", "virtual_makespan_s",
+                "bytes_stored", "bytes_loaded", "state_digest",
+                "invariant_violations"):
+        assert key in summary
+    assert summary["converged"] is True
+
+
+# -------------------------------------------------------------- manager
+def _tight_policy(**overrides):
+    base = dict(
+        soft_residency_bytes=512 * 1024,
+        hard_residency_bytes=1 << 20,
+        tenant_quota_bytes=64 * (1 << 20),
+    )
+    base.update(overrides)
+    return AdmissionPolicy(**base)
+
+
+def test_manager_runs_one_job_to_completion():
+    mgr = JobManager(workers=1, keep_runtimes=True)
+    try:
+        job = mgr.submit(JobSpec.from_request(SMALL))
+        assert mgr.drain(timeout=60.0)
+        assert job.state == "finished"
+        assert job.violations == []
+        assert job.result["state_digest"] == (
+            run_job_solo(job.spec).state_digest())
+        assert mgr.admission.reserved_bytes == 0
+    finally:
+        mgr.shutdown(drain=False)
+
+
+def test_manager_rejects_envelope_over_hard_limit():
+    mgr = JobManager(policy=_tight_policy(), workers=1)
+    try:
+        big = JobSpec.from_request(
+            dict(method="pcdm", n_nodes=4, memory_bytes=1 << 20))
+        job = mgr.submit(big)
+        assert job.state == "rejected"
+        assert "hard" in job.reason
+        assert mgr.admission.reserved_bytes == 0
+    finally:
+        mgr.shutdown(drain=False)
+
+
+def test_manager_queues_under_pressure_then_promotes_fifo():
+    # Each envelope is 512 KiB == soft: one runs, the rest queue.
+    mgr = JobManager(policy=_tight_policy(), workers=2)
+    try:
+        spec = JobSpec.from_request(
+            dict(SMALL, n_nodes=2, memory_bytes=256 * 1024))
+        jobs = [mgr.submit(spec) for _ in range(3)]
+        assert jobs[0].state in ("pending", "running", "finished")
+        assert mgr.drain(timeout=120.0)
+        assert [j.state for j in jobs] == ["finished"] * 3
+        assert mgr.admission.pressure()["queued_jobs"] == 0
+        assert mgr.admission.reserved_bytes == 0
+    finally:
+        mgr.shutdown(drain=False)
+
+
+def test_tenant_quota_blocks_future_admissions_not_running_jobs():
+    # Quota below what one spilly job stores: the job itself finishes
+    # (with a recorded quota-crossing note), the *next* one is rejected.
+    mgr = JobManager(
+        policy=_tight_policy(tenant_quota_bytes=48 * 1024), workers=1)
+    try:
+        spec = JobSpec.from_request(dict(SPILLY, tenant="greedy"))
+        first = mgr.submit(spec)
+        assert mgr.drain(timeout=120.0)
+        assert first.state == "finished"
+        assert mgr.admission.tenant_stored_bytes("greedy") >= 48 * 1024
+        second = mgr.submit(spec)
+        assert second.state == "rejected"
+        assert "quota" in second.reason
+        # Other tenants are unaffected.
+        third = mgr.submit(JobSpec.from_request(dict(SMALL, tenant="ok")))
+        assert third.state != "rejected"
+        assert mgr.drain(timeout=60.0)
+    finally:
+        mgr.shutdown(drain=False)
+
+
+def test_cancel_queued_job_never_runs():
+    mgr = JobManager(policy=_tight_policy(), workers=1)
+    try:
+        spec = JobSpec.from_request(
+            dict(SPILLY, n_nodes=2, memory_bytes=256 * 1024))
+        first = mgr.submit(spec)
+        queued = mgr.submit(spec)
+        if queued.state == "queued":  # racing the first job's finish
+            assert mgr.cancel(queued.job_id)
+        assert mgr.drain(timeout=120.0)
+        assert first.state == "finished"
+        assert queued.state in ("cancelled", "finished")
+        if queued.state == "cancelled":
+            assert queued.attempts == 0
+        assert mgr.admission.reserved_bytes == 0
+    finally:
+        mgr.shutdown(drain=False)
+
+
+def test_lifecycle_events_and_prometheus_rendering():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(kinds=("job",), callback=seen.append)
+    mgr = JobManager(workers=1, bus=bus)
+    try:
+        job = mgr.submit(JobSpec.from_request(dict(SMALL, tenant="acme")))
+        assert mgr.drain(timeout=60.0)
+        phases = [ev.phase for ev in seen if ev.job_id == job.job_id]
+        assert phases[0] == "submitted"
+        assert phases[1] == "admitted"
+        assert phases[2] == "started"
+        assert phases[-1] == "finished"
+        assert "boundary" in phases
+        assert all(ev.tenant == "acme" for ev in seen)
+
+        text = render_prometheus(mgr.registry)
+        assert "# HELP mrts_jobs_total" in text
+        assert "# TYPE mrts_jobs_total counter" in text
+        assert 'phase="finished"' in text and 'tenant="acme"' in text
+        assert "mrts_service_reserved_bytes 0" in text
+    finally:
+        mgr.shutdown(drain=False)

@@ -1,0 +1,180 @@
+"""Protocol fuzz/negative tests for the service wire format.
+
+Two layers: the framing functions in isolation (pure, driven through
+BytesIO), and a live :class:`~repro.testing.service.ServiceFixture`
+taking hostile input through real sockets.  The contract under test is
+the one the protocol module documents — every malformed frame gets a
+clean error reply on a still-open connection, only an over-cap frame
+closes the session, a mid-request disconnect abandons nothing — plus
+the resource postcondition that matters for a multi-tenant server: no
+admission reservation and no OOC residency is ever held on behalf of
+bytes that never became a job.
+"""
+
+import io
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_reply,
+    read_frame,
+    validate_request,
+)
+from repro.testing.invariants import check_ooc_layer
+from repro.testing.service import ServiceFixture
+
+
+# --------------------------------------------------------------- framing
+def test_frame_round_trip():
+    payload = {"op": "submit", "job": {"method": "updr", "h": 0.2}}
+    assert decode_frame(encode_frame(payload).rstrip(b"\n")) == payload
+
+
+def test_encode_rejects_oversized_payload():
+    with pytest.raises(ProtocolError) as exc:
+        encode_frame({"blob": "x" * MAX_FRAME_BYTES})
+    assert exc.value.code == "frame_too_large"
+
+
+@pytest.mark.parametrize(
+    "line, code",
+    [
+        (b"not json", "bad_json"),
+        (b"\xff\xfe\x00garbage", "bad_json"),
+        (b"[1, 2, 3]", "bad_frame"),
+        (b'"a bare string"', "bad_frame"),
+        (b"42", "bad_frame"),
+    ],
+)
+def test_decode_frame_error_codes(line, code):
+    with pytest.raises(ProtocolError) as exc:
+        decode_frame(line)
+    assert exc.value.code == code
+
+
+def test_read_frame_eof_and_partial_line_mean_disconnect():
+    assert read_frame(io.BytesIO(b"")) is None
+    # Bytes with no trailing newline: the client died mid-request.
+    assert read_frame(io.BytesIO(b'{"op": "pi')) is None
+
+
+def test_read_frame_never_buffers_past_the_cap():
+    stream = io.BytesIO(b"x" * (4 * MAX_FRAME_BYTES) + b"\n")
+    with pytest.raises(ProtocolError) as exc:
+        read_frame(stream)
+    assert exc.value.code == "frame_too_large"
+    assert stream.tell() <= MAX_FRAME_BYTES + 1
+
+
+@pytest.mark.parametrize(
+    "payload, code",
+    [
+        ({}, "missing_op"),
+        ({"op": 7}, "missing_op"),
+        ({"op": "transmogrify"}, "unknown_op"),
+        ({"op": "status", "job_id": 12}, "bad_field"),
+        ({"op": "submit", "tenant": ["a"]}, "bad_field"),
+    ],
+)
+def test_validate_request_error_codes(payload, code):
+    with pytest.raises(ProtocolError) as exc:
+        validate_request(payload)
+    assert exc.value.code == code
+
+
+def test_error_reply_shapes():
+    reply = error_reply(ProtocolError("bad_json", "nope"), op="submit")
+    assert reply == {
+        "ok": False,
+        "op": "submit",
+        "error": {"code": "bad_json", "message": "nope"},
+    }
+    generic = error_reply(ValueError("boom"))
+    assert generic["error"]["code"] == "internal"
+    assert "boom" in generic["error"]["message"]
+
+
+# ------------------------------------------------------------- live fuzz
+_MALFORMED = [
+    (b"not json\n", "bad_json"),
+    (b"\xfe\xfd\x00\n", "bad_json"),
+    (b"[1,2,3]\n", "bad_frame"),
+    (b"{}\n", "missing_op"),
+    (b'{"op":"zap"}\n', "unknown_op"),
+    (b'{"op":"status","job_id":7}\n', "bad_field"),
+    (b'{"op":"status","job_id":"j9999"}\n', "not_found"),
+    (b'{"op":"result","job_id":"j9999"}\n', "not_found"),
+    (b'{"op":"submit"}\n', "bad_field"),
+    (b'{"op":"submit","job":{"method":"voodoo"}}\n', "bad_job"),
+    (b'{"op":"submit","job":{"method":"updr","h":50.0}}\n', "bad_job"),
+    (b'{"op":"submit","job":{"method":"updr","warp":9}}\n', "bad_job"),
+]
+
+
+def test_malformed_frames_get_error_replies_on_a_live_session():
+    """Every bad frame: clean error reply, session stays up, no residue."""
+    with ServiceFixture() as svc:
+        with svc.client() as client:
+            for frame, code in _MALFORMED:
+                client.send_raw(frame)
+                reply = client.read_reply()
+                assert reply is not None, f"connection died on {frame!r}"
+                assert reply["ok"] is False
+                assert reply["error"]["code"] == code, frame
+                # The session survived: a real op still round-trips.
+                assert client.ping()["pong"] is True
+        # Nothing was reserved or half-created for any hostile frame.
+        assert svc.manager.admission.reserved_bytes == 0
+        assert svc.manager.admission.queued == 0
+        assert svc.manager.list_jobs() == []
+
+
+def test_oversized_frame_closes_only_that_connection():
+    with ServiceFixture() as svc:
+        with svc.client() as client:
+            client.send_raw(b"x" * (MAX_FRAME_BYTES + 64) + b"\n")
+            reply = client.read_reply()
+            assert reply is not None
+            assert reply["error"]["code"] == "frame_too_large"
+            # The stream position is unrecoverable: server hangs up.
+            assert client.read_reply() is None
+        # ... but the server itself is fine for the next client.
+        with svc.client() as client:
+            assert client.ping()["pong"] is True
+        assert svc.manager.admission.reserved_bytes == 0
+
+
+def test_mid_request_disconnect_abandons_nothing():
+    with ServiceFixture() as svc:
+        client = svc.client()
+        client.send_raw(b'{"op":"submit","job":{"method":"up')  # no newline
+        client.close()
+        with svc.client() as probe:
+            assert probe.ping()["pong"] is True
+        assert svc.manager.list_jobs() == []
+        assert svc.manager.admission.reserved_bytes == 0
+
+
+def test_fuzz_leaves_no_ooc_residue_around_real_jobs():
+    """Hostile frames interleaved with a real job: the job is untouched
+    and its runtime's OOC layer ends with zero invariant violations."""
+    with ServiceFixture(keep_runtimes=True) as svc:
+        with svc.client() as client:
+            client.send_raw(_MALFORMED[0][0])
+            assert client.read_reply()["ok"] is False
+            job_id = client.submit(
+                {"method": "updr", "geometry": "unit_square", "h": 0.2,
+                 "memory_bytes": 256 * 1024})["job_id"]
+            client.send_raw(_MALFORMED[4][0])
+            assert client.read_reply()["error"]["code"] == "unknown_op"
+            status = client.wait(job_id, timeout=60.0)
+            assert status["state"] == "finished"
+            assert status["invariant_violations"] == 0
+        job = svc.manager.get(job_id)
+        for rank, node in enumerate(job.runner.runtime.nodes):
+            assert check_ooc_layer(node.ooc, f"node{rank}") == []
+        assert svc.manager.admission.reserved_bytes == 0
