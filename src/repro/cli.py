@@ -203,11 +203,11 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-# Workloads the trace verb can observe: the perf suite's four plus a
-# selftest-sized storm (quick, exercises every event kind).
+# Workloads the trace verb can observe: the perf suite's deterministic
+# runs plus a selftest-sized storm (quick, exercises every event kind).
 _TRACE_WORKLOADS = (
-    "storm", "clean_read_storm", "oupdr_model", "mesh_patch_stream",
-    "mesh_neighborhood_sweep",
+    "storm", "clean_read_storm", "oupdr_model", "spec_overlap_storm",
+    "mesh_patch_stream", "mesh_neighborhood_sweep",
 )
 
 
@@ -246,6 +246,7 @@ def _trace(workload: str, seed: int, scale: float, out: str) -> int:
         runner = {
             "clean_read_storm": perf.run_clean_read_storm,
             "oupdr_model": perf.run_oupdr_model_bench,
+            "spec_overlap_storm": perf.run_spec_overlap_storm,
             "mesh_patch_stream": perf.run_mesh_patch_stream,
             "mesh_neighborhood_sweep": perf.run_mesh_neighborhood_sweep,
         }[workload]
@@ -386,14 +387,18 @@ def _chaos(seed: int) -> int:
 
     from repro.testing.chaos import (
         CHAOS_MATRIX, run_chaos_matrix, run_serve_chaos_matrix,
+        run_spec_chaos_matrix,
     )
 
     specs = [_replace(s, seed=s.seed + seed) for s in CHAOS_MATRIX]
     start = time.perf_counter()
     reports = run_chaos_matrix(specs)
     # The service cell (kill a mesh job mid-phase, resume from its last
-    # boundary checkpoint) rides the same matrix and the same verdict.
+    # boundary checkpoint) rides the same matrix and the same verdict,
+    # as does the speculation cell (force every PR 9 speculation to roll
+    # back and demand witness equality with the speculation-off run).
     reports.extend(run_serve_chaos_matrix())
+    reports.extend(run_spec_chaos_matrix())
     elapsed = time.perf_counter() - start
     for report in reports:
         print(report.render())

@@ -17,6 +17,14 @@ Two policies, both classical:
 
 Load is measured as pending messages weighted by object size — the same
 signals the control layer already tracks for swap priorities.
+
+PR 9 adds :class:`ElasticBalancer`, which is *online* where the two
+above are stop-and-repartition: it subscribes to the observability bus
+and folds every :class:`~repro.obs.events.QueueDepthEvent` into a
+per-node queue-depth EWMA (with residency bytes from Load/Evict events
+as a tie-breaking signal), migrating a mobile object off the hottest
+node whenever the live imbalance crosses its threshold — no phase
+boundary required, bounded by a cooldown and a migration budget.
 """
 
 from __future__ import annotations
@@ -24,8 +32,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.runtime import MRTS
+from repro.obs.events import (
+    EventBus,
+    EvictEvent,
+    LoadEvent,
+    ObsEvent,
+    QueueDepthEvent,
+    Subscription,
+)
 
-__all__ = ["NodeLoad", "measure_load", "GreedyBalancer", "DiffusionBalancer"]
+__all__ = [
+    "NodeLoad",
+    "measure_load",
+    "GreedyBalancer",
+    "DiffusionBalancer",
+    "ElasticBalancer",
+]
 
 
 @dataclass
@@ -71,12 +93,17 @@ class BalanceReport:
 def _movable_objects(runtime: MRTS, rank: int) -> list[int]:
     """Objects on ``rank`` eligible to move: unlocked, no handler running."""
     nrt = runtime.nodes[rank]
+    spec = getattr(runtime, "speculation", None)
     out = []
     for oid, rec in nrt.locals.items():
         if rec.in_flight > 0:
             continue
         residency = nrt.ooc.table.get(oid)
         if residency is None or residency.locked:
+            continue
+        if spec is not None and spec.has_pending(oid):
+            # Moving it would force an abort of its pending speculation;
+            # cheaper to balance around it.
             continue
         out.append(oid)
     # Move busiest objects first: they carry the most future work.
@@ -200,3 +227,99 @@ class DiffusionBalancer:
         mean = sum(final) / len(final)
         report.planned_imbalance = max(final) / mean if mean > 0 else 1.0
         return report
+
+
+class ElasticBalancer:
+    """Live balancer fed by the observability bus (PR 9).
+
+    Subscribes with a synchronous callback, so the decision runs inside
+    the runtime's own enqueue path — no polling process, no sampling
+    lag.  Per node it keeps an EWMA of the queue depth reported by every
+    :class:`QueueDepthEvent` plus the last-seen residency bytes from
+    Load/Evict events.  When the hottest node's EWMA exceeds the coldest
+    node's by more than ``threshold`` messages (and the cooldown since
+    the previous move has elapsed), one movable object migrates hot to
+    cold — residency bytes break ties among equally-cold destinations,
+    so elastic moves also drift load toward memory headroom.
+
+    Deliberately conservative: at most ``max_migrations`` over a run,
+    one per ``cooldown_s`` of virtual time, never an object that is
+    locked, executing, or carrying pending speculation
+    (:func:`_movable_objects`).  All migrations go through the runtime's
+    ordinary machinery, which already tolerates being called mid-run.
+    """
+
+    def __init__(
+        self,
+        runtime: MRTS,
+        threshold: float = 4.0,
+        alpha: float = 0.2,
+        cooldown_s: float = 1e-3,
+        max_migrations: int = 64,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.runtime = runtime
+        self.threshold = threshold
+        self.alpha = alpha
+        self.cooldown_s = cooldown_s
+        self.max_migrations = max_migrations
+        self.depth_ewma = [0.0] * len(runtime.nodes)
+        self.residency = [0] * len(runtime.nodes)
+        self.migrations = 0
+        self._last_move = -float("inf")
+        self._sub: Subscription | None = None
+
+    def attach(self, bus: EventBus) -> Subscription:
+        self._sub = bus.subscribe(
+            kinds=("queue", "load", "evict"), callback=self._on_event
+        )
+        return self._sub
+
+    def detach(self) -> None:
+        if self._sub is not None:
+            self._sub.close()
+            self._sub = None
+
+    def _on_event(self, event: ObsEvent) -> None:
+        if isinstance(event, (LoadEvent, EvictEvent)):
+            self.residency[event.node] = event.memory_used
+            return
+        if not isinstance(event, QueueDepthEvent):
+            return
+        ew = self.depth_ewma
+        ew[event.node] += self.alpha * (event.depth - ew[event.node])
+        self._maybe_migrate()
+
+    def _maybe_migrate(self) -> None:
+        rt = self.runtime
+        if self.migrations >= self.max_migrations:
+            return
+        if rt.engine.now - self._last_move < self.cooldown_s:
+            return
+        ranks = range(len(rt.nodes))
+        hot = max(ranks, key=lambda r: (self.depth_ewma[r], -r))
+        cold = min(ranks, key=lambda r: (self.depth_ewma[r],
+                                         self.residency[r], r))
+        if hot == cold:
+            return
+        if self.depth_ewma[hot] - self.depth_ewma[cold] <= self.threshold:
+            return
+        candidates = [
+            oid for oid in _movable_objects(rt, hot)
+            if len(rt.nodes[hot].locals[oid].queue) > 0
+        ]
+        if not candidates:
+            return
+        oid = candidates[0]
+        self._last_move = rt.engine.now
+        self.migrations += 1
+        rt.migrate(rt._objects_by_oid[oid], cold)
+        # The moved queue leaves the hot node: start its EWMA decaying
+        # from the post-move backlog instead of the stale peak.
+        moved = len(rt.nodes[hot].locals[oid].queue)
+        self.depth_ewma[hot] = max(self.depth_ewma[hot] - moved, 0.0)

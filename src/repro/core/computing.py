@@ -47,7 +47,30 @@ __all__ = [
     "ThreadPoolExecutorBackend",
     "ProcessPoolExecutorBackend",
     "make_executor",
+    "select_victim",
 ]
+
+
+def select_victim(
+    backlogs: Sequence[int], min_queue: int = 1
+) -> Optional[int]:
+    """Pick the steal victim: the most backlogged worker (or node).
+
+    The classic work-stealing discipline steals from whoever has the most
+    queued work; ties break toward the lowest index so the choice is
+    deterministic.  Workers whose backlog is below ``min_queue`` are not
+    eligible (stealing their last task just moves the idleness around).
+    Returns ``None`` when nobody is worth robbing.  Shared between the
+    deterministic :class:`WorkStealingExecutor` policy and the runtime's
+    inter-node thief (PR 9), so both sides of the stack steal by the same
+    rule and the unit test for one pins the other.
+    """
+    best = None
+    best_len = 0
+    for i, backlog in enumerate(backlogs):
+        if backlog >= min_queue and backlog > best_len:
+            best, best_len = i, backlog
+    return best
 
 
 @dataclass
@@ -162,8 +185,7 @@ class WorkStealingExecutor(TaskScheduler):
                 ready, task = deques[w].pop()  # LIFO: own work, depth first
             else:
                 # Steal FIFO from the victim with the most queued work.
-                victims = [i for i in range(self.workers) if deques[i]]
-                victim = max(victims, key=lambda i: (len(deques[i]), -i))
+                victim = select_victim([len(d) for d in deques])
                 ready, task = deques[victim].popleft()
                 clock[w] += self.steal_cost
                 steals += 1

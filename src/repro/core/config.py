@@ -78,6 +78,31 @@ class MRTSConfig:
       disables neighborhood expansion).  Deliberately conservative by
       default: on memory-starved runs every speculative warm displaces a
       resident, so wide warms cost more reload churn than they hide.
+
+    Speculative + elastic tasking knobs (PR 9), all off by default so the
+    default runtime stays byte-identical:
+
+    * ``speculation`` — allow handlers posted with
+      ``ctx.post_speculative`` to run past the current phase boundary;
+      their effects buffer until commit-time validation against the
+      directory's per-object version stamps, with rollback to the
+      pre-speculation snapshot on conflict (docs/speculative_tasking.md).
+    * ``spec_force_abort`` — testing knob: every speculative execution
+      that reaches commit-time validation is aborted and re-run, so a
+      chaos cell can prove the rollback path leaves state identical to a
+      non-speculative reference.
+    * ``work_stealing`` — start one thief process per node that migrates
+      ready work from the most backlogged node onto an idle one,
+      preferring victim-resident objects near the thief's own pack-file
+      locality keys so a steal never triggers a load storm.
+    * ``steal_interval_s`` — virtual seconds between a thief's idle
+      checks; ``steal_min_victim_queue`` — a victim must have at least
+      this many ready objects before it can be robbed (leaves it enough
+      work to stay busy).
+    * ``elastic_balance`` — attach an
+      :class:`~repro.core.balancer.ElasticBalancer` that consumes queue
+      depth and residency signals live off the obs bus and migrates
+      mobile objects off hot nodes between phases.
     """
 
     memory_budget: int = 256 * 1024 * 1024
@@ -109,6 +134,12 @@ class MRTSConfig:
     learned_prefetch: bool = True
     prefetch_confidence: float = 0.25
     neighborhood_warm: int = 1
+    speculation: bool = False
+    spec_force_abort: bool = False
+    work_stealing: bool = False
+    steal_interval_s: float = 2e-4
+    steal_min_victim_queue: int = 2
+    elastic_balance: bool = False
 
     VALID_SCHEMES = ("lru", "lfu", "mru", "mu", "lu")
     VALID_DIRECTORY = ("lazy", "eager", "home")
@@ -173,3 +204,9 @@ class MRTSConfig:
             raise ConfigError("prefetch_confidence must be in [0, 1]")
         if self.neighborhood_warm < 0:
             raise ConfigError("neighborhood_warm must be >= 0")
+        if self.spec_force_abort and not self.speculation:
+            raise ConfigError("spec_force_abort requires speculation")
+        if self.steal_interval_s <= 0:
+            raise ConfigError("steal_interval_s must be positive")
+        if self.steal_min_victim_queue < 1:
+            raise ConfigError("steal_min_victim_queue must be >= 1")

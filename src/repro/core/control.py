@@ -136,17 +136,34 @@ class ReadyQueue:
 
     # Min-heap key: negate the oracle's max-key components so that the
     # heap minimum is the scan maximum; seq ascending breaks ties the
-    # same way the oracle's -idx does.
+    # same way the oracle's -idx does.  ``spec_only`` (PR 9) demotes
+    # objects whose queues hold only speculative messages below *all*
+    # real work, so speculation only ever fills otherwise-idle slots;
+    # with speculation off the component is a constant and the ordering
+    # is byte-identical to before.
     def _live_key(
         self,
         oid: int,
         queue_len: Callable[[int], int],
         resident: Optional[Callable[[int], bool]],
+        spec_only: Optional[Callable[[int], bool]] = None,
     ) -> tuple:
+        in_core = resident is not None and resident(oid)
+        if spec_only is not None and not in_core:
+            # Speculation mode (PR 9): a non-resident object costs a
+            # demand load to serve, so prefer the one with the deepest
+            # queue — the load amortizes over more messages, and objects
+            # with thin queues wait for their batch to build up while
+            # resident/busier peers run.  Deferral only; nothing is ever
+            # refused, so termination is unaffected.
+            batch = -queue_len(oid)
+        else:
+            batch = -(queue_len(oid) if self.discipline == "busiest" else 0)
         return (
             -self._boost.get(oid, 0.0),
-            0 if (resident is not None and resident(oid)) else 1,
-            -(queue_len(oid) if self.discipline == "busiest" else 0),
+            1 if (spec_only is not None and spec_only(oid)) else 0,
+            0 if in_core else 1,
+            batch,
             self._entries[oid][0],
         )
 
@@ -155,9 +172,10 @@ class ReadyQueue:
         oid: int,
         queue_len: Callable[[int], int],
         resident: Optional[Callable[[int], bool]],
+        spec_only: Optional[Callable[[int], bool]] = None,
     ) -> None:
         entry = self._entries[oid]
-        key = self._live_key(oid, queue_len, resident)
+        key = self._live_key(oid, queue_len, resident, spec_only)
         self._clock += 1
         entry[1] = self._clock
         entry[2] = key
@@ -167,6 +185,7 @@ class ReadyQueue:
         self,
         queue_len: Callable[[int], int],
         resident: Optional[Callable[[int], bool]] = None,
+        spec_only: Optional[Callable[[int], bool]] = None,
     ) -> int:
         """Choose the next object to serve.
 
@@ -176,24 +195,27 @@ class ReadyQueue:
         serve loaded objects before paying a disk load for spilled ones —
         the decision the paper describes as influencing swapping ("the
         input from the control layer influences the swapping decisions").
+        ``spec_only`` (when provided) reports whether an object's queue
+        holds nothing but speculative messages; such objects are served
+        after every object with real work (speculation is stall filler).
         """
         for oid in self._touched:
             if oid in self._entries:
-                self._restamp(oid, queue_len, resident)
+                self._restamp(oid, queue_len, resident, spec_only)
         self._touched.clear()
         while self._entries:
             if not self._heap:  # pragma: no cover - defensive resync
                 for oid in list(self._entries):
-                    self._restamp(oid, queue_len, resident)
+                    self._restamp(oid, queue_len, resident, spec_only)
             key, stamp, oid = heapq.heappop(self._heap)
             entry = self._entries.get(oid)
             if entry is None or entry[1] != stamp:
                 continue  # stale node for a popped/restamped member
-            live = self._live_key(oid, queue_len, resident)
+            live = self._live_key(oid, queue_len, resident, spec_only)
             if live != key:
                 # Key drifted without a touch (queue drained in place):
                 # reinsert with the live key and keep looking.
-                self._restamp(oid, queue_len, resident)
+                self._restamp(oid, queue_len, resident, spec_only)
                 continue
             del self._entries[oid]
             self._boost.pop(oid, None)

@@ -57,6 +57,13 @@ class Directory:
         self.hints: list[dict[int, int]] = [dict() for _ in range(n_nodes)]
         self.truth: dict[int, int] = {}
         self.stats = DirectoryStats()
+        # Per-object write-version stamps (PR 9).  The runtime bumps an
+        # object's stamp after every committed mutation when speculation
+        # is enabled; a speculative execution records the stamp it read
+        # and commit-time validation compares it against the current one.
+        # Missing entry == version 0, so the table stays empty (and the
+        # directory byte-identical to before) unless speculation runs.
+        self.versions: dict[int, int] = {}
 
     # -- lifecycle ------------------------------------------------------------
     def register(self, oid: int, node: int) -> None:
@@ -66,8 +73,20 @@ class Directory:
 
     def unregister(self, oid: int) -> None:
         self.truth.pop(oid, None)
+        self.versions.pop(oid, None)
         for table in self.hints:
             table.pop(oid, None)
+
+    # -- version stamps (PR 9) ------------------------------------------------
+    def version(self, oid: int) -> int:
+        """Current write-version stamp of ``oid`` (0 if never written)."""
+        return self.versions.get(oid, 0)
+
+    def bump_version(self, oid: int) -> int:
+        """A mutation of ``oid`` committed; returns the new stamp."""
+        v = self.versions.get(oid, 0) + 1
+        self.versions[oid] = v
+        return v
 
     def migrated(self, oid: int, new_node: int) -> int:
         """Object moved; returns the number of service messages generated."""

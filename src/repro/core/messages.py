@@ -39,6 +39,11 @@ class Message:
     source_node: int = -1
     hops: int = 0
     seq: int = field(default_factory=lambda: next(_msg_counter))
+    # Speculation flag (PR 9): the handler may run past the current phase
+    # boundary against probably-stable inputs; its effects stay buffered
+    # until commit-time validation.  The control layer clears the flag
+    # when a mis-speculated message is re-enqueued for a real re-run.
+    speculative: bool = False
 
     def nbytes(self) -> int:
         """Wire size estimate (pickled payload + fixed header)."""

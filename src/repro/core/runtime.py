@@ -32,7 +32,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.core.config import MRTSConfig
 from repro.core.control import ReadyQueue, TerminationDetector
-from repro.core.computing import Task, make_executor
+from repro.core.computing import Task, make_executor, select_victim
 from repro.core.directory import Directory, make_directory
 from repro.core.messages import Message, MessageQueue, MulticastMessage
 from repro.core.mobile import MobileObject, MobilePointer
@@ -55,6 +55,7 @@ from repro.obs.events import (
 )
 from repro.core.packfile import PackFileBackend
 from repro.core.prefetch import PrefetchPredictor
+from repro.core.spec import SpeculationManager
 from repro.core.storage import (
     ChecksummedBackend,
     CompressingBackend,
@@ -167,6 +168,10 @@ class HandlerContext:
         self.outbox: list[Message | MulticastMessage] = []
         self.extra_charge = 0.0
         self._size_hint: Optional[tuple] = None  # ("abs"|"delta", nbytes)
+        # True while a speculative handler runs (PR 9): its outbox is
+        # buffered on the speculation record, direct calls and peeks are
+        # refused (they would leak unvalidated effects across objects).
+        self.speculative = False
 
     # -- messaging --------------------------------------------------------
     def post(
@@ -176,6 +181,24 @@ class HandlerContext:
         self.outbox.append(
             Message(target, handler_name, args, kwargs, source_node=self.node)
         )
+
+    def post_speculative(
+        self, target: MobilePointer, handler_name: str, *args: Any, **kwargs: Any
+    ) -> None:
+        """Post a message that may execute past the current phase boundary.
+
+        With ``config.speculation`` on, the message carries the
+        speculative flag: the ready queue serves it only on
+        otherwise-idle slots, its execution is provisional, and its
+        effects buffer until commit-time validation against the
+        directory's version stamps (docs/speculative_tasking.md).  With
+        speculation off this degrades to a plain :meth:`post` — same
+        delivery, no marker — so applications call it unconditionally.
+        """
+        msg = Message(target, handler_name, args, kwargs, source_node=self.node)
+        if self.runtime.speculation is not None:
+            msg.speculative = True
+        self.outbox.append(msg)
 
     def post_multicast(
         self,
@@ -245,6 +268,12 @@ class HandlerContext:
         leaf's buffer on one node, the leaf handler reads buffer data
         directly instead of round-tripping messages.
         """
+        if self.speculative:
+            # Commit validation only covers the handler's own target:
+            # a cross-object read here would be unvalidated input.
+            # Callers already handle None by falling back to messages,
+            # which buffer until the speculation commits.
+            return None
         if not self.runtime._is_local_resident(target, self.node):
             return None
         rec = self.runtime.nodes[self.node].locals.get(target.oid)
@@ -339,10 +368,29 @@ class _NodeRuntime:
         # memory server reached over the interconnect (paper [33]).
         self.spill_server: Optional[int] = None
         self.write_behind = _WriteBehind(runtime, rank)
+        # Barrier-idle accounting (PR 9): a node is idle when no handler
+        # is executing and no message is queued anywhere on it.
+        # ``idle_since`` marks when that state began (None = busy, or
+        # never had work); the interval is charged to
+        # ``NodeStats.barrier_idle_s`` when work arrives again.
+        self.active_handlers = 0
+        self.queued_msgs = 0
+        self.idle_since: Optional[float] = None
 
     def queue_len(self, oid: int) -> int:
         rec = self.locals.get(oid)
         return len(rec.queue) if rec is not None else 0
+
+    def spec_only(self, oid: int) -> bool:
+        """Does the object's queue hold nothing but speculative messages?
+
+        Fed to :meth:`ReadyQueue.pop` so speculation is served strictly
+        after every object with real work (stall filler, never a rival).
+        """
+        rec = self.locals.get(oid)
+        if rec is None or not rec.queue:
+            return False
+        return all(getattr(m, "speculative", False) for m in rec.queue)
 
     def _find_layer(self, cls: type):
         # Walked on every access (not cached) because attach_remote_memory
@@ -492,6 +540,14 @@ class MRTS:
         self.bus = bus if bus is not None else EventBus()
         self._done_event = self.engine.event()
         self.termination = TerminationDetector(self._on_quiescent)
+        # Speculative tasking (PR 9): constructed only when enabled, so
+        # every hot-path hook stays a single ``is not None`` check when
+        # off and the default runtime is byte-identical.  (``self.spec``
+        # is the ClusterSpec; the manager deliberately gets the longer
+        # name.)
+        self.speculation: Optional[SpeculationManager] = (
+            SpeculationManager(self) if self.config.speculation else None
+        )
         # Installed by RecoveryPolicy: oid -> last checkpointed payload (or
         # None).  _load_blocking falls back to it when the storage copy
         # fails frame validation (torn write detected as CorruptObject).
@@ -503,6 +559,15 @@ class MRTS:
         # one object to an older cut than the rest of the world.
         self.stored_since_snapshot: set[int] = set()
         self.nodes = [_NodeRuntime(self, r) for r in range(cluster.n_nodes)]
+        # Elastic balancing (PR 9): a live bus subscriber that migrates
+        # mobile objects off hot nodes as queue-depth imbalance develops.
+        self.balancer = None
+        if self.config.elastic_balance:
+            # Local import: balancer.py imports this module at top level.
+            from repro.core.balancer import ElasticBalancer
+
+            self.balancer = ElasticBalancer(self)
+            self.balancer.attach(self.bus)
         self._id_alloc = IdAllocator()
         self._objects_by_oid: dict[int, MobilePointer] = {}
         self._obj_classes: dict[int, type] = {}
@@ -552,6 +617,14 @@ class MRTS:
         return self.stats
 
     def _on_quiescent(self) -> None:
+        # Quiescence is the speculation commit point: the outstanding
+        # count is zero, so no write is in flight anywhere and commit
+        # validation is exact.  A resolution that re-injects credits
+        # (a commit's buffered outbox, an abort's re-posted messages)
+        # keeps the run alive; termination is only declared once every
+        # record is resolved with nothing re-entering flight.
+        if self.speculation is not None and self.speculation.resolve():
+            return
         if not self._done_event.triggered:
             self._done_event.succeed()
 
@@ -563,6 +636,11 @@ class MRTS:
                     self._worker(node), name=f"worker[{node.rank}.{k}]"
                 )
                 node.workers.append(proc)
+        if self.config.work_stealing and len(self.nodes) > 1:
+            for node in self.nodes:
+                self.engine.process(
+                    self._thief(node), name=f"thief[{node.rank}]"
+                )
 
     def _node_executor(self, rank: int):
         return self._executors[rank]
@@ -670,6 +748,8 @@ class MRTS:
             raise MRTSError(
                 f"destroying object {ptr.oid} with {len(rec.queue)} queued messages"
             )
+        if self.speculation is not None:
+            self.speculation.forget(ptr.oid)
         if rec.obj is not None:
             rec.obj.on_unregister(node)
         nrt.prefetched.discard(ptr.oid)
@@ -1263,6 +1343,8 @@ class MRTS:
             self._send(nrt.rank, self.directory.next_hop(oid, nrt.rank), msg, [])
             self.termination.done(1)
             return
+        self._note_work_arrived(nrt)
+        nrt.queued_msgs += 1
         rec.queue.push(msg)
         nrt.ooc.set_queue_length(oid, len(rec.queue))
         msg.target.queued_messages = len(rec.queue)
@@ -1447,6 +1529,13 @@ class MRTS:
             if vrec is not None and vrec.obj is not None:
                 self._evict_now(dst_nrt, victim)
         dst_nrt.ooc.confirm_admit(oid)
+        if self.speculation is not None:
+            # The state capture below must ship pre-speculation bytes:
+            # abort restores the snapshot and folds the speculated
+            # messages back into rec.queue, so they travel with the move.
+            # No yield separates this from the swap, so no new
+            # speculation can begin in between.
+            self.speculation.abort_if_pending(oid)
         # ---- atomic swap ----
         obj = rec.obj
         obj.on_unregister(src)
@@ -1473,6 +1562,10 @@ class MRTS:
             self.bus.publish(MigrateEvent(
                 self.engine.now, src, oid, dst, current))
         if queue:
+            nrt.queued_msgs -= len(queue)
+            self._note_maybe_idle(nrt)
+            self._note_work_arrived(dst_nrt)
+            dst_nrt.queued_msgs += len(queue)
             dst_nrt.ooc.set_queue_length(oid, len(queue))
             dst_nrt.ready.push(oid)
             for _ in range(len(queue)):
@@ -1495,7 +1588,13 @@ class MRTS:
             if token is _SHUTDOWN:
                 return
             try:
-                oid = nrt.ready.pop(nrt.queue_len, resident=nrt.ooc.is_resident)
+                oid = nrt.ready.pop(
+                    nrt.queue_len,
+                    resident=nrt.ooc.is_resident,
+                    spec_only=(
+                        nrt.spec_only if self.speculation is not None else None
+                    ),
+                )
             except IndexError:
                 continue
             rec = nrt.locals.get(oid)
@@ -1527,9 +1626,111 @@ class MRTS:
                     nrt.ready.push(oid)
                     break
                 msg = rec.queue.pop()
+                nrt.queued_msgs -= 1
                 nrt.ooc.set_queue_length(oid, len(rec.queue))
                 yield from self._execute_handler(nrt, oid, rec, msg)
+                if self.speculation is not None and not rec.queue:
+                    # Local quiescent point: the drain consumed every
+                    # message delivered to this object, so a surviving
+                    # record validates now.  Committing here (before the
+                    # message's termination credit retires) may refill
+                    # the queue and keeps the wavefront flowing without
+                    # a global synchronization.
+                    self.speculation.resolve_local(oid)
                 self.termination.done(1)
+                self._note_maybe_idle(nrt)
+
+    # ------------------------------------------------- barrier-idle tracking
+    def _note_work_arrived(self, nrt: _NodeRuntime) -> None:
+        """Work reached an idle node: close its barrier-idle interval."""
+        if nrt.idle_since is not None:
+            self.stats.node(nrt.rank).barrier_idle_s += (
+                self.engine.now - nrt.idle_since
+            )
+            nrt.idle_since = None
+
+    def _note_maybe_idle(self, nrt: _NodeRuntime) -> None:
+        """A handler or queue drain finished: open an idle interval if the
+        node now has nothing running and nothing queued (the global-sync
+        stall the speculation layer exists to fill)."""
+        if (
+            nrt.idle_since is None
+            and nrt.active_handlers == 0
+            and nrt.queued_msgs == 0
+        ):
+            nrt.idle_since = self.engine.now
+
+    # ------------------------------------------------------- work stealing
+    def _thief(self, nrt: _NodeRuntime):
+        """Per-node stealing loop (DES process body, PR 9).
+
+        When this node is completely idle, rob the most backlogged peer
+        of one ready, resident, unpinned object — through the ordinary
+        migration machinery, so directory updates and wire charges are
+        exactly those of any other move.  The same
+        :func:`~repro.core.computing.select_victim` rule drives the
+        intra-node executor policy; this is its inter-node twin.
+        """
+        cfg = self.config
+        while True:
+            yield self.engine.timeout(cfg.steal_interval_s)
+            if nrt.active_handlers > 0 or nrt.queued_msgs > 0:
+                continue
+            backlogs = [0 if n is nrt else len(n.ready) for n in self.nodes]
+            victim_rank = select_victim(backlogs, cfg.steal_min_victim_queue)
+            if victim_rank is None:
+                continue
+            oid = self._pick_steal_candidate(nrt, self.nodes[victim_rank])
+            if oid is None:
+                continue
+            self.stats.node(nrt.rank).steals += 1
+            # Hold a credit across the move: the steal itself must keep
+            # the run alive even if the victim's queues drain meanwhile.
+            self.termination.add(1)
+            yield from self._migrate_and_done(oid, victim_rank, nrt.rank)
+
+    def _pick_steal_candidate(
+        self, thief: _NodeRuntime, victim: _NodeRuntime
+    ) -> Optional[int]:
+        """Choose what to steal: locality first, then backlog.
+
+        Eligible objects are ready on the victim (queued messages, no
+        handler running, in core, unpinned, not mid-load, no pending
+        speculation).  Among those, prefer the one whose pack-file
+        locality key sits closest to the thief's resident working set —
+        stolen work should land next to the data it will touch — and
+        break ties toward the longest queue (steal the most work per
+        migration), then the lowest oid (determinism).
+        """
+        pf = thief.packfile
+        thief_keys = []
+        if pf is not None:
+            thief_keys = [
+                pf.locality_key(t_oid)
+                for t_oid in thief.locals
+                if thief.ooc.is_resident(t_oid)
+            ]
+        best = None
+        best_score = None
+        for oid in victim.ready.snapshot():
+            rec = victim.locals.get(oid)
+            if rec is None or not rec.queue or rec.in_flight > 0:
+                continue
+            if rec.obj is None or not victim.ooc.is_resident(oid):
+                continue
+            if victim.ooc.is_locked(oid) or oid in victim.loading:
+                continue
+            if self.speculation is not None and \
+                    self.speculation.has_pending(oid):
+                continue
+            distance = 0
+            if thief_keys and pf is not None:
+                key = pf.locality_key(oid)
+                distance = min(abs(key - tk) for tk in thief_keys)
+            score = (distance, -len(rec.queue), oid)
+            if best_score is None or score < best_score:
+                best, best_score = oid, score
+        return best
 
     def _execute_handler(self, nrt: _NodeRuntime, oid: int, rec, msg):
         """Run one message handler: compute via cores, then dispatch output."""
@@ -1538,6 +1739,15 @@ class MRTS:
         t0 = engine.now
         charged = 0.0
         nrt.ooc.touch(oid)
+        spec = self.speculation is not None and getattr(
+            msg, "speculative", False
+        )
+        if self.speculation is not None and not spec:
+            # Eager conflict detection: a non-speculative access (even a
+            # readonly one — it must not see unvalidated state) proves any
+            # pending speculation on this object read stale input.  Abort
+            # first so this handler executes against the restored state.
+            self.speculation.abort_if_pending(oid)
         obj = rec.obj
         ctx = HandlerContext(self, nrt.rank)
         fn = getattr(obj, msg.handler, None)
@@ -1545,7 +1755,12 @@ class MRTS:
             raise MRTSError(
                 f"{type(obj).__name__} has no handler {msg.handler!r}"
             )
+        record = None
+        if spec:
+            ctx.speculative = True
+            record = self.speculation.begin(nrt, oid, rec, msg)
         rec.in_flight += 1
+        nrt.active_handlers += 1
         # Pin the object while its handler runs: a mid-handler eviction
         # (reachable through direct-call chains that trigger spills)
         # would snapshot partial state and lose later mutations.
@@ -1567,6 +1782,7 @@ class MRTS:
         finally:
             node.cores.release()
             rec.in_flight -= 1
+            nrt.active_handlers -= 1
             if oid in nrt.ooc.table:
                 nrt.ooc.unlock(oid)
         # Object size may have changed during the handler (skip if the
@@ -1574,15 +1790,34 @@ class MRTS:
         # Readonly handlers promised not to mutate serialized state, so the
         # object stays clean and keeps its size — that is what lets the
         # eviction path skip the write-back for read-mostly objects.
+        # A speculative record aborted mid-charge (a direct call from
+        # another handler) already rolled the object back: its growth and
+        # dirty state are the restore's business, not this execution's.
+        orphaned = record is not None and (
+            self.speculation.pending.get(oid) is not record
+        )
         if (
             nrt.locals.get(oid) is rec
             and rec.obj is not None
             and not getattr(fn, "_mrts_readonly", False)
+            and not orphaned
         ):
             rec.obj.mark_dirty()
             self._account_growth(nrt, oid, ctx)
-        # Dispatch messages the handler produced.
-        self._dispatch_outbox(ctx.outbox, nrt.rank)
+            if self.speculation is not None and not spec:
+                # Write-version stamp for commit validation: any pending
+                # speculation elsewhere that read this object's state is
+                # now provably stale.
+                self.directory.bump_version(oid)
+        # Dispatch messages the handler produced.  A speculative
+        # execution's output buffers on its record until commit; an
+        # orphaned record's output is dropped — the abort already
+        # re-posted the message, so the work re-runs and regenerates it.
+        if record is not None:
+            if not orphaned:
+                record.outbox.extend(ctx.outbox)
+        else:
+            self._dispatch_outbox(ctx.outbox, nrt.rank)
         # Soft-threshold advice: spill idle objects in the background.
         if oid in nrt.ooc.table:
             for victim in nrt.ooc.advise_swap(protect={oid}):
@@ -1766,12 +2001,21 @@ class MRTS:
         kwargs: dict,
     ) -> bool:
         node = ctx.node
+        if ctx.speculative:
+            # A speculative handler may not reach other objects directly:
+            # those effects would bypass commit validation.  Refusing
+            # falls back to a message, which buffers until commit.
+            return False
         if self.directory.truth.get(target.oid) != node:
             return False
         nrt = self.nodes[node]
         if not nrt.ooc.is_resident(target.oid):
             return False
         rec = nrt.locals[target.oid]
+        if self.speculation is not None:
+            # Eager conflict detection, same as the worker path: this
+            # direct access must see validated (pre-speculation) state.
+            self.speculation.abort_if_pending(target.oid)
         obj = rec.obj
         if obj is None:
             return False
@@ -1794,6 +2038,8 @@ class MRTS:
         if not getattr(fn, "_mrts_readonly", False):
             obj.mark_dirty()
             self._account_growth(nrt, target.oid, ctx)
+            if self.speculation is not None:
+                self.directory.bump_version(target.oid)
         return True
 
     # ------------------------------------------------------------ inspection

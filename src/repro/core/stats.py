@@ -71,6 +71,17 @@ class NodeStats:
     prefetch_issued: int = 0
     prefetch_hits: int = 0
     prefetch_wasted: int = 0
+    # Speculative + elastic tasking (PR 9).  ``barrier_idle_s`` is virtual
+    # time this node spent with zero runnable work (empty ready queue, no
+    # handler in flight) before more work arrived — the global-sync stall
+    # that speculation exists to fill.  Spec counters are per speculative
+    # handler execution; ``steals`` counts inter-node ready-work
+    # migrations initiated by this node's thief.
+    barrier_idle_s: float = 0.0
+    spec_issued: int = 0
+    spec_committed: int = 0
+    spec_aborted: int = 0
+    steals: int = 0
 
     def add_comp(self, seconds: float) -> None:
         self.comp_time += seconds
@@ -274,3 +285,29 @@ class RunStats:
         """Hits / issued across the run (1.0 when nothing was issued)."""
         issued = self.prefetch_issued
         return self.prefetch_hits / issued if issued > 0 else 1.0
+
+    @property
+    def barrier_idle_s(self) -> float:
+        return sum(n.barrier_idle_s for n in self.nodes)
+
+    @property
+    def spec_issued(self) -> int:
+        return sum(n.spec_issued for n in self.nodes)
+
+    @property
+    def spec_committed(self) -> int:
+        return sum(n.spec_committed for n in self.nodes)
+
+    @property
+    def spec_aborted(self) -> int:
+        return sum(n.spec_aborted for n in self.nodes)
+
+    @property
+    def spec_commit_rate(self) -> float:
+        """Committed / resolved speculative executions (1.0 when none)."""
+        resolved = self.spec_committed + self.spec_aborted
+        return self.spec_committed / resolved if resolved > 0 else 1.0
+
+    @property
+    def steals(self) -> int:
+        return sum(n.steals for n in self.nodes)

@@ -124,6 +124,14 @@ class _ModelRegion(MobileObject):
         self.pending_cost = 0.0
         self.coordinator = None
         self.neighbor_ptrs = {}
+        # Speculative wavefront state (PR 9): ``spec_expected[k]`` is the
+        # cumulative number of boundary buffers this block must have
+        # integrated before its round-``k`` refine may run.  ``None``
+        # means barrier mode (the coordinator drives every refine).
+        self.spec_expected = None
+        self.spec_args = None
+        self.buffers_got = 0
+        self.posted_rounds = 0
 
     def locality_key(self):
         """Morton index of the region's grid cell, so spills of adjacent
@@ -145,9 +153,20 @@ class _ModelRegion(MobileObject):
         return created
 
     @handler
-    def wire(self, ctx, coordinator, neighbor_ptrs) -> None:
+    def wire(
+        self, ctx, coordinator, neighbor_ptrs,
+        spec_expected=None, spec_args=None,
+    ) -> None:
         self.coordinator = coordinator
         self.neighbor_ptrs = dict(neighbor_ptrs)
+        self.spec_expected = (
+            tuple(spec_expected) if spec_expected is not None else None
+        )
+        self.spec_args = tuple(spec_args) if spec_args is not None else None
+        if self.spec_expected is not None and self.spec_expected[0] == 0:
+            # Leading-edge block: the coordinator seeds its round-0 refine
+            # directly, so self-posting starts at round 1.
+            self.posted_rounds = 1
 
 
 # ================================================================ UPDR model
@@ -161,17 +180,86 @@ class _UPDRModelRegion(_ModelRegion):
         for rid, ptr in self.neighbor_ptrs.items():
             ctx.post(ptr, "receive_buffer", bytes(min(payload_size, 1 << 16)))
         ctx.post(self.coordinator, "block_done", self.region_id)
+        self._maybe_speculate(ctx)
 
     @handler
     def receive_buffer(self, ctx, strip: bytes) -> None:
         # Integrating the strip costs time proportional to its size.
         self.pending_cost += len(strip) * 2e-9
+        if self.spec_expected is not None:
+            self.buffers_got += 1
+            self._maybe_speculate(ctx)
+
+    def _maybe_speculate(self, ctx) -> None:
+        """Post this block's next refine the instant its dependencies hold.
+
+        The speculative wavefront (PR 9): instead of waiting for the
+        coordinator's color barrier, the block counts the boundary
+        buffers it has integrated and — once the cumulative count covers
+        everything its next round reads — posts its own ``refine_block``
+        via ``post_speculative``.  Because the post happens inside the
+        buffer handler that completed the dependency set, the refine
+        lands on this block's queue while it is still resident and
+        drains in the same residency window: the refinement itself never
+        pays a separate demand load.  The runtime validates the record
+        at the quiescent cut (and eagerly aborts it if a late buffer
+        sneaks in first), so this is a latency/IO optimisation, never a
+        correctness assumption.
+        """
+        if self.spec_expected is None:
+            return
+        k = self.posted_rounds
+        if k >= self.rounds or self.round < k:
+            return
+        if self.buffers_got < self.spec_expected[k]:
+            return
+        self.posted_rounds = k + 1
+        ctx.post_speculative(self.pointer, "refine_block", *self.spec_args)
+
+
+def _required_dones(neighbor_color: int, phase: int) -> int:
+    """Refines a neighbor of that color completes in phases < ``phase``
+    (it refines once per round, in phase ``4*round + color``)."""
+    if phase <= neighbor_color:
+        return 0
+    return (phase - neighbor_color + 3) // 4
+
+
+def _expected_buffers(
+    color: int, neighbor_colors: list, rounds: int
+) -> tuple:
+    """Cumulative buffer count block ``b`` must have integrated before
+    each of its refines: round ``k`` runs in phase ``4*k + color`` and
+    reads exactly the strips its neighbors shipped in earlier phases."""
+    return tuple(
+        sum(_required_dones(c, 4 * k + color) for c in neighbor_colors)
+        for k in range(rounds)
+    )
 
 
 class _UPDRModelCoordinator(MobileObject):
-    """Color-phase barrier coordinator (structured communication)."""
+    """Color-phase barrier coordinator (structured communication).
 
-    def __init__(self, pointer, blocks, colors, rounds, model_name, mrts, n_pes):
+    With ``speculate=True`` (PR 9) the global barrier dissolves into a
+    dependency wavefront, and the coordinator shrinks to bookkeeping:
+    it seeds the leading edge — every block whose first refine has no
+    buffer dependencies — with a real ``refine_block``, then merely
+    counts ``block_done`` reports.  Each block drives itself from there
+    (:meth:`_ModelRegion._maybe_speculate`): integrating the boundary
+    strip that completes its dependency set makes it post its own next
+    refine speculatively, in the same residency window, so the
+    refinement piggybacks on the load the buffers already paid for.
+    The runtime's commit validation (plus eager conflict aborts for
+    buffers still in flight) keeps the wavefront exactly as safe as
+    the barrier: the mesh witness (elements, round) is
+    order-independent, so the final state matches the non-speculative
+    run; only timing (``pending_cost`` drain order) may differ.
+    """
+
+    def __init__(
+        self, pointer, blocks, colors, rounds, model_name, mrts, n_pes,
+        neighbors=None, speculate=False,
+    ):
         super().__init__(pointer)
         self.blocks = dict(blocks)            # id -> pointer
         self.colors = dict(colors)            # id -> color
@@ -183,6 +271,9 @@ class _UPDRModelCoordinator(MobileObject):
         self.color = 0
         self.outstanding = 0
         self.phases = 0
+        self.speculate = speculate
+        self.neighbors = {b: list(n) for b, n in (neighbors or {}).items()}
+        self.done_count = {b: 0 for b in self.blocks}
 
     def _launch(self, ctx) -> None:
         targets = sorted(b for b, c in self.colors.items() if c == self.color)
@@ -196,10 +287,31 @@ class _UPDRModelCoordinator(MobileObject):
 
     @handler
     def start(self, ctx) -> None:
+        if self.speculate:
+            # Seed the leading edge: blocks whose first refine reads no
+            # neighbor strips.  Everything behind them self-triggers.
+            for b in sorted(self.blocks):
+                expected = _expected_buffers(
+                    self.colors[b],
+                    [self.colors[n] for n in self.neighbors.get(b, ())],
+                    self.rounds,
+                )
+                if self.rounds > 0 and expected[0] == 0:
+                    self.phases = max(self.phases, self.colors[b] + 1)
+                    ctx.post(
+                        self.blocks[b], "refine_block",
+                        self.model_name, self.mrts, self.n_pes,
+                    )
+            return
         self._launch(ctx)
 
     @handler
     def block_done(self, ctx, block_id: int) -> None:
+        if self.speculate:
+            self.done_count[block_id] += 1
+            phase = 4 * (self.done_count[block_id] - 1) + self.colors[block_id]
+            self.phases = max(self.phases, phase + 1)
+            return
         self.outstanding -= 1
         if self.outstanding > 0:
             return
@@ -280,27 +392,44 @@ def run_updr_model(
         for k, b in enumerate(members):
             node_of[b] = k % cluster.n_nodes
     ptrs = {}
+    neighbor_ids = {}
     for b in range(n_blocks):
         ptrs[b] = rt.create_object(
             _UPDRModelRegion, b, per_block, model.rounds,
             grid_side=side, node=node_of[b],
         )
-    coordinator = rt.create_object(
-        _UPDRModelCoordinator, ptrs, colors, model.rounds, model.name,
-        mrts, n_pes, node=0,
-    )
-    rt.nodes[0].ooc.lock(coordinator.oid)
-    for b in range(n_blocks):
         i, j = b % side, b // side
-        neighbors = {}
+        nbrs = []
         for dj in (-1, 0, 1):
             for di in (-1, 0, 1):
                 if di == dj == 0:
                     continue
                 ni, nj = i + di, j + dj
                 if 0 <= ni < side and 0 <= nj < side:
-                    neighbors[nj * side + ni] = ptrs[nj * side + ni]
-        rt.post(ptrs[b], "wire", coordinator, neighbors)
+                    nbrs.append(nj * side + ni)
+        neighbor_ids[b] = nbrs
+    coordinator = rt.create_object(
+        _UPDRModelCoordinator, ptrs, colors, model.rounds, model.name,
+        mrts, n_pes, neighbors=neighbor_ids,
+        speculate=rt.config.speculation, node=0,
+    )
+    rt.nodes[0].ooc.lock(coordinator.oid)
+    for b in range(n_blocks):
+        if rt.config.speculation:
+            rt.post(
+                ptrs[b], "wire", coordinator,
+                {n: ptrs[n] for n in neighbor_ids[b]},
+                spec_expected=_expected_buffers(
+                    colors[b], [colors[n] for n in neighbor_ids[b]],
+                    model.rounds,
+                ),
+                spec_args=(model.name, mrts, n_pes),
+            )
+        else:
+            rt.post(
+                ptrs[b], "wire", coordinator,
+                {n: ptrs[n] for n in neighbor_ids[b]},
+            )
     rt.run()
     rt.post(coordinator, "start")
     stats = rt.run()

@@ -41,6 +41,7 @@ __all__ = [
     "PackEvent",
     "MigrateEvent",
     "QueueDepthEvent",
+    "SpecEvent",
     "JobEvent",
     "EventBus",
     "Subscription",
@@ -210,6 +211,22 @@ class QueueDepthEvent(ObsEvent):
     kind: ClassVar[str] = "queue"
     oid: int
     depth: int
+
+
+@dataclass(frozen=True)
+class SpecEvent(ObsEvent):
+    """A speculative execution crossed a lifecycle edge (PR 9).
+
+    ``phase`` is ``"issued"`` (a handler ran speculatively; its effects
+    are buffered), ``"committed"`` (commit-time validation admitted it;
+    buffered effects dispatched) or ``"aborted"`` (a conflicting write or
+    a failed validation rolled the object back to its pre-speculation
+    snapshot and re-enqueued the message for a real re-run).
+    """
+
+    kind: ClassVar[str] = "spec"
+    oid: int
+    phase: str
 
 
 @dataclass(frozen=True)

@@ -38,13 +38,17 @@ from repro.obs.events import (
     QueueDepthEvent,
     RetryEvent,
     SendSpan,
+    SpecEvent,
     SpillEvent,
 )
 
 __all__ = ["to_chrome_trace", "write_chrome_trace", "LANES", "SERVICE_PID"]
 
 # Thread-lane ids within each node-process, in display order.
-LANES = {"handlers": 0, "disk": 1, "network": 2, "runtime": 3, "prefetch": 4}
+LANES = {
+    "handlers": 0, "disk": 1, "network": 2, "runtime": 3, "prefetch": 4,
+    "speculation": 5,
+}
 
 # Service-mode job events render under their own process track (one
 # thread lane per job) instead of a node track — a job's runtime has its
@@ -157,6 +161,12 @@ def to_chrome_trace(events: Iterable[ObsEvent]) -> dict:
             trace.append(_instant(
                 f"prefetch {e.phase} oid {e.oid}", "ooc", e.node,
                 LANES["prefetch"], e.time, {"oid": e.oid, "phase": e.phase},
+            ))
+        elif isinstance(e, SpecEvent):
+            trace.append(_instant(
+                f"spec {e.phase} oid {e.oid}", "speculation", e.node,
+                LANES["speculation"], e.time,
+                {"oid": e.oid, "phase": e.phase},
             ))
         elif isinstance(e, MigrateEvent):
             trace.append(_instant(

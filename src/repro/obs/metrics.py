@@ -36,6 +36,7 @@ from repro.obs.events import (
     QueueDepthEvent,
     RetryEvent,
     SendSpan,
+    SpecEvent,
     SpillEvent,
     Subscription,
 )
@@ -249,6 +250,8 @@ class MetricsCollector:
             "mrts_pack_seconds_total", "serialization wall seconds")
         self.prefetch = r.counter(
             "mrts_prefetch_total", "prefetch issues and hits")
+        self.spec = r.counter(
+            "mrts_spec_total", "speculative execution lifecycle edges")
         self.migrations = r.counter("mrts_migrations_total", "object moves")
         self.queue_depth = r.gauge(
             "mrts_queue_depth", "object message-queue depth at last enqueue")
@@ -301,6 +304,8 @@ class MetricsCollector:
             self.pack_seconds.inc(event.wall_s, node=node, op=event.op)
         elif isinstance(event, PrefetchEvent):
             self.prefetch.inc(node=node, phase=event.phase)
+        elif isinstance(event, SpecEvent):
+            self.spec.inc(node=node, phase=event.phase)
         elif isinstance(event, MigrateEvent):
             self.migrations.inc(node=node)
         elif isinstance(event, QueueDepthEvent):

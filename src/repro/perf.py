@@ -64,6 +64,7 @@ __all__ = [
     "PatchStreamActor",
     "run_clean_read_storm",
     "run_oupdr_model_bench",
+    "run_spec_overlap_storm",
     "run_mesh_patch_stream",
     "run_mesh_neighborhood_sweep",
     "NeighborhoodPatchActor",
@@ -82,7 +83,7 @@ BENCH_FILENAME = "BENCH_ooc.json"
 # deterministic for the same reason per-job makespans are: each job runs
 # its own virtual schedule, untouched by thread interleaving.
 _GATED_METRICS = ("bytes_stored", "bytes_loaded", "virtual_makespan_s",
-                  "packs", "p99_latency_virtual_s")
+                  "packs", "p99_latency_virtual_s", "barrier_idle_s")
 _GATE_TOLERANCE = 0.10
 
 # Wall-clock throughput/latency smoke gates for service_storm.  Real
@@ -211,6 +212,21 @@ class _WorkloadResult:
                 n.packfile.stats()["compactions"]
                 for n in rt.nodes if n.packfile is not None
             ),
+            # Speculation / elastic-tasking counters (PR 9).  All are
+            # seed-deterministic; barrier_idle_s (virtual time nodes spent
+            # with nothing queued and nothing running — the global-sync
+            # stall speculation exists to fill) joins the regression gate.
+            "barrier_idle_s": round(
+                sum(n.barrier_idle_s for n in stats.nodes), 6
+            ),
+            "spec_issued": sum(n.spec_issued for n in stats.nodes),
+            "spec_committed": sum(n.spec_committed for n in stats.nodes),
+            "spec_aborted": sum(n.spec_aborted for n in stats.nodes),
+            "spec_commit_rate": round(
+                sum(n.spec_committed for n in stats.nodes)
+                / max(sum(n.spec_issued for n in stats.nodes), 1), 4
+            ),
+            "steals": sum(n.steals for n in stats.nodes),
         }
 
 
@@ -276,9 +292,18 @@ def run_oupdr_model_bench(
     cores: int = 2,
     memory_bytes: int = 8 * 1024 * 1024,
     scale: float = 1.0,
+    speculation: bool = True,
     on_runtime: Optional[Callable[[MRTS], None]] = None,
 ) -> _WorkloadResult:
-    """OUPDR-style modeled run on a memory-starved cluster (write-heavy)."""
+    """OUPDR-style modeled run on a memory-starved cluster (write-heavy).
+
+    Since PR 9 the bench runs with speculation and work stealing on:
+    blocks self-post their next refinement speculatively the moment the
+    boundary strips it reads have all been integrated, so the refine
+    drains in the same residency window as the buffer messages instead
+    of paying its own demand load.  ``speculation=False`` reproduces the
+    pre-PR-9 barrier configuration exactly.
+    """
     from repro.evalsim.apps import run_updr_model
 
     total_elements = max(50_000, int(total_elements * scale))
@@ -286,9 +311,58 @@ def run_oupdr_model_bench(
         n_nodes=n_nodes,
         node=NodeSpec(cores=cores, memory_bytes=memory_bytes),
     )
+    config = MRTSConfig(
+        prefetch_depth=3,
+        speculation=speculation,
+        work_stealing=speculation,
+    )
     wall0 = time.perf_counter()
     result = run_updr_model(
-        total_elements, cluster, mrts=True, on_runtime=on_runtime
+        total_elements, cluster, mrts=True, config=config,
+        on_runtime=on_runtime,
+    )
+    wall = time.perf_counter() - wall0
+    return _WorkloadResult(wall_s=wall, runtime=result.runtime)
+
+
+def run_spec_overlap_storm(
+    seed: int = 0,
+    total_elements: int = 120_000,
+    n_nodes: int = 3,
+    cores: int = 1,
+    memory_bytes: int = 5 * 1024 * 1024,
+    scale: float = 1.0,
+    on_runtime: Optional[Callable[[MRTS], None]] = None,
+) -> _WorkloadResult:
+    """Speculation-stress UPDR run: single-core nodes, starved memory.
+
+    One core per node means a node serves exactly one handler at a time,
+    so every inter-color dependency stall shows up directly as
+    ``barrier_idle_s`` unless speculation manufactures work to fill it —
+    the shape that most rewards the PR 9 overlap machinery and most
+    punishes a regression in it.  Three nodes keep the boundary-exchange
+    fabric busy (more remote strips than the 2-node bench) and 5 MB of
+    memory forces mid-wavefront spills, exercising snapshot/rollback
+    against spilled state.  Speculation and work stealing are always on;
+    the ``speculation=off`` reference lives in the chaos/property tests,
+    not here.
+    """
+    from repro.evalsim.apps import run_updr_model
+
+    total_elements = max(40_000, int(total_elements * scale))
+    cluster = ClusterSpec(
+        n_nodes=n_nodes,
+        node=NodeSpec(cores=cores, memory_bytes=memory_bytes),
+    )
+    config = MRTSConfig(
+        prefetch_depth=3,
+        speculation=True,
+        work_stealing=True,
+    )
+    wall0 = time.perf_counter()
+    result = run_updr_model(
+        total_elements, cluster, mrts=True, config=config,
+        on_runtime=on_runtime,
     )
     wall = time.perf_counter() - wall0
     return _WorkloadResult(wall_s=wall, runtime=result.runtime)
@@ -662,16 +736,18 @@ def run_perf_suite(seed: int = 0, scale: float = 1.0) -> dict:
     """Run all workloads; returns the BENCH_ooc.json document."""
     storm = run_clean_read_storm(seed=seed, scale=scale)
     oupdr = run_oupdr_model_bench(seed=seed, scale=scale)
+    spec_storm = run_spec_overlap_storm(seed=seed, scale=scale)
     patches = run_mesh_patch_stream(seed=seed, scale=scale)
     sweep = run_mesh_neighborhood_sweep(seed=seed, scale=scale)
     service = run_service_storm(seed=seed, scale=scale)
     return {
-        "version": 4,
+        "version": 5,
         "seed": seed,
         "scale": scale,
         "workloads": {
             "clean_read_storm": storm.metrics(),
             "oupdr_model": oupdr.metrics(),
+            "spec_overlap_storm": spec_storm.metrics(),
             "mesh_patch_stream": patches.metrics(),
             "mesh_neighborhood_sweep": sweep.metrics(),
             "service_storm": service,
@@ -774,6 +850,15 @@ def render_report(report: dict) -> str:
                 f"hit_rate={metrics['prefetch_hit_rate']:.2f} "
                 f"pack segs={metrics['pack_segments']} "
                 f"compactions={metrics['pack_compactions']}"
+            )
+        if metrics.get("spec_issued"):
+            lines.append(
+                f"  {'':<18} spec i/c/a={metrics['spec_issued']}"
+                f"/{metrics['spec_committed']}"
+                f"/{metrics['spec_aborted']} "
+                f"(commit rate={metrics['spec_commit_rate']:.2f}) "
+                f"steals={metrics['steals']} "
+                f"barrier_idle={metrics['barrier_idle_s']:.3f}s"
             )
     return "\n".join(lines)
 

@@ -42,7 +42,9 @@ __all__ = ["ChaosSpec", "ChaosReport", "CHAOS_MATRIX", "run_chaos_case",
            "run_chaos_matrix", "DistChaosSpec", "DIST_CHAOS_MATRIX",
            "run_dist_chaos_case", "run_dist_chaos_matrix",
            "ServeChaosSpec", "SERVE_CHAOS_MATRIX",
-           "run_serve_chaos_case", "run_serve_chaos_matrix"]
+           "run_serve_chaos_case", "run_serve_chaos_matrix",
+           "SpecChaosSpec", "SPEC_CHAOS_MATRIX",
+           "run_spec_chaos_case", "run_spec_chaos_matrix"]
 
 # Sentinel: the recovered incarnations keep the same fault plan as the
 # first (the medium stays flaky); ``None`` means the rebuilt incarnation
@@ -372,6 +374,122 @@ def run_chaos_matrix(
 ) -> list[ChaosReport]:
     """Run every matrix cell; used by ``mrts-bench chaos``."""
     return [run_chaos_case(spec) for spec in (specs or CHAOS_MATRIX)]
+
+
+# ==========================================================================
+# The speculation chaos matrix: force every speculation to roll back.
+# ==========================================================================
+#
+# PR 9's speculation layer claims mis-speculation is *always* recoverable:
+# the pre-speculation snapshot restores the object and the speculated
+# messages re-run for real, so the final mesh state is independent of how
+# many speculations aborted.  This cell drives the claim to its extreme
+# with ``spec_force_abort`` — every validation is made to fail, so every
+# speculative execution exercises the rollback path (snapshot restore,
+# possibly against spilled post-spec bytes, plus non-speculative re-post)
+# — and the resulting UPDR refinement witness must still equal the
+# speculation-off reference exactly.
+
+
+@dataclass(frozen=True)
+class SpecChaosSpec:
+    """One cell of the speculation chaos matrix."""
+
+    name: str
+    total_elements: int = 60_000
+    n_nodes: int = 2
+    cores: int = 2
+    memory_bytes: int = 8 * 1024 * 1024
+    min_aborts: int = 1            # dead-cell guard
+
+
+SPEC_CHAOS_MATRIX: list[SpecChaosSpec] = [
+    SpecChaosSpec(name="spec-forced-rollback"),
+]
+
+
+def _updr_witness(result) -> dict[int, tuple]:
+    """region_id -> (elements, round): the UPDR equality witness.
+
+    Keyed on the application-level region id (never oids or placement),
+    so it is insensitive to scheduling, migration and spill order — the
+    axes speculation is allowed to perturb.
+    """
+    runtime = result.runtime
+    out = {}
+    for oid in sorted(runtime._objects_by_oid):
+        obj = runtime.get_object(runtime._objects_by_oid[oid])
+        if hasattr(obj, "region_id") and hasattr(obj, "round"):
+            out[obj.region_id] = (obj.elements, obj.round)
+    return out
+
+
+def run_spec_chaos_case(spec: SpecChaosSpec) -> ChaosReport:
+    """Execute one speculation cell: reference, forced-rollback run, verdict."""
+    from repro.evalsim.apps import run_updr_model
+
+    cluster = ClusterSpec(
+        n_nodes=spec.n_nodes,
+        node=NodeSpec(cores=spec.cores, memory_bytes=spec.memory_bytes),
+    )
+    reference = run_updr_model(
+        spec.total_elements, cluster, mrts=True,
+        config=MRTSConfig(prefetch_depth=3),
+    )
+    want = _updr_witness(reference)
+
+    chaos = run_updr_model(
+        spec.total_elements, cluster, mrts=True,
+        config=MRTSConfig(
+            prefetch_depth=3, speculation=True, work_stealing=True,
+            spec_force_abort=True,
+        ),
+    )
+    got = _updr_witness(chaos)
+    stats = chaos.stats
+
+    # The UPDR app pins its coordinator in core for the whole run
+    # (``ooc.lock``), which the generic quiescence invariant reports;
+    # that lock is the application's deliberate placement, not a leak.
+    violations = [
+        f"final: {v}" for v in check_runtime(chaos.runtime)
+        if "still locked at quiescence" not in v
+    ]
+    report = ChaosReport(
+        name=spec.name,
+        state_matches=(got == want),
+        violations=violations,
+        events=[
+            f"spec issued={stats.spec_issued} "
+            f"committed={stats.spec_committed} "
+            f"aborted={stats.spec_aborted} steals={stats.steals}"
+        ],
+    )
+    if not report.state_matches:
+        diff = {
+            rid: (got.get(rid), want.get(rid))
+            for rid in set(got) | set(want)
+            if got.get(rid) != want.get(rid)
+        }
+        report.problems.append(f"refinement witness diverged: {diff}")
+    report.problems.extend(violations)
+    if stats.spec_aborted < spec.min_aborts:
+        report.problems.append(
+            f"expected >= {spec.min_aborts} forced rollbacks, "
+            f"saw {stats.spec_aborted} (dead cell)"
+        )
+    if stats.spec_committed != 0:
+        report.problems.append(
+            f"spec_force_abort leaked {stats.spec_committed} commits"
+        )
+    return report
+
+
+def run_spec_chaos_matrix(
+    specs: Optional[list[SpecChaosSpec]] = None,
+) -> list[ChaosReport]:
+    """Run the speculation matrix; used by ``mrts-bench chaos``."""
+    return [run_spec_chaos_case(spec) for spec in (specs or SPEC_CHAOS_MATRIX)]
 
 
 # ==========================================================================

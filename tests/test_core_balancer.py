@@ -11,10 +11,14 @@ import pytest
 from repro.core import MobileObject, MRTS, handler
 from repro.core.balancer import (
     DiffusionBalancer,
+    ElasticBalancer,
     GreedyBalancer,
     NodeLoad,
+    _movable_objects,
     measure_load,
 )
+from repro.core.config import MRTSConfig
+from repro.obs.events import LoadEvent, QueueDepthEvent
 from repro.sim.cluster import ClusterSpec
 from repro.sim.node import NodeSpec
 
@@ -167,6 +171,78 @@ def test_diffusion_on_balanced_cluster_is_noop():
         rt.post(p, "work")
     report = DiffusionBalancer(slack=0.5).rebalance(rt)
     assert report.n_migrations == 0
+
+
+# ------------------------------------------------------------------- elastic
+def test_elastic_parameter_validation():
+    rt = MRTS(cluster(n=2))
+    for kwargs in (
+        dict(threshold=0.0),
+        dict(alpha=0.0),
+        dict(alpha=1.5),
+        dict(cooldown_s=-1.0),
+    ):
+        with pytest.raises(ValueError):
+            ElasticBalancer(rt, **kwargs)
+
+
+def test_elastic_ewma_and_residency_tracking():
+    rt = MRTS(cluster(n=2), config=MRTSConfig(elastic_balance=True))
+    bal = rt.balancer
+    assert bal is not None
+    bal._on_event(QueueDepthEvent(0.0, 0, 1, 10))
+    assert bal.depth_ewma[0] == pytest.approx(2.0)   # 0 + 0.2 * 10
+    bal._on_event(QueueDepthEvent(0.0, 0, 1, 10))
+    assert bal.depth_ewma[0] == pytest.approx(3.6)   # 2 + 0.2 * 8
+    bal._on_event(LoadEvent(0.0, 1, 5, 100, False, 4096))
+    assert bal.residency[1] == 4096
+    assert bal.depth_ewma[1] == 0.0  # load events never move the EWMA
+
+
+def test_elastic_migrates_off_hot_node_and_conserves_work():
+    rt = MRTS(cluster(n=2), config=MRTSConfig(elastic_balance=True))
+    ptrs = [rt.create_object(Worker, node=0) for _ in range(8)]
+    for p in ptrs:
+        for _ in range(6):
+            rt.post(p, "work")
+    rt.run()
+    assert rt.balancer.migrations >= 1
+    assert all(rt.get_object(p).done == 6 for p in ptrs)
+
+
+def test_elastic_threshold_prevents_migration():
+    rt = MRTS(
+        cluster(n=2), config=MRTSConfig(elastic_balance=True),
+    )
+    rt.balancer.threshold = 1e9
+    ptrs = [rt.create_object(Worker, node=0) for _ in range(6)]
+    for p in ptrs:
+        for _ in range(4):
+            rt.post(p, "work")
+    rt.run()
+    assert rt.balancer.migrations == 0
+
+
+def test_elastic_migration_budget_is_respected():
+    rt = MRTS(cluster(n=2), config=MRTSConfig(elastic_balance=True))
+    rt.balancer.max_migrations = 1
+    rt.balancer.cooldown_s = 0.0
+    ptrs = [rt.create_object(Worker, node=0) for _ in range(10)]
+    for p in ptrs:
+        for _ in range(8):
+            rt.post(p, "work")
+    rt.run()
+    assert rt.balancer.migrations <= 1
+
+
+def test_movable_objects_skip_pending_speculation():
+    rt = MRTS(cluster(n=2), config=MRTSConfig(speculation=True))
+    p = rt.create_object(Worker, node=0)
+    assert _movable_objects(rt, 0) == [p.oid]
+    rt.speculation.pending[p.oid] = object()  # membership is the check
+    assert _movable_objects(rt, 0) == []
+    del rt.speculation.pending[p.oid]
+    assert _movable_objects(rt, 0) == [p.oid]
 
 
 # ------------------------------------------------------------------- reports

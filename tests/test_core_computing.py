@@ -12,6 +12,7 @@ from repro.core import (
     WorkStealingExecutor,
     make_executor,
 )
+from repro.core.computing import select_victim
 
 
 def flat_tasks(n, dur=1.0):
@@ -44,6 +45,58 @@ def test_workstealing_steals_from_loaded_victim():
     result = ws.schedule([root])
     assert result.steals >= 1
     assert result.makespan < root.total_work()
+
+
+def test_select_victim_picks_most_backlogged():
+    assert select_victim([0, 3, 5, 2]) == 2
+
+
+def test_select_victim_ties_break_to_lowest_index():
+    assert select_victim([0, 4, 4]) == 1
+    assert select_victim([4, 0, 4]) == 0
+
+
+def test_select_victim_respects_min_queue():
+    # A victim below min_queue is not worth robbing; nobody means None.
+    assert select_victim([1, 1], min_queue=2) is None
+    assert select_victim([0, 0]) is None
+    assert select_victim([]) is None
+    assert select_victim([2, 1], min_queue=2) == 0
+
+
+def test_workstealing_steal_order_is_deterministic():
+    """Pin the exact steal schedule select_victim induces (PR 9).
+
+    One root fans out four children: workers 1 and 2 must each steal the
+    oldest child from worker 0 (the only eligible victim), and the whole
+    schedule — steal count, makespan, per-worker busy time — must be
+    identical run over run.  The runtime's inter-node thief uses the
+    same select_victim rule, so this pins both sides of the stack.
+    """
+    def run():
+        ws = WorkStealingExecutor(workers=3, overhead=0.0, steal_cost=0.0)
+        root = Task(1.0, children=[Task(1.0) for _ in range(4)])
+        return ws.schedule([root])
+
+    first, second = run(), run()
+    assert first.steals == second.steals == 2
+    assert first.makespan == second.makespan == pytest.approx(3.0)
+    assert first.busy == second.busy
+    assert first.busy == [pytest.approx(3.0), pytest.approx(1.0),
+                          pytest.approx(1.0)]
+
+
+def test_central_queue_schedule_is_deterministic():
+    def run():
+        cq = CentralQueueExecutor(workers=2, overhead=0.0, contention=0.0)
+        return cq.schedule(flat_tasks(5, 1.0))
+
+    first, second = run(), run()
+    assert first.queue_ops == second.queue_ops == 5
+    # Global FIFO alternates workers: three tasks land on worker 0.
+    assert first.makespan == second.makespan == pytest.approx(3.0)
+    assert first.busy == second.busy == [pytest.approx(3.0),
+                                         pytest.approx(2.0)]
 
 
 def test_central_queue_contention_grows_with_workers():
