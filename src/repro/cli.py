@@ -208,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
 _TRACE_WORKLOADS = (
     "storm", "clean_read_storm", "oupdr_model", "spec_overlap_storm",
     "mesh_patch_stream", "mesh_neighborhood_sweep",
+    "ghost_exchange_storm", "mesh3d_storm",
 )
 
 
@@ -249,6 +250,8 @@ def _trace(workload: str, seed: int, scale: float, out: str) -> int:
             "spec_overlap_storm": perf.run_spec_overlap_storm,
             "mesh_patch_stream": perf.run_mesh_patch_stream,
             "mesh_neighborhood_sweep": perf.run_mesh_neighborhood_sweep,
+            "ghost_exchange_storm": perf.run_ghost_exchange_storm,
+            "mesh3d_storm": perf.run_mesh3d_storm,
         }[workload]
         result = runner(seed=seed, scale=scale, on_runtime=observe)
         stats = result.runtime.stats

@@ -10,6 +10,14 @@ The *multicast mobile message* (§III "Findings") extends this: it addresses
 a vector of mobile pointers, and the runtime must first **collect** all of
 them on one node, in core, before delivering the handler to the first
 ``deliver_count`` objects of the vector.
+
+Ghost-layer exchange (ROADMAP item 5, after Holke et al.'s *Optimized
+Parallel Ghost Layer*) adds a second multicast mode, ``"fanout"``: instead
+of collecting the targets, the runtime groups them by their current node
+and ships **one wire transfer per destination node** carrying the payload
+once, delivering the handler to *every* target.  That is the
+owner→subscribers push shape — the payload is identical for all ghosts,
+so collecting would serialize what is naturally bandwidth-parallel.
 """
 
 from __future__ import annotations
@@ -61,10 +69,15 @@ class Message:
 class MulticastMessage:
     """A message addressed to several mobile objects at once.
 
-    ``deliver_count`` objects (the first in ``targets``) receive the
-    handler invocation; the rest are only required to be co-resident and
-    in-core at delivery time (ONUPDR passes a leaf plus its buffer BUF and
-    ``deliver_count=1``).
+    In ``"collect"`` mode (the paper's §III semantics) ``deliver_count``
+    objects (the first in ``targets``) receive the handler invocation; the
+    rest are only required to be co-resident and in-core at delivery time
+    (ONUPDR passes a leaf plus its buffer BUF and ``deliver_count=1``).
+
+    In ``"fanout"`` mode every target receives the handler and nothing is
+    collected: the control layer sends one aggregated wire transfer per
+    destination node, each carrying the payload once plus a 16-byte pointer
+    stub per local target (the ghost-exchange push primitive).
     """
 
     targets: Sequence[MobilePointer]
@@ -74,22 +87,32 @@ class MulticastMessage:
     kwargs: dict = field(default_factory=dict)
     source_node: int = -1
     seq: int = field(default_factory=lambda: next(_msg_counter))
+    mode: str = "collect"
 
     def __post_init__(self) -> None:
         if not self.targets:
             raise ValueError("multicast needs at least one target")
-        if not 1 <= self.deliver_count <= len(self.targets):
+        if self.mode not in ("collect", "fanout"):
+            raise ValueError(f"unknown multicast mode {self.mode!r}")
+        if self.mode == "fanout":
+            # Fanout always delivers to everyone; a partial fanout has no
+            # meaning (the non-delivered targets would play no role at all).
+            self.deliver_count = len(self.targets)
+        elif not 1 <= self.deliver_count <= len(self.targets):
             raise ValueError(
                 f"deliver_count {self.deliver_count} out of range "
                 f"for {len(self.targets)} targets"
             )
 
-    def nbytes(self) -> int:
+    def payload_nbytes(self) -> int:
+        """Wire size of the (args, kwargs) payload alone."""
         try:
-            payload = len(pickle.dumps((self.args, self.kwargs), protocol=4))
+            return len(pickle.dumps((self.args, self.kwargs), protocol=4))
         except Exception:
-            payload = 64
-        return 48 + 16 * len(self.targets) + payload
+            return 64
+
+    def nbytes(self) -> int:
+        return 48 + 16 * len(self.targets) + self.payload_nbytes()
 
 
 class MessageQueue:

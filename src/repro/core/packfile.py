@@ -42,7 +42,7 @@ from repro.util.errors import ObjectNotFound
 
 from repro.core.storage import StorageBackend
 
-__all__ = ["PackFileBackend", "morton2"]
+__all__ = ["PackFileBackend", "morton2", "morton3"]
 
 
 def morton2(i: int, j: int, bits: int = 16) -> int:
@@ -55,6 +55,24 @@ def morton2(i: int, j: int, bits: int = 16) -> int:
     for b in range(bits):
         code |= ((i >> b) & 1) << (2 * b)
         code |= ((j >> b) & 1) << (2 * b + 1)
+    return code
+
+
+def morton3(i: int, j: int, k: int, bits: int = 10) -> int:
+    """Interleave the bits of 3-D grid coordinates (Z-order curve).
+
+    The 3-D analogue of :func:`morton2` for layered/extruded
+    decompositions: a patch's ``(i, j, layer)`` cell maps to one curve
+    position, so face-adjacent 3-D patches — including vertical neighbors
+    in adjacent layers, which a degenerate 2-D key would scatter — land in
+    the same pack-file bucket.  ``bits`` defaults lower than morton2's
+    because three interleaved axes consume the key space 1.5x faster.
+    """
+    code = 0
+    for b in range(bits):
+        code |= ((i >> b) & 1) << (3 * b)
+        code |= ((j >> b) & 1) << (3 * b + 1)
+        code |= ((k >> b) & 1) << (3 * b + 2)
     return code
 
 

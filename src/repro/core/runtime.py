@@ -206,13 +206,19 @@ class HandlerContext:
         handler_name: str,
         deliver_count: int = 1,
         *args: Any,
+        mode: str = "collect",
         **kwargs: Any,
     ) -> None:
-        """Send the experimental multicast mobile message (§III Findings)."""
+        """Send the experimental multicast mobile message (§III Findings).
+
+        ``mode="fanout"`` switches to the ghost-exchange push semantics:
+        all targets receive the handler, grouped into one aggregated wire
+        send per destination node carrying the payload once.
+        """
         self.outbox.append(
             MulticastMessage(
                 list(targets), handler_name, deliver_count, args, kwargs,
-                source_node=self.node,
+                source_node=self.node, mode=mode,
             )
         )
 
@@ -1357,10 +1363,54 @@ class MRTS:
     # ============================================================ multicast
     def _route_multicast(self, msg: MulticastMessage, from_node: int) -> None:
         """Collect all target objects on the first target's node, then deliver."""
+        if msg.mode == "fanout":
+            self._fanout_multicast(msg, from_node)
+            return
         gather = self.directory.location(msg.targets[0].oid)
         self.engine.process(
             self._multicast_proc(msg, gather), name=f"mcast[{msg.handler}]"
         )
+
+    def _fanout_multicast(self, msg: MulticastMessage, from_node: int) -> None:
+        """Deliver to ALL targets: one aggregated wire send per node.
+
+        The ghost-exchange push shape (Holke et al.): the payload is
+        identical for every subscriber, so it travels once per destination
+        node — ``48 + 16 * |local targets| + payload`` bytes — instead of
+        once per target.  Each sub-message then takes the normal ``_arrive``
+        path on landing, so a target that migrated between the directory
+        read and the arrival is simply forwarded along the hint chain; no
+        collection, no pinning, no serialization through ``mcast_slot``.
+        """
+        src = max(from_node, 0)
+        by_dest: dict[int, list[Message]] = {}
+        for ptr in msg.targets:
+            sub = Message(
+                ptr, msg.handler, msg.args, dict(msg.kwargs),
+                source_node=msg.source_node,
+            )
+            dest = self.directory.lookup(
+                ptr.oid, src, default=ptr.last_known_node
+            )
+            by_dest.setdefault(dest, []).append(sub)
+        payload_nbytes = msg.payload_nbytes()
+        for dest, subs in sorted(by_dest.items()):
+            self.termination.add(len(subs))
+            if dest == from_node:
+                # Local fan-in: no wire transfer, deliver (or re-route on a
+                # stale hint) through the normal local path.
+                for sub in subs:
+                    self._enqueue_local(self.nodes[dest], sub)
+                continue
+            self.stats.node(src).multicast_sends += 1
+            nbytes = 48 + 16 * len(subs) + payload_nbytes
+            self.engine.process(
+                self._send_proc(
+                    src, dest, nbytes, ("batch", subs, [from_node])
+                ),
+                name=f"mcast-fanout[{msg.handler}]",
+            )
+        self.termination.done(1)  # the multicast envelope itself
 
     def _multicast_proc(self, msg: MulticastMessage, gather: int):
         nrt = self.nodes[gather]

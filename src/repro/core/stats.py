@@ -82,6 +82,10 @@ class NodeStats:
     spec_committed: int = 0
     spec_aborted: int = 0
     steals: int = 0
+    # Ghost-layer exchange (PR 10): aggregated fanout-multicast wire sends
+    # initiated by this node (one per destination node per push, however
+    # many subscribers it carried).
+    multicast_sends: int = 0
 
     def add_comp(self, seconds: float) -> None:
         self.comp_time += seconds
@@ -311,3 +315,7 @@ class RunStats:
     @property
     def steals(self) -> int:
         return sum(n.steals for n in self.nodes)
+
+    @property
+    def multicast_sends(self) -> int:
+        return sum(n.multicast_sends for n in self.nodes)

@@ -18,6 +18,7 @@ import numpy as np
 
 __all__ = [
     "orient2d_batch",
+    "incircle_batch",
     "circumcenter_batch",
     "circumradius_sq_batch",
     "shortest_edge_sq_batch",
@@ -26,6 +27,7 @@ __all__ = [
 
 _EPS = float(np.finfo(np.float64).eps) / 2
 _CCW_BOUND = (3.0 + 16.0 * _EPS) * _EPS
+_ICC_BOUND = (10.0 + 96.0 * _EPS) * _EPS
 
 
 def _as_points(arr) -> np.ndarray:
@@ -50,6 +52,41 @@ def orient2d_batch(a, b, c) -> tuple[np.ndarray, np.ndarray]:
     # Same-sign products are where cancellation can flip the sign.
     uncertain = np.abs(det) < _CCW_BOUND * detsum
     uncertain |= det == 0.0
+    return det, uncertain
+
+
+def incircle_batch(a, b, c, d) -> tuple[np.ndarray, np.ndarray]:
+    """Incircle determinants for n queries, plus an ``uncertain`` mask.
+
+    ``det[i] > 0`` means ``d[i]`` is strictly inside the circumcircle of
+    the counterclockwise triangle ``a[i] b[i] c[i]``.  Where ``uncertain``
+    is True the float filter (same A-stage bound as the scalar
+    :func:`repro.geometry.predicates.incircle`) cannot guarantee the sign
+    and the caller must re-check with ``incircle_exact``.
+    """
+    a, b, c, d = _as_points(a), _as_points(b), _as_points(c), _as_points(d)
+    adx, ady = a[:, 0] - d[:, 0], a[:, 1] - d[:, 1]
+    bdx, bdy = b[:, 0] - d[:, 0], b[:, 1] - d[:, 1]
+    cdx, cdy = c[:, 0] - d[:, 0], c[:, 1] - d[:, 1]
+
+    bdxcdy, cdxbdy = bdx * cdy, cdx * bdy
+    alift = adx * adx + ady * ady
+    cdxady, adxcdy = cdx * ady, adx * cdy
+    blift = bdx * bdx + bdy * bdy
+    adxbdy, bdxady = adx * bdy, bdx * ady
+    clift = cdx * cdx + cdy * cdy
+
+    det = (
+        alift * (bdxcdy - cdxbdy)
+        + blift * (cdxady - adxcdy)
+        + clift * (adxbdy - bdxady)
+    )
+    permanent = (
+        (np.abs(bdxcdy) + np.abs(cdxbdy)) * alift
+        + (np.abs(cdxady) + np.abs(adxcdy)) * blift
+        + (np.abs(adxbdy) + np.abs(bdxady)) * clift
+    )
+    uncertain = np.abs(det) <= _ICC_BOUND * permanent
     return det, uncertain
 
 

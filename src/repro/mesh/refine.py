@@ -43,6 +43,10 @@ __all__ = ["RefinementResult", "refine", "find_bad_triangles"]
 
 DEFAULT_QUALITY_BOUND = math.sqrt(2.0)
 
+# Full-mesh scans below this triangle count stay on the scalar path: numpy
+# dispatch overhead beats the loop for tiny meshes.
+_BATCH_MIN = 64
+
 
 @dataclass
 class RefinementResult:
@@ -112,7 +116,119 @@ def _triangle_badness(
         h = sizing(cc)
         if r_sq > h * h:
             return True
+        metric = getattr(sizing, "metric", None)
+        if metric is not None:
+            # Anisotropic test: an edge longer than edge_bound *in the
+            # metric* marks the triangle bad even when its circumradius
+            # clears the isotropic-equivalent cap.
+            bound = metric.edge_bound
+            if (
+                metric.edge_length(a, b) > bound
+                or metric.edge_length(b, c) > bound
+                or metric.edge_length(c, a) > bound
+            ):
+                return True
     return False
+
+
+def _bad_mask_batch(
+    pts_idx,
+    pts,
+    quality_sq: float,
+    sizing: Optional[SizingFunction],
+    min_length_sq: float,
+):
+    """Vectorized badness over n triangles; returns (bad, recheck) masks.
+
+    ``pts_idx`` is an (n, 3) vertex-index array into ``pts`` (m, 2).
+    Rows flagged ``recheck`` (circumcenter underflowed/degenerate in
+    float) must be settled by the exact scalar :func:`_triangle_badness`,
+    mirroring the filter/exact split of the scalar predicates.
+    """
+    import numpy as np
+
+    from repro.geometry.batch import (
+        circumcenter_batch,
+        shortest_edge_sq_batch,
+    )
+
+    a = pts[pts_idx[:, 0]]
+    b = pts[pts_idx[:, 1]]
+    c = pts[pts_idx[:, 2]]
+    short_sq = shortest_edge_sq_batch(a, b, c)
+    protected = short_sq <= min_length_sq
+    cc = circumcenter_batch(a, b, c)
+    with np.errstate(invalid="ignore"):
+        r_sq = (cc[:, 0] - a[:, 0]) ** 2 + (cc[:, 1] - a[:, 1]) ** 2
+    finite = np.isfinite(r_sq)
+    bad = np.zeros(len(pts_idx), dtype=bool)
+    with np.errstate(invalid="ignore"):
+        bad[finite] = r_sq[finite] > quality_sq * short_sq[finite]
+    if sizing is not None:
+        h = np.empty(len(pts_idx))
+        h.fill(np.inf)
+        rows = np.flatnonzero(finite)
+        if hasattr(sizing, "h_batch"):
+            h[rows] = sizing.h_batch(cc[rows])
+        else:
+            h[rows] = [sizing((x, y)) for x, y in cc[rows]]
+        bad |= finite & (r_sq > h * h)
+        metric = getattr(sizing, "metric", None)
+        if metric is not None:
+            bound = metric.edge_bound
+            longest = np.maximum(
+                np.maximum(
+                    metric.edge_length_batch(a, b),
+                    metric.edge_length_batch(b, c),
+                ),
+                metric.edge_length_batch(c, a),
+            )
+            bad |= longest > bound
+    bad &= ~protected
+    recheck = ~finite & ~protected
+    return bad, recheck
+
+
+def _scan_bad_triangles(
+    tri: Triangulation,
+    quality_sq: float,
+    sizing: Optional[SizingFunction],
+    min_length_sq: float,
+) -> list[tuple[int, tuple[int, int, int]]]:
+    """(tid, verts) of every alive non-super triangle violating the criteria.
+
+    The full-mesh scan is the hot loop of every sweep; above
+    :data:`_BATCH_MIN` triangles it runs through the numpy kernels of
+    :mod:`repro.geometry.batch` and only falls back to the scalar test for
+    rows the float filter cannot decide — the scalar and batch paths are
+    property-tested equal.
+    """
+    entries = [
+        (tid, verts)
+        for tid in tri.alive_triangles()
+        for verts in (tri.triangle_vertices(tid),)
+        if not any(tri.is_super_vertex(v) for v in verts)
+    ]
+    if len(entries) < _BATCH_MIN:
+        return [
+            e for e in entries
+            if _triangle_badness(tri, e[1], quality_sq, sizing, min_length_sq)
+        ]
+    import numpy as np
+
+    pts = np.asarray(tri.points, dtype=np.float64)
+    idx = np.asarray([verts for _, verts in entries], dtype=np.intp)
+    bad, recheck = _bad_mask_batch(idx, pts, quality_sq, sizing, min_length_sq)
+    out = []
+    for i, entry in enumerate(entries):
+        if bad[i] or (
+            recheck[i]
+            and _triangle_badness(
+                tri, entry[1], quality_sq, sizing, min_length_sq
+            )
+        ):
+            out.append(entry)
+    return out
 
 
 def find_bad_triangles(
@@ -126,8 +242,9 @@ def find_bad_triangles(
     min_length_sq = min_length * min_length
     return [
         verts
-        for verts in tri.triangles()
-        if _triangle_badness(tri, verts, quality_sq, sizing, min_length_sq)
+        for _, verts in _scan_bad_triangles(
+            tri, quality_sq, sizing, min_length_sq
+        )
     ]
 
 
@@ -171,12 +288,10 @@ def refine(
         for u, v in list(tri.constrained):
             if _segment_encroached_by_mesh(tri, u, v):
                 queue_segment(u, v)
-        for tid in tri.alive_triangles():
-            verts = tri.triangle_vertices(tid)
-            if any(tri.is_super_vertex(v) for v in verts):
-                continue
-            if _triangle_badness(tri, verts, quality_sq, sizing, min_length_sq):
-                queue_triangle(tid, verts)
+        for tid, verts in _scan_bad_triangles(
+            tri, quality_sq, sizing, min_length_sq
+        ):
+            queue_triangle(tid, verts)
 
     def after_insert(vid: int) -> None:
         """Re-examine the neighborhood of a fresh vertex."""

@@ -1,0 +1,205 @@
+"""The mobile 3D patch: prism cells, face-size exchange, balanced refine.
+
+:class:`Prism3DPatchObject` speaks exactly the protocol
+:class:`repro.pumg.updr.UPDRCoordinatorObject` drives (with eight colors
+for the 2x2x2-tiled grid):
+
+1. coordinator sends ``construct_buffer(leaf_ptr, n_buf)`` to the patch
+   and each face neighbor;
+2. neighbors reply ``add_to_buffer(from_id, face_min_size)`` — the
+   smallest cell extent they hold against the shared face (the whole
+   boundary context a balanced bisection refinement needs: 16 bytes
+   where the 2D codes ship full point strips);
+3. at zero the patch refines: longest-extent bisection until every cell
+   meets the sizing target *and* the 2:1 face balance against the
+   reported neighbor sizes;
+4. it reports ``update(patch_id, dirty_ids)`` — the neighbors whose
+   shared face just got finer cells and may now violate balance.
+
+This runs on the MRTS *unmodified* — the run-time system never learns
+the cells are 3D.  Locality keys are morton3 indices of the (i, j, k)
+grid cell, so spills of geometrically adjacent 3D patches share pack
+segments just like the 2D morton2 patches do.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.mobile import MobileObject
+from repro.core.packfile import morton3
+from repro.core.runtime import handler
+from repro.mesh3d.prism import (
+    Prism,
+    bisect_prism,
+    initial_prisms,
+    prism_size,
+    sizing3_from_spec,
+)
+
+__all__ = ["Prism3DPatchObject", "BALANCE_RATIO"]
+
+# 2:1 balance: a cell may be at most twice the extent of the finest
+# neighbor cell across a shared face.
+BALANCE_RATIO = 2.0
+
+# Geometric tolerance for "touches the shared face" tests.
+_EPS = 1e-9
+
+
+def _cell_bbox(p: Prism) -> tuple:
+    xs = (p.a[0], p.b[0], p.c[0])
+    ys = (p.a[1], p.b[1], p.c[1])
+    return (min(xs), min(ys), p.z0, max(xs), max(ys), p.z1)
+
+
+def _boxes_touch(b1: tuple, b2: tuple) -> bool:
+    return all(
+        b1[axis] <= b2[axis + 3] + _EPS and b2[axis] <= b1[axis + 3] + _EPS
+        for axis in range(3)
+    )
+
+
+class Prism3DPatchObject(MobileObject):
+    """One 3D patch: a box of extruded-prism cells under bisection."""
+
+    def __init__(
+        self,
+        pointer,
+        patch_id: int,
+        box3: tuple,
+        grid_ijk: tuple,
+        neighbor_ids: list[int],
+        sizing3_spec: tuple,
+        min_size: float = 1e-3,
+    ) -> None:
+        super().__init__(pointer)
+        self.patch_id = patch_id
+        self.box3 = tuple(box3)
+        self.grid_ijk = tuple(grid_ijk)
+        self.neighbor_ids = list(neighbor_ids)
+        self.sizing3_spec = sizing3_spec
+        self.min_size = float(min_size)
+        self.cells: list[Prism] = initial_prisms(self.box3)
+        # Wiring (installed by the driver through `wire`).
+        self.coordinator = None
+        self.neighbor_ptrs: dict[int, object] = {}
+        self.neighbor_boxes: dict[int, tuple] = {}
+        # Transient per-refinement state.
+        self._pending = 0
+        self._face_sizes: dict[int, float] = {}
+        self.refinements = 0
+        self.splits = 0
+
+    def locality_key(self) -> Optional[int]:
+        """Morton3 index of the patch's (i, j, k) grid cell."""
+        return morton3(*self.grid_ijk)
+
+    # -------------------------------------------------------------- wiring
+    @handler
+    def wire(self, ctx, coordinator, neighbors) -> None:
+        """``neighbors`` maps patch id -> (pointer, 3D box)."""
+        self.coordinator = coordinator
+        self.neighbor_ptrs = {
+            rid: ptr for rid, (ptr, _box) in neighbors.items()
+        }
+        self.neighbor_boxes = {
+            rid: tuple(box) for rid, (_ptr, box) in neighbors.items()
+        }
+
+    # ------------------------------------------------------- face queries
+    def face_min_size(self, rid: int) -> float:
+        """Smallest extent among our cells touching neighbor ``rid``."""
+        box = self.neighbor_boxes.get(rid)
+        if box is None:
+            return math.inf
+        best = math.inf
+        for cell in self.cells:
+            if _boxes_touch(_cell_bbox(cell), box):
+                best = min(best, prism_size(cell))
+        return best
+
+    def _rid_of(self, leaf_ptr) -> Optional[int]:
+        for rid, ptr in self.neighbor_ptrs.items():
+            if ptr.oid == leaf_ptr.oid:
+                return rid
+        return None
+
+    # ------------------------------------------------------- the protocol
+    @handler
+    def construct_buffer(self, ctx, leaf_ptr, n_buf: int) -> None:
+        if leaf_ptr.oid == self.oid:
+            self._pending = n_buf
+            self._face_sizes = {}
+            if self._pending == 0:
+                self._refine(ctx)
+        else:
+            # We are a face neighbor: report the finest cell we hold
+            # against the shared face (the leaf balances against it).
+            rid = self._rid_of(leaf_ptr)
+            size = self.face_min_size(rid) if rid is not None else math.inf
+            if not ctx.call_direct(
+                leaf_ptr, "add_to_buffer", self.patch_id, size
+            ):
+                ctx.post(leaf_ptr, "add_to_buffer", self.patch_id, size)
+
+    @handler
+    def add_to_buffer(self, ctx, from_id: int, face_min_size: float) -> None:
+        self._face_sizes[from_id] = face_min_size
+        self._pending -= 1
+        if self._pending == 0:
+            self._refine(ctx)
+
+    def _needs_split(self, cell: Prism, sizing, cell_box) -> bool:
+        size = prism_size(cell)
+        if size <= self.min_size:
+            return False
+        centroid = (
+            (cell.a[0] + cell.b[0] + cell.c[0]) / 3.0,
+            (cell.a[1] + cell.b[1] + cell.c[1]) / 3.0,
+            (cell.z0 + cell.z1) / 2.0,
+        )
+        if size > sizing(centroid):
+            return True
+        for rid, nsize in self._face_sizes.items():
+            if nsize == math.inf:
+                continue
+            if size > BALANCE_RATIO * nsize and _boxes_touch(
+                cell_box, self.neighbor_boxes[rid]
+            ):
+                return True
+        return False
+
+    def _refine(self, ctx) -> None:
+        """Bisect until sizing and 2:1 face balance hold; report dirt."""
+        sizing = sizing3_from_spec(self.sizing3_spec)
+        before = {rid: self.face_min_size(rid) for rid in self.neighbor_ids}
+        changed = True
+        while changed:
+            changed = False
+            out: list[Prism] = []
+            for cell in self.cells:
+                if self._needs_split(cell, sizing, _cell_bbox(cell)):
+                    out.extend(bisect_prism(cell))
+                    self.splits += 1
+                    changed = True
+                else:
+                    out.append(cell)
+            self.cells = out
+        self.refinements += 1
+        self.mark_dirty()
+        # A neighbor is dirty when our shared face got finer: its cells
+        # may now violate 2:1 against ours.
+        dirty = [
+            rid
+            for rid in self.neighbor_ids
+            if self.face_min_size(rid) < before[rid] - _EPS
+        ]
+        ctx.post(self.coordinator, "update", self.patch_id, sorted(dirty))
+
+    def nbytes(self) -> int:
+        # A prism in a production 3D mesher carries six vertex refs plus
+        # face adjacency (~0.5 KB with element records); report that so
+        # the out-of-core layer sees realistic 3D pressure.
+        return 512 * max(len(self.cells), 2) + 1024

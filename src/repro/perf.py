@@ -34,6 +34,17 @@ measure:
   ``repro.serve`` socket server.  Per-job virtual makespans and spill
   bytes are deterministic and regression-gated; wall jobs/sec and p99
   latency carry loose floor/ceiling smoke gates (real threads jitter).
+* **ghost_exchange_storm** — a ghost-mode UPDR run (PR 10) on a starved
+  cluster: owners push versioned boundary strips over batched fanout
+  multicast instead of the pull-style buffer collection.  The gated
+  ``multicast_sends`` (control-layer wire sends) and ``ghost_bytes``
+  (strip payload pushed) columns watch the aggregation contract: one
+  send per subscribing node, payload charged once.
+* **mesh3d_storm** — the anisotropic 3D workload (PR 10): layered-sizing
+  prism refinement where bottom-layer patches hold an order of magnitude
+  more cells than top ones, on a memory budget that forces the skewed
+  patches through the spill path.  Proves the out-of-core machinery
+  absorbs a strongly non-uniform 3D working set on unchanged gates.
 
 ``run_perf_suite`` returns (and ``mrts-bench perf`` writes) a JSON report:
 wall-clock seconds, virtual makespan, bytes moved, eviction counts and the
@@ -70,6 +81,8 @@ __all__ = [
     "NeighborhoodPatchActor",
     "run_dist_storm",
     "run_service_storm",
+    "run_ghost_exchange_storm",
+    "run_mesh3d_storm",
     "run_perf_suite",
     "check_against_baseline",
 ]
@@ -83,7 +96,8 @@ BENCH_FILENAME = "BENCH_ooc.json"
 # deterministic for the same reason per-job makespans are: each job runs
 # its own virtual schedule, untouched by thread interleaving.
 _GATED_METRICS = ("bytes_stored", "bytes_loaded", "virtual_makespan_s",
-                  "packs", "p99_latency_virtual_s", "barrier_idle_s")
+                  "packs", "p99_latency_virtual_s", "barrier_idle_s",
+                  "multicast_sends", "ghost_bytes")
 _GATE_TOLERANCE = 0.10
 
 # Wall-clock throughput/latency smoke gates for service_storm.  Real
@@ -166,6 +180,9 @@ class PatchStreamActor(MobileObject):
 class _WorkloadResult:
     wall_s: float
     runtime: MRTS
+    # Workload-specific extra columns merged over the generic metrics
+    # (e.g. the ghost-exchange push counters).
+    extra: Optional[dict] = None
 
     def metrics(self) -> dict:
         rt = self.runtime
@@ -227,6 +244,7 @@ class _WorkloadResult:
                 / max(sum(n.spec_issued for n in stats.nodes), 1), 4
             ),
             "steals": sum(n.steals for n in stats.nodes),
+            **(self.extra or {}),
         }
 
 
@@ -732,6 +750,101 @@ def run_service_storm(
     }
 
 
+def run_ghost_exchange_storm(
+    seed: int = 0,
+    h: float = 0.05,
+    nx: int = 3,
+    ny: int = 3,
+    n_nodes: int = 2,
+    memory_bytes: int = 64 * 1024,
+    scale: float = 1.0,
+    on_runtime: Optional[Callable[[MRTS], None]] = None,
+) -> _WorkloadResult:
+    """Ghost-mode UPDR on a starved cluster (push-style boundary sync).
+
+    Every region owns versioned boundary strips and pushes them to all
+    face neighbors over a single fanout multicast per mutation; the color
+    barrier additionally waits for the pushes to be acked.  The gated
+    ``multicast_sends`` column counts control-layer wire sends — the
+    aggregation contract says one per subscribing *node*, not per
+    subscriber — and ``ghost_bytes`` is the strip payload volume, charged
+    once per destination node regardless of how many local subscribers
+    share it.  The memory budget holds roughly a third of the regions, so
+    ghost installs land on spilled subscribers and push traffic interleaves
+    with the spill path.
+    """
+    from repro.geometry import unit_square
+    from repro.pumg.driver import run_updr
+
+    h = h / max(scale, 1e-9) ** 0.5
+    cluster = ClusterSpec(
+        n_nodes=n_nodes,
+        node=NodeSpec(cores=1, memory_bytes=memory_bytes),
+    )
+    wall0 = time.perf_counter()
+    result = run_updr(
+        unit_square(), h=h, nx=nx, ny=ny, cluster=cluster,
+        cost_model=_fixed_cost_model(1e-4), ghost_sync=True,
+        validate=False, on_runtime=on_runtime,
+    )
+    wall = time.perf_counter() - wall0
+    extra = {
+        key: result.extras[key]
+        for key in ("ghost_pushes", "ghost_bytes", "ghost_installs",
+                    "ghost_acks", "multicast_sends")
+    }
+    extra["n_points"] = result.n_points
+    return _WorkloadResult(wall_s=wall, runtime=result.runtime, extra=extra)
+
+
+def run_mesh3d_storm(
+    seed: int = 0,
+    h_bottom: float = 0.05,
+    h_top: float = 0.5,
+    nx: int = 2,
+    ny: int = 2,
+    nz: int = 2,
+    n_nodes: int = 2,
+    memory_bytes: int = 512 * 1024,
+    scale: float = 1.0,
+    on_runtime: Optional[Callable[[MRTS], None]] = None,
+) -> _WorkloadResult:
+    """Anisotropic 3D prism refinement under spill pressure.
+
+    The layered sizing grades from ``h_bottom`` at z=0 to ``h_top`` at
+    z=1, so the four bottom-layer patches refine ~10x harder than the top
+    ones — the strongly skewed per-patch working set of a boundary-layer
+    3D mesh.  The MRTS runs the 3D patches unmodified; the memory budget
+    is sized so the bottom-layer patches cannot all stay resident, forcing
+    the skew through eviction, pack (morton3 locality keys) and reload.
+    The ``cells_skew`` column (max/min cells per patch) documents the
+    imbalance the gates absorb.
+    """
+    from repro.mesh3d.driver import run_mesh3d
+
+    h_bottom = h_bottom / max(scale, 1e-9) ** 0.5
+    cluster = ClusterSpec(
+        n_nodes=n_nodes,
+        node=NodeSpec(cores=1, memory_bytes=memory_bytes),
+    )
+    wall0 = time.perf_counter()
+    result = run_mesh3d(
+        ("layered", h_bottom, h_top), nx=nx, ny=ny, nz=nz,
+        cluster=cluster, cost_model=_fixed_cost_model(1e-4),
+        on_runtime=on_runtime,
+    )
+    wall = time.perf_counter() - wall0
+    extra = {
+        "n_cells": result.n_cells,
+        "splits": result.extras["splits"],
+        "cells_skew": round(
+            result.extras["cells_per_patch_max"]
+            / max(result.extras["cells_per_patch_min"], 1), 2
+        ),
+    }
+    return _WorkloadResult(wall_s=wall, runtime=result.runtime, extra=extra)
+
+
 def run_perf_suite(seed: int = 0, scale: float = 1.0) -> dict:
     """Run all workloads; returns the BENCH_ooc.json document."""
     storm = run_clean_read_storm(seed=seed, scale=scale)
@@ -740,8 +853,10 @@ def run_perf_suite(seed: int = 0, scale: float = 1.0) -> dict:
     patches = run_mesh_patch_stream(seed=seed, scale=scale)
     sweep = run_mesh_neighborhood_sweep(seed=seed, scale=scale)
     service = run_service_storm(seed=seed, scale=scale)
+    ghosts = run_ghost_exchange_storm(seed=seed, scale=scale)
+    mesh3d = run_mesh3d_storm(seed=seed, scale=scale)
     return {
-        "version": 5,
+        "version": 6,
         "seed": seed,
         "scale": scale,
         "workloads": {
@@ -751,6 +866,8 @@ def run_perf_suite(seed: int = 0, scale: float = 1.0) -> dict:
             "mesh_patch_stream": patches.metrics(),
             "mesh_neighborhood_sweep": sweep.metrics(),
             "service_storm": service,
+            "ghost_exchange_storm": ghosts.metrics(),
+            "mesh3d_storm": mesh3d.metrics(),
         },
     }
 
@@ -850,6 +967,20 @@ def render_report(report: dict) -> str:
                 f"hit_rate={metrics['prefetch_hit_rate']:.2f} "
                 f"pack segs={metrics['pack_segments']} "
                 f"compactions={metrics['pack_compactions']}"
+            )
+        if "ghost_bytes" in metrics:
+            lines.append(
+                f"  {'':<18} ghost pushes={metrics['ghost_pushes']} "
+                f"bytes={metrics['ghost_bytes']} "
+                f"installs={metrics['ghost_installs']} "
+                f"acks={metrics['ghost_acks']} "
+                f"multicast_sends={metrics['multicast_sends']}"
+            )
+        if "cells_skew" in metrics:
+            lines.append(
+                f"  {'':<18} cells={metrics['n_cells']} "
+                f"splits={metrics['splits']} "
+                f"skew={metrics['cells_skew']}x"
             )
         if metrics.get("spec_issued"):
             lines.append(

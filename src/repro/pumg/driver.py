@@ -181,12 +181,20 @@ def run_updr(
     cost_model: Optional[CostModel] = None,
     coarse_factor: float = 2.0,
     validate: bool = True,
+    ghost_sync: bool = False,
+    on_runtime: Optional[Callable[[MRTS], None]] = None,
 ) -> PUMGResult:
     """Uniform PDR over an nx x ny block grid with color-phase barriers.
 
     ``coarse_factor`` keeps the initial mesh fine enough that no triangle
     spans beyond a block's buffer (strict ownership requires the patch to
     contain every triangle whose circumcenter the block owns).
+
+    ``ghost_sync`` replaces the pull-style buffer collection with the
+    ghost-layer exchange of :mod:`repro.pumg.ghost`: regions refine
+    against locally held ghost copies, owners push fresh boundary strips
+    via fanout multicast, and the color barrier additionally waits for
+    every push to be acked.
     """
     sizing_spec = ("uniform", h)
     bbox = pslg.bounding_box()
@@ -194,6 +202,10 @@ def run_updr(
     points, boundary = _coarse_shards(pslg, sizing_spec, coarse_factor)
 
     rt = _build_runtime(cluster, config, storage_factory, cost_model)
+    if on_runtime is not None:
+        # Observer hook (perf/trace tooling): called before any objects
+        # exist so event-bus subscribers see the whole run.
+        on_runtime(rt)
     n_nodes = len(rt.nodes)
 
     def owner_block(p) -> int:
@@ -225,6 +237,7 @@ def run_updr(
             b.block_id: (region_ptrs[b.block_id], b.neighbors, b.color)
             for b in blocks
         },
+        ghost_sync=ghost_sync,
         node=0,
     )
     rt.nodes[0].ooc.lock(coordinator.oid)
@@ -242,11 +255,18 @@ def run_updr(
             for n in b.neighbors
         }
         rt.post(
-            region_ptrs[b.block_id], "wire", coordinator, registry, neighbors, pslg
+            region_ptrs[b.block_id], "wire", coordinator, registry, neighbors,
+            pslg, ghost_sync=ghost_sync,
         )
     # Quiesce the wiring phase before the parallel phase: direct-call
     # chains must never observe an unwired region.
     rt.run()
+    if ghost_sync:
+        # Seed the ghost tables: every region publishes its boundary
+        # strips once before any refinement reads them.
+        for b in blocks:
+            rt.post(region_ptrs[b.block_id], "ghost_seed")
+        rt.run()
     # Sweep to convergence: the coordinator re-scans all blocks until a
     # whole sweep inserts nothing (the dirty-margin propagation is a
     # heuristic; the paper's master likewise re-checks for poor triangles).
@@ -270,6 +290,20 @@ def run_updr(
             pslg, all_points, final_boundary, sizing_spec
         )
     coord_obj = rt.get_object(coordinator)
+    extras = {
+        "phases": coord_obj.phases,
+        "launches": coord_obj.launches,
+        "fixup_points": fixup,
+    }
+    if ghost_sync:
+        region_objs = [rt.get_object(region_ptrs[b.block_id]) for b in blocks]
+        extras.update(
+            ghost_pushes=sum(o.ghost_pushes for o in region_objs),
+            ghost_bytes=sum(o.ghost_bytes_pushed for o in region_objs),
+            ghost_installs=sum(o.ghosts.installs for o in region_objs),
+            ghost_acks=coord_obj.ghost_acks,
+            multicast_sends=stats.multicast_sends,
+        )
     return PUMGResult(
         method="updr",
         stats=stats,
@@ -278,11 +312,7 @@ def run_updr(
         runtime=rt,
         final_mesh=mesh,
         quality=quality,
-        extras={
-            "phases": coord_obj.phases,
-            "launches": coord_obj.launches,
-            "fixup_points": fixup,
-        },
+        extras=extras,
     )
 
 
@@ -370,9 +400,15 @@ def run_nupdr(
             pslg,
             options.multicast,
             True,  # insert_in_buffer: NUPDR returns buffer points (recreate)
+            options.ghost_sync,
         )
     # Quiesce the wiring phase first (see run_updr).
     rt.run()
+    if options.ghost_sync:
+        # Publish every leaf's boundary strips before refinement reads them.
+        for leaf in leaves:
+            rt.post(region_ptrs[leaf.leaf_id], "ghost_seed")
+        rt.run()
     stats = _sweep_until_converged(
         rt, queue, [leaf.leaf_id for leaf in leaves],
         lambda: sum(
@@ -392,6 +428,23 @@ def run_nupdr(
             pslg, all_points, final_boundary, sizing_spec
         )
     queue_obj = rt.get_object(queue)
+    extras = {
+        "n_leaves": len(leaves),
+        "dispatches": queue_obj.dispatches,
+        "updates": queue_obj.updates,
+        "fixup_points": fixup,
+    }
+    if options.ghost_sync:
+        region_objs = [
+            rt.get_object(region_ptrs[leaf.leaf_id]) for leaf in leaves
+        ]
+        extras.update(
+            ghost_pushes=sum(o.ghost_pushes for o in region_objs),
+            ghost_bytes=sum(o.ghost_bytes_pushed for o in region_objs),
+            ghost_installs=sum(o.ghosts.installs for o in region_objs),
+            ghost_acks=queue_obj.ghost_acks,
+            multicast_sends=stats.multicast_sends,
+        )
     return PUMGResult(
         method="nupdr",
         stats=stats,
@@ -400,12 +453,7 @@ def run_nupdr(
         runtime=rt,
         final_mesh=mesh,
         quality=quality,
-        extras={
-            "n_leaves": len(leaves),
-            "dispatches": queue_obj.dispatches,
-            "updates": queue_obj.updates,
-            "fixup_points": fixup,
-        },
+        extras=extras,
     )
 
 
@@ -420,8 +468,14 @@ def run_pcdm(
     cost_model: Optional[CostModel] = None,
     coarse_size: Optional[float] = None,
     validate: bool = True,
+    ghost_sync: bool = False,
 ) -> PUMGResult:
-    """Constrained-Delaunay domain decomposition with async split messages."""
+    """Constrained-Delaunay domain decomposition with async split messages.
+
+    ``ghost_sync`` batches all of a pass's interface splits into one
+    version-stamped fanout multicast per subdomain instead of per-neighbor
+    point-to-point posts (see :mod:`repro.pumg.ghost`).
+    """
     sizing_spec = ("uniform", h)
     partition = partition_coarse_mesh(pslg, n_parts, coarse_size=coarse_size)
 
@@ -436,6 +490,7 @@ def run_pcdm(
             partition.sub_pslgs[p],
             partition.part_seeds[p],
             sizing_spec,
+            ghost_sync=ghost_sync,
             node=p % n_nodes,
         )
     # Per-part interface edge lists and the neighbor pointer maps.
@@ -479,6 +534,9 @@ def run_pcdm(
             "min_angle_deg": quality,
             "splits_sent": sum(o.splits_sent for o in objs),
             "splits_received": sum(o.splits_received for o in objs),
+            "ghost_batches": sum(o.ghost_batches for o in objs),
+            "ghost_bytes": sum(o.ghost_bytes_pushed for o in objs),
+            "multicast_sends": stats.multicast_sends,
             "subdomain_objects": objs,
         },
     )

@@ -1,0 +1,123 @@
+"""Explicit ghost-layer exchange: owner→ghost push with versioned validity.
+
+The classic PUMG buffer protocol *pulls*: every refinement round-trips
+``construct_buffer`` / ``add_to_buffer`` messages to gather neighbor
+points.  Holke et al.'s *Optimized Parallel Ghost Layer* (PAPERS.md)
+inverts the flow — each patch keeps **ghost copies** of its neighbors'
+boundary strips, and an owner that changes *pushes* its fresh strip to
+every subscriber in one aggregated send.  Refinement then reads the ghost
+table locally: zero messages on the critical path, and the exchange
+becomes the bursty, bandwidth-bound pattern the paper's multicast mobile
+message (§III) was built for.
+
+The pieces:
+
+* :func:`boundary_strips` — per-neighbor aggregation: the owner's points
+  that fall within a sizing-scaled margin of each neighbor's box (the
+  only points a neighbor's refinement can see across the border);
+* :class:`GhostTable` — the subscriber side: version-stamped copies, a
+  stale push (version <= installed) is dropped, so redelivery after a
+  crash/restart is idempotent;
+* the transport is the runtime's **fanout multicast**
+  (``ctx.post_multicast(..., mode="fanout")``): one control-layer send
+  per destination node carries the strip dict once, however many
+  subscribing patches live there.
+
+Freshness contract (checked by ``repro.testing.invariants.check_ghosts``):
+at every phase boundary — after the coordinator's ack barrier, or at
+quiescence — every ghost copy equals the strip the owner would compute
+from its current points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.geometry.predicates import Point
+
+__all__ = ["GhostCopy", "GhostTable", "boundary_strips", "strip_nbytes"]
+
+# Strip margin in multiples of the local element size: wider than the
+# dirty-propagation margin (2h) so the ghost context covers every point a
+# neighbor's cavity can reach.
+STRIP_MARGIN_FACTOR = 4.0
+
+
+@dataclass
+class GhostCopy:
+    """One neighbor's boundary strip as last pushed by its owner."""
+
+    version: int = -1
+    points: list = field(default_factory=list)
+
+
+class GhostTable:
+    """Version-stamped ghost copies, keyed by owner region id.
+
+    Installs are monotonic: a push with a version at or below the
+    installed one is ignored, which makes redelivered pushes (message
+    replay after recovery, racing fanouts) idempotent.
+    """
+
+    def __init__(self) -> None:
+        self.copies: dict[int, GhostCopy] = {}
+        self.installs = 0
+        self.stale_drops = 0
+
+    def install(self, owner: int, version: int, points: list) -> bool:
+        """Adopt ``points`` as owner's strip if ``version`` is newer."""
+        copy = self.copies.get(owner)
+        if copy is not None and version <= copy.version:
+            self.stale_drops += 1
+            return False
+        self.copies[owner] = GhostCopy(version, list(points))
+        self.installs += 1
+        return True
+
+    def points_of(self, owners: Iterable[int]) -> list:
+        """Concatenated ghost points of ``owners`` (missing ids skipped)."""
+        out: list = []
+        for owner in owners:
+            copy = self.copies.get(owner)
+            if copy is not None:
+                out.extend(copy.points)
+        return out
+
+    def version_of(self, owner: int) -> int:
+        copy = self.copies.get(owner)
+        return copy.version if copy is not None else -1
+
+
+def boundary_strips(
+    points: Iterable[Point],
+    neighbor_boxes: dict[int, tuple],
+    sizing: Optional[Callable[[Point], float]] = None,
+    margin: float = 0.0,
+) -> dict[int, list[Point]]:
+    """Per-neighbor aggregation of the owner's boundary points.
+
+    A point belongs to neighbor ``rid``'s strip when it lies within the
+    strip margin of that neighbor's box — ``STRIP_MARGIN_FACTOR`` times
+    the local element size (or the fixed ``margin`` when no sizing is
+    given).  Every neighbor gets an entry, possibly empty: the push must
+    overwrite a strip that *lost* all its points, or the subscriber would
+    refine against stale ghosts forever.
+    """
+    strips: dict[int, list[Point]] = {rid: [] for rid in neighbor_boxes}
+    items = list(neighbor_boxes.items())
+    for p in points:
+        m = STRIP_MARGIN_FACTOR * sizing(p) if sizing is not None else margin
+        for rid, box in items:
+            if (
+                box[0] - m <= p[0] <= box[2] + m
+                and box[1] - m <= p[1] <= box[3] + m
+            ):
+                strips[rid].append(p)
+    return strips
+
+
+def strip_nbytes(strips: dict[int, list[Point]]) -> int:
+    """Modeled wire size of one push payload: 16 B per coordinate pair
+    plus a small per-neighbor header."""
+    return sum(16 * len(pts) + 24 for pts in strips.values())

@@ -18,7 +18,11 @@ The §III optimizations are individually toggleable (and ablated in
 * ``priorities``      — raise the OOC priority of a leaf (and, in
   decreasing steps, its buffer) while its refinement is in flight;
 * ``multicast``       — use the experimental multicast mobile message to
-  collect leaf+BUF on one node and read buffers directly (§III Findings).
+  collect leaf+BUF on one node and read buffers directly (§III Findings);
+* ``ghost_sync``      — replace buffer collection with the ghost-layer
+  exchange of :mod:`repro.pumg.ghost`: the leaf refines against its local
+  ghost table (zero collection messages), and the queue holds leaf+BUF
+  busy until every subscriber has acked the post-refinement ghost push.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ class ONUPDROptions:
     reorder_queue: bool = True
     priorities: bool = True
     multicast: bool = False
+    ghost_sync: bool = False
     max_concurrent: int = 4
 
 
@@ -63,6 +68,12 @@ class RefinementQueueObject(MobileObject):
         self.in_progress = 0
         self.dispatches = 0
         self.updates = 0
+        # ghost_sync bookkeeping: leaf id -> outstanding subscriber acks,
+        # plus the set of leaves whose `update` arrived but whose acks
+        # have not all drained (release is deferred until both).
+        self.ghost_pending: dict[int, int] = {}
+        self.ghost_done_updates: set[int] = set()
+        self.ghost_acks = 0
 
     # -- helpers ------------------------------------------------------------
     def _buffer_of(self, leaf_id: int) -> list[int]:
@@ -120,7 +131,18 @@ class RefinementQueueObject(MobileObject):
                     ctx.set_priority(ptr, 50.0 - rank_pos)
             if self.options.reorder_queue:
                 ctx.boost_schedule(leaf_ptr, 10.0)
-            if self.options.multicast:
+            if self.options.ghost_sync:
+                # Ghost mode: only the leaf acts, reading its local ghost
+                # table; leaf+BUF stay busy until the post-refinement push
+                # is acked by every subscriber (see `ghost_ack`).
+                self.ghost_pending[leaf_id] = len(buf_ptrs)
+                sent = False
+                if self.options.direct_calls:
+                    sent = ctx.call_direct(leaf_ptr, "construct_buffer",
+                                           leaf_ptr, 0)
+                if not sent:
+                    ctx.post(leaf_ptr, "construct_buffer", leaf_ptr, 0)
+            elif self.options.multicast:
                 # Collect leaf + buffer on one node; deliver only to the
                 # leaf, which reads buffers via ctx.peek.
                 ctx.post_multicast(
@@ -145,10 +167,8 @@ class RefinementQueueObject(MobileObject):
             self._enqueue(leaf_id)
         self._dispatch(ctx)
 
-    @handler
-    def update(self, ctx, leaf_id: int, dirty_ids) -> None:
-        """A leaf finished refining; new dirty leaves may have appeared."""
-        self.updates += 1
+    def _release(self, ctx, leaf_id: int) -> None:
+        """Free leaf+BUF and reopen the slot (the end of a refinement)."""
         self.in_progress -= 1
         self.busy.discard(leaf_id)
         for b in self._buffer_of(leaf_id):
@@ -157,9 +177,33 @@ class RefinementQueueObject(MobileObject):
             ctx.set_priority(self.leaves[leaf_id][0], 0.0)
             for b in self._buffer_of(leaf_id):
                 ctx.set_priority(self.leaves[b][0], 0.0)
+
+    @handler
+    def update(self, ctx, leaf_id: int, dirty_ids) -> None:
+        """A leaf finished refining; new dirty leaves may have appeared."""
+        self.updates += 1
         for d in dirty_ids:
             self._enqueue(d)
+        if self.options.ghost_sync and self.ghost_pending.get(leaf_id, 0):
+            # The ghost push launched by this refinement is still in
+            # flight; hold leaf+BUF until the subscriber acks drain.
+            self.ghost_done_updates.add(leaf_id)
+        else:
+            self.ghost_pending.pop(leaf_id, None)
+            self._release(ctx, leaf_id)
         self._dispatch(ctx)
+
+    @handler
+    def ghost_ack(self, ctx, owner_rid: int, subscriber_rid: int) -> None:
+        """A subscriber installed ``owner_rid``'s pushed ghost strip."""
+        self.ghost_acks += 1
+        left = self.ghost_pending.get(owner_rid, 0) - 1
+        self.ghost_pending[owner_rid] = left
+        if left <= 0 and owner_rid in self.ghost_done_updates:
+            self.ghost_done_updates.discard(owner_rid)
+            del self.ghost_pending[owner_rid]
+            self._release(ctx, owner_rid)
+            self._dispatch(ctx)
 
     @property
     def idle(self) -> bool:

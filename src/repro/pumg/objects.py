@@ -21,6 +21,7 @@ from repro.core.runtime import handler
 from repro.geometry.predicates import Point, dist_sq
 from repro.geometry.pslg import PSLG, BoundingBox
 from repro.mesh.sizing import sizing_from_spec
+from repro.pumg.ghost import GhostTable, boundary_strips, strip_nbytes
 from repro.pumg.patch import patch_refine
 
 __all__ = ["RegionObject", "BoundaryRegistry", "edge_canon"]
@@ -126,6 +127,14 @@ class RegionObject(MobileObject):
         self.domain: Optional[PSLG] = None
         self.use_peek_buffers = False
         self.insert_in_buffer = False
+        # Ghost-layer exchange (optional boundary-sync mode, see
+        # repro.pumg.ghost): ghost copies of neighbor boundary strips,
+        # owner-side push versioning, and push accounting.
+        self.ghost_sync = False
+        self.ghosts = GhostTable()
+        self.ghost_version = 0
+        self.ghost_pushes = 0
+        self.ghost_bytes_pushed = 0
         # Transient per-refinement state.
         self._pending = 0
         self._buffer_pts: list[Point] = []
@@ -147,7 +156,8 @@ class RegionObject(MobileObject):
     # ----------------------------------------------------------------- wiring
     @handler
     def wire(self, ctx, coordinator, registry, neighbors, domain,
-             use_peek_buffers=False, insert_in_buffer=False) -> None:
+             use_peek_buffers=False, insert_in_buffer=False,
+             ghost_sync=False) -> None:
         """Install wiring: ``neighbors`` maps region id -> (pointer, box).
 
         ``insert_in_buffer`` enables the NUPDR flow: the refining leaf may
@@ -155,6 +165,12 @@ class RegionObject(MobileObject):
         points to their owners (the paper's ``recreate`` messages).  UPDR
         keeps strict per-block ownership (its color schedule only
         guarantees disjoint *owner* regions between concurrent blocks).
+
+        ``ghost_sync`` switches boundary context from the pull protocol to
+        ghost copies: ``construct_buffer`` reads the local ghost table and
+        never messages buffer members; after refining, the region pushes
+        its fresh boundary strips to all neighbors with one fanout
+        multicast (see :mod:`repro.pumg.ghost`).
         """
         self.coordinator = coordinator
         self.registry = registry
@@ -163,6 +179,62 @@ class RegionObject(MobileObject):
         self.domain = domain
         self.use_peek_buffers = use_peek_buffers
         self.insert_in_buffer = insert_in_buffer
+        self.ghost_sync = ghost_sync
+
+    # ------------------------------------------------------- ghost exchange
+    def ghost_strips(self) -> dict[int, list[Point]]:
+        """Per-neighbor boundary strips of this region's current points."""
+        return boundary_strips(
+            self.points,
+            self.neighbor_boxes,
+            sizing=sizing_from_spec(self.sizing_spec),
+        )
+
+    def _push_ghosts(self, ctx, want_ack: bool) -> None:
+        """Push fresh strips to every neighbor in one fanout multicast.
+
+        The payload (the full strip dict, version-stamped) is identical
+        for every subscriber, so the control layer ships it **once per
+        destination node**; each receiver installs only its own slice.
+        ``want_ack`` marks pushes on the refinement path — receivers ack
+        those to the coordinator, which is how the color/busy barrier
+        knows every ghost is fresh before dependent work launches.
+        """
+        if not self.neighbor_ptrs:
+            return
+        self.ghost_version += 1
+        strips = self.ghost_strips()
+        targets = [self.neighbor_ptrs[rid] for rid in sorted(self.neighbor_ptrs)]
+        ctx.post_multicast(
+            targets, "ghost_push", 1,
+            self.region_id, self.ghost_version, strips, want_ack,
+            mode="fanout",
+        )
+        self.ghost_pushes += 1
+        self.ghost_bytes_pushed += strip_nbytes(strips)
+        self.mark_dirty()
+
+    @handler
+    def ghost_seed(self, ctx) -> None:
+        """Initial exchange: publish strips before the first refinement."""
+        self._push_ghosts(ctx, want_ack=False)
+
+    @handler
+    def ghost_push(self, ctx, owner_rid: int, version: int, strips,
+                   want_ack: bool) -> None:
+        """An owner pushed fresh strips; install our slice, ack if asked.
+
+        The ack flows to the *coordinator* (not the owner): the barrier
+        advancing colors/busy-sets is what must not release dependent
+        refinements until every subscriber of the pushed strip is fresh.
+        """
+        self.ghosts.install(owner_rid, version, strips.get(self.region_id, []))
+        self.mark_dirty()
+        if want_ack and self.coordinator is not None:
+            if not ctx.call_direct(
+                self.coordinator, "ghost_ack", owner_rid, self.region_id
+            ):
+                ctx.post(self.coordinator, "ghost_ack", owner_rid, self.region_id)
 
     # ------------------------------------------------------------ the protocol
     @handler
@@ -170,7 +242,12 @@ class RegionObject(MobileObject):
         if leaf_ptr.oid == self.oid:
             self._pending = n_buf
             self._buffer_pts = []
-            if self.use_peek_buffers:
+            if self.ghost_sync:
+                # Ghost mode: the boundary context is already here — read
+                # the local ghost copies, message nobody.
+                self._buffer_pts = self.ghosts.points_of(self.neighbor_ids)
+                self._pending = 0
+            elif self.use_peek_buffers:
                 # Multicast mode: all buffer members are co-resident and in
                 # core (the runtime collected them); read them directly.
                 gathered = []
@@ -218,6 +295,11 @@ class RegionObject(MobileObject):
         """Receive points another leaf inserted inside our box (recreate)."""
         self.points.extend(pts)
         self.mark_dirty()
+        if self.ghost_sync:
+            # Our strips changed outside a refinement; re-publish so the
+            # phase-boundary freshness contract holds (no ack: the sweep's
+            # quiescence barrier absorbs these).
+            self._push_ghosts(ctx, want_ack=False)
 
     @handler
     def segments_reply(self, ctx, segments) -> None:
@@ -279,6 +361,11 @@ class RegionObject(MobileObject):
         self._buffer_pts = []
         self._pending = 0
         self.mark_dirty()
+        if self.ghost_sync:
+            # Owner→ghost push *before* the update: the coordinator's
+            # barrier counts one ack per neighbor, so dependent work only
+            # launches against fresh ghosts.
+            self._push_ghosts(ctx, want_ack=True)
         ctx.post(self.coordinator, "update", self.region_id, sorted(set(dirty)))
 
     def _dirty_neighbors(self, result, sizing) -> list[int]:

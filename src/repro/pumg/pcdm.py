@@ -12,6 +12,13 @@ neighbor and posted as ``remote_splits`` messages; the receiving subdomain
 applies the identical splits (midpoints are bit-identical, computed from
 the shared edge endpoints) and schedules another refinement pass of its
 own if that created work.
+
+With ``ghost_sync`` the per-neighbor posts collapse into one
+**fanout multicast** (:mod:`repro.pumg.ghost` transport): a single
+version-stamped ``remote_splits_batch`` carries the whole per-neighbor
+split dict, the control layer emits one wire send per destination *node*
+however many subdomains subscribe there, and each receiver applies its
+own slice.  Stale versions (redelivery after recovery) are dropped.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ class SubdomainObject(MobileObject):
         sizing_spec,
         quality_bound: float = math.sqrt(2.0),
         min_length: float = 0.0,
+        ghost_sync: bool = False,
     ) -> None:
         super().__init__(pointer)
         self.part_id = part_id
@@ -53,11 +61,18 @@ class SubdomainObject(MobileObject):
         # interface: canonical edge -> neighbor part id
         self.interface: dict[tuple[Point, Point], int] = {}
         self.neighbor_ptrs: dict[int, object] = {}
+        self.ghost_sync = bool(ghost_sync)
         self.splits_sent = 0
         self.splits_received = 0
         self.splits_ignored = 0
         self.passes = 0
         self._pass_queued = False
+        # ghost_sync: monotone version stamp on outgoing batches, and the
+        # last version applied from each neighbor (stale replays dropped).
+        self.split_version = 0
+        self.seen_versions: dict[int, int] = {}
+        self.ghost_batches = 0
+        self.ghost_bytes_pushed = 0
 
     @handler
     def wire(self, ctx, neighbor_ptrs, interface_edges) -> None:
@@ -107,6 +122,27 @@ class SubdomainObject(MobileObject):
         )
         self.passes += 1
         self.mark_dirty()
+        if not outgoing:
+            return
+        if self.ghost_sync:
+            # Ghost transport: one version-stamped fanout multicast carries
+            # the whole per-neighbor dict; the control layer sends it once
+            # per destination node, and each receiver takes its own slice.
+            self.split_version += 1
+            targets = [
+                self.neighbor_ptrs[n] for n in sorted(outgoing)
+            ]
+            self.splits_sent += sum(len(s) for s in outgoing.values())
+            ctx.post_multicast(
+                targets, "remote_splits_batch", 1,
+                self.part_id, self.split_version, outgoing,
+                mode="fanout",
+            )
+            self.ghost_batches += 1
+            self.ghost_bytes_pushed += sum(
+                48 * len(s) + 24 for s in outgoing.values()
+            )
+            return
         # PCDM's signature: small asynchronous messages, aggregated per
         # neighbor to amortize startup overheads.
         for neighbor, splits in sorted(outgoing.items()):
@@ -114,10 +150,21 @@ class SubdomainObject(MobileObject):
             ctx.post(self.neighbor_ptrs[neighbor], "remote_splits", splits)
 
     @handler
+    def remote_splits_batch(self, ctx, owner_part, version, batch) -> None:
+        """Fanout-multicast delivery: apply our slice of an owner's batch."""
+        if version <= self.seen_versions.get(owner_part, 0):
+            self.splits_ignored += len(batch.get(self.part_id, []))
+            return  # redelivered (recovery replay); already applied
+        self.seen_versions[owner_part] = version
+        self._apply_splits(ctx, batch.get(self.part_id, []))
+
+    @handler
     def remote_splits(self, ctx, splits) -> None:
         """Apply splits a neighbor performed on our shared interface edges."""
+        self._apply_splits(ctx, splits)
+
+    def _apply_splits(self, ctx, splits) -> None:
         changed = False
-        followups: dict[int, list] = {}
         for pu, pv, mid in splits:
             key = edge_canon(pu, pv)
             neighbor = self.interface.get(key)

@@ -5,13 +5,21 @@ zones and *structured communication with global synchronization*: during
 each phase every process knows exactly who it exchanges data with, and
 phases are separated by barriers.
 
-We realize that schedule with a coordinator object sweeping the four
-colors of a 2x2-tiled block grid: all dirty blocks of one color refine
-concurrently (their buffers are guaranteed disjoint), the coordinator
-barriers on their completion reports, then moves to the next color; a full
-sweep with no dirty blocks terminates the run.  The per-block refinement
-machinery (buffer collection, patch refinement) is shared with NUPDR via
-:class:`repro.pumg.objects.RegionObject`.
+We realize that schedule with a coordinator object sweeping the colors of
+a tiled block grid (four colors for the 2x2-tiled 2D grid, eight for the
+2x2x2-tiled 3D grid of :mod:`repro.mesh3d`): all dirty blocks of one
+color refine concurrently (their buffers are guaranteed disjoint), the
+coordinator barriers on their completion reports, then moves to the next
+color; a full sweep with no dirty blocks terminates the run.  The
+per-block refinement machinery (buffer collection, patch refinement) is
+shared with NUPDR via :class:`repro.pumg.objects.RegionObject`.
+
+With ``ghost_sync`` the barrier hardens into the ghost-exchange contract
+(:mod:`repro.pumg.ghost`): ``construct_buffer`` goes only to the block
+(its boundary context is its local ghost table), and the color phase does
+not complete until every refined block's owner→ghost push has been
+acknowledged by all of its subscribers — so the next color always refines
+against fresh ghosts.
 """
 
 from __future__ import annotations
@@ -28,17 +36,29 @@ class UPDRCoordinatorObject(MobileObject):
     """Color-phased barrier coordinator for UPDR.
 
     ``blocks`` maps block id -> (mobile pointer, neighbor ids, color).
+    ``n_colors`` is the number of colors in the schedule (4 for the 2D
+    block grid, 8 for the 3D layered grid).  ``ghost_sync`` adds the
+    ghost-ack term to the barrier.
     """
 
-    def __init__(self, pointer, blocks: dict) -> None:
+    def __init__(
+        self, pointer, blocks: dict,
+        n_colors: int = N_COLORS, ghost_sync: bool = False,
+    ) -> None:
         super().__init__(pointer)
+        if n_colors < 1:
+            raise ValueError("need at least one color")
         self.blocks = dict(blocks)
+        self.n_colors = int(n_colors)
+        self.ghost_sync = bool(ghost_sync)
         self.dirty: set[int] = set()
         self.color = 0
         self.outstanding = 0
+        self.pending_acks = 0
         self.idle_colors = 0  # consecutive colors with nothing to do
         self.phases = 0
         self.launches = 0
+        self.ghost_acks = 0
 
     def _launch_color(self, ctx) -> None:
         """Start every dirty block of the current color; barrier on them."""
@@ -49,20 +69,34 @@ class UPDRCoordinatorObject(MobileObject):
             if targets:
                 break
             self.idle_colors += 1
-            if self.idle_colors >= N_COLORS:
+            if self.idle_colors >= self.n_colors:
                 return  # full quiet sweep: refinement complete
-            self.color = (self.color + 1) % N_COLORS
+            self.color = (self.color + 1) % self.n_colors
         self.idle_colors = 0
         self.phases += 1
         self.outstanding = len(targets)
         for block_id in targets:
             self.dirty.discard(block_id)
             ptr, neighbors, _color = self.blocks[block_id]
-            buf_ptrs = [self.blocks[n][0] for n in neighbors]
             self.launches += 1
+            if self.ghost_sync:
+                # Ghost mode: only the refining block acts; its boundary
+                # context is the local ghost table.  The barrier will wait
+                # for one ack per subscriber of its post-refinement push.
+                self.pending_acks += len(neighbors)
+                if not ctx.call_direct(ptr, "construct_buffer", ptr, 0):
+                    ctx.post(ptr, "construct_buffer", ptr, 0)
+                continue
+            buf_ptrs = [self.blocks[n][0] for n in neighbors]
             for p in [ptr] + buf_ptrs:
                 if not ctx.call_direct(p, "construct_buffer", ptr, len(buf_ptrs)):
                     ctx.post(p, "construct_buffer", ptr, len(buf_ptrs))
+
+    def _maybe_advance(self, ctx) -> None:
+        """Phase barrier: all updates in AND (ghost mode) all acks in."""
+        if self.outstanding == 0 and self.pending_acks == 0:
+            self.color = (self.color + 1) % self.n_colors
+            self._launch_color(ctx)
 
     @handler
     def start(self, ctx, dirty_ids) -> None:
@@ -76,7 +110,11 @@ class UPDRCoordinatorObject(MobileObject):
         """Completion report from a block (the barrier counts these)."""
         self.dirty.update(dirty_ids)
         self.outstanding -= 1
-        if self.outstanding == 0:
-            # Barrier reached: next color phase.
-            self.color = (self.color + 1) % N_COLORS
-            self._launch_color(ctx)
+        self._maybe_advance(ctx)
+
+    @handler
+    def ghost_ack(self, ctx, owner_rid: int, subscriber_rid: int) -> None:
+        """A subscriber installed a refined block's pushed strip."""
+        self.ghost_acks += 1
+        self.pending_acks -= 1
+        self._maybe_advance(ctx)

@@ -68,7 +68,7 @@ GEOMETRIES: dict[str, Callable] = {
     "gear": shapes.gear_domain,
 }
 
-METHODS = ("updr", "nupdr", "pcdm")
+METHODS = ("updr", "nupdr", "pcdm", "mesh3d")
 
 
 class JobSpecError(ProtocolError):
@@ -95,8 +95,10 @@ class JobSpec:
     h: float = 0.15                 # target edge length (uniform sizing)
     nx: int = 2                     # UPDR block grid
     ny: int = 2
+    nz: int = 1                     # mesh3d grid depth
     granularity: float = 4.0        # NUPDR quadtree granularity
     n_parts: int = 2                # PCDM partition count
+    ghost_sync: bool = False        # ghost-layer exchange (repro.pumg.ghost)
     tenant: str = "default"
     seed: int = 0
     n_nodes: int = 2
@@ -113,6 +115,7 @@ class JobSpec:
         "h": (0.02, 1.0),
         "nx": (1, 8),
         "ny": (1, 8),
+        "nz": (1, 8),
         "granularity": (1.0, 64.0),
         "n_parts": (1, 8),
         "n_nodes": (1, 8),
@@ -152,8 +155,10 @@ class JobSpec:
     def to_dict(self) -> dict:
         return {
             "method": self.method, "geometry": self.geometry, "h": self.h,
-            "nx": self.nx, "ny": self.ny, "granularity": self.granularity,
-            "n_parts": self.n_parts, "tenant": self.tenant,
+            "nx": self.nx, "ny": self.ny, "nz": self.nz,
+            "granularity": self.granularity,
+            "n_parts": self.n_parts, "ghost_sync": self.ghost_sync,
+            "tenant": self.tenant,
             "seed": self.seed, "n_nodes": self.n_nodes, "cores": self.cores,
             "memory_bytes": self.memory_bytes, "max_sweeps": self.max_sweeps,
             "coarse_factor": self.coarse_factor,
@@ -167,7 +172,8 @@ class JobSpec:
         if not isinstance(payload, dict):
             raise JobSpecError("job must be a JSON object")
         known = {
-            "method", "geometry", "h", "nx", "ny", "granularity", "n_parts",
+            "method", "geometry", "h", "nx", "ny", "nz", "granularity",
+            "n_parts", "ghost_sync",
             "tenant", "seed", "n_nodes", "cores", "memory_bytes",
             "max_sweeps", "coarse_factor", "checkpoint_every", "validate",
         }
@@ -177,13 +183,14 @@ class JobSpec:
         for key in ("method", "geometry", "tenant"):
             if key in payload and not isinstance(payload[key], str):
                 raise JobSpecError(f"{key} must be a string")
-        for key in ("nx", "ny", "n_parts", "seed", "n_nodes", "cores",
+        for key in ("nx", "ny", "nz", "n_parts", "seed", "n_nodes", "cores",
                     "memory_bytes", "max_sweeps", "checkpoint_every"):
             if key in payload and (not isinstance(payload[key], int)
                                    or isinstance(payload[key], bool)):
                 raise JobSpecError(f"{key} must be an integer")
-        if "validate" in payload and not isinstance(payload["validate"], bool):
-            raise JobSpecError("validate must be a boolean")
+        for key in ("validate", "ghost_sync"):
+            if key in payload and not isinstance(payload[key], bool):
+                raise JobSpecError(f"{key} must be a boolean")
         try:
             return cls(**payload)
         except TypeError as exc:
@@ -282,6 +289,11 @@ class MeshJobRunner:
         builder = getattr(self, f"_build_{self.spec.method}")
         builder()
         self.runtime.run()  # quiesce wiring before the first sweep
+        if self.spec.ghost_sync and self.spec.method in ("updr", "nupdr"):
+            # Seed the ghost tables before the first sweep reads them.
+            for ptr in self._regions.values():
+                self.runtime.post(ptr, "ghost_seed")
+            self.runtime.run()
         self._check_boundary()
         self.phase = 1
 
@@ -317,6 +329,7 @@ class MeshJobRunner:
             UPDRCoordinatorObject,
             {b.block_id: (self._regions[b.block_id], b.neighbors, b.color)
              for b in blocks},
+            ghost_sync=spec.ghost_sync,
             node=0,
         )
         rt.nodes[0].ooc.lock(master.oid)
@@ -328,7 +341,7 @@ class MeshJobRunner:
                 for n in b.neighbors
             }
             rt.post(self._regions[b.block_id], "wire", master, registry,
-                    neighbors, pslg)
+                    neighbors, pslg, ghost_sync=spec.ghost_sync)
         self._master, self._registry = master, registry
         self._all_ids = [b.block_id for b in blocks]
         self._app_locked = {registry.oid, master.oid}
@@ -339,7 +352,7 @@ class MeshJobRunner:
         sizing_spec = ("uniform", spec.h)
         from repro.mesh.sizing import sizing_from_spec
 
-        options = ONUPDROptions()
+        options = ONUPDROptions(ghost_sync=spec.ghost_sync)
         tree = quadtree_decomposition(
             pslg.bounding_box(), sizing_from_spec(sizing_spec),
             granularity=spec.granularity,
@@ -385,7 +398,8 @@ class MeshJobRunner:
                 for n in tree.neighbors(leaf.leaf_id)
             }
             rt.post(self._regions[leaf.leaf_id], "wire", master, registry,
-                    neighbors, pslg, options.multicast, True)
+                    neighbors, pslg, options.multicast, True,
+                    options.ghost_sync)
         self._master, self._registry = master, registry
         self._all_ids = [leaf.leaf_id for leaf in leaves]
 
@@ -398,6 +412,7 @@ class MeshJobRunner:
             self._regions[p] = rt.create_object(
                 SubdomainObject, p, partition.sub_pslgs[p],
                 partition.part_seeds[p], sizing_spec,
+                ghost_sync=spec.ghost_sync,
                 node=p % spec.n_nodes,
             )
         per_part_edges: dict[int, list] = {
@@ -415,6 +430,42 @@ class MeshJobRunner:
             rt.post(self._regions[p], "wire", per_part_neighbors[p],
                     per_part_edges[p])
         self._all_ids = list(range(partition.n_parts))
+
+    def _build_mesh3d(self) -> None:
+        """The 3D variant: prism patches on the unit cube (geometry is
+        2D-only, so mesh3d jobs always mesh the canonical box)."""
+        from repro.mesh3d.driver import _block_grid
+        from repro.mesh3d.objects import Prism3DPatchObject
+
+        rt, spec = self.runtime, self.spec
+        sizing3_spec = ("layered", spec.h, min(1.0, 4.0 * spec.h))
+        blocks = _block_grid(
+            (0.0, 0.0, 0.0, 1.0, 1.0, 1.0), spec.nx, spec.ny, spec.nz
+        )
+        for b in blocks:
+            self._regions[b["block_id"]] = rt.create_object(
+                Prism3DPatchObject, b["block_id"], b["box3"], b["ijk"],
+                b["neighbors"], sizing3_spec,
+                node=b["block_id"] % spec.n_nodes,
+            )
+        master = rt.create_object(
+            UPDRCoordinatorObject,
+            {b["block_id"]: (self._regions[b["block_id"]], b["neighbors"],
+                             b["color"])
+             for b in blocks},
+            n_colors=8,
+            node=0,
+        )
+        rt.nodes[0].ooc.lock(master.oid)
+        for b in blocks:
+            neighbors = {
+                n: (self._regions[n], blocks[n]["box3"])
+                for n in b["neighbors"]
+            }
+            rt.post(self._regions[b["block_id"]], "wire", master, neighbors)
+        self._master = master
+        self._all_ids = [b["block_id"] for b in blocks]
+        self._app_locked = {master.oid}
 
     # ------------------------------------------------------------ phases
     @property
@@ -493,6 +544,11 @@ class MeshJobRunner:
                 rt.get_object(self._regions[p]).tri.n_vertices
                 for p in self._all_ids
             )
+        if self.spec.method == "mesh3d":
+            return sum(
+                len(rt.get_object(self._regions[i]).cells)
+                for i in self._all_ids
+            )
         return sum(
             len(rt.get_object(self._regions[i]).points)
             for i in self._all_ids
@@ -500,6 +556,26 @@ class MeshJobRunner:
 
     def _check_boundary(self) -> None:
         problems = check_runtime(self.runtime)
+        if self.spec.ghost_sync and self.spec.method in ("updr", "nupdr"):
+            # Ghost-freshness contract: every ghost copy equals the strip
+            # its owner would push right now (repro.pumg.ghost).
+            from repro.testing.invariants import check_ghosts
+
+            problems = problems + check_ghosts(
+                self.runtime, self._regions.values()
+            )
+        if self.spec.method == "mesh3d" and self.converged:
+            # 2:1 balance is only promised once the sweeps converge
+            # (mid-run imbalance is exactly what drives the next sweep).
+            from repro.testing.invariants import check_mesh3d
+
+            patches = [
+                self.runtime.get_object(ptr)
+                for ptr in self._regions.values()
+            ]
+            problems = problems + check_mesh3d(
+                patches, bounds=(0.0, 0.0, 0.0, 1.0, 1.0, 1.0)
+            )
         for problem in problems:
             if any(f"object {oid} still locked at quiescence" in problem
                    for oid in self._app_locked):
@@ -578,6 +654,11 @@ class MeshJobRunner:
                     for v in range(3, len(tri.points))
                 ))
                 out.append((rid, tri.n_vertices, obj.n_triangles(), pts))
+            elif self.spec.method == "mesh3d":
+                cells = tuple(sorted(
+                    (c.a, c.b, c.c, c.z0, c.z1, c.level) for c in obj.cells
+                ))
+                out.append((rid, len(cells), cells))
             else:
                 pts = tuple(sorted(tuple(p) for p in obj.points))
                 out.append((rid, len(pts), pts))
@@ -614,7 +695,7 @@ class MeshJobRunner:
             "state_digest": self.state_digest(),
             "invariant_violations": len(self.violations),
         }
-        if self.spec.validate and self.spec.method != "pcdm":
+        if self.spec.validate and self.spec.method in ("updr", "nupdr"):
             from repro.pumg.driver import _validate_final
 
             pslg = GEOMETRIES[self.spec.geometry]()

@@ -710,6 +710,34 @@ SERVE_CHAOS_MATRIX: list[ServeChaosSpec] = [
         ),
         kill_phase=2,
     ),
+    # Kill mid-ghost-exchange: attempt 1 dies with owner→ghost pushes and
+    # their acks in flight; attempt 2 resumes from the boundary checkpoint
+    # (versioned ghost tables and the coordinator's ack ledger round-trip
+    # through it) and must land byte-equal to the fault-free reference —
+    # with the ghost-freshness invariant clean at every boundary of every
+    # incarnation.
+    ServeChaosSpec(
+        name="serve-kill-ghost-exchange",
+        job=dict(
+            method="updr", geometry="unit_square", h=0.06, nx=3, ny=3,
+            ghost_sync=True, n_nodes=2, memory_bytes=48 * 1024,
+            tenant="chaos", checkpoint_every=1,
+        ),
+        kill_phase=2,
+    ),
+    # Same discipline for the 3D prism patches: kill mid-sweep, resume,
+    # and require the exact cell set of the uninterrupted run plus the
+    # mesh3d invariants (volume conservation, 2:1 face balance) at the
+    # converged boundary.
+    ServeChaosSpec(
+        name="serve-kill-mesh3d",
+        job=dict(
+            method="mesh3d", h=0.13, nx=2, ny=2, nz=2,
+            n_nodes=2, memory_bytes=96 * 1024, tenant="chaos",
+            checkpoint_every=1,
+        ),
+        kill_phase=2,
+    ),
 ]
 
 

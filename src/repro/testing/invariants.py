@@ -52,6 +52,8 @@ __all__ = [
     "check_runtime",
     "check_dist",
     "check_mesh",
+    "check_ghosts",
+    "check_mesh3d",
     "assert_invariants",
 ]
 
@@ -260,6 +262,108 @@ def check_dist(runtime) -> list[str]:
             problems.append(
                 f"quiescent but objects {stuck} still show an "
                 "outstanding message"
+            )
+    return problems
+
+
+def check_ghosts(runtime: "MRTS", pointers) -> list[str]:
+    """Ghost-freshness violations at a phase boundary (empty = fresh).
+
+    The contract of :mod:`repro.pumg.ghost`: at every phase boundary —
+    after the coordinator's ack barrier, or at quiescence — every ghost
+    copy a subscriber holds equals the strip its owner would compute
+    from its *current* points.  ``pointers`` are the region pointers of
+    one ghost-mode PUMG run; regions not in ghost mode are skipped.
+    """
+    problems: list[str] = []
+    regions = {}
+    for ptr in pointers:
+        obj = runtime.get_object(ptr)
+        regions[obj.region_id] = obj
+    for rid, owner in regions.items():
+        if not getattr(owner, "ghost_sync", False):
+            continue
+        strips = owner.ghost_strips()
+        for nid in owner.neighbor_ids:
+            sub = regions.get(nid)
+            if sub is None:
+                problems.append(
+                    f"region {rid}: neighbor {nid} not among the pointers"
+                )
+                continue
+            copy = sub.ghosts.copies.get(rid)
+            want = sorted(strips.get(nid, []))
+            have = sorted(copy.points) if copy is not None else None
+            if have is None:
+                if want:
+                    problems.append(
+                        f"region {nid} has no ghost copy of owner {rid} "
+                        f"({len(want)} strip points expected)"
+                    )
+            elif have != want:
+                problems.append(
+                    f"region {nid}'s ghost of owner {rid} is stale: "
+                    f"{len(have)} points held, {len(want)} expected"
+                )
+    return problems
+
+
+def check_mesh3d(patches, bounds: Optional[tuple] = None) -> list[str]:
+    """Invariant violations of a 3D prism-patch set (empty = valid).
+
+    * every cell has positive volume and finite quality;
+    * each patch's cells exactly tile its box (volume conservation under
+      bisection — and, with ``bounds``, the patches tile the domain);
+    * 2:1 balance holds across every shared patch face.
+    """
+    from repro.mesh3d.objects import BALANCE_RATIO
+    from repro.mesh3d.prism import prism_quality, prism_volume
+
+    problems: list[str] = []
+    by_id = {p.patch_id: p for p in patches}
+    total = 0.0
+    for patch in patches:
+        vol = 0.0
+        for cell in patch.cells:
+            v = prism_volume(cell)
+            if not v > 0.0:
+                problems.append(
+                    f"patch {patch.patch_id}: cell with non-positive "
+                    f"volume {v}"
+                )
+            if not math.isfinite(prism_quality(cell)):
+                problems.append(
+                    f"patch {patch.patch_id}: degenerate cell "
+                    f"(infinite quality)"
+                )
+            vol += v
+        x0, y0, z0, x1, y1, z1 = patch.box3
+        box_vol = (x1 - x0) * (y1 - y0) * (z1 - z0)
+        if abs(vol - box_vol) > 1e-9 * max(box_vol, 1.0):
+            problems.append(
+                f"patch {patch.patch_id}: cells sum to volume {vol}, "
+                f"box has {box_vol} (bisection lost or duplicated cells)"
+            )
+        total += vol
+        for rid in patch.neighbor_ids:
+            other = by_id.get(rid)
+            if other is None:
+                continue
+            mine = patch.face_min_size(rid)
+            theirs = other.face_min_size(patch.patch_id)
+            if math.isinf(mine) or math.isinf(theirs):
+                continue
+            if mine > BALANCE_RATIO * theirs + 1e-9:
+                problems.append(
+                    f"face {patch.patch_id}|{rid}: 2:1 balance violated "
+                    f"({mine:.4g} vs {theirs:.4g})"
+                )
+    if bounds is not None:
+        x0, y0, z0, x1, y1, z1 = bounds
+        domain = (x1 - x0) * (y1 - y0) * (z1 - z0)
+        if abs(total - domain) > 1e-9 * max(domain, 1.0):
+            problems.append(
+                f"patches sum to volume {total}, domain has {domain}"
             )
     return problems
 

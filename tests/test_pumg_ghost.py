@@ -1,0 +1,169 @@
+"""Tests for the ghost-layer exchange (repro.pumg.ghost + driver wiring).
+
+Unit level: version-stamped ghost tables (monotone installs, idempotent
+replay) and per-neighbor boundary-strip aggregation.  End to end: UPDR,
+NUPDR and PCDM under ``ghost_sync`` converge to quality meshes while
+pushing owner strips over fanout multicast, and the ghost-freshness
+invariant (:func:`repro.testing.invariants.check_ghosts`) holds at every
+serve-layer phase boundary.
+"""
+
+import pytest
+
+from repro.geometry import unit_square
+from repro.pumg import ONUPDROptions, run_nupdr, run_pcdm, run_updr
+from repro.pumg.ghost import (
+    GhostTable,
+    boundary_strips,
+    strip_nbytes,
+)
+from repro.serve.meshjob import JobSpec, run_job_solo
+from repro.testing.harness import FixedCostModel
+
+# Graded sizing that yields a multi-leaf quadtree (a neighborless single
+# leaf would make the ghost exchange vacuous).
+GRADED = ("point_source", [((0.2, 0.2), 0.01)], 0.12, 0.6)
+
+
+# ------------------------------------------------------------- GhostTable
+def test_ghost_table_installs_monotonically():
+    t = GhostTable()
+    assert t.install(3, 1, [(0.0, 0.0)])
+    assert t.version_of(3) == 1
+    # Same version again: a replayed push must be dropped.
+    assert not t.install(3, 1, [(9.0, 9.0)])
+    assert t.copies[3].points == [(0.0, 0.0)]
+    # Older version: dropped too.
+    assert not t.install(3, 0, [(8.0, 8.0)])
+    # Newer version replaces, even with an empty strip.
+    assert t.install(3, 2, [])
+    assert t.copies[3].points == []
+    assert t.installs == 2
+    assert t.stale_drops == 2
+
+
+def test_ghost_table_points_of_concatenates_known_owners():
+    t = GhostTable()
+    t.install(1, 1, [(0.1, 0.1)])
+    t.install(2, 1, [(0.2, 0.2), (0.3, 0.3)])
+    pts = t.points_of([1, 2, 99])
+    assert pts == [(0.1, 0.1), (0.2, 0.2), (0.3, 0.3)]
+    assert t.version_of(99) == -1
+
+
+# -------------------------------------------------------- boundary strips
+def test_boundary_strips_aggregates_per_neighbor():
+    boxes = {1: (1.0, 0.0, 2.0, 1.0), 2: (0.0, 1.0, 1.0, 2.0)}
+    points = [(0.95, 0.5), (0.5, 0.95), (0.5, 0.5), (0.98, 0.98)]
+    strips = boundary_strips(points, boxes, margin=0.1)
+    assert strips[1] == [(0.95, 0.5), (0.98, 0.98)]
+    assert strips[2] == [(0.5, 0.95), (0.98, 0.98)]
+
+
+def test_boundary_strips_always_includes_every_neighbor():
+    """An empty strip must still be present: it overwrites stale ghosts."""
+    boxes = {7: (1.0, 0.0, 2.0, 1.0)}
+    strips = boundary_strips([(0.1, 0.1)], boxes, margin=0.05)
+    assert strips == {7: []}
+
+
+def test_boundary_strips_margin_scales_with_sizing():
+    boxes = {1: (1.0, 0.0, 2.0, 1.0)}
+    far = [(0.7, 0.5)]
+    # With h=0.01 the strip margin (4h) misses the point; h=0.1 reaches.
+    assert boundary_strips(far, boxes, sizing=lambda p: 0.01) == {1: []}
+    assert boundary_strips(far, boxes, sizing=lambda p: 0.1) == {1: far}
+
+
+def test_strip_nbytes_counts_points_and_headers():
+    strips = {1: [(0.0, 0.0), (1.0, 1.0)], 2: []}
+    assert strip_nbytes(strips) == (16 * 2 + 24) + 24
+
+
+# ------------------------------------------------------------ UPDR e2e
+def test_updr_ghost_sync_meets_quality():
+    res = run_updr(unit_square(), h=0.1, nx=3, ny=3, ghost_sync=True)
+    assert res.quality.min_angle_deg > 18.0
+    assert res.quality.total_area == pytest.approx(1.0, rel=1e-6)
+    # The exchange actually ran: owners pushed versioned strips over
+    # fanout multicast and the coordinator's ack barrier saw them.
+    assert res.extras["ghost_pushes"] > 0
+    assert res.extras["ghost_installs"] > 0
+    assert res.extras["ghost_acks"] > 0
+    assert res.extras["ghost_bytes"] > 0
+    assert res.extras["multicast_sends"] > 0
+
+
+def test_updr_ghost_sync_mesh_size_comparable_to_pull_mode():
+    pull = run_updr(unit_square(), h=0.12, nx=2, ny=2)
+    push = run_updr(unit_square(), h=0.12, nx=2, ny=2, ghost_sync=True)
+    assert pull.n_points * 0.5 <= push.n_points <= pull.n_points * 2.0
+    assert push.quality.min_angle_deg > 18.0
+
+
+# ----------------------------------------------------------- NUPDR e2e
+def test_nupdr_ghost_sync_meets_quality():
+    res = run_nupdr(
+        unit_square(), GRADED, granularity=4.0,
+        options=ONUPDROptions(ghost_sync=True),
+    )
+    assert res.quality.min_angle_deg > 18.0
+    assert res.extras["ghost_pushes"] > 0
+    assert res.extras["ghost_installs"] > 0
+    assert res.extras["ghost_acks"] > 0
+
+
+# ------------------------------------------------------------ PCDM e2e
+def test_pcdm_ghost_sync_batches_splits():
+    res = run_pcdm(unit_square(), h=0.08, n_parts=4, ghost_sync=True)
+    assert res.extras["min_angle_deg"] > 18.0
+    # Interface splits rode version-stamped batch fanouts.
+    assert res.extras["ghost_batches"] > 0
+    assert res.extras["ghost_bytes"] > 0
+    assert res.extras["multicast_sends"] > 0
+
+
+def test_pcdm_ghost_sync_is_deterministic():
+    # A fixed cost model pins the virtual timeline: PCDM's result is a
+    # function of split-arrival interleaving (Ruppert insertion order),
+    # so identical timelines — not merely identical inputs — are what
+    # the determinism contract promises (docs/architecture.md).
+    def run():
+        return run_pcdm(
+            unit_square(), h=0.1, n_parts=3, ghost_sync=True,
+            cost_model=FixedCostModel(1e-4),
+        )
+
+    a, b = run(), run()
+    assert a.n_points == b.n_points
+    assert a.n_triangles == b.n_triangles
+
+
+# --------------------------------------------- serve-layer ghost checks
+def test_serve_updr_ghost_job_passes_boundary_invariants():
+    """run_job_solo runs check_ghosts at every phase boundary."""
+    spec = JobSpec.from_request(
+        dict(method="updr", geometry="unit_square", h=0.12, nx=2, ny=2,
+             ghost_sync=True, memory_bytes=256 * 1024)
+    )
+    job = run_job_solo(spec)
+    assert job.violations == []
+    assert job.result_summary()["n_points"] > 0
+
+
+def test_serve_ghost_job_is_deterministic():
+    spec = JobSpec.from_request(
+        dict(method="updr", geometry="unit_square", h=0.12, nx=2, ny=2,
+             ghost_sync=True, memory_bytes=256 * 1024)
+    )
+    a, b = run_job_solo(spec), run_job_solo(spec)
+    assert a.state_digest() == b.state_digest()
+
+
+def test_jobspec_ghost_sync_round_trips():
+    spec = JobSpec.from_request(
+        dict(method="nupdr", geometry="unit_square", h=0.1,
+             ghost_sync=True, memory_bytes=256 * 1024)
+    )
+    assert spec.ghost_sync is True
+    assert JobSpec.from_request(spec.to_dict()) == spec
